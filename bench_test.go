@@ -1,0 +1,380 @@
+// Benchmarks regenerating every evaluation artifact of the paper, one per
+// figure panel (the paper has no tables). Each benchmark times the
+// generation of the corresponding data series at a reduced trial budget
+// and reports the headline quantity of that figure as a custom metric so
+// `go test -bench` output can be eyeballed against the paper:
+//
+//	Fig 3: analytical #moves per replacement vs N (4x5 and 16x16)
+//	Fig 5: estimated moving distance per replacement vs N (r=10)
+//	Fig 6: processes initiated and success rate, AR vs SR
+//	Fig 7: #node movements, experimental vs analytical
+//	Fig 8: total moving distance, experimental vs analytical
+//
+// The full-resolution series (100 trials/point, the paper's x axis) are
+// produced by `go run ./cmd/figures`; see EXPERIMENTS.md.
+package wsncover_test
+
+import (
+	"testing"
+
+	"wsncover/internal/analytic"
+	"wsncover/internal/figures"
+	"wsncover/internal/geom"
+	"wsncover/internal/grid"
+	"wsncover/internal/hamilton"
+	"wsncover/internal/sim"
+)
+
+// benchNs is the reduced sweep used by the experimental benchmarks.
+var benchNs = []int{10, 55, 200, 1000}
+
+const benchTrials = 5
+
+func sweepFor(b *testing.B, kind sim.SchemeKind) []sim.SweepPoint {
+	b.Helper()
+	pts, err := sim.RunSweep(sim.SweepConfig{
+		Template: sim.TrialConfig{Cols: 16, Rows: 16, Scheme: kind},
+		Ns:       benchNs,
+		Trials:   benchTrials,
+		BaseSeed: 777,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pts
+}
+
+func BenchmarkFig3AnalyticMoves45(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		for n := 1; n <= 140; n++ {
+			m, err := analytic.Moves(n, 19)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = m
+		}
+	}
+	b.ReportMetric(last, "moves@N=140")
+}
+
+func BenchmarkFig3AnalyticMoves1616(b *testing.B) {
+	var anchor float64
+	for i := 0; i < b.N; i++ {
+		for n := 10; n <= 1400; n += 10 {
+			m, err := analytic.Moves(n, 255)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n == 430 {
+				anchor = m // ~2 at density 1.68/grid per the paper
+			}
+		}
+	}
+	b.ReportMetric(anchor, "moves@N=430")
+}
+
+func BenchmarkFig5Distance45(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		for n := 1; n <= 140; n++ {
+			d, err := analytic.Distance(n, 19, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = d
+		}
+	}
+	b.ReportMetric(last, "dist@N=140")
+}
+
+func BenchmarkFig5Distance1616(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		for n := 10; n <= 1000; n += 10 {
+			d, err := analytic.Distance(n, 255, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = d
+		}
+	}
+	b.ReportMetric(last, "dist@N=1000")
+}
+
+func BenchmarkFig6Processes(b *testing.B) {
+	var srProcs, arProcs int
+	for i := 0; i < b.N; i++ {
+		sr := sweepFor(b, sim.SR)
+		ar := sweepFor(b, sim.AR)
+		srProcs, arProcs = 0, 0
+		for j := range sr {
+			srProcs += sr[j].Summary.Initiated
+			arProcs += ar[j].Summary.Initiated
+		}
+	}
+	b.ReportMetric(float64(arProcs)/float64(srProcs), "AR/SR-procs")
+}
+
+func BenchmarkFig6SuccessRate(b *testing.B) {
+	var srOK, arOK float64
+	for i := 0; i < b.N; i++ {
+		sr := sweepFor(b, sim.SR)
+		ar := sweepFor(b, sim.AR)
+		srOK = sr[0].Summary.SuccessRate() // N=10, the stress point
+		arOK = ar[0].Summary.SuccessRate()
+	}
+	b.ReportMetric(srOK, "SR-success@N=10")
+	b.ReportMetric(arOK, "AR-success@N=10")
+}
+
+func BenchmarkFig7MovesExperimental(b *testing.B) {
+	var srLow, srHigh, arLow, arHigh int
+	for i := 0; i < b.N; i++ {
+		sr := sweepFor(b, sim.SR)
+		ar := sweepFor(b, sim.AR)
+		srLow, srHigh = sr[0].Summary.Moves, sr[len(sr)-1].Summary.Moves
+		arLow, arHigh = ar[0].Summary.Moves, ar[len(ar)-1].Summary.Moves
+	}
+	// The paper's crossover: SR above AR at N=10, below at N=1000.
+	b.ReportMetric(float64(srLow)/float64(arLow+1), "SR/AR-moves@N=10")
+	b.ReportMetric(float64(srHigh)/float64(arHigh+1), "SR/AR-moves@N=1000")
+}
+
+func BenchmarkFig7MovesAnalytical(b *testing.B) {
+	var m float64
+	for i := 0; i < b.N; i++ {
+		for _, n := range sim.PaperNs() {
+			v, err := analytic.Moves(n, 255)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m = v
+		}
+	}
+	b.ReportMetric(m, "moves@N=1000")
+}
+
+func BenchmarkFig8DistanceExperimental(b *testing.B) {
+	var srDist, arDist float64
+	for i := 0; i < b.N; i++ {
+		sr := sweepFor(b, sim.SR)
+		ar := sweepFor(b, sim.AR)
+		srDist = sr[len(sr)-1].Summary.Distance
+		arDist = ar[len(ar)-1].Summary.Distance
+	}
+	b.ReportMetric(srDist, "SR-dist@N=1000")
+	b.ReportMetric(arDist, "AR-dist@N=1000")
+}
+
+func BenchmarkFig8DistanceAnalytical(b *testing.B) {
+	r := sim.PaperCommRange / grid.Sqrt5
+	var d float64
+	for i := 0; i < b.N; i++ {
+		for _, n := range sim.PaperNs() {
+			v, err := analytic.Distance(n, 255, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d = v
+		}
+	}
+	b.ReportMetric(d, "dist@N=1000")
+}
+
+// BenchmarkFiguresAll times the full figure bundle at smoke resolution,
+// the end-to-end path of cmd/figures.
+func BenchmarkFiguresAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.All(figures.Config{
+			Trials: 2, Seed: 9, Ns: []int{10, 200},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationShortcut compares SR against the future-work shortcut
+// extension on identical layouts.
+func BenchmarkAblationShortcut(b *testing.B) {
+	for _, kind := range []sim.SchemeKind{sim.SR, sim.SRShortcut} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var moves int
+			for i := 0; i < b.N; i++ {
+				pts, err := sim.RunSweep(sim.SweepConfig{
+					Template: sim.TrialConfig{Cols: 16, Rows: 16, Scheme: kind},
+					Ns:       []int{55},
+					Trials:   benchTrials,
+					BaseSeed: 555,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				moves = pts[0].Summary.Moves
+			}
+			b.ReportMetric(float64(moves)/benchTrials, "moves/trial")
+		})
+	}
+}
+
+// BenchmarkAblationDualPath contrasts an even grid (single cycle) with an
+// odd x odd grid (dual-path) of nearly equal size, validating Corollary 2's
+// claim that the dual-path costs about the same.
+func BenchmarkAblationDualPath(b *testing.B) {
+	dims := []struct {
+		name       string
+		cols, rows int
+	}{
+		{"cycle-16x16", 16, 16},
+		{"dualpath-15x17", 15, 17},
+	}
+	for _, d := range dims {
+		b.Run(d.name, func(b *testing.B) {
+			var moves int
+			for i := 0; i < b.N; i++ {
+				pts, err := sim.RunSweep(sim.SweepConfig{
+					Template: sim.TrialConfig{Cols: d.cols, Rows: d.rows, Scheme: sim.SR},
+					Ns:       []int{100},
+					Trials:   benchTrials,
+					BaseSeed: 321,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				moves = pts[0].Summary.Moves
+			}
+			b.ReportMetric(float64(moves)/benchTrials, "moves/trial")
+		})
+	}
+}
+
+// BenchmarkAblationARMaxHops sweeps AR's search horizon, the knob that
+// trades movement cost against success rate.
+func BenchmarkAblationARMaxHops(b *testing.B) {
+	for _, hops := range []int{3, 6, 12} {
+		b.Run(map[int]string{3: "hops3", 6: "hops6", 12: "hops12"}[hops], func(b *testing.B) {
+			var success float64
+			for i := 0; i < b.N; i++ {
+				pts, err := sim.RunSweep(sim.SweepConfig{
+					Template: sim.TrialConfig{
+						Cols: 16, Rows: 16, Scheme: sim.AR, ARMaxHops: hops,
+					},
+					Ns:       []int{40},
+					Trials:   benchTrials,
+					BaseSeed: 654,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				success = pts[0].Summary.SuccessRate()
+			}
+			b.ReportMetric(success, "success%@N=40")
+		})
+	}
+}
+
+// BenchmarkExtScalability runs the extension grid-size sweep: at constant
+// spare density SR's per-replacement cost stays flat as the field grows.
+func BenchmarkExtScalability(b *testing.B) {
+	var tableRows int
+	for i := 0; i < b.N; i++ {
+		tb, err := figures.Scalability(figures.ScalabilityConfig{
+			Sizes: []int{8, 16}, Trials: 4, Seed: 42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tableRows = len(tb.X)
+	}
+	b.ReportMetric(float64(tableRows), "points")
+}
+
+// BenchmarkExtMultiHole runs the extension simultaneous-holes sweep.
+func BenchmarkExtMultiHole(b *testing.B) {
+	var srRecovery float64
+	for i := 0; i < b.N; i++ {
+		tb, err := figures.MultiHole(figures.MultiHoleConfig{
+			Holes: []int{1, 6}, Spares: 40, Trials: 4, Seed: 42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srRecovery = tb.Series[0].Y[1]
+	}
+	b.ReportMetric(srRecovery, "SR-recovery%@6holes")
+}
+
+// --- Micro benches for the hot substrate paths ---
+
+func BenchmarkHamiltonBuildCycle(b *testing.B) {
+	sys, err := grid.New(64, 64, 1, geom.Pt(0, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hamilton.Build(sys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHamiltonBuildDualPath(b *testing.B) {
+	sys, err := grid.New(63, 63, 1, geom.Pt(0, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hamilton.Build(sys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWalkFullCycle(b *testing.B) {
+	sys, err := grid.New(32, 32, 1, geom.Pt(0, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo, err := hamilton.Build(sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := topo.NewWalk(grid.C(10, 10))
+		for w.Advance(nil) {
+		}
+	}
+}
+
+func BenchmarkSingleTrialSR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunTrial(sim.TrialConfig{
+			Cols: 16, Rows: 16, Scheme: sim.SR, Spares: 100, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSingleTrialAR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunTrial(sim.TrialConfig{
+			Cols: 16, Rows: 16, Scheme: sim.AR, Spares: 100, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyticMoves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := analytic.Moves(100, 255); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import "testing"
+
+func TestParseGrid(t *testing.T) {
+	cols, rows, err := parseGrid("16x16")
+	if err != nil || cols != 16 || rows != 16 {
+		t.Errorf("parseGrid = %d, %d, %v", cols, rows, err)
+	}
+	if _, _, err := parseGrid("16by16"); err == nil {
+		t.Error("bad spec should fail")
+	}
+}
+
+func TestParseScheme(t *testing.T) {
+	for _, s := range []string{"SR", "sr", "AR", "ar", "SR+shortcut", "srs"} {
+		if _, err := parseScheme(s); err != nil {
+			t.Errorf("parseScheme(%q): %v", s, err)
+		}
+	}
+	if _, err := parseScheme("XYZ"); err == nil {
+		t.Error("unknown scheme should fail")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	cases := [][]string{
+		{"-grid", "8x8", "-scheme", "SR", "-spares", "20", "-holes", "2", "-seed", "3"},
+		{"-grid", "8x8", "-scheme", "AR", "-spares", "20", "-holes", "1", "-seed", "4", "-show"},
+		{"-grid", "5x5", "-scheme", "SR+shortcut", "-spares", "5", "-seed", "5"},
+		{"-grid", "8x8", "-spares", "30", "-holes", "3", "-adjacent", "-seed", "6"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-grid", "bad"},
+		{"-scheme", "nope"},
+		{"-grid", "2x2", "-holes", "9"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

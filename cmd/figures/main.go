@@ -1,0 +1,93 @@
+// Command figures regenerates the data behind every evaluation figure of
+// the paper (Figures 3, 5, 6, 7, 8) and writes each as CSV and
+// gnuplot-ready .dat files, plus an ASCII preview on stdout.
+//
+// Usage:
+//
+//	figures [-out dir] [-trials n] [-seed s] [-fig id] [-quick]
+//
+// With -fig the output is restricted to one figure id (3, 5, 6, 7, 8 or a
+// panel like 7a). -quick shrinks the sweep for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"wsncover/internal/figures"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	var (
+		outDir = fs.String("out", "out", "output directory for .csv/.dat files")
+		trials = fs.Int("trials", 100, "simulation trials per (scheme, N) point")
+		seed   = fs.Int64("seed", 2008, "base random seed")
+		fig    = fs.String("fig", "", "restrict to one figure id (e.g. 3, 6, 7a)")
+		quick  = fs.Bool("quick", false, "small sweep for a fast smoke run")
+		ascii  = fs.Bool("ascii", true, "print ASCII previews to stdout")
+		ext    = fs.Bool("ext", false, "also run the extension experiments (scalability, multi-hole)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := figures.Config{Trials: *trials, Seed: *seed}
+	if *quick {
+		cfg.Trials = 10
+		cfg.Ns = []int{10, 55, 200, 1000}
+	}
+
+	tables, err := figures.All(cfg)
+	if err != nil {
+		return err
+	}
+	if *ext {
+		extTrials := cfg.Trials / 2
+		scal, err := figures.Scalability(figures.ScalabilityConfig{Trials: extTrials, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		tables["fig-ext-scalability"] = scal
+		multi, err := figures.MultiHole(figures.MultiHoleConfig{Trials: extTrials, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		tables["fig-ext-multihole"] = multi
+	}
+
+	keys := make([]string, 0, len(tables))
+	for k := range tables {
+		if *fig != "" && !strings.HasPrefix(strings.TrimPrefix(k, "fig"), *fig) {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	if len(keys) == 0 {
+		return fmt.Errorf("no figure matches -fig=%q", *fig)
+	}
+	sort.Strings(keys)
+
+	for _, k := range keys {
+		t := tables[k]
+		paths, err := t.SaveAll(*outDir, k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", strings.Join(paths, ", "))
+		if *ascii {
+			fmt.Println(t.ASCII(72, 16))
+		}
+	}
+	return nil
+}

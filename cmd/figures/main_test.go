@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunQuick(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-out", dir, "-quick", "-ascii=false"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All ten figure panels written as both .csv and .dat.
+	for _, id := range []string{"fig3a", "fig3b", "fig5a", "fig5b",
+		"fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b"} {
+		for _, ext := range []string{".csv", ".dat"} {
+			p := filepath.Join(dir, id+ext)
+			info, err := os.Stat(p)
+			if err != nil {
+				t.Errorf("missing %s: %v", p, err)
+				continue
+			}
+			if info.Size() == 0 {
+				t.Errorf("%s is empty", p)
+			}
+		}
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-quick", "-fig", "3", "-ascii=false"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig3a.csv")); err != nil {
+		t.Error("fig3a should exist")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig6a.csv")); err == nil {
+		t.Error("fig6a should be filtered out")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-out", t.TempDir(), "-quick", "-fig", "99"}); err == nil {
+		t.Error("unknown figure id should fail")
+	}
+}

@@ -1,0 +1,85 @@
+// Command hamilton prints and validates the directed Hamilton structure
+// for a grid system: the single cycle when n*m is even, the dual-path
+// construction with its special grids A, B, C, D when both are odd.
+//
+// Usage:
+//
+//	hamilton [-grid 5x5] [-order] [-walk x,y]
+//
+// -order lists the cycle (or shared-segment) order; -walk prints the
+// backward replacement walk for a hole at the given cell.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wsncover/internal/geom"
+	"wsncover/internal/grid"
+	"wsncover/internal/hamilton"
+	"wsncover/internal/visual"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hamilton:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hamilton", flag.ContinueOnError)
+	var (
+		gridSpec = fs.String("grid", "4x5", "grid size, CxR")
+		order    = fs.Bool("order", false, "print the traversal order")
+		walkSpec = fs.String("walk", "", "print the replacement walk for a hole at x,y")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var cols, rows int
+	if _, err := fmt.Sscanf(*gridSpec, "%dx%d", &cols, &rows); err != nil {
+		return fmt.Errorf("bad -grid %q", *gridSpec)
+	}
+	sys, err := grid.New(cols, rows, 1, geom.Pt(0, 0))
+	if err != nil {
+		return err
+	}
+	topo, err := hamilton.Build(sys)
+	if err != nil {
+		return err
+	}
+	fmt.Print(visual.Cycle(topo))
+
+	if a, b, c, d, ok := topo.ABCD(); ok {
+		fmt.Printf("A=%v B=%v C=%v D=%v\n", a, b, c, d)
+	}
+
+	if *order {
+		if topo.Kind() == hamilton.KindCycle {
+			fmt.Println("cycle order:", topo.CycleOrder())
+		} else {
+			fmt.Println("shared segment D..C:", topo.SharedOrder())
+		}
+	}
+
+	if *walkSpec != "" {
+		var x, y int
+		if _, err := fmt.Sscanf(*walkSpec, "%d,%d", &x, &y); err != nil {
+			return fmt.Errorf("bad -walk %q (want x,y)", *walkSpec)
+		}
+		hole := grid.C(x, y)
+		if !sys.Contains(hole) {
+			return fmt.Errorf("hole %v outside %dx%d grid", hole, cols, rows)
+		}
+		w := topo.NewWalk(hole)
+		fmt.Printf("replacement walk for hole %v (L=%d):\n  %v",
+			hole, topo.PathLength(hole), w.Current())
+		for w.Advance(nil) {
+			fmt.Printf(" <- %v", w.Current())
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestRunVariants(t *testing.T) {
+	cases := [][]string{
+		{"-grid", "4x5"},
+		{"-grid", "4x5", "-order"},
+		{"-grid", "5x5", "-order"},
+		{"-grid", "5x5", "-walk", "0,0"},
+		{"-grid", "16x16", "-walk", "8,8"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-grid", "nonsense"},
+		{"-grid", "1x1"},
+		{"-grid", "4x4", "-walk", "zz"},
+		{"-grid", "4x4", "-walk", "9,9"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

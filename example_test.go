@@ -1,0 +1,75 @@
+package wsncover_test
+
+import (
+	"fmt"
+
+	"wsncover"
+	"wsncover/internal/analytic"
+	"wsncover/internal/grid"
+)
+
+// The simplest recovery: damage a grid cell and let SR repair it.
+func Example() {
+	sc, err := wsncover.NewScenario(wsncover.Options{
+		Cols: 8, Rows: 8, Spares: 20, Seed: 42,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := sc.CreateHoleAt(grid.C(4, 4)); err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := sc.Run()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("complete:", res.Complete)
+	fmt.Println("processes:", res.Summary.Initiated)
+	fmt.Printf("success: %.0f%%\n", res.Summary.SuccessRate())
+	// Output:
+	// complete: true
+	// processes: 1
+	// success: 100%
+}
+
+// Theorem 2's analytical model: the paper's quoted anchor value.
+func ExampleScenario_analyticAnchor() {
+	m, err := analytic.Moves(12, 19)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("M(N=12, L=19) = %.4f\n", m)
+	// Output:
+	// M(N=12, L=19) = 2.0139
+}
+
+// Comparing schemes on the same damage.
+func ExampleOptions_schemes() {
+	for _, scheme := range []wsncover.Scheme{wsncover.SR, wsncover.AR} {
+		sc, err := wsncover.NewScenario(wsncover.Options{
+			Cols: 10, Rows: 10, Spares: 60, Scheme: scheme, Seed: 7,
+		})
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		if _, err := sc.CreateHoles(2); err != nil {
+			fmt.Println(err)
+			return
+		}
+		res, err := sc.Run()
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("%s: one process per hole = %v\n",
+			scheme, res.Summary.Initiated == 2)
+	}
+	// Output:
+	// SR: one process per hole = true
+	// AR: one process per hole = false
+}

@@ -1,0 +1,71 @@
+// Sparse: the low-density regime (N < 55 on a 16x16 grid) where the
+// paper's Section 5 contrasts the schemes most sharply — AR's localized
+// search fails 10-20% of the time while SR, walking the whole Hamilton
+// path, always finds the spare when one exists.
+//
+// Run with: go run ./examples/sparse
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wsncover"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		spares = 25 // sparse: ~0.1 spares per grid
+		trials = 30
+	)
+	fmt.Printf("16x16 grid, N=%d spares, %d independent trials per scheme\n\n", spares, trials)
+
+	for _, scheme := range []wsncover.Scheme{wsncover.SR, wsncover.AR} {
+		var (
+			initiated, converged, moves int
+			distance                    float64
+			recovered                   int
+		)
+		for trial := 0; trial < trials; trial++ {
+			sc, err := wsncover.NewScenario(wsncover.Options{
+				Cols:   16,
+				Rows:   16,
+				Spares: spares,
+				Scheme: scheme,
+				Seed:   int64(1000 + trial),
+			})
+			if err != nil {
+				return err
+			}
+			if _, err := sc.CreateHoles(1); err != nil {
+				return err
+			}
+			res, err := sc.Run()
+			if err != nil {
+				return err
+			}
+			initiated += res.Summary.Initiated
+			converged += res.Summary.Converged
+			moves += res.Summary.Moves
+			distance += res.Summary.Distance
+			if res.Complete {
+				recovered++
+			}
+		}
+		fmt.Printf("%-3s: processes=%3d  success=%5.1f%%  holes repaired=%d/%d  moves=%4d  distance=%7.1f m\n",
+			scheme, initiated,
+			100*float64(converged)/float64(initiated),
+			recovered, trials, moves, distance)
+	}
+
+	fmt.Println("\nExpected shape (paper Section 5): SR converges in 100% of trials at the")
+	fmt.Println("price of longer walks; AR spends less movement but fails a nontrivial")
+	fmt.Println("fraction of its redundant processes and can leave displaced holes.")
+	return nil
+}

@@ -1,0 +1,150 @@
+package wsncover
+
+import (
+	"testing"
+
+	"wsncover/internal/deploy"
+	"wsncover/internal/randx"
+	"wsncover/internal/sim"
+)
+
+// TestDynamicFailuresDuringRecovery injects fresh node failures while SR
+// is still cascading. The controller must keep the network registries
+// consistent (Audit) and eventually repair everything repairable.
+func TestDynamicFailuresDuringRecovery(t *testing.T) {
+	sc, err := NewScenario(Options{Cols: 12, Rows: 12, Spares: 80, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(123)
+	if _, err := sc.CreateHoles(4); err != nil {
+		t.Fatal(err)
+	}
+	// Interleave stepping with random damage for a while.
+	for round := 0; round < 40; round++ {
+		if err := sc.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if round%7 == 3 {
+			deploy.FailRandom(sc.Network(), 2, rng)
+		}
+		if bad := sc.Network().Audit(); len(bad) != 0 {
+			t.Fatalf("round %d: audit violations: %v", round, bad)
+		}
+	}
+	// Let the system settle completely.
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Errorf("coverage incomplete after settling: %+v holes=%v", res, sc.Holes())
+	}
+	if bad := sc.Network().Audit(); len(bad) != 0 {
+		t.Errorf("final audit: %v", bad)
+	}
+}
+
+// TestRepeatedAttacksDrainSparesGracefully keeps jamming until the spare
+// pool is gone; SR must repair while spares last and degrade to explicit
+// failures (never silent corruption) afterwards.
+func TestRepeatedAttacksDrainSparesGracefully(t *testing.T) {
+	sc, err := NewScenario(Options{Cols: 10, Rows: 10, Spares: 25, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sc.GridSystem().Bounds()
+	rng := randx.New(9)
+	for attack := 0; attack < 8; attack++ {
+		x := b.Min.X + rng.Float64()*b.Width()
+		y := b.Min.Y + rng.Float64()*b.Height()
+		sc.FailRegion(x, y, 7)
+		res, err := sc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad := sc.Network().Audit(); len(bad) != 0 {
+			t.Fatalf("attack %d: audit: %v", attack, bad)
+		}
+		if sc.Spares() > 0 && !res.Complete {
+			// With spares remaining every hole must have been repaired
+			// (Theorem 1 via the cycle: all spares reachable).
+			t.Fatalf("attack %d: %d spares left but %d holes remain",
+				attack, sc.Spares(), res.Holes)
+		}
+	}
+}
+
+// TestSchemeComparisonSameLayout runs all three schemes on identical
+// layouts and checks the documented ordering of movement costs at high
+// density: shortcut <= SR < AR.
+func TestSchemeComparisonSameLayout(t *testing.T) {
+	moves := map[Scheme]int{}
+	for _, scheme := range []Scheme{SR, SRShortcut, AR} {
+		total := 0
+		for trial := 0; trial < 15; trial++ {
+			sc, err := NewScenario(Options{
+				Cols: 12, Rows: 12, Spares: 120, Scheme: scheme, Seed: int64(300 + trial),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sc.CreateHoles(2); err != nil {
+				t.Fatal(err)
+			}
+			res, err := sc.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.Summary.Moves
+		}
+		moves[scheme] = total
+	}
+	if moves[SRShortcut] > moves[SR] {
+		t.Errorf("shortcut moves %d should not exceed SR %d", moves[SRShortcut], moves[SR])
+	}
+	if moves[SR] >= moves[AR] {
+		t.Errorf("SR moves %d should be below AR %d at high density", moves[SR], moves[AR])
+	}
+}
+
+// TestCoverageAndConnectivityRestoredOnAllGridShapes sweeps grid shapes
+// (cycle and dual-path) end-to-end through the facade.
+func TestCoverageAndConnectivityRestoredOnAllGridShapes(t *testing.T) {
+	shapes := [][2]int{{4, 4}, {4, 5}, {5, 5}, {7, 3}, {3, 8}, {9, 9}}
+	for _, sh := range shapes {
+		sc, err := NewScenario(Options{Cols: sh[0], Rows: sh[1], Spares: 6, Seed: 8})
+		if err != nil {
+			t.Fatalf("%v: %v", sh, err)
+		}
+		if _, err := sc.CreateHoles(2); err != nil {
+			t.Fatalf("%v: %v", sh, err)
+		}
+		res, err := sc.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", sh, err)
+		}
+		if !res.Complete || !res.Connected {
+			t.Errorf("%v: result %+v", sh, res)
+		}
+	}
+}
+
+// TestSweepConsistencyAcrossEntryPoints cross-checks the facade against
+// the sim harness: identical seeds and layouts must agree on metrics.
+func TestSweepConsistencyAcrossEntryPoints(t *testing.T) {
+	res, err := sim.RunTrial(sim.TrialConfig{
+		Cols: 8, Rows: 8, Scheme: sim.SR, Spares: 12, Holes: 1, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Initiated != 1 || res.Summary.Converged != 1 {
+		t.Fatalf("trial summary = %v", res.Summary)
+	}
+	// The converged process's move count must sit within the possible
+	// range: at least 1, at most the Hamilton path length.
+	if res.Summary.Moves < 1 || res.Summary.Moves > 63 {
+		t.Errorf("moves = %d out of [1, 63]", res.Summary.Moves)
+	}
+}

@@ -1,0 +1,361 @@
+// Package ar implements the AR baseline: the localized, 1-hop
+// replacement scheme of Jiang et al. [3] ("Topology control for secured
+// coverage in WSNs", WSNS'07), the best previously known movement-assisted
+// hole-repair method and the paper's comparison target.
+//
+// AR detects holes with 1-hop monitoring only, without the Hamilton-cycle
+// synchronization of SR. Consequences reproduced here, as described in the
+// paper's Sections 1 and 5:
+//
+//   - Redundant processes: every head neighboring a hole may initiate its
+//     own snake-like replacement, so a single hole typically triggers
+//     several concurrent processes (SR needs fewer than half as many).
+//   - Bounded local search: each cascade is a greedy self-avoiding walk
+//     over 1-hop knowledge that prefers neighbors with spares; it gives up
+//     when stuck or past its hop budget, so 10-20% of processes fail in
+//     sparse networks, where SR still succeeds.
+//   - Unnecessary movements: processes racing for the same hole all
+//     complete their movements; later arrivals are wasted.
+//   - Abandoned vacancies: a failed process has already moved heads along
+//     its cascade; the vacancy it was carrying stays behind, so AR can end
+//     with the original hole filled but a displaced hole elsewhere — the
+//     robustness gap the paper reports for sparse networks.
+//
+// The exact pseudo-code of [3] is not reproduced in the paper, so this
+// model is calibrated to the behavior the paper reports for AR; see
+// DESIGN.md ("Substitutions") and the calibration tests in the sim
+// package.
+package ar
+
+import (
+	"fmt"
+
+	"wsncover/internal/grid"
+	"wsncover/internal/metrics"
+	"wsncover/internal/network"
+	"wsncover/internal/node"
+	"wsncover/internal/randx"
+)
+
+// MsgCascade is the AR cascade notification kind. It is distinct from the
+// SR kind so traces can interleave.
+const MsgCascade = 2
+
+// DefaultInitProb is the default probability that a head neighboring a
+// freshly observed hole starts its own replacement process. Values near
+// 0.65 reproduce the paper's report that SR needs fewer than 50% of AR's
+// processes (AR averages well over two initiators per hole, counting
+// boundary holes with fewer neighbors).
+const DefaultInitProb = 0.65
+
+// DefaultMaxHops is the default cascade hop budget, the "localized"
+// search horizon of AR. Six hops reproduces the paper's low-density
+// failure band (10-20% for N < 55 on the 16x16 grid).
+const DefaultMaxHops = 6
+
+// Config parameterizes the AR controller.
+type Config struct {
+	// RNG drives initiator sampling, tie-breaking, and destination
+	// sampling. Required for reproducibility; defaults to seed 1.
+	RNG *randx.Rand
+	// InitProb is the per-neighbor initiation probability; at least one
+	// neighbor always initiates. Zero means DefaultInitProb.
+	InitProb float64
+	// MaxHops is the cascade hop budget. Zero means DefaultMaxHops.
+	MaxHops int
+}
+
+// proc is one AR replacement process.
+type proc struct {
+	id      int
+	hole    grid.Coord
+	cur     grid.Coord
+	hops    int
+	visited map[grid.Coord]bool
+}
+
+type departure struct {
+	pid     int
+	nodeID  node.ID
+	from    grid.Coord
+	vacancy grid.Coord
+}
+
+// Controller runs the AR scheme over a network. It is not safe for
+// concurrent use.
+type Controller struct {
+	net *network.Network
+	rng *randx.Rand
+	col *metrics.Collector
+
+	initProb float64
+	maxHops  int
+
+	procs map[int]*proc
+	// detected marks holes whose initiator set has been sampled.
+	detected map[grid.Coord]bool
+	// claims marks travelling cascade vacancies owned by a process, the
+	// within-process suppression of [3] (a departing head tells its
+	// neighbors its grid is being refilled).
+	claims    map[grid.Coord]int
+	departing map[grid.Coord]bool
+	pending   []departure
+}
+
+// New creates an AR controller for the network.
+func New(net *network.Network, cfg Config) *Controller {
+	rng := cfg.RNG
+	if rng == nil {
+		rng = randx.New(1)
+	}
+	initProb := cfg.InitProb
+	if initProb == 0 {
+		initProb = DefaultInitProb
+	}
+	maxHops := cfg.MaxHops
+	if maxHops == 0 {
+		maxHops = DefaultMaxHops
+	}
+	return &Controller{
+		net:       net,
+		rng:       rng,
+		col:       metrics.NewCollector(),
+		initProb:  initProb,
+		maxHops:   maxHops,
+		procs:     make(map[int]*proc),
+		detected:  make(map[grid.Coord]bool),
+		claims:    make(map[grid.Coord]int),
+		departing: make(map[grid.Coord]bool),
+	}
+}
+
+// Name identifies the scheme in experiment output.
+func (c *Controller) Name() string { return "AR" }
+
+// Collector exposes the metrics collected so far.
+func (c *Controller) Collector() *metrics.Collector { return c.col }
+
+// Done reports whether no replacement process is active.
+func (c *Controller) Done() bool { return len(c.procs) == 0 }
+
+// ActiveProcesses returns the number of processes still cascading.
+func (c *Controller) ActiveProcesses() int { return len(c.procs) }
+
+// Step runs one synchronous round.
+func (c *Controller) Step() error {
+	c.net.StepRound()
+	if err := c.executeDepartures(); err != nil {
+		return err
+	}
+	if err := c.serveInbox(); err != nil {
+		return err
+	}
+	return c.detect()
+}
+
+func (c *Controller) executeDepartures() error {
+	pending := c.pending
+	c.pending = c.pending[:0]
+	for _, d := range pending {
+		delete(c.departing, d.from)
+		if err := c.moveInto(d.pid, d.nodeID, d.vacancy); err != nil {
+			return err
+		}
+		c.claims[d.from] = d.pid
+	}
+	return nil
+}
+
+// moveInto relocates a node into the vacancy cell. Unlike SR, the cell may
+// already have been refilled by a rival process: the move still happens
+// (redundant movement, the mover arrives as a spare).
+func (c *Controller) moveInto(pid int, id node.ID, vacancy grid.Coord) error {
+	nd := c.net.Node(id)
+	if nd == nil {
+		return fmt.Errorf("ar: process %d references unknown node %d", pid, id)
+	}
+	target := c.net.CentralTarget(vacancy, c.rng)
+	before := nd.Location()
+	if err := c.net.MoveNode(id, target); err != nil {
+		return fmt.Errorf("ar: process %d move: %w", pid, err)
+	}
+	c.col.RecordMove(pid, before.Dist(target))
+	if owner, ok := c.claims[vacancy]; ok && owner == pid {
+		delete(c.claims, vacancy)
+	}
+	return nil
+}
+
+func (c *Controller) serveInbox() error {
+	inbox := append([]network.Message(nil), c.net.Inbox()...)
+	for _, m := range inbox {
+		if m.Kind != MsgCascade {
+			continue
+		}
+		p, ok := c.procs[m.Process]
+		if !ok {
+			continue
+		}
+		cur := m.To
+		if c.net.HeadOf(cur) == node.Invalid || c.departing[cur] {
+			c.net.RequeueMessage(m)
+			continue
+		}
+		p.cur = cur
+		p.visited[cur] = true
+		p.hops++
+		c.col.RecordHop(p.id)
+		if err := c.serveRequest(p, m.From); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serveRequest lets the process's current grid supply a node for vacancy.
+func (c *Controller) serveRequest(p *proc, vacancy grid.Coord) error {
+	target := c.net.System().Center(vacancy)
+	if donor := c.net.SpareNearest(p.cur, target); donor != node.Invalid {
+		if err := c.moveInto(p.id, donor, vacancy); err != nil {
+			return err
+		}
+		c.finish(p, metrics.Converged)
+		return nil
+	}
+	if p.hops >= c.maxHops {
+		// Localized search horizon exceeded: AR gives up.
+		c.finish(p, metrics.Failed)
+		return nil
+	}
+	next, ok := c.pickNext(p)
+	if !ok {
+		// Self-avoiding walk is stuck: no unvisited occupied neighbor.
+		c.finish(p, metrics.Failed)
+		return nil
+	}
+	head := c.net.HeadOf(p.cur)
+	if head == node.Invalid {
+		return fmt.Errorf("ar: cascade at vacant grid %v", p.cur)
+	}
+	msg := network.Message{
+		From:    p.cur,
+		To:      next,
+		Kind:    MsgCascade,
+		Process: p.id,
+		Hops:    p.hops,
+		Origin:  p.hole,
+	}
+	if err := c.net.Send(msg); err != nil {
+		return fmt.Errorf("ar: cascade notify: %w", err)
+	}
+	c.col.RecordMessage()
+	c.departing[p.cur] = true
+	c.pending = append(c.pending, departure{
+		pid:     p.id,
+		nodeID:  head,
+		from:    p.cur,
+		vacancy: vacancy,
+	})
+	return nil
+}
+
+// pickNext chooses the cascade's next grid among the unvisited occupied
+// neighbors of the current grid, preferring grids with spares; ties break
+// uniformly at random. It is the greedy self-avoiding step of AR's
+// snake-like search.
+func (c *Controller) pickNext(p *proc) (grid.Coord, bool) {
+	var withSpare, withHead []grid.Coord
+	var buf []grid.Coord
+	for _, nb := range c.net.System().Neighbors(buf, p.cur) {
+		if p.visited[nb] || nb == p.hole {
+			continue
+		}
+		if c.net.HeadOf(nb) == node.Invalid || c.departing[nb] {
+			continue
+		}
+		if c.net.HasSpare(nb) {
+			withSpare = append(withSpare, nb)
+		} else {
+			withHead = append(withHead, nb)
+		}
+	}
+	if len(withSpare) > 0 {
+		return withSpare[c.rng.Intn(len(withSpare))], true
+	}
+	if len(withHead) > 0 {
+		return withHead[c.rng.Intn(len(withHead))], true
+	}
+	return grid.Coord{}, false
+}
+
+// detect scans for fresh holes and samples the initiator set of each:
+// every neighboring head flips a coin, with at least one initiator forced
+// (the redundancy of unsynchronized 1-hop detection).
+func (c *Controller) detect() error {
+	for _, v := range c.net.VacantCells() {
+		if c.detected[v] {
+			continue
+		}
+		if _, cascading := c.claims[v]; cascading {
+			continue
+		}
+		var heads []grid.Coord
+		var buf []grid.Coord
+		for _, nb := range c.net.System().Neighbors(buf, v) {
+			if c.net.HeadOf(nb) != node.Invalid && !c.departing[nb] {
+				heads = append(heads, nb)
+			}
+		}
+		if len(heads) == 0 {
+			continue // no observer yet; retry next round
+		}
+		var initiators []grid.Coord
+		for _, h := range heads {
+			if c.rng.Bool(c.initProb) {
+				initiators = append(initiators, h)
+			}
+		}
+		if len(initiators) == 0 {
+			initiators = append(initiators, heads[c.rng.Intn(len(heads))])
+		}
+		c.detected[v] = true
+		for _, g := range initiators {
+			if c.departing[g] {
+				continue
+			}
+			if err := c.initiate(g, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// initiate starts one AR process for the hole at v from the neighboring
+// head grid g.
+func (c *Controller) initiate(g, v grid.Coord) error {
+	pid := c.col.StartProcess(v, c.net.Round())
+	p := &proc{
+		id:      pid,
+		hole:    v,
+		cur:     g,
+		hops:    1,
+		visited: map[grid.Coord]bool{g: true},
+	}
+	c.procs[pid] = p
+	c.col.RecordHop(pid)
+	return c.serveRequest(p, v)
+}
+
+func (c *Controller) finish(p *proc, outcome metrics.Outcome) {
+	c.col.Finish(p.id, outcome, c.net.Round())
+	delete(c.procs, p.id)
+}
+
+// Finalize marks all still-active processes failed; call it when a run
+// hits its round budget.
+func (c *Controller) Finalize() {
+	for _, p := range c.procs {
+		c.finish(p, metrics.Failed)
+	}
+}

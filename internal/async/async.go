@@ -1,0 +1,387 @@
+// Package async is the event-driven (asynchronous) realization of the SR
+// scheme. The paper presents its algorithms in a round-based system and
+// notes they "can be extended easily to an asynchronous system"; this
+// package is that extension.
+//
+// Instead of global rounds, the simulation advances a timestamped event
+// queue:
+//
+//   - heads poll their monitored grids periodically (with jitter),
+//   - cascade notifications are delivered after a transmission delay,
+//   - movements take distance/speed seconds, and take effect on arrival.
+//
+// The synchronization argument of Algorithm 1 carries over: a departing
+// head's notification is delivered before (or exactly when) it starts to
+// move, so the successor along the walk always learns about the travelling
+// vacancy before it could mistake it for a fresh hole; the claims registry
+// models the same 1-hop hand-off announcement as the synchronous
+// controller.
+package async
+
+import (
+	"container/heap"
+	"fmt"
+
+	"wsncover/internal/geom"
+	"wsncover/internal/grid"
+	"wsncover/internal/hamilton"
+	"wsncover/internal/metrics"
+	"wsncover/internal/network"
+	"wsncover/internal/node"
+	"wsncover/internal/randx"
+)
+
+// Config parameterizes the asynchronous controller.
+type Config struct {
+	// Topology is the Hamilton structure over the network's grid system.
+	Topology *hamilton.Topology
+	// RNG drives jitter and destination sampling.
+	RNG *randx.Rand
+	// MsgDelay is the base notification latency in seconds; MsgJitter
+	// adds a uniform extra in [0, MsgJitter). Zero delay means 1 ms.
+	MsgDelay  float64
+	MsgJitter float64
+	// MoveSpeed is the node movement speed in m/s. Zero means 1 m/s.
+	MoveSpeed float64
+	// PollInterval is the period of each head's vacancy check;
+	// PollJitter adds uniform jitter. Zero interval means 0.5 s.
+	PollInterval float64
+	PollJitter   float64
+}
+
+func (c *Config) normalize() {
+	if c.MsgDelay == 0 {
+		c.MsgDelay = 0.001
+	}
+	if c.MoveSpeed == 0 {
+		c.MoveSpeed = 1
+	}
+	if c.PollInterval == 0 {
+		c.PollInterval = 0.5
+	}
+	if c.PollJitter == 0 {
+		c.PollJitter = c.PollInterval / 4
+	}
+}
+
+// MsgCascade is the asynchronous cascade notification kind, distinct from
+// the synchronous SR (1) and AR (2) tags so traces can interleave.
+const MsgCascade = 3
+
+// event kinds (internal).
+const (
+	evPoll = iota + 1
+	evDeliver
+	evArrive
+)
+
+type event struct {
+	at   float64
+	seq  int // tie-break for determinism
+	kind int
+
+	cell grid.Coord      // evPoll
+	msg  network.Message // evDeliver
+
+	// evArrive fields.
+	pid     int
+	nodeID  node.ID
+	vacancy grid.Coord
+	final   bool // true when the arriving node is the donated spare
+	// target is the sampled destination point; set when the movement
+	// starts so that travel time and the landing point agree.
+	target    geom.Point
+	traveling bool
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type proc struct {
+	id   int
+	walk *hamilton.Walk
+}
+
+// Controller runs asynchronous SR over a network. It is not safe for
+// concurrent use.
+type Controller struct {
+	net  *network.Network
+	topo *hamilton.Topology
+	rng  *randx.Rand
+	cfg  Config
+	col  *metrics.Collector
+
+	queue eventHeap
+	seq   int
+	now   float64
+
+	procs     map[int]*proc
+	claims    map[grid.Coord]int
+	departing map[grid.Coord]bool
+	failed    map[grid.Coord]bool
+}
+
+// New creates an asynchronous SR controller and schedules the initial
+// polls of every grid with random phase.
+func New(net *network.Network, cfg Config) (*Controller, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("async: missing topology")
+	}
+	ts, ns := cfg.Topology.System(), net.System()
+	if ts.Cols() != ns.Cols() || ts.Rows() != ns.Rows() || ts.CellSize() != ns.CellSize() {
+		return nil, fmt.Errorf("async: topology grid %v differs from network grid %v", ts, ns)
+	}
+	cfg.normalize()
+	rng := cfg.RNG
+	if rng == nil {
+		rng = randx.New(1)
+	}
+	c := &Controller{
+		net:       net,
+		topo:      cfg.Topology,
+		rng:       rng,
+		cfg:       cfg,
+		col:       metrics.NewCollector(),
+		procs:     make(map[int]*proc),
+		claims:    make(map[grid.Coord]int),
+		departing: make(map[grid.Coord]bool),
+		failed:    make(map[grid.Coord]bool),
+	}
+	for _, g := range ns.AllCoords() {
+		c.schedule(event{
+			at:   rng.Float64() * cfg.PollInterval, // random phase
+			kind: evPoll,
+			cell: g,
+		})
+	}
+	return c, nil
+}
+
+// Name identifies the scheme in experiment output.
+func (c *Controller) Name() string { return "SR-async" }
+
+// Collector exposes the metrics collected so far.
+func (c *Controller) Collector() *metrics.Collector { return c.col }
+
+// Now returns the current simulation time in seconds.
+func (c *Controller) Now() float64 { return c.now }
+
+// Done reports whether no replacement process is active.
+func (c *Controller) Done() bool { return len(c.procs) == 0 }
+
+func (c *Controller) schedule(e event) {
+	e.seq = c.seq
+	c.seq++
+	heap.Push(&c.queue, e)
+}
+
+// RunUntil processes events in timestamp order until the deadline (in
+// seconds) or until the network is fully covered and no process is
+// active. It returns the number of events processed.
+func (c *Controller) RunUntil(deadline float64) (int, error) {
+	processed := 0
+	for len(c.queue) > 0 {
+		next := c.queue[0]
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&c.queue)
+		c.now = next.at
+		if err := c.dispatch(next); err != nil {
+			return processed, err
+		}
+		processed++
+		if c.Done() && c.net.AllHeadsPresent() {
+			break
+		}
+	}
+	return processed, nil
+}
+
+func (c *Controller) dispatch(e event) error {
+	switch e.kind {
+	case evPoll:
+		return c.poll(e.cell)
+	case evDeliver:
+		return c.deliver(e.msg)
+	case evArrive:
+		return c.arrive(e)
+	default:
+		return fmt.Errorf("async: unknown event kind %d", e.kind)
+	}
+}
+
+// poll lets the head of g (if any) check its monitored grids for fresh
+// holes, then reschedules itself.
+func (c *Controller) poll(g grid.Coord) error {
+	defer c.schedule(event{
+		at:   c.now + c.cfg.PollInterval + c.rng.Float64()*c.cfg.PollJitter,
+		kind: evPoll,
+		cell: g,
+	})
+	if c.net.HeadOf(g) == node.Invalid || c.departing[g] {
+		return nil
+	}
+	var watched []grid.Coord
+	watched = c.topo.Monitored(watched, g)
+	for _, s := range watched {
+		if !c.net.IsVacant(s) || c.failed[s] {
+			continue
+		}
+		if _, claimed := c.claims[s]; claimed {
+			continue
+		}
+		pid := c.col.StartProcess(s, int(c.now*1000))
+		p := &proc{id: pid, walk: c.topo.NewWalk(s)}
+		c.procs[pid] = p
+		c.claims[s] = pid
+		c.col.RecordHop(pid)
+		if err := c.serveRequest(p, g, s); err != nil {
+			return err
+		}
+		if c.departing[g] {
+			break
+		}
+	}
+	return nil
+}
+
+// deliver hands a cascade notification to its addressee; if the grid has
+// no head yet (a travelling vacancy), the delivery is retried later.
+func (c *Controller) deliver(m network.Message) error {
+	p, ok := c.procs[m.Process]
+	if !ok {
+		return nil
+	}
+	cur := m.To
+	if c.net.HeadOf(cur) == node.Invalid || c.departing[cur] {
+		retry := m
+		c.schedule(event{
+			at:   c.now + c.cfg.PollInterval,
+			kind: evDeliver,
+			msg:  retry,
+		})
+		return nil
+	}
+	c.col.RecordHop(p.id)
+	return c.serveRequest(p, cur, m.From)
+}
+
+// serveRequest lets grid cur supply a node for the process's vacancy.
+func (c *Controller) serveRequest(p *proc, cur, vacancy grid.Coord) error {
+	target := c.net.System().Center(vacancy)
+	if donor := c.net.SpareNearest(cur, target); donor != node.Invalid {
+		c.beginMove(p.id, donor, vacancy, true)
+		return nil
+	}
+	probe := func(g grid.Coord) bool { return c.net.HasSpare(g) }
+	if !p.walk.Advance(probe) {
+		c.finish(p, metrics.Failed)
+		return nil
+	}
+	next := p.walk.Current()
+	head := c.net.HeadOf(cur)
+	if head == node.Invalid {
+		return fmt.Errorf("async: cascade at vacant grid %v", cur)
+	}
+	// Notification first; the head begins its own move only at delivery
+	// time (Algorithm 1's wait-then-move), modelled by scheduling the
+	// departure with the same latency as the message.
+	delay := c.cfg.MsgDelay + c.rng.Float64()*c.cfg.MsgJitter
+	msg := network.Message{
+		From: cur, To: next, Kind: MsgCascade, Process: p.id,
+		Hops: p.walk.Hops(), Origin: p.walk.Origin(),
+	}
+	c.schedule(event{at: c.now + delay, kind: evDeliver, msg: msg})
+	c.col.RecordMessage()
+	c.departing[cur] = true
+	c.schedule(event{
+		at:      c.now + delay,
+		kind:    evArrive,
+		pid:     p.id,
+		nodeID:  head,
+		vacancy: vacancy,
+		final:   false,
+	})
+	return nil
+}
+
+// beginMove schedules the physical relocation of a donated spare.
+func (c *Controller) beginMove(pid int, id node.ID, vacancy grid.Coord, final bool) {
+	c.schedule(event{
+		at:      c.now, // spare starts immediately; travel time applies below
+		kind:    evArrive,
+		pid:     pid,
+		nodeID:  id,
+		vacancy: vacancy,
+		final:   final,
+	})
+}
+
+// arrive executes a scheduled movement in two phases: the first visit
+// samples the destination and re-schedules itself at the true arrival
+// instant (distance/speed later); the second visit applies the move.
+func (c *Controller) arrive(e event) error {
+	nd := c.net.Node(e.nodeID)
+	if nd == nil {
+		return fmt.Errorf("async: process %d references unknown node %d", e.pid, e.nodeID)
+	}
+	if !e.traveling {
+		e.target = c.net.CentralTarget(e.vacancy, c.rng)
+		travel := nd.Location().Dist(e.target) / c.cfg.MoveSpeed
+		e.traveling = true
+		e.at = c.now + travel
+		c.schedule(e)
+		return nil
+	}
+
+	from, _ := c.net.System().CoordOf(nd.Location())
+	before := nd.Location()
+	if err := c.net.MoveNode(e.nodeID, e.target); err != nil {
+		return fmt.Errorf("async: process %d move: %w", e.pid, err)
+	}
+	c.col.RecordMove(e.pid, before.Dist(e.target))
+	delete(c.departing, from)
+	delete(c.claims, e.vacancy)
+	if !e.final {
+		// A cascading head vacated its grid; the claim travels there.
+		c.claims[from] = e.pid
+	}
+	if e.final {
+		if p, ok := c.procs[e.pid]; ok {
+			c.finish(p, metrics.Converged)
+		}
+	}
+	return nil
+}
+
+func (c *Controller) finish(p *proc, outcome metrics.Outcome) {
+	if outcome == metrics.Failed {
+		c.failed[p.walk.Origin()] = true
+	}
+	c.col.Finish(p.id, outcome, int(c.now*1000))
+	delete(c.procs, p.id)
+}
+
+// Finalize marks all still-active processes failed; call it at a deadline.
+func (c *Controller) Finalize() {
+	for _, p := range c.procs {
+		c.finish(p, metrics.Failed)
+	}
+}

@@ -1,0 +1,415 @@
+// Package core implements the paper's contribution: the synchronized
+// snake-like cascading replacement scheme (SR) driven by a directed
+// Hamilton cycle (Algorithm 1) or, on odd x odd grids, by the dual-path
+// Hamilton cycle (Algorithm 2).
+//
+// Every grid is monitored by exactly one head, the predecessor along the
+// Hamilton structure. When a monitored grid becomes vacant, that head — and
+// only that head — initiates a replacement process:
+//
+//  1. If the initiator's grid holds a spare node, the spare moves into the
+//     vacant grid before the next round and the process converges.
+//  2. Otherwise the initiator notifies its own predecessor along the walk
+//     and, once the notification is received, moves itself into the vacant
+//     grid, leaving its grid vacant for the cascading replacement.
+//
+// The cascade repeats backward along the Hamilton path until a grid with a
+// spare is found. Because the structure is directed and each grid has one
+// monitor, exactly one replacement process serves each hole and processes
+// for simultaneous holes are conflict-free.
+//
+// Departing heads announce the hand-off to their 1-hop neighborhood, so a
+// grid vacated by a cascade is never mistaken for a fresh hole; the
+// controller models this with a claims registry keyed by grid.
+package core
+
+import (
+	"fmt"
+
+	"wsncover/internal/grid"
+	"wsncover/internal/hamilton"
+	"wsncover/internal/metrics"
+	"wsncover/internal/network"
+	"wsncover/internal/node"
+	"wsncover/internal/randx"
+)
+
+// MsgCascade is the message kind of the cascade notification: "I am about
+// to move into my successor's vacancy; refill my grid for process P".
+const MsgCascade = 1
+
+// Config parameterizes the SR controller.
+type Config struct {
+	// Topology is the Hamilton structure over the network's grid system.
+	Topology *hamilton.Topology
+	// RNG drives destination sampling inside central areas.
+	RNG *randx.Rand
+	// NeighborShortcut enables the paper's future-work extension: before
+	// cascading further, the asked head also checks its other 1-hop
+	// neighbor grids for spares and pulls from one directly when found,
+	// shortening the stretch path.
+	NeighborShortcut bool
+	// ClaimTTL makes the scheme tolerate a lossy radio: a vacancy claim
+	// or a process that makes no progress for ClaimTTL rounds expires, so
+	// the vacancy is re-detected as a fresh hole and served by a new
+	// process. Zero disables expiry (the paper's reliable-channel model).
+	ClaimTTL int
+}
+
+// proc is the controller-side record of one replacement process.
+type proc struct {
+	id   int
+	walk *hamilton.Walk
+	// lastRound is the last round with progress (a served request or a
+	// held notification), used by the ClaimTTL expiry.
+	lastRound int
+}
+
+// claim marks a vacant grid as owned by a process since a given round.
+type claim struct {
+	pid   int
+	round int
+}
+
+// departure is a head movement scheduled for the start of the next round,
+// after its cascade notification has been received (Algorithm 1, steps b
+// and c).
+type departure struct {
+	pid     int
+	nodeID  node.ID
+	from    grid.Coord
+	vacancy grid.Coord
+}
+
+// Controller runs the SR scheme over a network. It is not safe for
+// concurrent use.
+type Controller struct {
+	net  *network.Network
+	topo *hamilton.Topology
+	rng  *randx.Rand
+	col  *metrics.Collector
+
+	shortcut bool
+	claimTTL int
+
+	procs map[int]*proc
+	// claims maps a vacant (or about-to-be-vacant) grid to the process
+	// responsible for filling it; vacant grids with a live claim are
+	// never treated as fresh holes.
+	claims map[grid.Coord]claim
+	// failedOrigins are holes whose process exhausted the walk without
+	// finding a spare; they stay claimed so detection does not re-fire
+	// every round. ResetFailed clears them for dynamic scenarios.
+	failedOrigins map[grid.Coord]bool
+	// departing marks heads already committed to a move this round.
+	departing map[grid.Coord]bool
+	pending   []departure
+}
+
+// New creates an SR controller for the network. The topology must be built
+// over the same grid system.
+func New(net *network.Network, cfg Config) (*Controller, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("core: missing topology")
+	}
+	ts, ns := cfg.Topology.System(), net.System()
+	if ts.Cols() != ns.Cols() || ts.Rows() != ns.Rows() ||
+		ts.CellSize() != ns.CellSize() || ts.Origin() != ns.Origin() {
+		return nil, fmt.Errorf("core: topology grid %v differs from network grid %v", ts, ns)
+	}
+	rng := cfg.RNG
+	if rng == nil {
+		rng = randx.New(1)
+	}
+	return &Controller{
+		net:           net,
+		topo:          cfg.Topology,
+		rng:           rng,
+		col:           metrics.NewCollector(),
+		shortcut:      cfg.NeighborShortcut,
+		claimTTL:      cfg.ClaimTTL,
+		procs:         make(map[int]*proc),
+		claims:        make(map[grid.Coord]claim),
+		failedOrigins: make(map[grid.Coord]bool),
+		departing:     make(map[grid.Coord]bool),
+	}, nil
+}
+
+// Name identifies the scheme in experiment output.
+func (c *Controller) Name() string {
+	if c.shortcut {
+		return "SR+shortcut"
+	}
+	return "SR"
+}
+
+// Collector exposes the metrics collected so far.
+func (c *Controller) Collector() *metrics.Collector { return c.col }
+
+// Done reports whether no replacement process is active.
+func (c *Controller) Done() bool { return len(c.procs) == 0 }
+
+// ActiveProcesses returns the number of processes still cascading.
+func (c *Controller) ActiveProcesses() int { return len(c.procs) }
+
+// ResetFailed clears the failed-origin registry and every claim left by a
+// dead process so that holes that could not be repaired earlier (no
+// spares) are re-detected, e.g. after new nodes arrive in a dynamic
+// scenario.
+func (c *Controller) ResetFailed() {
+	for g, cl := range c.claims {
+		if _, alive := c.procs[cl.pid]; !alive {
+			delete(c.claims, g)
+		}
+	}
+	for origin := range c.failedOrigins {
+		delete(c.failedOrigins, origin)
+	}
+}
+
+// Step runs one synchronous round: deliver messages, execute announced
+// head departures, serve cascade notifications, expire stalled state (when
+// ClaimTTL is set), then detect fresh holes.
+func (c *Controller) Step() error {
+	c.net.StepRound()
+	if err := c.executeDepartures(); err != nil {
+		return err
+	}
+	if err := c.serveInbox(); err != nil {
+		return err
+	}
+	c.expireStalled()
+	return c.detect()
+}
+
+// expireStalled fails processes that made no progress for ClaimTTL rounds
+// (their cascade notification was lost on the radio). Their claims are
+// dropped by detect's liveness check, so the abandoned vacancy is
+// re-detected and served by a fresh process.
+func (c *Controller) expireStalled() {
+	if c.claimTTL <= 0 {
+		return
+	}
+	round := c.net.Round()
+	for _, p := range c.procs {
+		if round-p.lastRound > c.claimTTL {
+			c.finish(p, metrics.Failed)
+			// Allow the hole to be retried by a fresh process.
+			delete(c.failedOrigins, p.walk.Origin())
+		}
+	}
+}
+
+// executeDepartures moves the heads that announced a cascade hand-off last
+// round into their target vacancies (Algorithm 1 step c).
+func (c *Controller) executeDepartures() error {
+	pending := c.pending
+	c.pending = c.pending[:0]
+	for _, d := range pending {
+		delete(c.departing, d.from)
+		if err := c.moveInto(d.pid, d.nodeID, d.vacancy); err != nil {
+			return err
+		}
+		// The departed grid is now this process's vacancy.
+		c.claims[d.from] = claim{pid: d.pid, round: c.net.Round()}
+	}
+	return nil
+}
+
+// moveInto relocates a node into the claimed vacancy cell, charging the
+// process metrics and releasing the claim.
+func (c *Controller) moveInto(pid int, id node.ID, vacancy grid.Coord) error {
+	nd := c.net.Node(id)
+	if nd == nil {
+		return fmt.Errorf("core: process %d references unknown node %d", pid, id)
+	}
+	target := c.net.CentralTarget(vacancy, c.rng)
+	before := nd.Location()
+	if err := c.net.MoveNode(id, target); err != nil {
+		return fmt.Errorf("core: process %d move: %w", pid, err)
+	}
+	c.col.RecordMove(pid, before.Dist(target))
+	delete(c.claims, vacancy)
+	return nil
+}
+
+// serveInbox handles cascade notifications delivered this round.
+func (c *Controller) serveInbox() error {
+	// Copy: serving may enqueue (requeue) into the network's outbox.
+	inbox := append([]network.Message(nil), c.net.Inbox()...)
+	for _, m := range inbox {
+		if m.Kind != MsgCascade {
+			continue
+		}
+		p, ok := c.procs[m.Process]
+		if !ok {
+			continue
+		}
+		cur := m.To
+		if c.net.HeadOf(cur) == node.Invalid || c.departing[cur] {
+			// The asked grid is itself vacant (another travelling
+			// vacancy) or its head is already committed; hold the
+			// notification until a head is available.
+			p.lastRound = c.net.Round()
+			c.net.RequeueMessage(m)
+			continue
+		}
+		p.lastRound = c.net.Round()
+		c.col.RecordHop(p.id)
+		if err := c.serveRequest(p, cur, m.From); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serveRequest lets grid cur supply a node for the process's vacancy: a
+// spare if available, otherwise the head cascades onward. vacancy is the
+// grid to refill.
+func (c *Controller) serveRequest(p *proc, cur, vacancy grid.Coord) error {
+	if donor := c.pickSpare(cur, vacancy); donor != node.Invalid {
+		if err := c.moveInto(p.id, donor, vacancy); err != nil {
+			return err
+		}
+		c.finish(p, metrics.Converged)
+		return nil
+	}
+	return c.cascade(p, cur, vacancy)
+}
+
+// pickSpare selects a spare to donate: one of cur's own spares, or — with
+// the shortcut extension — a spare from any 1-hop neighbor grid of the
+// vacancy, preferring cur's own.
+func (c *Controller) pickSpare(cur, vacancy grid.Coord) node.ID {
+	target := c.net.System().Center(vacancy)
+	if id := c.net.SpareNearest(cur, target); id != node.Invalid {
+		return id
+	}
+	if !c.shortcut {
+		return node.Invalid
+	}
+	// Future-work shortcut: the asked head also knows its own 1-hop
+	// neighborhood; pull a spare from a neighboring grid of the vacancy
+	// directly if one exists (the mover still crosses one cell boundary).
+	var buf []grid.Coord
+	for _, nb := range c.net.System().Neighbors(buf, vacancy) {
+		if nb == cur {
+			continue
+		}
+		if id := c.net.SpareNearest(nb, target); id != node.Invalid {
+			return id
+		}
+	}
+	return node.Invalid
+}
+
+// cascade advances the process's walk: cur notifies the next grid backward
+// and schedules its own head's departure into the vacancy.
+func (c *Controller) cascade(p *proc, cur, vacancy grid.Coord) error {
+	probe := func(g grid.Coord) bool { return c.net.HasSpare(g) }
+	if !p.walk.Advance(probe) {
+		// Walk exhausted: no spare reachable; the vacancy stays and the
+		// process fails (possible only when the network is out of
+		// spares, per Theorem 1 / Corollary 1).
+		c.finish(p, metrics.Failed)
+		return nil
+	}
+	next := p.walk.Current()
+	head := c.net.HeadOf(cur)
+	if head == node.Invalid {
+		return fmt.Errorf("core: cascade at vacant grid %v", cur)
+	}
+	msg := network.Message{
+		From:    cur,
+		To:      next,
+		Kind:    MsgCascade,
+		Process: p.id,
+		Hops:    p.walk.Hops(),
+		Origin:  p.walk.Origin(),
+	}
+	if err := c.net.Send(msg); err != nil {
+		return fmt.Errorf("core: cascade notify: %w", err)
+	}
+	c.col.RecordMessage()
+	c.departing[cur] = true
+	c.pending = append(c.pending, departure{
+		pid:     p.id,
+		nodeID:  head,
+		from:    cur,
+		vacancy: vacancy,
+	})
+	return nil
+}
+
+// detect lets every monitoring head check its watched grids and initiate
+// replacement processes for fresh, unclaimed holes.
+func (c *Controller) detect() error {
+	sys := c.net.System()
+	var watched []grid.Coord
+	for _, g := range sys.AllCoords() {
+		if c.net.HeadOf(g) == node.Invalid || c.departing[g] {
+			continue
+		}
+		watched = c.topo.Monitored(watched[:0], g)
+		for _, s := range watched {
+			if !c.net.IsVacant(s) {
+				continue
+			}
+			if cl, claimed := c.claims[s]; claimed {
+				_, alive := c.procs[cl.pid]
+				fresh := c.claimTTL <= 0 || c.net.Round()-cl.round <= c.claimTTL
+				if alive && fresh {
+					continue
+				}
+				// Stalled or orphaned claim: expire it so this vacancy
+				// is treated as a fresh hole.
+				if c.claimTTL <= 0 {
+					continue
+				}
+				delete(c.claims, s)
+			}
+			if err := c.initiate(g, s); err != nil {
+				return err
+			}
+			if c.departing[g] {
+				break // this head is committed now
+			}
+		}
+	}
+	return nil
+}
+
+// initiate starts the unique replacement process for the hole at s,
+// detected by the head of grid g (its monitor).
+func (c *Controller) initiate(g, s grid.Coord) error {
+	pid := c.col.StartProcess(s, c.net.Round())
+	p := &proc{id: pid, walk: c.topo.NewWalk(s), lastRound: c.net.Round()}
+	c.procs[pid] = p
+	c.claims[s] = claim{pid: pid, round: c.net.Round()}
+	c.col.RecordHop(pid)
+	if p.walk.Current() != g {
+		return fmt.Errorf("core: monitor mismatch: %v detected hole %v but walk starts at %v",
+			g, s, p.walk.Current())
+	}
+	return c.serveRequest(p, g, s)
+}
+
+// finish closes a process.
+func (c *Controller) finish(p *proc, outcome metrics.Outcome) {
+	if outcome == metrics.Failed {
+		c.failedOrigins[p.walk.Origin()] = true
+		// Keep the origin claim so detection does not re-fire; the
+		// travelling vacancy claim (if any) stays too, since nothing
+		// will fill it.
+	}
+	c.col.Finish(p.id, outcome, c.net.Round())
+	delete(c.procs, p.id)
+}
+
+// Finalize marks all still-active processes failed; call it when a run
+// hits its round budget.
+func (c *Controller) Finalize() {
+	for _, p := range c.procs {
+		c.finish(p, metrics.Failed)
+	}
+}

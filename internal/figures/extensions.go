@@ -1,0 +1,133 @@
+package figures
+
+import (
+	"fmt"
+
+	"wsncover/internal/plotdata"
+	"wsncover/internal/sim"
+)
+
+// Extension experiments beyond the paper's figures: scalability in the
+// grid size and robustness under simultaneous holes. These back the
+// ablation discussion in EXPERIMENTS.md.
+
+// ScalabilityConfig parameterizes the grid-size sweep.
+type ScalabilityConfig struct {
+	// Sizes lists square grid side lengths to evaluate.
+	Sizes []int
+	// SpareDensity is the spare count per cell (N = density * cells).
+	SpareDensity float64
+	// Trials per point; zero means 30.
+	Trials int
+	// Seed anchors the trials.
+	Seed int64
+}
+
+// Scalability sweeps the grid size at constant spare density and reports
+// mean movements per replacement for SR and AR. Under Theorem 2, constant
+// density keeps SR's per-replacement cost nearly flat while the field
+// grows — the scheme's scalability argument.
+func Scalability(cfg ScalabilityConfig) (*plotdata.Table, error) {
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = []int{8, 12, 16, 20, 24}
+	}
+	if cfg.SpareDensity == 0 {
+		cfg.SpareDensity = 0.75
+	}
+	if cfg.Trials == 0 {
+		cfg.Trials = 30
+	}
+	x := make([]float64, len(cfg.Sizes))
+	srY := make([]float64, len(cfg.Sizes))
+	arY := make([]float64, len(cfg.Sizes))
+	for i, size := range cfg.Sizes {
+		x[i] = float64(size)
+		n := int(cfg.SpareDensity * float64(size*size))
+		for _, kind := range []sim.SchemeKind{sim.SR, sim.AR} {
+			pts, err := sim.RunSweep(sim.SweepConfig{
+				Template: sim.TrialConfig{Cols: size, Rows: size, Scheme: kind},
+				Ns:       []int{n},
+				Trials:   cfg.Trials,
+				BaseSeed: cfg.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("figures: scalability %dx%d: %w", size, size, err)
+			}
+			mean := pts[0].MeanMovesPerTrial()
+			if kind == sim.SR {
+				srY[i] = mean
+			} else {
+				arY[i] = mean
+			}
+		}
+	}
+	return plotdata.NewTable(
+		fmt.Sprintf("Extension: moves per replacement vs grid size (density %.2f spares/cell)",
+			cfg.SpareDensity),
+		"grid side", "moves per replacement",
+		x,
+		plotdata.Series{Label: "SR", Y: srY},
+		plotdata.Series{Label: "AR", Y: arY},
+	)
+}
+
+// MultiHoleConfig parameterizes the simultaneous-hole sweep.
+type MultiHoleConfig struct {
+	// Holes lists the simultaneous hole counts to evaluate.
+	Holes []int
+	// Spares is the fixed spare budget.
+	Spares int
+	// Trials per point; zero means 30.
+	Trials int
+	// Seed anchors the trials.
+	Seed int64
+}
+
+// MultiHole sweeps the number of simultaneous holes on the paper's 16x16
+// grid and reports the recovery rate (trials ending with complete
+// coverage) for SR and AR. SR's conflict-free processes keep recovering
+// as long as spares outnumber holes; AR's redundant processes waste
+// spares and abandon displaced vacancies.
+func MultiHole(cfg MultiHoleConfig) (*plotdata.Table, error) {
+	if len(cfg.Holes) == 0 {
+		cfg.Holes = []int{1, 2, 4, 8, 12}
+	}
+	if cfg.Spares == 0 {
+		cfg.Spares = 60
+	}
+	if cfg.Trials == 0 {
+		cfg.Trials = 30
+	}
+	x := make([]float64, len(cfg.Holes))
+	srY := make([]float64, len(cfg.Holes))
+	arY := make([]float64, len(cfg.Holes))
+	for i, h := range cfg.Holes {
+		x[i] = float64(h)
+		for _, kind := range []sim.SchemeKind{sim.SR, sim.AR} {
+			pts, err := sim.RunSweep(sim.SweepConfig{
+				Template: sim.TrialConfig{
+					Cols: 16, Rows: 16, Scheme: kind, Holes: h,
+				},
+				Ns:       []int{cfg.Spares},
+				Trials:   cfg.Trials,
+				BaseSeed: cfg.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("figures: multihole h=%d: %w", h, err)
+			}
+			rate := 100 * float64(pts[0].Recovered) / float64(pts[0].Trials)
+			if kind == sim.SR {
+				srY[i] = rate
+			} else {
+				arY[i] = rate
+			}
+		}
+	}
+	return plotdata.NewTable(
+		fmt.Sprintf("Extension: full-recovery rate vs simultaneous holes (N=%d)", cfg.Spares),
+		"simultaneous holes", "recovered trials (%)",
+		x,
+		plotdata.Series{Label: "SR", Y: srY},
+		plotdata.Series{Label: "AR", Y: arY},
+	)
+}

@@ -1,0 +1,67 @@
+package figures
+
+import "testing"
+
+func TestScalabilitySmall(t *testing.T) {
+	tb, err := Scalability(ScalabilityConfig{
+		Sizes:        []int{6, 8},
+		SpareDensity: 0.8,
+		Trials:       6,
+		Seed:         11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.X) != 2 || len(tb.Series) != 2 {
+		t.Fatalf("table shape: %d x %d", len(tb.X), len(tb.Series))
+	}
+	// At constant density, SR's per-replacement cost must stay bounded:
+	// the 8x8 cost must not blow up versus 6x6 (Theorem 2 predicts near
+	// flatness; allow 2x slack for small-sample noise).
+	sr := tb.Series[0].Y
+	if sr[1] > 2*sr[0]+2 {
+		t.Errorf("SR moves grew from %v to %v; scalability suspect", sr[0], sr[1])
+	}
+	for _, y := range sr {
+		if y < 1 {
+			t.Errorf("SR moves per replacement %v below 1", y)
+		}
+	}
+}
+
+func TestScalabilityDefaultsApplied(t *testing.T) {
+	// Tiny trial count keeps the default-size sweep fast enough.
+	tb, err := Scalability(ScalabilityConfig{Trials: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.X) != 5 {
+		t.Errorf("default sizes = %d points", len(tb.X))
+	}
+}
+
+func TestMultiHoleSmall(t *testing.T) {
+	tb, err := MultiHole(MultiHoleConfig{
+		Holes:  []int{1, 4},
+		Spares: 40,
+		Trials: 8,
+		Seed:   13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := tb.Series[0].Y
+	ar := tb.Series[1].Y
+	// SR with 40 spares covers 1 and 4 holes in every trial.
+	for i, v := range sr {
+		if v != 100 {
+			t.Errorf("SR recovery at point %d = %v%%, want 100", i, v)
+		}
+	}
+	// AR must not beat SR anywhere.
+	for i := range ar {
+		if ar[i] > sr[i] {
+			t.Errorf("AR recovery %v%% above SR %v%% at point %d", ar[i], sr[i], i)
+		}
+	}
+}

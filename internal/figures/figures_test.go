@@ -1,0 +1,161 @@
+package figures
+
+import (
+	"math"
+	"testing"
+
+	"wsncover/internal/analytic"
+	"wsncover/internal/plotdata"
+)
+
+func TestFig3Shapes(t *testing.T) {
+	a, b, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.X) != 140 {
+		t.Errorf("fig3a points = %d, want 140", len(a.X))
+	}
+	if a.X[0] != 1 || a.X[len(a.X)-1] != 140 {
+		t.Errorf("fig3a x range = %v..%v", a.X[0], a.X[len(a.X)-1])
+	}
+	if b.X[0] != 10 || b.X[len(b.X)-1] != 1400 {
+		t.Errorf("fig3b x range = %v..%v", b.X[0], b.X[len(b.X)-1])
+	}
+	// Monotone decreasing curves.
+	for _, tb := range []*plotdata.Table{a, b} {
+		y := tb.Series[0].Y
+		for i := 1; i < len(y); i++ {
+			if y[i] > y[i-1]+1e-9 {
+				t.Fatalf("%s: not non-increasing at %d", tb.Title, i)
+			}
+		}
+	}
+	// Anchor: N=12 on 4x5 gives 2.0139.
+	if got := a.Series[0].Y[11]; math.Abs(got-2.0139) > 5e-4 {
+		t.Errorf("fig3a anchor = %v, want 2.0139", got)
+	}
+}
+
+func TestFig5IsScaledFig3(t *testing.T) {
+	f3a, _, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5a, _, err := Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distance = moves * 1.08 * 10.
+	for i := range f5a.X {
+		want := f3a.Series[0].Y[i] * analytic.MeanHopDistanceFactor * 10
+		if math.Abs(f5a.Series[0].Y[i]-want) > 1e-9 {
+			t.Fatalf("fig5a[%d] = %v, want %v", i, f5a.Series[0].Y[i], want)
+		}
+	}
+}
+
+func TestRunExperimentalSmall(t *testing.T) {
+	exp, err := RunExperimental(Config{
+		Trials: 6,
+		Seed:   42,
+		Ns:     []int{20, 200},
+		Cols:   8, Rows: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := []*plotdata.Table{exp.Fig6a, exp.Fig6b, exp.Fig7a, exp.Fig7b, exp.Fig8a, exp.Fig8b}
+	for _, tb := range tables {
+		if tb == nil {
+			t.Fatal("missing table")
+		}
+		if len(tb.X) != 2 {
+			t.Errorf("%s: x points = %d", tb.Title, len(tb.X))
+		}
+		for _, s := range tb.Series {
+			if len(s.Y) != 2 {
+				t.Errorf("%s/%s: y points = %d", tb.Title, s.Label, len(s.Y))
+			}
+		}
+	}
+	// Fig6a: SR initiates exactly Trials processes; AR strictly more.
+	srProcs := exp.Fig6a.Series[1]
+	arProcs := exp.Fig6a.Series[0]
+	for i := range srProcs.Y {
+		if srProcs.Y[i] != 6 {
+			t.Errorf("SR processes = %v, want 6", srProcs.Y[i])
+		}
+		if arProcs.Y[i] <= srProcs.Y[i] {
+			t.Errorf("AR processes %v should exceed SR %v", arProcs.Y[i], srProcs.Y[i])
+		}
+	}
+	// Fig6b: SR success is 100 everywhere.
+	for _, v := range exp.Fig6b.Series[1].Y {
+		if v != 100 {
+			t.Errorf("SR success = %v", v)
+		}
+	}
+	// Fig7b analytical uses L=63 for 8x8; spot-check the first point.
+	m, err := analytic.Moves(20, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exp.Fig7b.Series[0].Y[0]; math.Abs(got-6*m) > 1e-9 {
+		t.Errorf("fig7b[0] = %v, want %v", got, 6*m)
+	}
+	// Fig8b = fig7b * 1.08 * r.
+	r := 10.0 / math.Sqrt(5)
+	want := exp.Fig7b.Series[0].Y[0] * 1.08 * r
+	if got := exp.Fig8b.Series[0].Y[0]; math.Abs(got-want) > 1e-6 {
+		t.Errorf("fig8b[0] = %v, want %v", got, want)
+	}
+}
+
+func TestRunExperimentalDualPathUsesCorollary2(t *testing.T) {
+	exp, err := RunExperimental(Config{
+		Trials: 3,
+		Seed:   7,
+		Ns:     []int{10},
+		Cols:   5, Rows: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := analytic.Moves(10, 23) // L = 5*5-2 per Corollary 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exp.Fig7b.Series[0].Y[0]; math.Abs(got-3*m) > 1e-9 {
+		t.Errorf("dual-path analytic = %v, want %v", got, 3*m)
+	}
+}
+
+func TestAllSmall(t *testing.T) {
+	tables, err := All(Config{Trials: 2, Seed: 1, Ns: []int{30}, Cols: 6, Rows: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"fig3a", "fig3b", "fig5a", "fig5b", "fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b"}
+	for _, k := range want {
+		if tables[k] == nil {
+			t.Errorf("missing table %s", k)
+		}
+	}
+	if len(tables) != len(want) {
+		t.Errorf("tables = %d, want %d", len(tables), len(want))
+	}
+}
+
+func TestRangeInts(t *testing.T) {
+	got := rangeInts(2, 10, 3)
+	want := []int{2, 5, 8}
+	if len(got) != len(want) {
+		t.Fatalf("rangeInts = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("rangeInts = %v, want %v", got, want)
+		}
+	}
+}

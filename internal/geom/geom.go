@@ -1,0 +1,182 @@
+// Package geom provides the 2-D geometry primitives used throughout the
+// sensor-network simulator: points, vectors, rectangles, and uniform
+// sampling helpers.
+//
+// The surveillance field is modelled as a subset of the Euclidean plane
+// with the X axis growing east and the Y axis growing north, matching the
+// grid-coordinate convention of the paper (grid (x, y) with 0 <= x <= n-1,
+// 0 <= y <= m-1).
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the plane. It doubles as a displacement vector;
+// the Add/Sub/Scale methods treat it as such.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p + q component-wise.
+func (p Point) Add(q Point) Point { return Point{X: p.X + q.X, Y: p.Y + q.Y} }
+
+// Sub returns p - q component-wise.
+func (p Point) Sub(q Point) Point { return Point{X: p.X - q.X, Y: p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{X: p.X * s, Y: p.Y * s} }
+
+// Dot returns the dot product of p and q viewed as vectors.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Norm returns the Euclidean length of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids
+// the square root and is the preferred comparison key in hot paths.
+func (p Point) Dist2(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return dx*dx + dy*dy
+}
+
+// Lerp linearly interpolates from p to q; t=0 yields p, t=1 yields q.
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{X: p.X + (q.X-p.X)*t, Y: p.Y + (q.Y-p.Y)*t}
+}
+
+// Eq reports whether p and q are exactly equal.
+func (p Point) Eq(q Point) bool { return p.X == q.X && p.Y == q.Y }
+
+// AlmostEq reports whether p and q agree within eps in both coordinates.
+func (p Point) AlmostEq(q Point, eps float64) bool {
+	return math.Abs(p.X-q.X) <= eps && math.Abs(p.Y-q.Y) <= eps
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.4g, %.4g)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle. Min is the south-west corner and Max
+// the north-east corner; a valid Rect has Min.X <= Max.X and Min.Y <= Max.Y.
+type Rect struct {
+	Min Point
+	Max Point
+}
+
+// RectFromSize builds the rectangle with south-west corner at min spanning
+// w horizontally and h vertically.
+func RectFromSize(min Point, w, h float64) Rect {
+	return Rect{Min: min, Max: Point{X: min.X + w, Y: min.Y + h}}
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the area of r.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the midpoint of r.
+func (r Rect) Center() Point {
+	return Point{X: (r.Min.X + r.Max.X) / 2, Y: (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Contains reports whether p lies inside r. The south and west edges are
+// inclusive and the north and east edges exclusive, so adjacent cells of a
+// partition claim each point exactly once.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X < r.Max.X && p.Y >= r.Min.Y && p.Y < r.Max.Y
+}
+
+// ContainsClosed reports whether p lies inside r with all edges inclusive.
+func (r Rect) ContainsClosed(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Clamp returns the point of r closest to p.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Min(math.Max(p.X, r.Min.X), r.Max.X),
+		Y: math.Min(math.Max(p.Y, r.Min.Y), r.Max.Y),
+	}
+}
+
+// Inset shrinks r by d on every side. An inset larger than half the extent
+// collapses the rectangle onto its center.
+func (r Rect) Inset(d float64) Rect {
+	out := Rect{
+		Min: Point{X: r.Min.X + d, Y: r.Min.Y + d},
+		Max: Point{X: r.Max.X - d, Y: r.Max.Y - d},
+	}
+	if out.Min.X > out.Max.X {
+		c := (r.Min.X + r.Max.X) / 2
+		out.Min.X, out.Max.X = c, c
+	}
+	if out.Min.Y > out.Max.Y {
+		c := (r.Min.Y + r.Max.Y) / 2
+		out.Min.Y, out.Max.Y = c, c
+	}
+	return out
+}
+
+// Intersects reports whether r and s share interior area.
+func (r Rect) Intersects(s Rect) bool {
+	return r.Min.X < s.Max.X && s.Min.X < r.Max.X &&
+		r.Min.Y < s.Max.Y && s.Min.Y < r.Max.Y
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		Min: Point{X: math.Min(r.Min.X, s.Min.X), Y: math.Min(r.Min.Y, s.Min.Y)},
+		Max: Point{X: math.Max(r.Max.X, s.Max.X), Y: math.Max(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string { return fmt.Sprintf("[%v - %v]", r.Min, r.Max) }
+
+// Circle is a disc with the given center and radius, used for the sensing
+// model: a node senses every point within its sensing range.
+type Circle struct {
+	Center Point
+	Radius float64
+}
+
+// Contains reports whether p lies within the closed disc c.
+func (c Circle) Contains(p Point) bool {
+	return c.Center.Dist2(p) <= c.Radius*c.Radius
+}
+
+// IntersectsRect reports whether the disc c and rectangle r overlap.
+func (c Circle) IntersectsRect(r Rect) bool {
+	return c.Center.Dist2(r.Clamp(c.Center)) <= c.Radius*c.Radius
+}
+
+// CoversRect reports whether the disc c fully covers the rectangle r, which
+// holds exactly when all four corners lie inside the disc.
+func (c Circle) CoversRect(r Rect) bool {
+	corners := [4]Point{
+		r.Min,
+		{X: r.Max.X, Y: r.Min.Y},
+		{X: r.Min.X, Y: r.Max.Y},
+		r.Max,
+	}
+	for _, p := range corners {
+		if !c.Contains(p) {
+			return false
+		}
+	}
+	return true
+}

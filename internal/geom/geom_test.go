@@ -1,0 +1,261 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(3, 4)
+	q := Pt(1, -2)
+
+	if got := p.Add(q); !got.Eq(Pt(4, 2)) {
+		t.Errorf("Add = %v, want (4, 2)", got)
+	}
+	if got := p.Sub(q); !got.Eq(Pt(2, 6)) {
+		t.Errorf("Sub = %v, want (2, 6)", got)
+	}
+	if got := p.Scale(2); !got.Eq(Pt(6, 8)) {
+		t.Errorf("Scale = %v, want (6, 8)", got)
+	}
+	if got := p.Dot(q); got != 3-8 {
+		t.Errorf("Dot = %v, want -5", got)
+	}
+	if got := p.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+}
+
+func TestDist(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"same point", Pt(1, 1), Pt(1, 1), 0},
+		{"axis aligned", Pt(0, 0), Pt(3, 0), 3},
+		{"pythagorean", Pt(0, 0), Pt(3, 4), 5},
+		{"negative coords", Pt(-1, -1), Pt(2, 3), 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Dist(tt.q); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Dist = %v, want %v", got, tt.want)
+			}
+			if got := tt.p.Dist2(tt.q); math.Abs(got-tt.want*tt.want) > 1e-12 {
+				t.Errorf("Dist2 = %v, want %v", got, tt.want*tt.want)
+			}
+		})
+	}
+}
+
+func TestDistSymmetryProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Pt(ax, ay), Pt(bx, by)
+		// math.Hypot is exactly symmetric (also for Inf results).
+		return a.Dist(b) == b.Dist(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Pt(float64(ax), float64(ay))
+		b := Pt(float64(bx), float64(by))
+		c := Pt(float64(cx), float64(cy))
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	p, q := Pt(0, 0), Pt(10, 20)
+	if got := p.Lerp(q, 0); !got.Eq(p) {
+		t.Errorf("Lerp(0) = %v, want %v", got, p)
+	}
+	if got := p.Lerp(q, 1); !got.Eq(q) {
+		t.Errorf("Lerp(1) = %v, want %v", got, q)
+	}
+	if got := p.Lerp(q, 0.5); !got.Eq(Pt(5, 10)) {
+		t.Errorf("Lerp(0.5) = %v, want (5, 10)", got)
+	}
+}
+
+func TestAlmostEq(t *testing.T) {
+	if !Pt(1, 1).AlmostEq(Pt(1+1e-10, 1-1e-10), 1e-9) {
+		t.Error("AlmostEq should accept tiny perturbations")
+	}
+	if Pt(1, 1).AlmostEq(Pt(1.1, 1), 1e-9) {
+		t.Error("AlmostEq should reject large perturbations")
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := RectFromSize(Pt(1, 2), 4, 6)
+	if got := r.Width(); got != 4 {
+		t.Errorf("Width = %v, want 4", got)
+	}
+	if got := r.Height(); got != 6 {
+		t.Errorf("Height = %v, want 6", got)
+	}
+	if got := r.Area(); got != 24 {
+		t.Errorf("Area = %v, want 24", got)
+	}
+	if got := r.Center(); !got.Eq(Pt(3, 5)) {
+		t.Errorf("Center = %v, want (3, 5)", got)
+	}
+}
+
+func TestRectContainsHalfOpen(t *testing.T) {
+	r := RectFromSize(Pt(0, 0), 1, 1)
+	tests := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(0, 0), true},     // south-west corner inclusive
+		{Pt(0.5, 0.5), true}, // interior
+		{Pt(1, 0.5), false},  // east edge exclusive
+		{Pt(0.5, 1), false},  // north edge exclusive
+		{Pt(-0.1, 0.5), false},
+	}
+	for _, tt := range tests {
+		if got := r.Contains(tt.p); got != tt.want {
+			t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if !r.ContainsClosed(Pt(1, 1)) {
+		t.Error("ContainsClosed should include the north-east corner")
+	}
+}
+
+func TestRectPartitionClaimsPointOnce(t *testing.T) {
+	// Two adjacent half-open cells claim a boundary point exactly once.
+	left := RectFromSize(Pt(0, 0), 1, 1)
+	right := RectFromSize(Pt(1, 0), 1, 1)
+	boundary := Pt(1, 0.5)
+	n := 0
+	if left.Contains(boundary) {
+		n++
+	}
+	if right.Contains(boundary) {
+		n++
+	}
+	if n != 1 {
+		t.Errorf("boundary point claimed by %d cells, want 1", n)
+	}
+}
+
+func TestRectClamp(t *testing.T) {
+	r := RectFromSize(Pt(0, 0), 2, 2)
+	tests := []struct {
+		p, want Point
+	}{
+		{Pt(1, 1), Pt(1, 1)},
+		{Pt(-1, 1), Pt(0, 1)},
+		{Pt(3, 3), Pt(2, 2)},
+		{Pt(1, -5), Pt(1, 0)},
+	}
+	for _, tt := range tests {
+		if got := r.Clamp(tt.p); !got.Eq(tt.want) {
+			t.Errorf("Clamp(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestRectInset(t *testing.T) {
+	r := RectFromSize(Pt(0, 0), 4, 4)
+	in := r.Inset(1)
+	if in.Min != Pt(1, 1) || in.Max != Pt(3, 3) {
+		t.Errorf("Inset(1) = %v", in)
+	}
+	// Over-large insets collapse to the center rather than inverting.
+	collapsed := r.Inset(10)
+	if collapsed.Width() != 0 || collapsed.Height() != 0 {
+		t.Errorf("Inset(10) should collapse, got %v", collapsed)
+	}
+	if !collapsed.Min.Eq(r.Center()) {
+		t.Errorf("collapsed rect should sit at center, got %v", collapsed.Min)
+	}
+}
+
+func TestRectIntersectsUnion(t *testing.T) {
+	a := RectFromSize(Pt(0, 0), 2, 2)
+	b := RectFromSize(Pt(1, 1), 2, 2)
+	c := RectFromSize(Pt(5, 5), 1, 1)
+	if !a.Intersects(b) {
+		t.Error("a and b should intersect")
+	}
+	if a.Intersects(c) {
+		t.Error("a and c should not intersect")
+	}
+	// Touching rectangles share no interior area.
+	d := RectFromSize(Pt(2, 0), 2, 2)
+	if a.Intersects(d) {
+		t.Error("touching rects should not count as intersecting")
+	}
+	u := a.Union(c)
+	if u.Min != Pt(0, 0) || u.Max != Pt(6, 6) {
+		t.Errorf("Union = %v", u)
+	}
+}
+
+func TestCircleContains(t *testing.T) {
+	c := Circle{Center: Pt(0, 0), Radius: 5}
+	if !c.Contains(Pt(3, 4)) {
+		t.Error("boundary point should be inside (closed disc)")
+	}
+	if c.Contains(Pt(3.1, 4)) {
+		t.Error("point just outside should be excluded")
+	}
+}
+
+func TestCircleIntersectsRect(t *testing.T) {
+	c := Circle{Center: Pt(0, 0), Radius: 1}
+	tests := []struct {
+		r    Rect
+		want bool
+	}{
+		{RectFromSize(Pt(-0.5, -0.5), 1, 1), true}, // circle center inside
+		{RectFromSize(Pt(0.9, -0.5), 1, 1), true},  // overlaps edge
+		{RectFromSize(Pt(2, 2), 1, 1), false},      // far away
+		{RectFromSize(Pt(0.8, 0.8), 1, 1), false},  // corner just outside radius
+		{RectFromSize(Pt(0.6, 0.6), 1, 1), true},   // corner inside
+		{RectFromSize(Pt(-3, -0.5), 10, 1), true},  // rect spans circle
+	}
+	for _, tt := range tests {
+		if got := c.IntersectsRect(tt.r); got != tt.want {
+			t.Errorf("IntersectsRect(%v) = %v, want %v", tt.r, got, tt.want)
+		}
+	}
+}
+
+func TestCircleCoversRect(t *testing.T) {
+	c := Circle{Center: Pt(0, 0), Radius: math.Sqrt2 + 1e-9}
+	covered := RectFromSize(Pt(-1, -1), 2, 2)
+	if !c.CoversRect(covered) {
+		t.Error("disc of radius sqrt(2) should cover unit-centered 2x2 rect")
+	}
+	small := Circle{Center: Pt(0, 0), Radius: 1.4}
+	if small.CoversRect(covered) {
+		t.Error("disc of radius 1.4 should not cover 2x2 rect")
+	}
+}
+
+func TestCoversRectImpliesIntersects(t *testing.T) {
+	f := func(cx, cy int8, radius uint8, rx, ry int8, w, h uint8) bool {
+		c := Circle{Center: Pt(float64(cx), float64(cy)), Radius: float64(radius%50) + 0.5}
+		r := RectFromSize(Pt(float64(rx), float64(ry)), float64(w%20)+0.1, float64(h%20)+0.1)
+		if c.CoversRect(r) && !c.IntersectsRect(r) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,151 @@
+package hamilton
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wsncover/internal/geom"
+	"wsncover/internal/grid"
+)
+
+// TestBuildPropertyRandomDims drives the constructions over random
+// dimensions with testing/quick: every buildable topology must satisfy
+// the full structural contract.
+func TestBuildPropertyRandomDims(t *testing.T) {
+	f := func(cu, ru uint8) bool {
+		cols := int(cu)%14 + 2 // 2..15
+		rows := int(ru)%14 + 2
+		sys, err := grid.New(cols, rows, 1, geom.Pt(0, 0))
+		if err != nil {
+			return false
+		}
+		topo, err := Build(sys)
+		if err != nil {
+			return false
+		}
+		switch topo.Kind() {
+		case KindCycle:
+			order := topo.CycleOrder()
+			if len(order) != cols*rows {
+				return false
+			}
+			seen := make(map[grid.Coord]bool, len(order))
+			for i, g := range order {
+				if seen[g] || !g.IsNeighbor(order[(i+1)%len(order)]) {
+					return false
+				}
+				seen[g] = true
+			}
+		case KindDualPath:
+			a, b, c, d, ok := topo.ABCD()
+			if !ok {
+				return false
+			}
+			if !c.IsNeighbor(a) || !c.IsNeighbor(b) || !d.IsNeighbor(a) || !d.IsNeighbor(b) {
+				return false
+			}
+			shared := topo.SharedOrder()
+			if len(shared) != cols*rows-2 {
+				return false
+			}
+		default:
+			return false
+		}
+		// Monitoring relation is a bijection-with-one-monitor everywhere.
+		count := map[grid.Coord]int{}
+		for _, g := range sys.AllCoords() {
+			for _, watched := range topo.Monitored(nil, g) {
+				count[watched]++
+			}
+		}
+		for _, g := range sys.AllCoords() {
+			if count[g] != 1 {
+				return false
+			}
+			if !topo.MonitorOf(g).IsNeighbor(g) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWalkCoverageProperty checks the walk contract over random dims and
+// random hole positions: no revisits, full reach (modulo the one skipped
+// special grid on dual paths), neighbor-adjacent steps.
+func TestWalkCoverageProperty(t *testing.T) {
+	f := func(cu, ru, hu uint16) bool {
+		cols := int(cu)%10 + 2
+		rows := int(ru)%10 + 2
+		sys, err := grid.New(cols, rows, 1, geom.Pt(0, 0))
+		if err != nil {
+			return false
+		}
+		topo, err := Build(sys)
+		if err != nil {
+			return false
+		}
+		origin := sys.CoordAt(int(hu) % sys.NumCells())
+		w := topo.NewWalk(origin)
+		seen := map[grid.Coord]bool{origin: true}
+		prev := origin
+		visited := 1 // the initiator
+		if seen[w.Current()] {
+			return false
+		}
+		seen[w.Current()] = true
+		if !prev.IsNeighbor(w.Current()) {
+			return false
+		}
+		prev = w.Current()
+		for w.Advance(nil) {
+			if seen[w.Current()] || !prev.IsNeighbor(w.Current()) {
+				return false
+			}
+			seen[w.Current()] = true
+			prev = w.Current()
+			visited++
+		}
+		want := sys.NumCells() - 1
+		if topo.Kind() == KindDualPath {
+			a, b, _, _, _ := topo.ABCD()
+			if origin != a && origin != b {
+				want = sys.NumCells() - 2
+			}
+		}
+		return len(seen)-1 == want && visited+1 == want+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBigGrids smoke-tests construction at simulator-untypical scale.
+func TestBigGrids(t *testing.T) {
+	for _, dims := range [][2]int{{64, 64}, {63, 65}, {31, 33}, {33, 33}} {
+		sys, err := grid.New(dims[0], dims[1], 1, geom.Pt(0, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo, err := Build(sys)
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		// Every walk from the four corners terminates with full coverage.
+		for _, origin := range []grid.Coord{
+			grid.C(0, 0), grid.C(dims[0]-1, 0), grid.C(0, dims[1]-1), grid.C(dims[0]-1, dims[1]-1),
+		} {
+			w := topo.NewWalk(origin)
+			n := 1
+			for w.Advance(nil) {
+				n++
+			}
+			if n < sys.NumCells()-2 {
+				t.Errorf("%v origin %v: walk covers only %d grids", dims, origin, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package localview implements the localized head-election protocol the
+// paper's system model presupposes (Section 2): using only 1-hop
+// information, the enabled nodes of each grid cell elect exactly one grid
+// head among themselves. Within a cell every pair of nodes is within
+// communication range (the cell diagonal sqrt(2)*r is below R=sqrt(5)*r),
+// so a cell-local broadcast protocol suffices.
+//
+// The protocol is a ranked back-off election in the style of GAF's leader
+// election:
+//
+//  1. Every node starts as a candidate with rank (distance to the cell
+//     center, node id) — lower is better.
+//  2. Each round, candidates broadcast an announcement within their cell.
+//     A candidate that hears a better-ranked candidate yields and becomes
+//     a spare.
+//  3. A candidate that hears no better rank for one full round claims the
+//     head role. Message loss can create duplicate claimants; claimants
+//     keep announcing, and a claimant hearing a better claim demotes
+//     itself, so the protocol converges to a single head per cell with
+//     probability 1.
+//
+// The election is simulated against a read-only view of the network; it
+// never mutates network state. Verify reconciles the outcome with the
+// network's own head registry.
+package localview
+
+import (
+	"fmt"
+
+	"wsncover/internal/grid"
+	"wsncover/internal/network"
+	"wsncover/internal/node"
+	"wsncover/internal/randx"
+)
+
+// Phase is a node's protocol state.
+type Phase int
+
+// Protocol phases. Enums start at 1 so the zero value is invalid.
+const (
+	// Candidate nodes are still competing.
+	Candidate Phase = iota + 1
+	// Claimant nodes have announced themselves head.
+	Claimant
+	// Yielded nodes have deferred to a better-ranked node.
+	Yielded
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case Candidate:
+		return "candidate"
+	case Claimant:
+		return "claimant"
+	case Yielded:
+		return "yielded"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Config parameterizes the election.
+type Config struct {
+	// RNG drives message-loss sampling; required when LossProb > 0.
+	RNG *randx.Rand
+	// LossProb is the probability that any single intra-cell broadcast is
+	// lost by a particular receiver.
+	LossProb float64
+}
+
+// rank orders candidates: closer to the cell center wins; ties break on
+// the lower id.
+type rank struct {
+	dist2 float64
+	id    node.ID
+}
+
+func (r rank) better(o rank) bool {
+	if r.dist2 != o.dist2 {
+		return r.dist2 < o.dist2
+	}
+	return r.id < o.id
+}
+
+// Election is a running instance of the protocol over a network snapshot.
+type Election struct {
+	net *network.Network
+	cfg Config
+
+	// members lists the participating nodes of each cell index.
+	members [][]node.ID
+	ranks   map[node.ID]rank
+	phase   map[node.ID]Phase
+	rounds  int
+}
+
+// New snapshots the enabled nodes of the network and prepares the
+// election. Nodes added or disabled afterwards are not seen.
+func New(net *network.Network, cfg Config) *Election {
+	if cfg.RNG == nil {
+		cfg.RNG = randx.New(1)
+	}
+	sys := net.System()
+	e := &Election{
+		net:     net,
+		cfg:     cfg,
+		members: make([][]node.ID, sys.NumCells()),
+		ranks:   make(map[node.ID]rank),
+		phase:   make(map[node.ID]Phase),
+	}
+	for id := node.ID(0); int(id) < net.NumNodes(); id++ {
+		nd := net.Node(id)
+		if nd == nil || !nd.Enabled() {
+			continue
+		}
+		c, ok := sys.CoordOf(nd.Location())
+		if !ok {
+			continue
+		}
+		idx := sys.Index(c)
+		e.members[idx] = append(e.members[idx], id)
+		e.ranks[id] = rank{dist2: nd.Location().Dist2(sys.Center(c)), id: id}
+		e.phase[id] = Candidate
+	}
+	return e
+}
+
+// Rounds returns the number of protocol rounds executed.
+func (e *Election) Rounds() int { return e.rounds }
+
+// PhaseOf returns a node's current phase (Yielded for unknown ids).
+func (e *Election) PhaseOf(id node.ID) Phase {
+	if p, ok := e.phase[id]; ok {
+		return p
+	}
+	return Yielded
+}
+
+// Step executes one protocol round: per cell, every non-yielded node
+// broadcasts, each receiver independently loses the message with
+// LossProb, and nodes update their phase from what they heard.
+func (e *Election) Step() {
+	e.rounds++
+	for _, cell := range e.members {
+		if len(cell) == 0 {
+			continue
+		}
+		// Collect this round's broadcasts.
+		var speakers []node.ID
+		for _, id := range cell {
+			if e.phase[id] != Yielded {
+				speakers = append(speakers, id)
+			}
+		}
+		// Deliver per receiver with independent loss, then update.
+		type update struct {
+			id    node.ID
+			phase Phase
+		}
+		var updates []update
+		for _, id := range cell {
+			if e.phase[id] == Yielded {
+				continue
+			}
+			heardBetter := false
+			heardBetterClaim := false
+			for _, sp := range speakers {
+				if sp == id {
+					continue
+				}
+				if e.cfg.LossProb > 0 && e.cfg.RNG.Bool(e.cfg.LossProb) {
+					continue // this receiver missed the broadcast
+				}
+				if e.ranks[sp].better(e.ranks[id]) {
+					heardBetter = true
+					if e.phase[sp] == Claimant {
+						heardBetterClaim = true
+					}
+				}
+			}
+			switch e.phase[id] {
+			case Candidate:
+				if heardBetter {
+					updates = append(updates, update{id, Yielded})
+				} else {
+					updates = append(updates, update{id, Claimant})
+				}
+			case Claimant:
+				if heardBetterClaim || heardBetter {
+					// A better node is still alive: demote.
+					updates = append(updates, update{id, Yielded})
+				}
+			}
+		}
+		for _, u := range updates {
+			e.phase[u.id] = u.phase
+		}
+	}
+}
+
+// Converged reports whether every occupied cell has exactly one claimant
+// and no remaining candidates.
+func (e *Election) Converged() bool {
+	for _, cell := range e.members {
+		if len(cell) == 0 {
+			continue
+		}
+		claimants := 0
+		for _, id := range cell {
+			switch e.phase[id] {
+			case Candidate:
+				return false
+			case Claimant:
+				claimants++
+			}
+		}
+		if claimants != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Run steps the protocol until convergence or maxRounds, returning the
+// rounds used and whether it converged.
+func (e *Election) Run(maxRounds int) (int, bool) {
+	for r := 0; r < maxRounds; r++ {
+		if e.Converged() {
+			return e.rounds, true
+		}
+		e.Step()
+	}
+	return e.rounds, e.Converged()
+}
+
+// Winner returns the elected head of cell c, or node.Invalid when the
+// cell is empty or not yet converged to a single claimant.
+func (e *Election) Winner(c grid.Coord) node.ID {
+	idx := e.net.System().Index(c)
+	winner := node.Invalid
+	for _, id := range e.members[idx] {
+		if e.phase[id] == Claimant {
+			if winner != node.Invalid {
+				return node.Invalid // duplicate claimants
+			}
+			winner = id
+		}
+	}
+	return winner
+}
+
+// Verify cross-checks a converged election against the network's own head
+// registry: every occupied cell must have exactly one winner, and with a
+// loss-free protocol the winner matches the network's center-closest
+// choice. It returns violations (empty when consistent).
+func (e *Election) Verify() []string {
+	var bad []string
+	sys := e.net.System()
+	for idx, cell := range e.members {
+		c := sys.CoordAt(idx)
+		if len(cell) == 0 {
+			continue
+		}
+		w := e.Winner(c)
+		if w == node.Invalid {
+			bad = append(bad, fmt.Sprintf("cell %v: no unique winner", c))
+			continue
+		}
+		best := cell[0]
+		for _, id := range cell[1:] {
+			if e.ranks[id].better(e.ranks[best]) {
+				best = id
+			}
+		}
+		if e.cfg.LossProb == 0 && w != best {
+			bad = append(bad, fmt.Sprintf("cell %v: winner %d is not the best-ranked %d", c, w, best))
+		}
+	}
+	return bad
+}

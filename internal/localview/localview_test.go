@@ -1,0 +1,162 @@
+package localview
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wsncover/internal/deploy"
+	"wsncover/internal/geom"
+	"wsncover/internal/grid"
+	"wsncover/internal/network"
+	"wsncover/internal/node"
+	"wsncover/internal/randx"
+)
+
+// newNet builds a test network; it panics on bad dimensions, which only
+// indicates a broken test, so it is usable from property functions too.
+func newNet(cols, rows int, cell float64) *network.Network {
+	sys, err := grid.New(cols, rows, cell, geom.Pt(0, 0))
+	if err != nil {
+		panic(err)
+	}
+	return network.New(sys, node.EnergyModel{})
+}
+
+func TestLossFreeConvergesInOneRound(t *testing.T) {
+	w := newNet(4, 4, 2)
+	if err := deploy.PerGrid(w, 3, randx.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	e := New(w, Config{})
+	rounds, ok := e.Run(10)
+	if !ok {
+		t.Fatal("loss-free election should converge")
+	}
+	if rounds > 1 {
+		t.Errorf("rounds = %d, want 1 (everyone hears everyone)", rounds)
+	}
+	if bad := e.Verify(); len(bad) != 0 {
+		t.Errorf("verify: %v", bad)
+	}
+}
+
+func TestWinnerMatchesNetworkElection(t *testing.T) {
+	// The network's own ElectHeads picks the center-closest node; the
+	// loss-free protocol must agree cell by cell.
+	w := newNet(5, 5, 2)
+	if err := deploy.Uniform(w, 80, randx.New(2)); err != nil {
+		t.Fatal(err)
+	}
+	w.ElectHeads()
+	e := New(w, Config{})
+	if _, ok := e.Run(10); !ok {
+		t.Fatal("no convergence")
+	}
+	for _, c := range w.System().AllCoords() {
+		if w.IsVacant(c) {
+			if got := e.Winner(c); got != node.Invalid {
+				t.Errorf("empty cell %v has winner %v", c, got)
+			}
+			continue
+		}
+		if got, want := e.Winner(c), w.HeadOf(c); got != want {
+			t.Errorf("cell %v: protocol winner %v, network head %v", c, got, want)
+		}
+	}
+}
+
+func TestConvergesUnderMessageLoss(t *testing.T) {
+	for _, loss := range []float64{0.1, 0.3, 0.5} {
+		w := newNet(4, 4, 2)
+		if err := deploy.PerGrid(w, 4, randx.New(3)); err != nil {
+			t.Fatal(err)
+		}
+		e := New(w, Config{RNG: randx.New(4), LossProb: loss})
+		rounds, ok := e.Run(500)
+		if !ok {
+			t.Fatalf("loss=%v: no convergence in 500 rounds", loss)
+		}
+		if bad := e.Verify(); len(bad) != 0 {
+			t.Errorf("loss=%v: %v", loss, bad)
+		}
+		t.Logf("loss=%v converged in %d rounds", loss, rounds)
+	}
+}
+
+func TestSingleNodeCells(t *testing.T) {
+	w := newNet(3, 3, 1)
+	if err := deploy.PerGrid(w, 1, randx.New(5)); err != nil {
+		t.Fatal(err)
+	}
+	e := New(w, Config{})
+	if _, ok := e.Run(5); !ok {
+		t.Fatal("single-node cells must converge")
+	}
+	for _, c := range w.System().AllCoords() {
+		if e.Winner(c) == node.Invalid {
+			t.Errorf("cell %v has no winner", c)
+		}
+	}
+}
+
+func TestEmptyNetworkConvergesTrivially(t *testing.T) {
+	w := newNet(3, 3, 1)
+	e := New(w, Config{})
+	rounds, ok := e.Run(5)
+	if !ok || rounds != 0 {
+		t.Errorf("empty election: rounds=%d ok=%v", rounds, ok)
+	}
+}
+
+func TestPhaseAccounting(t *testing.T) {
+	w := newNet(1, 1, 2)
+	a, err := w.AddNodeAt(geom.Pt(1, 1)) // center: the winner
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.AddNodeAt(geom.Pt(0.1, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(w, Config{})
+	if e.PhaseOf(a) != Candidate || e.PhaseOf(b) != Candidate {
+		t.Error("all nodes start as candidates")
+	}
+	e.Step()
+	if e.PhaseOf(a) != Claimant {
+		t.Errorf("center node phase = %v, want claimant", e.PhaseOf(a))
+	}
+	if e.PhaseOf(b) != Yielded {
+		t.Errorf("far node phase = %v, want yielded", e.PhaseOf(b))
+	}
+	if e.PhaseOf(node.ID(99)) != Yielded {
+		t.Error("unknown id should read yielded")
+	}
+	if Candidate.String() == "" || Claimant.String() == "" || Yielded.String() == "" ||
+		Phase(9).String() == "" {
+		t.Error("phase strings")
+	}
+}
+
+func TestBestNodeNeverDemotesProperty(t *testing.T) {
+	// Liveness core: under any loss rate and any population, the
+	// best-ranked node of every occupied cell ends as the unique
+	// claimant.
+	f := func(seed int64, lossU, popU uint8) bool {
+		loss := float64(lossU%80) / 100
+		pop := int(popU)%6 + 1
+		w := newNet(3, 3, 2)
+		if err := deploy.PerGrid(w, pop, randx.New(seed)); err != nil {
+			return false
+		}
+		e := New(w, Config{RNG: randx.New(seed + 1), LossProb: loss})
+		_, ok := e.Run(2000)
+		if !ok {
+			return false
+		}
+		return len(e.Verify()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package network
+
+import (
+	"fmt"
+
+	"wsncover/internal/node"
+)
+
+// Audit verifies the internal consistency of the network's registries and
+// role assignments. It returns a list of violations (empty when the
+// network is consistent). Tests call it after chaotic schedules — failure
+// injection mid-cascade, concurrent processes — to prove the substrate
+// never corrupts:
+//
+//   - every enabled node is registered in exactly the cell containing it;
+//   - no disabled node is registered anywhere;
+//   - each cell's head is a member of that cell and carries the Head role;
+//   - cells with enabled nodes have a head (election invariant);
+//   - exactly one node per occupied cell carries the Head role.
+func (w *Network) Audit() []string {
+	var bad []string
+
+	registered := make(map[node.ID]int, len(w.nodes)) // id -> cell index
+	for idx, list := range w.cellNodes {
+		for _, id := range list {
+			if prev, dup := registered[id]; dup {
+				bad = append(bad, fmt.Sprintf("node %d registered in cells %v and %v",
+					id, w.sys.CoordAt(prev), w.sys.CoordAt(idx)))
+			}
+			registered[id] = idx
+		}
+	}
+
+	for _, nd := range w.nodes {
+		idx, ok := registered[nd.ID()]
+		switch {
+		case nd.Enabled() && !ok:
+			bad = append(bad, fmt.Sprintf("enabled node %d not registered", nd.ID()))
+		case !nd.Enabled() && ok:
+			bad = append(bad, fmt.Sprintf("disabled node %d still registered in %v",
+				nd.ID(), w.sys.CoordAt(idx)))
+		case nd.Enabled():
+			c, in := w.sys.CoordOf(nd.Location())
+			if !in {
+				bad = append(bad, fmt.Sprintf("node %d located off-field at %v",
+					nd.ID(), nd.Location()))
+			} else if w.sys.Index(c) != idx {
+				bad = append(bad, fmt.Sprintf("node %d at %v registered in %v but located in %v",
+					nd.ID(), nd.Location(), w.sys.CoordAt(idx), c))
+			}
+		}
+	}
+
+	for idx, h := range w.heads {
+		c := w.sys.CoordAt(idx)
+		if h == node.Invalid {
+			if len(w.cellNodes[idx]) > 0 {
+				bad = append(bad, fmt.Sprintf("cell %v has %d enabled nodes but no head",
+					c, len(w.cellNodes[idx])))
+			}
+			continue
+		}
+		member := false
+		for _, id := range w.cellNodes[idx] {
+			if id == h {
+				member = true
+				break
+			}
+		}
+		if !member {
+			bad = append(bad, fmt.Sprintf("head %d of cell %v is not a member", h, c))
+		}
+		if !w.nodes[h].IsHead() {
+			bad = append(bad, fmt.Sprintf("head %d of cell %v lacks Head role", h, c))
+		}
+		heads := 0
+		for _, id := range w.cellNodes[idx] {
+			if w.nodes[id].Role() == node.Head {
+				heads++
+			}
+		}
+		if heads != 1 {
+			bad = append(bad, fmt.Sprintf("cell %v has %d nodes with Head role", c, heads))
+		}
+	}
+	return bad
+}

@@ -1,0 +1,581 @@
+// Package network is the wireless-sensor-network substrate: a grid-indexed
+// registry of mobile nodes with head election, vacancy tracking, a
+// round-based synchronous engine, and 1-hop head-to-head messaging.
+//
+// The communication model follows the paper: with R = sqrt(5)*r every node
+// can reach every node of the four edge-adjacent cells, so messages between
+// heads of neighboring grids are delivered reliably, one round later.
+package network
+
+import (
+	"fmt"
+
+	"wsncover/internal/geom"
+	"wsncover/internal/grid"
+	"wsncover/internal/node"
+	"wsncover/internal/randx"
+)
+
+// Message is a 1-hop control message between grid heads. Kind and Process
+// are interpreted by the control scheme; the network only routes and
+// counts.
+type Message struct {
+	// From and To are grid addresses; To must be From itself or an
+	// edge-adjacent grid (1-hop constraint).
+	From grid.Coord
+	To   grid.Coord
+	// Kind tags the message type for the receiving scheme.
+	Kind int
+	// Process carries the replacement-process identity.
+	Process int
+	// Hops carries the accumulated hop count of a cascading process.
+	Hops int
+	// Origin carries the grid the process was started for.
+	Origin grid.Coord
+}
+
+// Observer receives network events as they happen: node movements,
+// message sends, status changes, and head elections. Observers must not
+// mutate the network. A nil observer disables tracing with no overhead.
+type Observer interface {
+	// NodeMoved fires after a node relocates.
+	NodeMoved(id node.ID, from, to geom.Point, fromCell, toCell grid.Coord)
+	// MessageSent fires after a control message is enqueued.
+	MessageSent(m Message)
+	// NodeDisabled fires after a node leaves the collaboration.
+	NodeDisabled(id node.ID, cell grid.Coord)
+	// HeadElected fires after a cell gains a head.
+	HeadElected(id node.ID, cell grid.Coord)
+	// RoundStarted fires when the synchronous clock advances.
+	RoundStarted(round int)
+}
+
+// Network is the simulated WSN. It is not safe for concurrent use; the
+// round engine is strictly sequential, mirroring the paper's round-based
+// system model.
+type Network struct {
+	sys    *grid.System
+	energy node.EnergyModel
+
+	nodes []*node.Node
+	// cellNodes holds the enabled nodes of each cell (dense index).
+	cellNodes [][]node.ID
+	// heads holds the head of each cell, node.Invalid when vacant.
+	heads []node.ID
+
+	obs Observer
+
+	// lossProb drops each sent message with this probability at delivery
+	// time; lossRNG must be set when lossProb > 0. Held (requeued)
+	// messages are local state, not radio traffic, and never drop.
+	lossProb float64
+	lossRNG  *randx.Rand
+
+	round      int
+	inbox      []Message
+	outbox     []Message
+	requeued   []Message
+	msgsSent   int
+	msgsLost   int
+	totalMoves int
+	totalDist  float64
+}
+
+// New creates an empty network over the grid system.
+func New(sys *grid.System, energy node.EnergyModel) *Network {
+	return &Network{
+		sys:       sys,
+		energy:    energy,
+		cellNodes: make([][]node.ID, sys.NumCells()),
+		heads:     newHeadSlice(sys.NumCells()),
+	}
+}
+
+func newHeadSlice(n int) []node.ID {
+	h := make([]node.ID, n)
+	for i := range h {
+		h[i] = node.Invalid
+	}
+	return h
+}
+
+// System returns the underlying grid system.
+func (w *Network) System() *grid.System { return w.sys }
+
+// EnergyModel returns the movement energy model.
+func (w *Network) EnergyModel() node.EnergyModel { return w.energy }
+
+// SetObserver attaches an event observer (nil detaches). Typically set
+// before the simulation starts; see the trace package.
+func (w *Network) SetObserver(o Observer) { w.obs = o }
+
+// SetMessageLoss makes the radio lossy: every sent message is dropped
+// with probability p at delivery time. rng is required when p > 0.
+func (w *Network) SetMessageLoss(p float64, rng *randx.Rand) error {
+	if p < 0 || p >= 1 {
+		return fmt.Errorf("network: loss probability %v outside [0, 1)", p)
+	}
+	if p > 0 && rng == nil {
+		return fmt.Errorf("network: loss probability %v needs an RNG", p)
+	}
+	w.lossProb = p
+	w.lossRNG = rng
+	return nil
+}
+
+// MessagesLost returns the number of messages dropped by the lossy radio.
+func (w *Network) MessagesLost() int { return w.msgsLost }
+
+// AddNodeAt creates an enabled spare node at p and registers it. It
+// returns an error when p lies outside the surveillance field.
+func (w *Network) AddNodeAt(p geom.Point) (node.ID, error) {
+	c, ok := w.sys.CoordOf(p)
+	if !ok {
+		return node.Invalid, fmt.Errorf("network: point %v outside field %v", p, w.sys.Bounds())
+	}
+	id := node.ID(len(w.nodes))
+	w.nodes = append(w.nodes, node.New(id, p))
+	idx := w.sys.Index(c)
+	w.cellNodes[idx] = append(w.cellNodes[idx], id)
+	return id, nil
+}
+
+// Node returns the node with the given id, or nil when out of range.
+func (w *Network) Node(id node.ID) *node.Node {
+	if id < 0 || int(id) >= len(w.nodes) {
+		return nil
+	}
+	return w.nodes[id]
+}
+
+// NumNodes returns the total number of nodes ever added, enabled or not.
+func (w *Network) NumNodes() int { return len(w.nodes) }
+
+// EnabledCount returns the number of enabled nodes.
+func (w *Network) EnabledCount() int {
+	n := 0
+	for _, nd := range w.nodes {
+		if nd.Enabled() {
+			n++
+		}
+	}
+	return n
+}
+
+// CellOf returns the cell currently containing node id.
+func (w *Network) CellOf(id node.ID) (grid.Coord, bool) {
+	nd := w.Node(id)
+	if nd == nil {
+		return grid.Coord{}, false
+	}
+	return w.sys.CoordOf(nd.Location())
+}
+
+// removeFromCell unregisters id from the cell's enabled list.
+func (w *Network) removeFromCell(id node.ID, c grid.Coord) {
+	idx := w.sys.Index(c)
+	list := w.cellNodes[idx]
+	for i, other := range list {
+		if other == id {
+			list[i] = list[len(list)-1]
+			w.cellNodes[idx] = list[:len(list)-1]
+			break
+		}
+	}
+	if w.heads[idx] == id {
+		w.heads[idx] = node.Invalid
+		w.electLocked(c)
+	}
+}
+
+// DisableNode removes a node from the collaboration (failure or
+// misbehavior). If it was a head, a remaining enabled node of the cell is
+// elected in its place; if none exists the cell becomes vacant.
+func (w *Network) DisableNode(id node.ID) error {
+	nd := w.Node(id)
+	if nd == nil {
+		return fmt.Errorf("network: unknown node %d", id)
+	}
+	if !nd.Enabled() {
+		return nil
+	}
+	c, _ := w.sys.CoordOf(nd.Location())
+	nd.Disable()
+	nd.SetRole(node.Spare)
+	w.removeFromCell(id, c)
+	if w.obs != nil {
+		w.obs.NodeDisabled(id, c)
+	}
+	return nil
+}
+
+// DisableAllInCell disables every enabled node of cell c, creating a hole.
+// It returns the number of nodes disabled.
+func (w *Network) DisableAllInCell(c grid.Coord) int {
+	idx := w.sys.Index(c)
+	ids := make([]node.ID, len(w.cellNodes[idx]))
+	copy(ids, w.cellNodes[idx])
+	for _, id := range ids {
+		// Error impossible: ids come from the enabled registry.
+		_ = w.DisableNode(id)
+	}
+	return len(ids)
+}
+
+// electLocked promotes one enabled node of c to head when the cell has
+// none. The node closest to the cell center is chosen, the natural
+// candidate for the surveillance duty; ties break on the lower id for
+// determinism.
+func (w *Network) electLocked(c grid.Coord) node.ID {
+	idx := w.sys.Index(c)
+	if h := w.heads[idx]; h != node.Invalid {
+		return h
+	}
+	center := w.sys.Center(c)
+	best := node.Invalid
+	bestD := 0.0
+	for _, id := range w.cellNodes[idx] {
+		d := w.nodes[id].Location().Dist2(center)
+		if best == node.Invalid || d < bestD || (d == bestD && id < best) {
+			best, bestD = id, d
+		}
+	}
+	if best != node.Invalid {
+		w.heads[idx] = best
+		w.nodes[best].SetRole(node.Head)
+		for _, id := range w.cellNodes[idx] {
+			if id != best {
+				w.nodes[id].SetRole(node.Spare)
+			}
+		}
+		if w.obs != nil {
+			w.obs.HeadElected(best, c)
+		}
+	}
+	return best
+}
+
+// ElectHeads runs head election in every cell that lacks a head,
+// establishing the invariant that a cell is vacant iff it has no enabled
+// nodes.
+func (w *Network) ElectHeads() {
+	for idx := range w.cellNodes {
+		w.electLocked(w.sys.CoordAt(idx))
+	}
+}
+
+// RotateHead hands the head role of cell c to another enabled node of the
+// cell, if one exists, and returns the new head. The paper notes the head
+// role can be rotated within the grid to balance energy.
+func (w *Network) RotateHead(c grid.Coord) node.ID {
+	idx := w.sys.Index(c)
+	cur := w.heads[idx]
+	if cur == node.Invalid || len(w.cellNodes[idx]) < 2 {
+		return cur
+	}
+	next := node.Invalid
+	for _, id := range w.cellNodes[idx] {
+		if id == cur {
+			continue
+		}
+		if next == node.Invalid || id < next {
+			next = id
+		}
+	}
+	w.nodes[cur].SetRole(node.Spare)
+	w.nodes[next].SetRole(node.Head)
+	w.heads[idx] = next
+	return next
+}
+
+// HeadOf returns the head of cell c, or node.Invalid when vacant.
+func (w *Network) HeadOf(c grid.Coord) node.ID { return w.heads[w.sys.Index(c)] }
+
+// IsVacant reports whether cell c has no enabled nodes. Under the election
+// invariant this coincides with having no head.
+func (w *Network) IsVacant(c grid.Coord) bool {
+	return len(w.cellNodes[w.sys.Index(c)]) == 0
+}
+
+// Spares appends the enabled non-head nodes of cell c to dst.
+func (w *Network) Spares(dst []node.ID, c grid.Coord) []node.ID {
+	idx := w.sys.Index(c)
+	for _, id := range w.cellNodes[idx] {
+		if id != w.heads[idx] {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// SpareCount returns the number of spare nodes in cell c.
+func (w *Network) SpareCount(c grid.Coord) int {
+	idx := w.sys.Index(c)
+	if w.heads[idx] == node.Invalid {
+		return len(w.cellNodes[idx])
+	}
+	return len(w.cellNodes[idx]) - 1
+}
+
+// HasSpare reports whether cell c holds at least one spare node.
+func (w *Network) HasSpare(c grid.Coord) bool { return w.SpareCount(c) > 0 }
+
+// TotalSpares returns the number of spare nodes in the whole network (the
+// paper's N).
+func (w *Network) TotalSpares() int {
+	n := 0
+	for idx := range w.cellNodes {
+		c := w.sys.CoordAt(idx)
+		n += w.SpareCount(c)
+	}
+	return n
+}
+
+// SpareNearest returns the spare of cell c whose location is closest to
+// target, or node.Invalid when the cell has no spare. Ties break on the
+// lower id.
+func (w *Network) SpareNearest(c grid.Coord, target geom.Point) node.ID {
+	idx := w.sys.Index(c)
+	best := node.Invalid
+	bestD := 0.0
+	for _, id := range w.cellNodes[idx] {
+		if id == w.heads[idx] {
+			continue
+		}
+		d := w.nodes[id].Location().Dist2(target)
+		if best == node.Invalid || d < bestD || (d == bestD && id < best) {
+			best, bestD = id, d
+		}
+	}
+	return best
+}
+
+// VacantCells returns the addresses of all vacant cells.
+func (w *Network) VacantCells() []grid.Coord {
+	var out []grid.Coord
+	for idx, list := range w.cellNodes {
+		if len(list) == 0 {
+			out = append(out, w.sys.CoordAt(idx))
+		}
+	}
+	return out
+}
+
+// CentralTarget draws a uniform random point in the central area of cell
+// c, the destination rule of the paper's mobility control.
+func (w *Network) CentralTarget(c grid.Coord, rng *randx.Rand) geom.Point {
+	return rng.InRect(w.sys.CentralArea(c))
+}
+
+// MoveNode relocates an enabled node to target, maintaining the cell
+// registry, head roles, and the movement accounting. If the destination
+// cell has no head the mover is promoted on arrival; if the origin cell
+// retains enabled nodes a new head is elected there.
+func (w *Network) MoveNode(id node.ID, target geom.Point) error {
+	nd := w.Node(id)
+	if nd == nil {
+		return fmt.Errorf("network: unknown node %d", id)
+	}
+	from, ok := w.sys.CoordOf(nd.Location())
+	if !ok {
+		return fmt.Errorf("network: node %d off-field at %v", id, nd.Location())
+	}
+	to, ok := w.sys.CoordOf(target)
+	if !ok {
+		return fmt.Errorf("network: move target %v outside field", target)
+	}
+	before := nd.Location()
+	if err := nd.MoveTo(target, w.energy); err != nil {
+		return err
+	}
+	w.totalMoves++
+	w.totalDist += before.Dist(target)
+	if from != to {
+		w.removeFromCell(id, from)
+		idx := w.sys.Index(to)
+		w.cellNodes[idx] = append(w.cellNodes[idx], id)
+		if w.heads[idx] == node.Invalid {
+			w.heads[idx] = id
+			nd.SetRole(node.Head)
+			if w.obs != nil {
+				w.obs.HeadElected(id, to)
+			}
+		} else {
+			nd.SetRole(node.Spare)
+		}
+	}
+	if w.obs != nil {
+		w.obs.NodeMoved(id, before, target, from, to)
+	}
+	return nil
+}
+
+// TotalMoves returns the number of node movements performed so far.
+func (w *Network) TotalMoves() int { return w.totalMoves }
+
+// TotalDistance returns the total moving distance accumulated so far.
+func (w *Network) TotalDistance() float64 { return w.totalDist }
+
+// Round returns the current round number, starting at 0.
+func (w *Network) Round() int { return w.round }
+
+// Send enqueues a 1-hop message for delivery at the start of the next
+// round. Sending to a non-adjacent grid is a programming error of the
+// scheme and is rejected.
+func (w *Network) Send(m Message) error {
+	if m.From != m.To && !m.From.IsNeighbor(m.To) {
+		return fmt.Errorf("network: message %v -> %v exceeds 1-hop range", m.From, m.To)
+	}
+	if !w.sys.Contains(m.From) || !w.sys.Contains(m.To) {
+		return fmt.Errorf("network: message %v -> %v off-grid", m.From, m.To)
+	}
+	w.outbox = append(w.outbox, m)
+	w.msgsSent++
+	if w.obs != nil {
+		w.obs.MessageSent(m)
+	}
+	return nil
+}
+
+// MessagesSent returns the total number of control messages sent.
+func (w *Network) MessagesSent() int { return w.msgsSent }
+
+// StepRound advances the synchronous clock: messages sent during the
+// previous round become deliverable now.
+func (w *Network) StepRound() {
+	w.round++
+	w.inbox = w.inbox[:0]
+	for _, m := range w.outbox {
+		if w.lossProb > 0 && w.lossRNG.Bool(w.lossProb) {
+			w.msgsLost++
+			continue
+		}
+		w.inbox = append(w.inbox, m)
+	}
+	w.outbox = w.outbox[:0]
+	w.inbox = append(w.inbox, w.requeued...)
+	w.requeued = w.requeued[:0]
+	if w.obs != nil {
+		w.obs.RoundStarted(w.round)
+	}
+}
+
+// Inbox returns the messages deliverable in the current round. The slice
+// is owned by the network and valid until the next StepRound; schemes must
+// not retain it.
+func (w *Network) Inbox() []Message { return w.inbox }
+
+// RequeueMessage re-enqueues a message for the next round without charging
+// the message counter, modelling a head that holds a notification because
+// the addressee grid is still vacant. Held messages are local state and
+// are never subject to radio loss.
+func (w *Network) RequeueMessage(m Message) {
+	w.requeued = append(w.requeued, m)
+}
+
+// HeadGraphConnected reports whether the cells with heads form a single
+// connected component under grid adjacency. With R = sqrt(5)*r this is
+// exactly the connectivity of the head overlay network. A network with no
+// heads at all is trivially disconnected; a single head is connected.
+func (w *Network) HeadGraphConnected() bool {
+	start := -1
+	total := 0
+	for idx, h := range w.heads {
+		if h != node.Invalid {
+			total++
+			if start < 0 {
+				start = idx
+			}
+		}
+	}
+	if total == 0 {
+		return false
+	}
+	visited := make([]bool, len(w.heads))
+	queue := []int{start}
+	visited[start] = true
+	reached := 1
+	var buf []grid.Coord
+	for len(queue) > 0 {
+		idx := queue[0]
+		queue = queue[1:]
+		buf = w.sys.Neighbors(buf[:0], w.sys.CoordAt(idx))
+		for _, nb := range buf {
+			nidx := w.sys.Index(nb)
+			if w.heads[nidx] != node.Invalid && !visited[nidx] {
+				visited[nidx] = true
+				reached++
+				queue = append(queue, nidx)
+			}
+		}
+	}
+	return reached == total
+}
+
+// AllHeadsPresent reports whether every cell has a head, the paper's
+// complete-coverage condition.
+func (w *Network) AllHeadsPresent() bool {
+	for _, h := range w.heads {
+		if h == node.Invalid {
+			return false
+		}
+	}
+	return true
+}
+
+// NodesWithin appends to dst the ids of enabled nodes within radius of p,
+// using the cell index to restrict the search.
+func (w *Network) NodesWithin(dst []node.ID, p geom.Point, radius float64) []node.ID {
+	r2 := radius * radius
+	cells := int(radius/w.sys.CellSize()) + 1
+	center, ok := w.sys.CoordOf(w.sys.Bounds().Clamp(p))
+	if !ok {
+		return dst
+	}
+	for dx := -cells; dx <= cells; dx++ {
+		for dy := -cells; dy <= cells; dy++ {
+			c := grid.C(center.X+dx, center.Y+dy)
+			if !w.sys.Contains(c) {
+				continue
+			}
+			for _, id := range w.cellNodes[w.sys.Index(c)] {
+				if w.nodes[id].Location().Dist2(p) <= r2 {
+					dst = append(dst, id)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// PhysicallyConnected reports whether the enabled nodes form a single
+// connected component under the disc communication model with the given
+// range. It is O(V * neighborhood) via the cell index and intended for
+// validation and tests, not hot paths.
+func (w *Network) PhysicallyConnected(commRange float64) bool {
+	var enabled []node.ID
+	for _, nd := range w.nodes {
+		if nd.Enabled() {
+			enabled = append(enabled, nd.ID())
+		}
+	}
+	if len(enabled) == 0 {
+		return false
+	}
+	visited := make(map[node.ID]bool, len(enabled))
+	queue := []node.ID{enabled[0]}
+	visited[enabled[0]] = true
+	var buf []node.ID
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		buf = w.NodesWithin(buf[:0], w.nodes[id].Location(), commRange)
+		for _, other := range buf {
+			if !visited[other] {
+				visited[other] = true
+				queue = append(queue, other)
+			}
+		}
+	}
+	return len(visited) == len(enabled)
+}

@@ -1,0 +1,444 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"wsncover/internal/geom"
+	"wsncover/internal/grid"
+	"wsncover/internal/node"
+	"wsncover/internal/randx"
+)
+
+func newNet(t *testing.T, cols, rows int, cell float64) *Network {
+	t.Helper()
+	sys, err := grid.New(cols, rows, cell, geom.Pt(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(sys, node.EnergyModel{})
+}
+
+func addAt(t *testing.T, w *Network, p geom.Point) node.ID {
+	t.Helper()
+	id, err := w.AddNodeAt(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestAddNodeAt(t *testing.T) {
+	w := newNet(t, 4, 4, 1)
+	id := addAt(t, w, geom.Pt(0.5, 0.5))
+	if id != 0 {
+		t.Errorf("first id = %d", id)
+	}
+	if w.NumNodes() != 1 || w.EnabledCount() != 1 {
+		t.Error("counts wrong")
+	}
+	c, ok := w.CellOf(id)
+	if !ok || c != grid.C(0, 0) {
+		t.Errorf("CellOf = %v, %v", c, ok)
+	}
+	if _, err := w.AddNodeAt(geom.Pt(-1, 0)); err == nil {
+		t.Error("off-field add should fail")
+	}
+	if w.Node(node.ID(99)) != nil {
+		t.Error("unknown id should yield nil")
+	}
+	if _, ok := w.CellOf(node.ID(99)); ok {
+		t.Error("unknown id should have no cell")
+	}
+}
+
+func TestElectHeadsPicksCenterClosest(t *testing.T) {
+	w := newNet(t, 2, 2, 2)
+	far := addAt(t, w, geom.Pt(0.1, 0.1))
+	near := addAt(t, w, geom.Pt(1.1, 0.9)) // closer to center (1,1)
+	w.ElectHeads()
+	if got := w.HeadOf(grid.C(0, 0)); got != near {
+		t.Errorf("head = %v, want %v (closest to center)", got, near)
+	}
+	if w.Node(near).Role() != node.Head {
+		t.Error("elected node should carry Head role")
+	}
+	if w.Node(far).Role() != node.Spare {
+		t.Error("other node should be spare")
+	}
+	if w.HeadOf(grid.C(1, 1)) != node.Invalid {
+		t.Error("empty cell should have no head")
+	}
+}
+
+func TestVacancyAndSpares(t *testing.T) {
+	w := newNet(t, 3, 3, 1)
+	h := addAt(t, w, geom.Pt(0.5, 0.5))
+	s1 := addAt(t, w, geom.Pt(0.2, 0.2))
+	s2 := addAt(t, w, geom.Pt(0.8, 0.8))
+	w.ElectHeads()
+
+	if w.IsVacant(grid.C(0, 0)) {
+		t.Error("occupied cell reported vacant")
+	}
+	if !w.IsVacant(grid.C(2, 2)) {
+		t.Error("empty cell not reported vacant")
+	}
+	if got := w.SpareCount(grid.C(0, 0)); got != 2 {
+		t.Errorf("SpareCount = %d, want 2", got)
+	}
+	if !w.HasSpare(grid.C(0, 0)) {
+		t.Error("HasSpare should be true")
+	}
+	spares := w.Spares(nil, grid.C(0, 0))
+	if len(spares) != 2 {
+		t.Fatalf("Spares = %v", spares)
+	}
+	for _, id := range spares {
+		if id == w.HeadOf(grid.C(0, 0)) {
+			t.Error("head listed among spares")
+		}
+	}
+	if got := w.TotalSpares(); got != 2 {
+		t.Errorf("TotalSpares = %d, want 2", got)
+	}
+	_ = h
+	_ = s1
+	_ = s2
+}
+
+func TestSpareNearest(t *testing.T) {
+	w := newNet(t, 2, 1, 10)
+	addAt(t, w, geom.Pt(5, 5)) // becomes head (center)
+	far := addAt(t, w, geom.Pt(1, 1))
+	near := addAt(t, w, geom.Pt(9, 9))
+	w.ElectHeads()
+	target := geom.Pt(15, 5)
+	if got := w.SpareNearest(grid.C(0, 0), target); got != near {
+		t.Errorf("SpareNearest = %v, want %v", got, near)
+	}
+	if got := w.SpareNearest(grid.C(1, 0), target); got != node.Invalid {
+		t.Errorf("SpareNearest on empty cell = %v", got)
+	}
+	_ = far
+}
+
+func TestDisableNode(t *testing.T) {
+	w := newNet(t, 2, 2, 1)
+	h := addAt(t, w, geom.Pt(0.5, 0.5))
+	s := addAt(t, w, geom.Pt(0.4, 0.4))
+	w.ElectHeads()
+	if w.HeadOf(grid.C(0, 0)) != h {
+		t.Fatalf("unexpected head")
+	}
+	// Disabling the head promotes the spare immediately.
+	if err := w.DisableNode(h); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.HeadOf(grid.C(0, 0)); got != s {
+		t.Errorf("after disable head = %v, want %v", got, s)
+	}
+	if w.EnabledCount() != 1 {
+		t.Errorf("EnabledCount = %d", w.EnabledCount())
+	}
+	// Disabling the last node leaves the cell vacant.
+	if err := w.DisableNode(s); err != nil {
+		t.Fatal(err)
+	}
+	if !w.IsVacant(grid.C(0, 0)) {
+		t.Error("cell should be vacant")
+	}
+	// Idempotent on already-disabled nodes; error on unknown ids.
+	if err := w.DisableNode(h); err != nil {
+		t.Errorf("re-disable: %v", err)
+	}
+	if err := w.DisableNode(node.ID(42)); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestDisableAllInCell(t *testing.T) {
+	w := newNet(t, 2, 2, 1)
+	addAt(t, w, geom.Pt(0.5, 0.5))
+	addAt(t, w, geom.Pt(0.2, 0.8))
+	addAt(t, w, geom.Pt(1.5, 0.5))
+	w.ElectHeads()
+	if got := w.DisableAllInCell(grid.C(0, 0)); got != 2 {
+		t.Errorf("disabled %d, want 2", got)
+	}
+	if !w.IsVacant(grid.C(0, 0)) {
+		t.Error("cell should be vacant")
+	}
+	if w.IsVacant(grid.C(1, 0)) {
+		t.Error("other cell untouched")
+	}
+	vac := w.VacantCells()
+	if len(vac) != 3 { // (0,0) plus the two never-populated cells
+		t.Errorf("VacantCells = %v", vac)
+	}
+}
+
+func TestRotateHead(t *testing.T) {
+	w := newNet(t, 1, 1, 1)
+	a := addAt(t, w, geom.Pt(0.5, 0.5))
+	b := addAt(t, w, geom.Pt(0.1, 0.1))
+	w.ElectHeads()
+	first := w.HeadOf(grid.C(0, 0))
+	next := w.RotateHead(grid.C(0, 0))
+	if next == first {
+		t.Error("rotation should change the head")
+	}
+	if w.Node(first).Role() != node.Spare || w.Node(next).Role() != node.Head {
+		t.Error("roles not swapped")
+	}
+	_ = a
+	_ = b
+
+	// Rotation with a single node is a no-op.
+	w2 := newNet(t, 1, 1, 1)
+	only := addAt(t, w2, geom.Pt(0.5, 0.5))
+	w2.ElectHeads()
+	if got := w2.RotateHead(grid.C(0, 0)); got != only {
+		t.Errorf("single-node rotation = %v", got)
+	}
+}
+
+func TestMoveNodeBetweenCells(t *testing.T) {
+	w := newNet(t, 2, 1, 10)
+	h := addAt(t, w, geom.Pt(5, 5))
+	s := addAt(t, w, geom.Pt(2, 5))
+	w.ElectHeads()
+
+	// Spare moves into the vacant cell and is promoted to head there.
+	if err := w.MoveNode(s, geom.Pt(15, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.HeadOf(grid.C(1, 0)); got != s {
+		t.Errorf("mover should head the vacant cell, head = %v", got)
+	}
+	if w.Node(s).Role() != node.Head {
+		t.Error("mover role should be Head")
+	}
+	if w.HeadOf(grid.C(0, 0)) != h {
+		t.Error("origin head should be unchanged")
+	}
+	if w.TotalMoves() != 1 {
+		t.Errorf("TotalMoves = %d", w.TotalMoves())
+	}
+	if math.Abs(w.TotalDistance()-13) > 1e-12 {
+		t.Errorf("TotalDistance = %v, want 13", w.TotalDistance())
+	}
+
+	// Moving into an occupied cell demotes the mover to spare.
+	if err := w.MoveNode(h, geom.Pt(14, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if w.Node(h).Role() != node.Spare {
+		t.Error("mover into occupied cell should be spare")
+	}
+	if !w.IsVacant(grid.C(0, 0)) {
+		t.Error("origin should now be vacant")
+	}
+}
+
+func TestMoveHeadElectsReplacement(t *testing.T) {
+	w := newNet(t, 2, 1, 10)
+	addAt(t, w, geom.Pt(5, 5))
+	spare := addAt(t, w, geom.Pt(2, 2))
+	w.ElectHeads()
+	head := w.HeadOf(grid.C(0, 0))
+	if err := w.MoveNode(head, geom.Pt(15, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.HeadOf(grid.C(0, 0)); got != spare {
+		t.Errorf("replacement head = %v, want %v", got, spare)
+	}
+}
+
+func TestMoveNodeErrors(t *testing.T) {
+	w := newNet(t, 2, 1, 10)
+	id := addAt(t, w, geom.Pt(5, 5))
+	w.ElectHeads()
+	if err := w.MoveNode(node.ID(9), geom.Pt(1, 1)); err == nil {
+		t.Error("unknown node should fail")
+	}
+	if err := w.MoveNode(id, geom.Pt(100, 100)); err == nil {
+		t.Error("off-field target should fail")
+	}
+	w.Node(id).Disable()
+	if err := w.MoveNode(id, geom.Pt(1, 1)); err == nil {
+		t.Error("disabled node should fail to move")
+	}
+}
+
+func TestMessaging(t *testing.T) {
+	w := newNet(t, 3, 3, 1)
+	msg := Message{From: grid.C(0, 0), To: grid.C(0, 1), Kind: 7, Process: 3}
+	if err := w.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Inbox()) != 0 {
+		t.Error("message must not arrive in the sending round")
+	}
+	w.StepRound()
+	in := w.Inbox()
+	if len(in) != 1 || in[0] != msg {
+		t.Errorf("Inbox = %v", in)
+	}
+	w.StepRound()
+	if len(w.Inbox()) != 0 {
+		t.Error("inbox should drain after the round")
+	}
+	if w.MessagesSent() != 1 {
+		t.Errorf("MessagesSent = %d", w.MessagesSent())
+	}
+	if w.Round() != 2 {
+		t.Errorf("Round = %d", w.Round())
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	w := newNet(t, 3, 3, 1)
+	if err := w.Send(Message{From: grid.C(0, 0), To: grid.C(2, 2)}); err == nil {
+		t.Error("non-adjacent send should fail")
+	}
+	if err := w.Send(Message{From: grid.C(0, 0), To: grid.C(0, -1)}); err == nil {
+		t.Error("off-grid send should fail")
+	}
+	if err := w.Send(Message{From: grid.C(1, 1), To: grid.C(1, 1)}); err != nil {
+		t.Errorf("self send should be allowed: %v", err)
+	}
+}
+
+func TestRequeueMessage(t *testing.T) {
+	w := newNet(t, 3, 3, 1)
+	msg := Message{From: grid.C(0, 0), To: grid.C(0, 1)}
+	if err := w.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	w.StepRound()
+	w.RequeueMessage(w.Inbox()[0])
+	w.StepRound()
+	if len(w.Inbox()) != 1 {
+		t.Error("requeued message should arrive next round")
+	}
+	if w.MessagesSent() != 1 {
+		t.Error("requeue must not recount the message")
+	}
+}
+
+func TestHeadGraphConnected(t *testing.T) {
+	w := newNet(t, 3, 1, 1)
+	if w.HeadGraphConnected() {
+		t.Error("no heads: disconnected")
+	}
+	addAt(t, w, geom.Pt(0.5, 0.5))
+	w.ElectHeads()
+	if !w.HeadGraphConnected() {
+		t.Error("single head: connected")
+	}
+	addAt(t, w, geom.Pt(2.5, 0.5))
+	w.ElectHeads()
+	if w.HeadGraphConnected() {
+		t.Error("heads in cells 0 and 2 with a gap: disconnected")
+	}
+	addAt(t, w, geom.Pt(1.5, 0.5))
+	w.ElectHeads()
+	if !w.HeadGraphConnected() {
+		t.Error("full row of heads: connected")
+	}
+	if !w.AllHeadsPresent() {
+		t.Error("all heads present")
+	}
+}
+
+func TestAllHeadsPresent(t *testing.T) {
+	w := newNet(t, 2, 1, 1)
+	addAt(t, w, geom.Pt(0.5, 0.5))
+	w.ElectHeads()
+	if w.AllHeadsPresent() {
+		t.Error("one vacant cell: not all heads")
+	}
+}
+
+func TestNodesWithin(t *testing.T) {
+	w := newNet(t, 4, 4, 1)
+	a := addAt(t, w, geom.Pt(0.5, 0.5))
+	b := addAt(t, w, geom.Pt(1.2, 0.5))
+	c := addAt(t, w, geom.Pt(3.5, 3.5))
+	got := w.NodesWithin(nil, geom.Pt(0.5, 0.5), 1.0)
+	if len(got) != 2 {
+		t.Fatalf("NodesWithin = %v", got)
+	}
+	seen := map[node.ID]bool{}
+	for _, id := range got {
+		seen[id] = true
+	}
+	if !seen[a] || !seen[b] || seen[c] {
+		t.Errorf("NodesWithin = %v", got)
+	}
+	// Disabled nodes are invisible.
+	w.Node(b).Disable()
+	w.removeTestHelper(b)
+	got = w.NodesWithin(nil, geom.Pt(0.5, 0.5), 1.0)
+	if len(got) != 1 {
+		t.Errorf("after disable NodesWithin = %v", got)
+	}
+}
+
+// removeTestHelper performs registry removal for a node disabled directly
+// through the node API in tests.
+func (w *Network) removeTestHelper(id node.ID) {
+	c, _ := w.System().CoordOf(w.Node(id).Location())
+	w.removeFromCell(id, c)
+}
+
+func TestPhysicallyConnected(t *testing.T) {
+	w := newNet(t, 4, 1, 1)
+	if w.PhysicallyConnected(10) {
+		t.Error("empty network: disconnected")
+	}
+	addAt(t, w, geom.Pt(0.5, 0.5))
+	addAt(t, w, geom.Pt(1.5, 0.5))
+	addAt(t, w, geom.Pt(3.5, 0.5))
+	if w.PhysicallyConnected(1.2) {
+		t.Error("gap of 2 cells should disconnect at range 1.2")
+	}
+	if !w.PhysicallyConnected(2.5) {
+		t.Error("range 2.5 should connect all three")
+	}
+}
+
+// TestHeadConnectivityUnderCommRange cross-checks the virtual-grid claim:
+// if every cell has a head, physical connectivity at R = sqrt(5)*r holds
+// regardless of where nodes sit inside their cells.
+func TestHeadConnectivityUnderCommRange(t *testing.T) {
+	w := newNet(t, 5, 4, 2)
+	rng := randx.New(42)
+	for _, c := range w.System().AllCoords() {
+		p := rng.InRect(w.System().CellRect(c))
+		addAt(t, w, p)
+	}
+	w.ElectHeads()
+	if !w.AllHeadsPresent() {
+		t.Fatal("setup: all cells should have heads")
+	}
+	if !w.PhysicallyConnected(w.System().CommRange()) {
+		t.Error("full head occupancy must imply physical connectivity at R=sqrt(5)r")
+	}
+	if !w.HeadGraphConnected() {
+		t.Error("head graph should be connected")
+	}
+}
+
+func TestCentralTargetStaysInCentralArea(t *testing.T) {
+	w := newNet(t, 3, 3, 4)
+	rng := randx.New(7)
+	ca := w.System().CentralArea(grid.C(1, 2))
+	for i := 0; i < 200; i++ {
+		p := w.CentralTarget(grid.C(1, 2), rng)
+		if !ca.ContainsClosed(p) {
+			t.Fatalf("target %v outside central area %v", p, ca)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package node models the individual mobile sensor devices: identity,
+// location, enabled/disabled status, role within a grid (head or spare),
+// and a movement odometer with a simple energy account.
+package node
+
+import (
+	"fmt"
+
+	"wsncover/internal/geom"
+)
+
+// ID identifies a node within a network. IDs are dense, starting at 0, and
+// assigned by the network in creation order.
+type ID int
+
+// Invalid is the ID of no node.
+const Invalid ID = -1
+
+// Status is the life-cycle state of a node.
+type Status int
+
+// Node statuses. Enums start at 1 so the zero value is invalid.
+const (
+	// Enabled nodes participate in the WSN collaboration.
+	Enabled Status = iota + 1
+	// Disabled nodes have failed or misbehaved and are excluded from the
+	// collaboration; they neither sense nor communicate nor move.
+	Disabled
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Enabled:
+		return "enabled"
+	case Disabled:
+		return "disabled"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Role is the function an enabled node performs within its grid.
+type Role int
+
+// Node roles. Enums start at 1 so the zero value is invalid.
+const (
+	// Spare nodes idle within a grid that already has a head; they are
+	// the mobile resource the replacement process recruits.
+	Spare Role = iota + 1
+	// Head nodes monitor their grid's neighborhood and carry the
+	// surveillance duty; one head per grid guarantees coverage.
+	Head
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case Spare:
+		return "spare"
+	case Head:
+		return "head"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// EnergyModel converts movement into energy cost. The paper evaluates cost
+// by total moving distance; the linear model mirrors that with an optional
+// per-move fixed overhead (motor spin-up), enabling energy ablations.
+type EnergyModel struct {
+	// PerMeter is the energy drawn per meter moved.
+	PerMeter float64
+	// PerMove is the fixed energy drawn by each movement regardless of
+	// distance.
+	PerMove float64
+}
+
+// Cost returns the energy cost of a single movement of the given distance.
+func (m EnergyModel) Cost(distance float64) float64 {
+	return m.PerMeter*distance + m.PerMove
+}
+
+// Node is one sensor device. Nodes are mutated only through the methods of
+// this package and of the owning network, never concurrently.
+type Node struct {
+	id       ID
+	loc      geom.Point
+	status   Status
+	role     Role
+	moves    int
+	traveled float64
+	energy   float64
+}
+
+// New creates an enabled spare node with the given identity and location.
+func New(id ID, loc geom.Point) *Node {
+	return &Node{id: id, loc: loc, status: Enabled, role: Spare}
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() ID { return n.id }
+
+// Location returns the node's current position.
+func (n *Node) Location() geom.Point { return n.loc }
+
+// Status returns the node's life-cycle state.
+func (n *Node) Status() Status { return n.status }
+
+// Enabled reports whether the node participates in the collaboration.
+func (n *Node) Enabled() bool { return n.status == Enabled }
+
+// Role returns the node's current role. The role of a disabled node is
+// meaningless.
+func (n *Node) Role() Role { return n.role }
+
+// IsHead reports whether the node is an enabled grid head.
+func (n *Node) IsHead() bool { return n.status == Enabled && n.role == Head }
+
+// Moves returns how many movements the node has performed.
+func (n *Node) Moves() int { return n.moves }
+
+// Traveled returns the node's total moving distance.
+func (n *Node) Traveled() float64 { return n.traveled }
+
+// EnergySpent returns the accumulated movement energy under the models
+// passed to MoveTo.
+func (n *Node) EnergySpent() float64 { return n.energy }
+
+// SetRole changes the node's role.
+func (n *Node) SetRole(r Role) { n.role = r }
+
+// Disable removes the node from the collaboration.
+func (n *Node) Disable() { n.status = Disabled }
+
+// Enable returns the node to the collaboration as a spare.
+func (n *Node) Enable() {
+	n.status = Enabled
+	n.role = Spare
+}
+
+// MoveTo relocates the node to target, charging the odometer and the
+// energy account. Disabled nodes cannot move.
+func (n *Node) MoveTo(target geom.Point, energy EnergyModel) error {
+	if n.status != Enabled {
+		return fmt.Errorf("node %d: cannot move while %v", n.id, n.status)
+	}
+	d := n.loc.Dist(target)
+	n.loc = target
+	n.moves++
+	n.traveled += d
+	n.energy += energy.Cost(d)
+	return nil
+}
+
+// Teleport places the node at target without charging the odometer. It is
+// used during deployment, before the simulation starts.
+func (n *Node) Teleport(target geom.Point) { n.loc = target }
+
+// String implements fmt.Stringer.
+func (n *Node) String() string {
+	return fmt.Sprintf("node %d %v %v at %v", n.id, n.status, n.role, n.loc)
+}

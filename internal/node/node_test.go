@@ -1,0 +1,120 @@
+package node
+
+import (
+	"math"
+	"testing"
+
+	"wsncover/internal/geom"
+)
+
+func TestNewDefaults(t *testing.T) {
+	n := New(3, geom.Pt(1, 2))
+	if n.ID() != 3 {
+		t.Errorf("ID = %v", n.ID())
+	}
+	if !n.Location().Eq(geom.Pt(1, 2)) {
+		t.Errorf("Location = %v", n.Location())
+	}
+	if n.Status() != Enabled || !n.Enabled() {
+		t.Errorf("Status = %v", n.Status())
+	}
+	if n.Role() != Spare {
+		t.Errorf("Role = %v, want Spare", n.Role())
+	}
+	if n.IsHead() {
+		t.Error("new node should not be head")
+	}
+	if n.Moves() != 0 || n.Traveled() != 0 || n.EnergySpent() != 0 {
+		t.Error("odometer should start at zero")
+	}
+}
+
+func TestRoleTransitions(t *testing.T) {
+	n := New(0, geom.Pt(0, 0))
+	n.SetRole(Head)
+	if !n.IsHead() {
+		t.Error("should be head after SetRole(Head)")
+	}
+	n.Disable()
+	if n.IsHead() {
+		t.Error("disabled node must not count as head")
+	}
+	if n.Enabled() {
+		t.Error("disabled node must not be enabled")
+	}
+	n.Enable()
+	if !n.Enabled() || n.Role() != Spare {
+		t.Error("re-enabled node should come back as spare")
+	}
+}
+
+func TestMoveToAccounting(t *testing.T) {
+	n := New(0, geom.Pt(0, 0))
+	em := EnergyModel{PerMeter: 2, PerMove: 1}
+	if err := n.MoveTo(geom.Pt(3, 4), em); err != nil {
+		t.Fatal(err)
+	}
+	if n.Moves() != 1 {
+		t.Errorf("Moves = %d", n.Moves())
+	}
+	if math.Abs(n.Traveled()-5) > 1e-12 {
+		t.Errorf("Traveled = %v, want 5", n.Traveled())
+	}
+	if math.Abs(n.EnergySpent()-11) > 1e-12 {
+		t.Errorf("EnergySpent = %v, want 11", n.EnergySpent())
+	}
+	if err := n.MoveTo(geom.Pt(3, 5), em); err != nil {
+		t.Fatal(err)
+	}
+	if n.Moves() != 2 || math.Abs(n.Traveled()-6) > 1e-12 {
+		t.Errorf("after second move: moves=%d traveled=%v", n.Moves(), n.Traveled())
+	}
+}
+
+func TestMoveDisabledFails(t *testing.T) {
+	n := New(0, geom.Pt(0, 0))
+	n.Disable()
+	if err := n.MoveTo(geom.Pt(1, 1), EnergyModel{}); err == nil {
+		t.Error("moving a disabled node should fail")
+	}
+	if n.Moves() != 0 {
+		t.Error("failed move must not charge the odometer")
+	}
+}
+
+func TestTeleportDoesNotCharge(t *testing.T) {
+	n := New(0, geom.Pt(0, 0))
+	n.Teleport(geom.Pt(100, 100))
+	if !n.Location().Eq(geom.Pt(100, 100)) {
+		t.Errorf("Location = %v", n.Location())
+	}
+	if n.Moves() != 0 || n.Traveled() != 0 {
+		t.Error("teleport must not charge the odometer")
+	}
+}
+
+func TestEnergyModelCost(t *testing.T) {
+	em := EnergyModel{PerMeter: 0.5, PerMove: 2}
+	if got := em.Cost(10); got != 7 {
+		t.Errorf("Cost(10) = %v, want 7", got)
+	}
+	var zero EnergyModel
+	if got := zero.Cost(10); got != 0 {
+		t.Errorf("zero model Cost = %v, want 0", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Enabled.String() != "enabled" || Disabled.String() != "disabled" {
+		t.Error("Status strings")
+	}
+	if Head.String() != "head" || Spare.String() != "spare" {
+		t.Error("Role strings")
+	}
+	if Status(9).String() == "" || Role(9).String() == "" {
+		t.Error("invalid enums should still render")
+	}
+	if New(1, geom.Pt(0, 0)).String() == "" {
+		t.Error("Node String empty")
+	}
+}

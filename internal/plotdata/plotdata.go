@@ -1,0 +1,209 @@
+// Package plotdata emits experiment series as CSV / gnuplot-ready data
+// files and renders quick ASCII charts for terminal inspection. The weak
+// plotting ecosystem of a stdlib-only build is bridged by writing the
+// exact rows each paper figure plots; any external tool can render them.
+package plotdata
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Table is a shared-X collection of named series, one per figure curve.
+type Table struct {
+	// Title names the figure (used in headers and chart captions).
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel string
+	YLabel string
+	// X holds the shared abscissae.
+	X []float64
+	// Series holds the curves; every Y slice must match len(X).
+	Series []Series
+}
+
+// Series is one named curve.
+type Series struct {
+	Label string
+	Y     []float64
+}
+
+// NewTable builds a table and validates series lengths.
+func NewTable(title, xlabel, ylabel string, x []float64, series ...Series) (*Table, error) {
+	for _, s := range series {
+		if len(s.Y) != len(x) {
+			return nil, fmt.Errorf("plotdata: series %q has %d points, x has %d",
+				s.Label, len(s.Y), len(x))
+		}
+	}
+	return &Table{Title: title, XLabel: xlabel, YLabel: ylabel, X: x, Series: series}, nil
+}
+
+// WriteCSV writes the table as a comma-separated file with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	header := make([]string, 0, len(t.Series)+1)
+	header = append(header, t.XLabel)
+	for _, s := range t.Series {
+		header = append(header, s.Label)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for i := range t.X {
+		row := make([]string, 0, len(t.Series)+1)
+		row = append(row, strconv.FormatFloat(t.X[i], 'g', -1, 64))
+		for _, s := range t.Series {
+			row = append(row, strconv.FormatFloat(s.Y[i], 'g', -1, 64))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteGnuplot writes the table as a whitespace-separated .dat file with a
+// commented header, the format gnuplot's `plot "file" using 1:2` expects.
+func (t *Table) WriteGnuplot(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n# %s", t.Title, t.XLabel); err != nil {
+		return err
+	}
+	for _, s := range t.Series {
+		if _, err := fmt.Fprintf(w, "\t%s", s.Label); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for i := range t.X {
+		if _, err := fmt.Fprintf(w, "%g", t.X[i]); err != nil {
+			return err
+		}
+		for _, s := range t.Series {
+			if _, err := fmt.Fprintf(w, "\t%g", s.Y[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveAll writes <name>.csv and <name>.dat under dir, creating dir when
+// needed, and returns the written paths.
+func (t *Table) SaveAll(dir, name string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("plotdata: %w", err)
+	}
+	var paths []string
+	csvPath := filepath.Join(dir, name+".csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		return nil, fmt.Errorf("plotdata: %w", err)
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	paths = append(paths, csvPath)
+
+	datPath := filepath.Join(dir, name+".dat")
+	f, err = os.Create(datPath)
+	if err != nil {
+		return nil, fmt.Errorf("plotdata: %w", err)
+	}
+	if err := t.WriteGnuplot(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	return append(paths, datPath), nil
+}
+
+// markers are assigned to series in order for ASCII charts.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// ASCII renders the table as a fixed-size terminal chart with linear axes.
+func (t *Table) ASCII(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	xmin, xmax := rangeOf(t.X)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range t.Series {
+		lo, hi := rangeOf(s.Y)
+		ymin = math.Min(ymin, lo)
+		ymax = math.Max(ymax, hi)
+	}
+	if len(t.X) == 0 || math.IsInf(ymin, 1) {
+		return t.Title + " (no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	cells := make([][]byte, height)
+	for i := range cells {
+		cells[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range t.Series {
+		mark := markers[si%len(markers)]
+		for i := range t.X {
+			cx := int((t.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			cy := int((s.Y[i] - ymin) / (ymax - ymin) * float64(height-1))
+			row := height - 1 - cy
+			cells[row][cx] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	legend := make([]string, len(t.Series))
+	for i, s := range t.Series {
+		legend[i] = fmt.Sprintf("%c=%s", markers[i%len(markers)], s.Label)
+	}
+	fmt.Fprintf(&b, "[%s]  y: %.4g..%.4g\n", strings.Join(legend, " "), ymin, ymax)
+	for _, row := range cells {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, " %s: %.4g..%.4g\n", t.XLabel, xmin, xmax)
+	return b.String()
+}
+
+func rangeOf(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}
+
+// IntsToFloats converts an int slice for use as table axes.
+func IntsToFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package plotdata
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func table(t *testing.T) *Table {
+	t.Helper()
+	tb, err := NewTable("Fig X", "N", "moves",
+		[]float64{10, 20, 30},
+		Series{Label: "SR", Y: []float64{5, 3, 2}},
+		Series{Label: "AR", Y: []float64{9, 7, 6}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestNewTableValidation(t *testing.T) {
+	_, err := NewTable("bad", "x", "y", []float64{1, 2},
+		Series{Label: "s", Y: []float64{1}})
+	if err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := table(t).WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "N,SR,AR\n10,5,9\n20,3,7\n30,2,6\n"
+	if got != want {
+		t.Errorf("CSV:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestWriteGnuplot(t *testing.T) {
+	var b strings.Builder
+	if err := table(t).WriteGnuplot(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	if !strings.HasPrefix(got, "# Fig X\n# N\tSR\tAR\n") {
+		t.Errorf("header wrong:\n%s", got)
+	}
+	if !strings.Contains(got, "10\t5\t9\n") {
+		t.Errorf("rows wrong:\n%s", got)
+	}
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 5 {
+		t.Errorf("line count = %d", len(lines))
+	}
+}
+
+func TestSaveAll(t *testing.T) {
+	dir := t.TempDir()
+	paths, err := table(t).SaveAll(filepath.Join(dir, "out"), "fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+func TestASCII(t *testing.T) {
+	chart := table(t).ASCII(40, 10)
+	if !strings.Contains(chart, "Fig X") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(chart, "*=SR") || !strings.Contains(chart, "+=AR") {
+		t.Error("missing legend")
+	}
+	if !strings.Contains(chart, "*") || !strings.Contains(chart, "+") {
+		t.Error("missing data marks")
+	}
+	// Degenerate inputs must not panic.
+	empty, err := NewTable("empty", "x", "y", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.ASCII(2, 2), "no data") {
+		t.Error("empty table should render a placeholder")
+	}
+	flat, err := NewTable("flat", "x", "y", []float64{1, 2},
+		Series{Label: "s", Y: []float64{5, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.ASCII(20, 6) == "" {
+		t.Error("flat series should render")
+	}
+}
+
+func TestIntsToFloats(t *testing.T) {
+	got := IntsToFloats([]int{1, 2, 3})
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("IntsToFloats = %v", got)
+	}
+}

@@ -1,0 +1,293 @@
+// Package sim is the experiment harness: it assembles networks in the
+// paper's experimental configuration (Section 5), runs the SR and AR
+// control schemes to convergence, and sweeps the spare-node count N to
+// regenerate the data behind every evaluation figure.
+package sim
+
+import (
+	"fmt"
+
+	"wsncover/internal/ar"
+	"wsncover/internal/core"
+	"wsncover/internal/coverage"
+	"wsncover/internal/deploy"
+	"wsncover/internal/geom"
+	"wsncover/internal/grid"
+	"wsncover/internal/hamilton"
+	"wsncover/internal/metrics"
+	"wsncover/internal/network"
+	"wsncover/internal/node"
+	"wsncover/internal/randx"
+)
+
+// Scheme is the common round-based interface of the replacement
+// controllers (SR, SR+shortcut, AR).
+type Scheme interface {
+	// Name identifies the scheme in output.
+	Name() string
+	// Step runs one synchronous round.
+	Step() error
+	// Done reports whether no replacement process is active.
+	Done() bool
+	// Collector exposes the metrics collected so far.
+	Collector() *metrics.Collector
+	// Finalize fails all still-active processes at the round budget.
+	Finalize()
+}
+
+// Statically verify the controllers satisfy the interface.
+var (
+	_ Scheme = (*core.Controller)(nil)
+	_ Scheme = (*ar.Controller)(nil)
+)
+
+// SchemeKind selects a replacement scheme.
+type SchemeKind int
+
+// Available schemes. Enums start at 1 so the zero value is invalid.
+const (
+	// SR is the paper's synchronized Hamilton-cycle scheme.
+	SR SchemeKind = iota + 1
+	// SRShortcut is SR with the future-work 1-hop shortcut extension.
+	SRShortcut
+	// AR is the unsynchronized baseline of [3].
+	AR
+)
+
+// String implements fmt.Stringer.
+func (k SchemeKind) String() string {
+	switch k {
+	case SR:
+		return "SR"
+	case SRShortcut:
+		return "SR+shortcut"
+	case AR:
+		return "AR"
+	default:
+		return fmt.Sprintf("SchemeKind(%d)", int(k))
+	}
+}
+
+// PaperCommRange is the experimental communication range, R = 10 m.
+const PaperCommRange = 10.0
+
+// TrialConfig describes one simulation trial.
+type TrialConfig struct {
+	// Cols and Rows give the grid system size; the paper uses 16x16.
+	Cols, Rows int
+	// CommRange sets the communication range R from which the cell size
+	// r = R/sqrt(5) is derived; zero means PaperCommRange (10 m, cells of
+	// 4.4721 m).
+	CommRange float64
+	// Spares is the number of spare nodes N left in the network.
+	Spares int
+	// Holes is the number of simultaneous holes; the trial creates them
+	// before the scheme starts. Zero means 1.
+	Holes int
+	// AdjacentHolesOK permits holes in adjacent cells (harder case:
+	// monitors of holes may themselves be vacant).
+	AdjacentHolesOK bool
+	// Scheme selects the controller.
+	Scheme SchemeKind
+	// Seed makes the trial reproducible.
+	Seed int64
+	// MaxRounds bounds the run; zero means 2*cells+16.
+	MaxRounds int
+	// ARInitProb and ARMaxHops tune the AR baseline (zero = defaults).
+	ARInitProb float64
+	ARMaxHops  int
+	// EnergyModel optionally charges movement energy.
+	EnergyModel node.EnergyModel
+}
+
+func (cfg *TrialConfig) normalize() error {
+	if cfg.Cols < 2 || cfg.Rows < 2 {
+		return fmt.Errorf("sim: grid %dx%d too small", cfg.Cols, cfg.Rows)
+	}
+	if cfg.CommRange == 0 {
+		cfg.CommRange = PaperCommRange
+	}
+	if cfg.Holes == 0 {
+		cfg.Holes = 1
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 2*cfg.Cols*cfg.Rows + 16
+	}
+	if cfg.Scheme != SR && cfg.Scheme != SRShortcut && cfg.Scheme != AR {
+		return fmt.Errorf("sim: unknown scheme %v", cfg.Scheme)
+	}
+	if cfg.Spares < 0 {
+		return fmt.Errorf("sim: negative spare count %d", cfg.Spares)
+	}
+	return nil
+}
+
+// TrialResult reports one trial's outcome.
+type TrialResult struct {
+	// Summary aggregates the scheme's replacement processes.
+	Summary metrics.Summary
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// HolesBefore and HolesAfter count vacant cells before the scheme
+	// started and after it finished.
+	HolesBefore int
+	HolesAfter  int
+	// Complete reports whether every grid had a head at the end.
+	Complete bool
+	// Connected reports head-overlay connectivity at the end.
+	Connected bool
+}
+
+// RunTrial builds the experimental configuration and runs the selected
+// scheme to convergence: one node per non-hole cell (the heads), Spares
+// spare nodes scattered uniformly, Holes vacant cells.
+func RunTrial(cfg TrialConfig) (TrialResult, error) {
+	if err := cfg.normalize(); err != nil {
+		return TrialResult{}, err
+	}
+	rng := randx.New(cfg.Seed)
+	sys, err := grid.NewForCommRange(cfg.Cols, cfg.Rows, cfg.CommRange, geom.Pt(0, 0))
+	if err != nil {
+		return TrialResult{}, err
+	}
+	net := network.New(sys, cfg.EnergyModel)
+	holes, err := deploy.PickHoleCells(sys, cfg.Holes, !cfg.AdjacentHolesOK, rng.Split(1))
+	if err != nil {
+		return TrialResult{}, err
+	}
+	if err := deploy.Controlled(net, cfg.Spares, holes, rng.Split(2)); err != nil {
+		return TrialResult{}, err
+	}
+	scheme, err := BuildScheme(net, cfg, rng.Split(3))
+	if err != nil {
+		return TrialResult{}, err
+	}
+	res := TrialResult{HolesBefore: coverage.HoleCount(net)}
+	res.Rounds, err = RunToConvergence(scheme, cfg.MaxRounds)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	res.Summary = scheme.Collector().Summarize()
+	res.HolesAfter = coverage.HoleCount(net)
+	res.Complete = coverage.Complete(net)
+	res.Connected = net.HeadGraphConnected()
+	return res, nil
+}
+
+// BuildScheme constructs the configured controller over an existing
+// network.
+func BuildScheme(net *network.Network, cfg TrialConfig, rng *randx.Rand) (Scheme, error) {
+	switch cfg.Scheme {
+	case SR, SRShortcut:
+		topo, err := hamilton.Build(net.System())
+		if err != nil {
+			return nil, err
+		}
+		return core.New(net, core.Config{
+			Topology:         topo,
+			RNG:              rng,
+			NeighborShortcut: cfg.Scheme == SRShortcut,
+		})
+	case AR:
+		return ar.New(net, ar.Config{
+			RNG:      rng,
+			InitProb: cfg.ARInitProb,
+			MaxHops:  cfg.ARMaxHops,
+		}), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown scheme %v", cfg.Scheme)
+	}
+}
+
+// RunToConvergence steps the scheme until it has been idle for a few
+// consecutive rounds (detections can lag when a hole's monitor grid is
+// itself vacant) or the round budget is exhausted, in which case
+// still-active processes are failed. It returns the number of rounds run.
+func RunToConvergence(s Scheme, maxRounds int) (int, error) {
+	const idleGrace = 3
+	idle := 0
+	rounds := 0
+	for rounds < maxRounds {
+		if err := s.Step(); err != nil {
+			return rounds, err
+		}
+		rounds++
+		if s.Done() {
+			idle++
+			if idle >= idleGrace {
+				return rounds, nil
+			}
+		} else {
+			idle = 0
+		}
+	}
+	s.Finalize()
+	return rounds, nil
+}
+
+// SweepPoint aggregates the trials of one scheme at one spare count.
+type SweepPoint struct {
+	// N is the spare count (x axis of every figure).
+	N int
+	// Summary is the sum over trials, the unit of Figures 6a, 7a, 8a.
+	Summary metrics.Summary
+	// Trials is the number of trials aggregated.
+	Trials int
+	// Recovered counts trials that ended with complete coverage.
+	Recovered int
+}
+
+// MeanMovesPerTrial returns average movements per trial.
+func (p SweepPoint) MeanMovesPerTrial() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	return float64(p.Summary.Moves) / float64(p.Trials)
+}
+
+// SweepConfig describes a parameter sweep over the spare count N.
+type SweepConfig struct {
+	// Template is the trial configuration; Spares and Seed are overridden
+	// per point and trial.
+	Template TrialConfig
+	// Ns is the list of spare counts to evaluate.
+	Ns []int
+	// Trials is the number of independent trials per point.
+	Trials int
+	// BaseSeed derives per-trial seeds.
+	BaseSeed int64
+}
+
+// RunSweep evaluates the scheme over all spare counts. Trials at each
+// point use seeds BaseSeed + trialIndex, shared across schemes so that SR
+// and AR face identical hole/spare layouts.
+func RunSweep(cfg SweepConfig) ([]SweepPoint, error) {
+	if cfg.Trials < 1 {
+		return nil, fmt.Errorf("sim: sweep needs at least 1 trial")
+	}
+	out := make([]SweepPoint, 0, len(cfg.Ns))
+	for _, n := range cfg.Ns {
+		pt := SweepPoint{N: n}
+		for tr := 0; tr < cfg.Trials; tr++ {
+			tc := cfg.Template
+			tc.Spares = n
+			tc.Seed = cfg.BaseSeed + int64(tr)
+			res, err := RunTrial(tc)
+			if err != nil {
+				return nil, fmt.Errorf("sim: sweep N=%d trial %d: %w", n, tr, err)
+			}
+			pt.Summary = pt.Summary.Add(res.Summary)
+			pt.Trials++
+			if res.Complete {
+				pt.Recovered++
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// PaperNs returns the spare counts of the paper's x axis: 10 to 1000.
+func PaperNs() []int {
+	return []int{10, 25, 40, 55, 70, 100, 150, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
+}

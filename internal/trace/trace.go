@@ -1,0 +1,230 @@
+// Package trace records network events (movements, messages, failures,
+// elections, rounds) into a structured, queryable log. Attach a Recorder
+// to a network via SetObserver to capture the full history of a recovery
+// run; write it out as text for debugging or feed it to assertions in
+// tests.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"wsncover/internal/geom"
+	"wsncover/internal/grid"
+	"wsncover/internal/network"
+	"wsncover/internal/node"
+)
+
+// Kind is the event type.
+type Kind int
+
+// Event kinds. Enums start at 1 so the zero value is invalid.
+const (
+	// Move is a node relocation.
+	Move Kind = iota + 1
+	// Send is a control-message transmission.
+	Send
+	// Disable is a node leaving the collaboration.
+	Disable
+	// Elect is a cell gaining a head.
+	Elect
+	// Round is the synchronous clock advancing.
+	Round
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Move:
+		return "move"
+	case Send:
+		return "send"
+	case Disable:
+		return "disable"
+	case Elect:
+		return "elect"
+	case Round:
+		return "round"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded occurrence. Unused fields are zero.
+type Event struct {
+	// Seq is the global sequence number, starting at 0.
+	Seq int
+	// Round is the network round the event happened in.
+	Round int
+	// Kind discriminates the payload fields.
+	Kind Kind
+	// Node is the acting node (Move, Disable, Elect).
+	Node node.ID
+	// From and To are locations for Move.
+	From, To geom.Point
+	// FromCell and ToCell are grid addresses (Move, Send); Disable and
+	// Elect use FromCell as the subject cell.
+	FromCell, ToCell grid.Coord
+	// Process is the replacement-process id for Send.
+	Process int
+	// Distance is the movement length for Move.
+	Distance float64
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	switch e.Kind {
+	case Move:
+		return fmt.Sprintf("#%d r%d move node %d %v->%v (%.2f)",
+			e.Seq, e.Round, e.Node, e.FromCell, e.ToCell, e.Distance)
+	case Send:
+		return fmt.Sprintf("#%d r%d send p%d %v->%v",
+			e.Seq, e.Round, e.Process, e.FromCell, e.ToCell)
+	case Disable:
+		return fmt.Sprintf("#%d r%d disable node %d in %v", e.Seq, e.Round, e.Node, e.FromCell)
+	case Elect:
+		return fmt.Sprintf("#%d r%d elect node %d in %v", e.Seq, e.Round, e.Node, e.FromCell)
+	case Round:
+		return fmt.Sprintf("#%d round %d", e.Seq, e.Round)
+	default:
+		return fmt.Sprintf("#%d r%d %v", e.Seq, e.Round, e.Kind)
+	}
+}
+
+// Recorder is a network.Observer that appends every event to memory. It
+// is not safe for concurrent use, matching the network's model.
+type Recorder struct {
+	events []Event
+	round  int
+	// MaxEvents bounds memory; once exceeded, oldest events are dropped.
+	// Zero means unbounded.
+	MaxEvents int
+	dropped   int
+}
+
+// Compile-time interface check.
+var _ network.Observer = (*Recorder)(nil)
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+func (r *Recorder) push(e Event) {
+	e.Seq = len(r.events) + r.dropped
+	e.Round = r.round
+	r.events = append(r.events, e)
+	if r.MaxEvents > 0 && len(r.events) > r.MaxEvents {
+		over := len(r.events) - r.MaxEvents
+		r.events = append(r.events[:0], r.events[over:]...)
+		r.dropped += over
+	}
+}
+
+// NodeMoved implements network.Observer.
+func (r *Recorder) NodeMoved(id node.ID, from, to geom.Point, fromCell, toCell grid.Coord) {
+	r.push(Event{
+		Kind: Move, Node: id,
+		From: from, To: to,
+		FromCell: fromCell, ToCell: toCell,
+		Distance: from.Dist(to),
+	})
+}
+
+// MessageSent implements network.Observer.
+func (r *Recorder) MessageSent(m network.Message) {
+	r.push(Event{Kind: Send, FromCell: m.From, ToCell: m.To, Process: m.Process})
+}
+
+// NodeDisabled implements network.Observer.
+func (r *Recorder) NodeDisabled(id node.ID, cell grid.Coord) {
+	r.push(Event{Kind: Disable, Node: id, FromCell: cell})
+}
+
+// HeadElected implements network.Observer.
+func (r *Recorder) HeadElected(id node.ID, cell grid.Coord) {
+	r.push(Event{Kind: Elect, Node: id, FromCell: cell})
+}
+
+// RoundStarted implements network.Observer.
+func (r *Recorder) RoundStarted(round int) {
+	r.round = round
+	r.push(Event{Kind: Round})
+}
+
+// Events returns a copy of the recorded events in order.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Dropped returns the number of events discarded under MaxEvents.
+func (r *Recorder) Dropped() int { return r.dropped }
+
+// Count returns how many retained events have the given kind.
+func (r *Recorder) Count(k Kind) int {
+	n := 0
+	for i := range r.events {
+		if r.events[i].Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// MovesOf returns the movement events of one node in order.
+func (r *Recorder) MovesOf(id node.ID) []Event {
+	var out []Event
+	for _, e := range r.events {
+		if e.Kind == Move && e.Node == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TotalDistance sums the distance of all recorded movements.
+func (r *Recorder) TotalDistance() float64 {
+	d := 0.0
+	for i := range r.events {
+		if r.events[i].Kind == Move {
+			d += r.events[i].Distance
+		}
+	}
+	return d
+}
+
+// Reset clears the log.
+func (r *Recorder) Reset() {
+	r.events = r.events[:0]
+	r.dropped = 0
+	r.round = 0
+}
+
+// WriteText writes the log, one event per line.
+func (r *Recorder) WriteText(w io.Writer) error {
+	for _, e := range r.events {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary renders per-kind counts on one line.
+func (r *Recorder) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d events", len(r.events))
+	for _, k := range []Kind{Move, Send, Disable, Elect, Round} {
+		if n := r.Count(k); n > 0 {
+			fmt.Fprintf(&b, " %s=%d", k, n)
+		}
+	}
+	if r.dropped > 0 {
+		fmt.Fprintf(&b, " dropped=%d", r.dropped)
+	}
+	return b.String()
+}

@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"wsncover/internal/core"
+	"wsncover/internal/geom"
+	"wsncover/internal/grid"
+	"wsncover/internal/hamilton"
+	"wsncover/internal/network"
+	"wsncover/internal/node"
+	"wsncover/internal/randx"
+)
+
+func TestRecorderDirectEvents(t *testing.T) {
+	r := NewRecorder()
+	r.RoundStarted(1)
+	r.NodeMoved(3, geom.Pt(0, 0), geom.Pt(3, 4), grid.C(0, 0), grid.C(1, 0))
+	r.MessageSent(network.Message{From: grid.C(1, 0), To: grid.C(0, 0), Process: 7})
+	r.NodeDisabled(5, grid.C(2, 2))
+	r.HeadElected(6, grid.C(2, 2))
+
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	events := r.Events()
+	if events[0].Kind != Round || events[0].Round != 1 {
+		t.Errorf("event 0 = %+v", events[0])
+	}
+	mv := events[1]
+	if mv.Kind != Move || mv.Node != 3 || mv.Distance != 5 || mv.Round != 1 {
+		t.Errorf("move event = %+v", mv)
+	}
+	if events[2].Process != 7 {
+		t.Errorf("send event = %+v", events[2])
+	}
+	if r.Count(Move) != 1 || r.Count(Send) != 1 || r.Count(Disable) != 1 || r.Count(Elect) != 1 {
+		t.Error("counts wrong")
+	}
+	if r.TotalDistance() != 5 {
+		t.Errorf("TotalDistance = %v", r.TotalDistance())
+	}
+	if len(r.MovesOf(3)) != 1 || len(r.MovesOf(9)) != 0 {
+		t.Error("MovesOf wrong")
+	}
+	// Sequence numbers are strictly increasing.
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Fatal("Seq not sequential")
+		}
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	r := NewRecorder()
+	r.RoundStarted(2)
+	r.NodeMoved(1, geom.Pt(0, 0), geom.Pt(1, 0), grid.C(0, 0), grid.C(1, 0))
+	r.MessageSent(network.Message{From: grid.C(1, 0), To: grid.C(0, 0)})
+	r.NodeDisabled(2, grid.C(0, 0))
+	r.HeadElected(3, grid.C(0, 0))
+	for _, e := range r.Events() {
+		if e.String() == "" {
+			t.Errorf("empty String for %v", e.Kind)
+		}
+	}
+	if Kind(42).String() == "" || Move.String() != "move" {
+		t.Error("Kind strings")
+	}
+}
+
+func TestMaxEventsRing(t *testing.T) {
+	r := NewRecorder()
+	r.MaxEvents = 3
+	for i := 0; i < 10; i++ {
+		r.RoundStarted(i)
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d, want 3", r.Len())
+	}
+	if r.Dropped() != 7 {
+		t.Errorf("Dropped = %d, want 7", r.Dropped())
+	}
+	events := r.Events()
+	if events[0].Round != 7 || events[2].Round != 9 {
+		t.Errorf("retained rounds = %v", events)
+	}
+	if !strings.Contains(r.Summary(), "dropped=7") {
+		t.Errorf("Summary = %q", r.Summary())
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRecorder()
+	r.RoundStarted(1)
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRecorder()
+	r.RoundStarted(1)
+	r.HeadElected(2, grid.C(1, 1))
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Errorf("lines = %v", lines)
+	}
+}
+
+// TestRecorderOnLiveRecovery attaches the recorder to an SR run and
+// cross-checks the trace against the controller's metrics.
+func TestRecorderOnLiveRecovery(t *testing.T) {
+	sys, err := grid.New(6, 6, 10, geom.Pt(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := network.New(sys, node.EnergyModel{})
+	for _, c := range sys.AllCoords() {
+		if c == grid.C(3, 3) {
+			continue // the hole
+		}
+		if _, err := net.AddNodeAt(sys.Center(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := net.AddNodeAt(geom.Pt(5, 5)); err != nil { // spare in (0,0)
+		t.Fatal(err)
+	}
+	net.ElectHeads()
+
+	rec := NewRecorder()
+	net.SetObserver(rec)
+
+	topo, err := hamilton.Build(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := core.New(net, core.Config{Topology: topo, RNG: randx.New(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle := 0
+	for r := 0; r < 200 && idle < 3; r++ {
+		if err := ctrl.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if ctrl.Done() {
+			idle++
+		} else {
+			idle = 0
+		}
+	}
+
+	s := ctrl.Collector().Summarize()
+	if got := rec.Count(Move); got != s.Moves {
+		t.Errorf("trace moves = %d, metrics = %d", got, s.Moves)
+	}
+	if got := rec.Count(Send); got != s.Messages {
+		t.Errorf("trace sends = %d, metrics = %d", got, s.Messages)
+	}
+	if d := rec.TotalDistance(); d < s.Distance-1e-9 || d > s.Distance+1e-9 {
+		t.Errorf("trace distance = %v, metrics = %v", d, s.Distance)
+	}
+	// Every mover's hops are between adjacent cells.
+	for _, e := range rec.Events() {
+		if e.Kind == Move && !e.FromCell.IsNeighbor(e.ToCell) {
+			t.Errorf("movement across non-adjacent cells: %v", e)
+		}
+	}
+	if !strings.Contains(rec.Summary(), "move=") {
+		t.Errorf("Summary = %q", rec.Summary())
+	}
+}

@@ -1,0 +1,130 @@
+// Package visual renders networks and Hamilton topologies as ASCII art
+// for terminal inspection and the example programs.
+package visual
+
+import (
+	"fmt"
+	"strings"
+
+	"wsncover/internal/grid"
+	"wsncover/internal/hamilton"
+	"wsncover/internal/network"
+)
+
+// Network renders the grid occupancy: each cell shows its enabled node
+// count, with '.' for a vacant cell (hole). Row 0 is drawn at the bottom,
+// matching the paper's coordinate convention.
+func Network(w *network.Network) string {
+	sys := w.System()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  holes=%d spares=%d\n", sys, len(w.VacantCells()), w.TotalSpares())
+	for y := sys.Rows() - 1; y >= 0; y-- {
+		for x := 0; x < sys.Cols(); x++ {
+			c := grid.C(x, y)
+			if w.IsVacant(c) {
+				b.WriteString(" .")
+				continue
+			}
+			n := w.SpareCount(c) + 1
+			if n > 9 {
+				b.WriteString(" +")
+			} else {
+				fmt.Fprintf(&b, " %d", n)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Roles renders head/spare/vacant state: 'H' for a cell with only a head,
+// 'S' for a head plus spares, '.' for a hole.
+func Roles(w *network.Network) string {
+	sys := w.System()
+	var b strings.Builder
+	for y := sys.Rows() - 1; y >= 0; y-- {
+		for x := 0; x < sys.Cols(); x++ {
+			c := grid.C(x, y)
+			switch {
+			case w.IsVacant(c):
+				b.WriteString(" .")
+			case w.HasSpare(c):
+				b.WriteString(" S")
+			default:
+				b.WriteString(" H")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// arrowFor maps a step direction to an arrow rune.
+func arrowFor(from, to grid.Coord) byte {
+	d, ok := from.DirTo(to)
+	if !ok {
+		return '?'
+	}
+	switch d {
+	case grid.North:
+		return '^'
+	case grid.South:
+		return 'v'
+	case grid.East:
+		return '>'
+	case grid.West:
+		return '<'
+	}
+	return '?'
+}
+
+// Cycle renders a single Hamilton cycle as a field of direction arrows:
+// each cell shows the direction of its successor. Dual-path topologies are
+// rendered via the shared segment with A and B marked.
+func Cycle(t *hamilton.Topology) string {
+	sys := t.System()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v Hamilton structure on %s\n", t.Kind(), sys)
+	switch t.Kind() {
+	case hamilton.KindCycle:
+		for y := sys.Rows() - 1; y >= 0; y-- {
+			for x := 0; x < sys.Cols(); x++ {
+				c := grid.C(x, y)
+				b.WriteByte(' ')
+				b.WriteByte(arrowFor(c, t.Succ(c)))
+			}
+			b.WriteString("\n")
+		}
+	case hamilton.KindDualPath:
+		a, bb, cc, d, _ := t.ABCD()
+		shared := t.SharedOrder()
+		next := make(map[grid.Coord]grid.Coord, len(shared))
+		for i := 0; i+1 < len(shared); i++ {
+			next[shared[i]] = shared[i+1]
+		}
+		for y := sys.Rows() - 1; y >= 0; y-- {
+			for x := 0; x < sys.Cols(); x++ {
+				c := grid.C(x, y)
+				b.WriteByte(' ')
+				switch c {
+				case a:
+					b.WriteByte('A')
+				case bb:
+					b.WriteByte('B')
+				case cc:
+					b.WriteByte('C')
+				case d:
+					b.WriteByte('D')
+				default:
+					if nx, ok := next[c]; ok {
+						b.WriteByte(arrowFor(c, nx))
+					} else {
+						b.WriteByte('?')
+					}
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

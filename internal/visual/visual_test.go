@@ -1,0 +1,106 @@
+package visual
+
+import (
+	"strings"
+	"testing"
+
+	"wsncover/internal/geom"
+	"wsncover/internal/grid"
+	"wsncover/internal/hamilton"
+	"wsncover/internal/network"
+	"wsncover/internal/node"
+)
+
+func netWith(t *testing.T, cols, rows int, fill map[grid.Coord]int) *network.Network {
+	t.Helper()
+	sys, err := grid.New(cols, rows, 1, geom.Pt(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := network.New(sys, node.EnergyModel{})
+	for c, n := range fill {
+		for i := 0; i < n; i++ {
+			if _, err := w.AddNodeAt(sys.Center(c)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	w.ElectHeads()
+	return w
+}
+
+func TestNetworkRender(t *testing.T) {
+	w := netWith(t, 3, 2, map[grid.Coord]int{
+		grid.C(0, 0): 1,
+		grid.C(1, 0): 3,
+		grid.C(2, 1): 12,
+	})
+	out := Network(w)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Top row (y=1): two holes then 12 nodes rendered as '+'.
+	if lines[1] != " . . +" {
+		t.Errorf("row y=1 = %q", lines[1])
+	}
+	// Bottom row (y=0): 1, 3, hole.
+	if lines[2] != " 1 3 ." {
+		t.Errorf("row y=0 = %q", lines[2])
+	}
+}
+
+func TestRolesRender(t *testing.T) {
+	w := netWith(t, 3, 1, map[grid.Coord]int{
+		grid.C(0, 0): 1,
+		grid.C(1, 0): 2,
+	})
+	out := strings.TrimSpace(Roles(w))
+	if out != "H S ." {
+		t.Errorf("Roles = %q", out)
+	}
+}
+
+func TestCycleRenderSingle(t *testing.T) {
+	sys, err := grid.New(4, 4, 1, geom.Pt(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := hamilton.Build(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Cycle(topo)
+	if !strings.Contains(out, "cycle") {
+		t.Error("missing kind")
+	}
+	// Every cell renders as one of the four arrows (none unknown).
+	if strings.Contains(out, "?") {
+		t.Errorf("unknown direction in render:\n%s", out)
+	}
+	arrows := strings.Count(out, "^") + strings.Count(out, "v") +
+		strings.Count(out, "<") + strings.Count(out, ">")
+	if arrows != 16 {
+		t.Errorf("arrow count = %d, want 16", arrows)
+	}
+}
+
+func TestCycleRenderDualPath(t *testing.T) {
+	sys, err := grid.New(5, 5, 1, geom.Pt(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := hamilton.Build(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Cycle(topo)
+	for _, mark := range []string{"A", "B", "C", "D"} {
+		if strings.Count(out, mark) < 1 {
+			t.Errorf("missing %s marker:\n%s", mark, out)
+		}
+	}
+	if !strings.Contains(out, "dual-path") {
+		t.Error("missing kind")
+	}
+}

@@ -1,0 +1,217 @@
+package wsncover
+
+import (
+	"strings"
+	"testing"
+
+	"wsncover/internal/grid"
+	"wsncover/internal/node"
+)
+
+func TestNewScenarioDefaults(t *testing.T) {
+	sc, err := NewScenario(Options{Cols: 8, Rows: 8, Spares: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.SchemeName() != "SR" {
+		t.Errorf("default scheme = %q", sc.SchemeName())
+	}
+	if got := sc.Spares(); got != 10 {
+		t.Errorf("Spares = %d", got)
+	}
+	if len(sc.Holes()) != 0 {
+		t.Error("fresh scenario should have no holes")
+	}
+	if sc.GridSystem().CellSize() < 4.47 || sc.GridSystem().CellSize() > 4.48 {
+		t.Errorf("cell size = %v, want ~4.4721", sc.GridSystem().CellSize())
+	}
+}
+
+func TestNewScenarioValidation(t *testing.T) {
+	if _, err := NewScenario(Options{Cols: 0, Rows: 8}); err == nil {
+		t.Error("invalid grid should fail")
+	}
+	if _, err := NewScenario(Options{Cols: 8, Rows: 8, Scheme: Scheme(42)}); err == nil {
+		t.Error("invalid scheme should fail")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if SR.String() != "SR" || AR.String() != "AR" || SRShortcut.String() != "SR+shortcut" {
+		t.Error("scheme strings")
+	}
+	if Scheme(9).String() == "" {
+		t.Error("invalid scheme should render")
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	sc, err := NewScenario(Options{Cols: 8, Rows: 8, Spares: 15, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	holes, err := sc.CreateHoles(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(holes) != 3 || len(sc.Holes()) != 3 {
+		t.Fatalf("holes = %v", holes)
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || res.Holes != 0 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.Summary.Initiated != 3 || res.Summary.SuccessRate() != 100 {
+		t.Errorf("summary = %v", res.Summary)
+	}
+	if sc.TotalMoves() == 0 || sc.TotalDistance() == 0 {
+		t.Error("movement accounting missing")
+	}
+}
+
+func TestRepeatedDamageAndRecovery(t *testing.T) {
+	sc, err := NewScenario(Options{Cols: 8, Rows: 8, Spares: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		if _, err := sc.CreateHoles(2); err != nil {
+			t.Fatal(err)
+		}
+		res, err := sc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Complete {
+			t.Fatalf("round %d: coverage incomplete: %+v", round, res)
+		}
+	}
+}
+
+func TestFailRegionAndRecovery(t *testing.T) {
+	sc, err := NewScenario(Options{Cols: 10, Rows: 10, Spares: 60, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sc.GridSystem().Bounds()
+	hit := sc.FailRegion(b.Center().X, b.Center().Y, 8)
+	if hit == 0 {
+		t.Fatal("jamming hit nothing")
+	}
+	if len(sc.Holes()) == 0 {
+		t.Skip("jam did not create holes on this seed")
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Errorf("recovery incomplete: %+v (holes %v)", res, sc.Holes())
+	}
+}
+
+func TestFailRandomAPI(t *testing.T) {
+	sc, err := NewScenario(Options{Cols: 6, Rows: 6, Spares: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.FailRandom(10); got != 10 {
+		t.Errorf("FailRandom = %d", got)
+	}
+}
+
+func TestCreateHoleAt(t *testing.T) {
+	sc, err := NewScenario(Options{Cols: 6, Rows: 6, Spares: 5, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.CreateHoleAt(grid.C(3, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Holes()) != 1 {
+		t.Error("hole not created")
+	}
+	if err := sc.CreateHoleAt(grid.C(9, 9)); err == nil {
+		t.Error("off-grid hole should fail")
+	}
+}
+
+func TestARScenario(t *testing.T) {
+	sc, err := NewScenario(Options{Cols: 8, Rows: 8, Spares: 40, Scheme: AR, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.SchemeName() != "AR" {
+		t.Errorf("scheme = %q", sc.SchemeName())
+	}
+	if _, err := sc.CreateHoles(2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Initiated <= 2 {
+		t.Errorf("AR should initiate redundant processes, got %d", res.Summary.Initiated)
+	}
+	if sc.RenderTopology() != "" {
+		t.Error("AR has no Hamilton topology to render")
+	}
+}
+
+func TestRenderOutputs(t *testing.T) {
+	sc, err := NewScenario(Options{Cols: 5, Rows: 5, Spares: 3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sc.Render(), "holes=0") {
+		t.Error("Render missing summary")
+	}
+	if !strings.Contains(sc.RenderTopology(), "dual-path") {
+		t.Error("5x5 should render a dual-path topology")
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	sc, err := NewScenario(Options{
+		Cols: 6, Rows: 6, Spares: 10, Seed: 9, EnergyPerMeter: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.CreateHoles(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Some node must have spent energy equal to its traveled distance.
+	total := 0.0
+	for id := 0; id < sc.Network().NumNodes(); id++ {
+		total += sc.Network().Node(node.ID(id)).EnergySpent()
+	}
+	if total == 0 {
+		t.Error("no energy accounted")
+	}
+}
+
+func TestStepAPI(t *testing.T) {
+	sc, err := NewScenario(Options{Cols: 6, Rows: 6, Spares: 10, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.CreateHoles(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30 && len(sc.Holes()) > 0; i++ {
+		if err := sc.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(sc.Holes()) != 0 {
+		t.Error("single repair should finish within 30 manual rounds")
+	}
+}
