@@ -15,9 +15,12 @@
 package wsncover_test
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"wsncover/internal/analytic"
+	"wsncover/internal/experiment"
 	"wsncover/internal/figures"
 	"wsncover/internal/geom"
 	"wsncover/internal/grid"
@@ -304,6 +307,73 @@ func BenchmarkExtMultiHole(b *testing.B) {
 		srRecovery = tb.Series[0].Y[1]
 	}
 	b.ReportMetric(srRecovery, "SR-recovery%@6holes")
+}
+
+// --- Experiment engine benches (sequential vs parallel sweep) ---
+
+// sweepBenchConfig is the shared workload of the engine comparison: a
+// figure-style sweep on the paper's grid, sized so one iteration runs a
+// few hundred milliseconds of trial work.
+func sweepBenchConfig(workers int) sim.SweepConfig {
+	return sim.SweepConfig{
+		Template: sim.TrialConfig{Cols: 16, Rows: 16, Scheme: sim.SR},
+		Ns:       []int{10, 55, 200, 1000},
+		Trials:   10,
+		BaseSeed: 777,
+		Workers:  workers,
+	}
+}
+
+// BenchmarkSweepSequential pins the engine to one worker, the old
+// sequential-loop behavior.
+func BenchmarkSweepSequential(b *testing.B) {
+	var moves int
+	for i := 0; i < b.N; i++ {
+		pts, err := sim.RunSweep(sweepBenchConfig(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		moves = pts[0].Summary.Moves
+	}
+	b.ReportMetric(float64(moves), "moves@N=10")
+}
+
+// BenchmarkSweepParallel lets the engine use every core. The two
+// benchmarks must report identical custom metrics (bit-identical sweep
+// results); only the wall clock may differ.
+func BenchmarkSweepParallel(b *testing.B) {
+	var moves int
+	for i := 0; i < b.N; i++ {
+		pts, err := sim.RunSweep(sweepBenchConfig(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		moves = pts[0].Summary.Moves
+	}
+	b.ReportMetric(float64(moves), "moves@N=10")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+}
+
+// BenchmarkCampaign16Cells times a small multi-dimensional campaign
+// (scheme x spares x failure mode) end to end through aggregation.
+func BenchmarkCampaign16Cells(b *testing.B) {
+	spec := sim.CampaignSpec{
+		Schemes:    []sim.SchemeKind{sim.SR, sim.AR},
+		Grids:      []sim.GridSize{{Cols: 16, Rows: 16}},
+		Spares:     []int{40, 200},
+		Failures:   []sim.FailureMode{sim.FailHoles, sim.FailJam},
+		Replicates: 4,
+		BaseSeed:   31,
+	}
+	var points int
+	for i := 0; i < b.N; i++ {
+		samples, err := sim.RunCampaign(context.Background(), spec, experiment.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = len(experiment.Aggregate(samples))
+	}
+	b.ReportMetric(float64(points), "points")
 }
 
 // --- Micro benches for the hot substrate paths ---

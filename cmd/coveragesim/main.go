@@ -4,19 +4,20 @@
 // Usage:
 //
 //	coveragesim [-grid 16x16] [-scheme SR|SR+shortcut|AR] [-spares n]
-//	            [-holes h] [-seed s] [-show] [-adjacent]
+//	            [-holes h] [-failure holes|jam] [-jam-radius r]
+//	            [-seed s] [-show] [-adjacent]
 //
-// -show renders the grid occupancy before and after recovery.
+// -show renders the grid occupancy before and after recovery. -failure
+// jam replaces the random vacant cells with a jammed disc at a random
+// center (the region attack of Xu et al.).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"wsncover/internal/coverage"
-	"wsncover/internal/deploy"
 	"wsncover/internal/geom"
 	"wsncover/internal/grid"
 	"wsncover/internal/network"
@@ -34,35 +35,25 @@ func main() {
 }
 
 func parseGrid(s string) (cols, rows int, err error) {
-	if _, err := fmt.Sscanf(s, "%dx%d", &cols, &rows); err != nil {
-		return 0, 0, fmt.Errorf("bad -grid %q (want e.g. 16x16)", s)
+	g, err := sim.ParseGridSize(s)
+	if err != nil {
+		return 0, 0, err
 	}
-	return cols, rows, nil
-}
-
-func parseScheme(s string) (sim.SchemeKind, error) {
-	switch strings.ToUpper(s) {
-	case "SR":
-		return sim.SR, nil
-	case "SR+SHORTCUT", "SRS":
-		return sim.SRShortcut, nil
-	case "AR":
-		return sim.AR, nil
-	default:
-		return 0, fmt.Errorf("unknown scheme %q (want SR, SR+shortcut, or AR)", s)
-	}
+	return g.Cols, g.Rows, nil
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("coveragesim", flag.ContinueOnError)
 	var (
-		gridSpec = fs.String("grid", "16x16", "grid system size, CxR")
-		schemeS  = fs.String("scheme", "SR", "control scheme: SR, SR+shortcut, or AR")
-		spares   = fs.Int("spares", 100, "spare nodes N in the network")
-		holes    = fs.Int("holes", 1, "simultaneous holes to create")
-		seed     = fs.Int64("seed", 1, "random seed")
-		show     = fs.Bool("show", false, "render grid occupancy before/after")
-		adjacent = fs.Bool("adjacent", false, "allow adjacent hole cells")
+		gridSpec  = fs.String("grid", "16x16", "grid system size, CxR")
+		schemeS   = fs.String("scheme", "SR", "control scheme: SR, SR+shortcut, or AR")
+		spares    = fs.Int("spares", 100, "spare nodes N in the network")
+		holes     = fs.Int("holes", 1, "simultaneous holes to create")
+		failureS  = fs.String("failure", "holes", "damage model: holes (random vacant cells) or jam (disc attack)")
+		jamRadius = fs.Float64("jam-radius", 0, "jammed disc radius in meters (0 = 1.5 cells)")
+		seed      = fs.Int64("seed", 1, "random seed")
+		show      = fs.Bool("show", false, "render grid occupancy before/after")
+		adjacent  = fs.Bool("adjacent", false, "allow adjacent hole cells")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,29 +62,41 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	scheme, err := parseScheme(*schemeS)
+	scheme, err := sim.ParseSchemeKind(*schemeS)
+	if err != nil {
+		return err
+	}
+	failure, err := sim.ParseFailureMode(*failureS)
 	if err != nil {
 		return err
 	}
 
 	// Build the network explicitly (rather than via sim.RunTrial) so the
-	// -show option can render intermediate state.
+	// -show option can render intermediate state; ApplyDamage keeps the
+	// damage identical to a sim trial at the same seed.
 	rng := randx.New(*seed)
 	sys, err := grid.NewForCommRange(cols, rows, sim.PaperCommRange, geom.Pt(0, 0))
 	if err != nil {
 		return err
 	}
 	net := network.New(sys, node.EnergyModel{})
-	holeCells, err := deploy.PickHoleCells(sys, *holes, !*adjacent, rng.Split(1))
+	damage, err := sim.ApplyDamage(net, sim.TrialConfig{
+		Cols: cols, Rows: rows, Scheme: scheme, Spares: *spares,
+		Holes: *holes, AdjacentHolesOK: *adjacent,
+		Failure: failure, JamRadius: *jamRadius,
+	}, rng)
 	if err != nil {
 		return err
 	}
-	if err := deploy.Controlled(net, *spares, holeCells, rng.Split(2)); err != nil {
-		return err
+	if failure == sim.FailJam {
+		fmt.Printf("grid %dx%d (r=%.4f m, R=%.1f m), N=%d spares, jam disc radius %.2f m at (%.1f, %.1f): %d nodes down, %d hole(s)\n",
+			cols, rows, sys.CellSize(), sys.CommRange(), *spares,
+			damage.JamRadius, damage.JamCenter.X, damage.JamCenter.Y,
+			damage.Killed, coverage.HoleCount(net))
+	} else {
+		fmt.Printf("grid %dx%d (r=%.4f m, R=%.1f m), N=%d spares, %d hole(s) at %v\n",
+			cols, rows, sys.CellSize(), sys.CommRange(), *spares, *holes, damage.HoleCells)
 	}
-
-	fmt.Printf("grid %dx%d (r=%.4f m, R=%.1f m), N=%d spares, %d hole(s) at %v\n",
-		cols, rows, sys.CellSize(), sys.CommRange(), *spares, *holes, holeCells)
 	if *show {
 		fmt.Println("before:")
 		fmt.Print(visual.Network(net))

@@ -12,23 +12,14 @@ func TestParseGrid(t *testing.T) {
 	}
 }
 
-func TestParseScheme(t *testing.T) {
-	for _, s := range []string{"SR", "sr", "AR", "ar", "SR+shortcut", "srs"} {
-		if _, err := parseScheme(s); err != nil {
-			t.Errorf("parseScheme(%q): %v", s, err)
-		}
-	}
-	if _, err := parseScheme("XYZ"); err == nil {
-		t.Error("unknown scheme should fail")
-	}
-}
-
 func TestRunEndToEnd(t *testing.T) {
 	cases := [][]string{
 		{"-grid", "8x8", "-scheme", "SR", "-spares", "20", "-holes", "2", "-seed", "3"},
 		{"-grid", "8x8", "-scheme", "AR", "-spares", "20", "-holes", "1", "-seed", "4", "-show"},
 		{"-grid", "5x5", "-scheme", "SR+shortcut", "-spares", "5", "-seed", "5"},
 		{"-grid", "8x8", "-spares", "30", "-holes", "3", "-adjacent", "-seed", "6"},
+		{"-grid", "12x12", "-scheme", "SR", "-spares", "40", "-failure", "jam", "-seed", "7"},
+		{"-grid", "12x12", "-scheme", "AR", "-spares", "40", "-failure", "jam", "-jam-radius", "9", "-seed", "8", "-show"},
 	}
 	for _, args := range cases {
 		if err := run(args); err != nil {
@@ -41,6 +32,7 @@ func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{"-grid", "bad"},
 		{"-scheme", "nope"},
+		{"-failure", "flood"},
 		{"-grid", "2x2", "-holes", "9"},
 	}
 	for _, args := range cases {

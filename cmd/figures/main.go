@@ -30,19 +30,20 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	var (
-		outDir = fs.String("out", "out", "output directory for .csv/.dat files")
-		trials = fs.Int("trials", 100, "simulation trials per (scheme, N) point")
-		seed   = fs.Int64("seed", 2008, "base random seed")
-		fig    = fs.String("fig", "", "restrict to one figure id (e.g. 3, 6, 7a)")
-		quick  = fs.Bool("quick", false, "small sweep for a fast smoke run")
-		ascii  = fs.Bool("ascii", true, "print ASCII previews to stdout")
-		ext    = fs.Bool("ext", false, "also run the extension experiments (scalability, multi-hole)")
+		outDir  = fs.String("out", "out", "output directory for .csv/.dat files")
+		trials  = fs.Int("trials", 100, "simulation trials per (scheme, N) point")
+		seed    = fs.Int64("seed", 2008, "base random seed")
+		fig     = fs.String("fig", "", "restrict to one figure id (e.g. 3, 6, 7a)")
+		quick   = fs.Bool("quick", false, "small sweep for a fast smoke run")
+		ascii   = fs.Bool("ascii", true, "print ASCII previews to stdout")
+		ext     = fs.Bool("ext", false, "also run the extension experiments (scalability, multi-hole)")
+		workers = fs.Int("workers", 0, "parallel trial workers (0 = all cores)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cfg := figures.Config{Trials: *trials, Seed: *seed}
+	cfg := figures.Config{Trials: *trials, Seed: *seed, Workers: *workers}
 	if *quick {
 		cfg.Trials = 10
 		cfg.Ns = []int{10, 55, 200, 1000}
@@ -54,12 +55,16 @@ func run(args []string) error {
 	}
 	if *ext {
 		extTrials := cfg.Trials / 2
-		scal, err := figures.Scalability(figures.ScalabilityConfig{Trials: extTrials, Seed: *seed})
+		scal, err := figures.Scalability(figures.ScalabilityConfig{
+			Trials: extTrials, Seed: *seed, Workers: *workers,
+		})
 		if err != nil {
 			return err
 		}
 		tables["fig-ext-scalability"] = scal
-		multi, err := figures.MultiHole(figures.MultiHoleConfig{Trials: extTrials, Seed: *seed})
+		multi, err := figures.MultiHole(figures.MultiHoleConfig{
+			Trials: extTrials, Seed: *seed, Workers: *workers,
+		})
 		if err != nil {
 			return err
 		}

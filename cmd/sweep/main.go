@@ -1,0 +1,233 @@
+// Command sweep runs a multi-dimensional Monte-Carlo campaign on the
+// parallel experiment engine: the cross product of control schemes, grid
+// sizes, spare counts, hole counts, and failure modes, replicated and
+// aggregated into mean/CI95 summaries. It writes a JSON manifest plus
+// one CSV/gnuplot table per exported metric.
+//
+// Usage:
+//
+//	sweep [-schemes SR,AR] [-grids 16x16] [-spares 10,55,200]
+//	      [-holes 1] [-failures holes,jam] [-replicates 20] [-seed s]
+//	      [-workers w] [-metrics moves,success_rate|all] [-out dir]
+//	      [-name sweep] [-ascii] [-quiet]
+//	sweep -spec campaign.json [-out dir] [-name sweep] ...
+//
+// A spec file is the JSON form of sim.CampaignSpec and replaces the
+// dimension flags. Results are bit-identical for any -workers value.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"wsncover/internal/experiment"
+	"wsncover/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range splitList(s) {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseSchemes(s string) ([]sim.SchemeKind, error) {
+	var out []sim.SchemeKind
+	for _, f := range splitList(s) {
+		k, err := sim.ParseSchemeKind(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+func parseGrids(s string) ([]sim.GridSize, error) {
+	var out []sim.GridSize
+	for _, f := range splitList(s) {
+		g, err := sim.ParseGridSize(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+func parseFailures(s string) ([]sim.FailureMode, error) {
+	var out []sim.FailureMode
+	for _, f := range splitList(s) {
+		m, err := sim.ParseFailureMode(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func loadSpec(path string) (sim.CampaignSpec, error) {
+	var spec sim.CampaignSpec
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return spec, err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return spec, fmt.Errorf("spec %s: %w", path, err)
+	}
+	return spec, nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		specPath   = fs.String("spec", "", "JSON campaign spec file (replaces the dimension flags)")
+		schemesS   = fs.String("schemes", "SR,AR", "comma-separated schemes: SR, SR+shortcut, AR")
+		gridsS     = fs.String("grids", "16x16", "comma-separated grid sizes, CxR")
+		sparesS    = fs.String("spares", "", "comma-separated spare counts N (default: the paper's x axis)")
+		holesS     = fs.String("holes", "1", "comma-separated simultaneous hole counts")
+		failuresS  = fs.String("failures", "holes", "comma-separated damage models: holes, jam")
+		replicates = fs.Int("replicates", 20, "trials per campaign cell")
+		seed       = fs.Int64("seed", 1, "base random seed")
+		workers    = fs.Int("workers", 0, "parallel trial workers (0 = all cores)")
+		jamRadius  = fs.Float64("jam-radius", 0, "jammed disc radius in meters (0 = 1.5 cells)")
+		adjacent   = fs.Bool("adjacent", false, "allow adjacent hole cells")
+		metricsS   = fs.String("metrics", "moves,distance,success_rate,recovered", "metrics to export as tables, or \"all\"")
+		outDir     = fs.String("out", "out", "output directory for artifacts")
+		name       = fs.String("name", "sweep", "campaign name (artifact base name)")
+		ascii      = fs.Bool("ascii", false, "print ASCII previews of exported tables")
+		quiet      = fs.Bool("quiet", false, "suppress the progress meter")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var spec sim.CampaignSpec
+	if *specPath != "" {
+		loaded, err := loadSpec(*specPath)
+		if err != nil {
+			return err
+		}
+		spec = loaded
+	} else {
+		var err error
+		if spec.Schemes, err = parseSchemes(*schemesS); err != nil {
+			return err
+		}
+		if spec.Grids, err = parseGrids(*gridsS); err != nil {
+			return err
+		}
+		if spec.Spares, err = parseInts(*sparesS); err != nil {
+			return err
+		}
+		if spec.Holes, err = parseInts(*holesS); err != nil {
+			return err
+		}
+		if spec.Failures, err = parseFailures(*failuresS); err != nil {
+			return err
+		}
+		spec.Replicates = *replicates
+		spec.BaseSeed = *seed
+		spec.JamRadius = *jamRadius
+		spec.AdjacentHolesOK = *adjacent
+	}
+	// Workers only changes wall clock, never results: an explicit flag
+	// beats a value pinned in the spec file.
+	workersFlagSet := false
+	fs.Visit(func(f *flag.Flag) { workersFlagSet = workersFlagSet || f.Name == "workers" })
+	if workersFlagSet || spec.Workers == 0 {
+		spec.Workers = *workers
+	}
+	spec = spec.Normalized()
+
+	jobs := spec.Jobs()
+	opts := experiment.Options{Workers: spec.Workers}
+	if !*quiet {
+		opts.Progress = func(done, total int) {
+			if done%50 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\r%d/%d trials", done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+	samples, err := sim.RunCampaign(context.Background(), spec, opts)
+	if err != nil {
+		return err
+	}
+	points := experiment.Aggregate(samples)
+
+	manifest, err := experiment.NewManifest(*name, spec, len(jobs), opts.Workers, points)
+	if err != nil {
+		return err
+	}
+	path, err := manifest.Save(*outDir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d jobs, %d points)\n", path, len(jobs), len(points))
+
+	metrics := splitList(*metricsS)
+	if len(metrics) == 1 && metrics[0] == "all" {
+		metrics = experiment.MetricNames(points)
+	}
+	sort.Strings(metrics)
+	for _, metric := range metrics {
+		tb, err := experiment.Table(points, metric,
+			fmt.Sprintf("%s: mean %s per trial (%d replicates/cell)", *name, metric, spec.Replicates),
+			"N", metric)
+		if err != nil {
+			return err
+		}
+		paths, err := tb.SaveAll(*outDir, *name+"-"+metric)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", strings.Join(paths, ", "))
+		if *ascii {
+			fmt.Println(tb.ASCII(72, 16))
+		}
+	}
+
+	for _, p := range points {
+		fmt.Printf("%-24s N=%-5g moves=%6.1f±%-5.1f dist=%7.1f success=%5.1f%% recovered=%5.1f%%\n",
+			p.Group, p.X,
+			p.Metrics["moves"].Mean, p.Metrics["moves"].CI95,
+			p.Metrics["distance"].Mean,
+			p.Metrics["success_rate"].Mean,
+			100*p.Metrics["recovered"].Mean)
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"wsncover/internal/sim"
+)
+
+func TestParseHelpers(t *testing.T) {
+	ints, err := parseInts("10, 55,200")
+	if err != nil || !reflect.DeepEqual(ints, []int{10, 55, 200}) {
+		t.Errorf("parseInts = %v, %v", ints, err)
+	}
+	if _, err := parseInts("10,x"); err == nil {
+		t.Error("bad int should fail")
+	}
+	if ints, err := parseInts(""); err != nil || ints != nil {
+		t.Errorf("empty list = %v, %v", ints, err)
+	}
+
+	schemes, err := parseSchemes("SR,ar")
+	if err != nil || !reflect.DeepEqual(schemes, []sim.SchemeKind{sim.SR, sim.AR}) {
+		t.Errorf("parseSchemes = %v, %v", schemes, err)
+	}
+	if _, err := parseSchemes("SR,XY"); err == nil {
+		t.Error("bad scheme should fail")
+	}
+
+	grids, err := parseGrids("16x16,8x12")
+	if err != nil || !reflect.DeepEqual(grids, []sim.GridSize{{Cols: 16, Rows: 16}, {Cols: 8, Rows: 12}}) {
+		t.Errorf("parseGrids = %v, %v", grids, err)
+	}
+	for _, bad := range []string{"16by16", "16x16x3", "8x8junk"} {
+		if _, err := parseGrids(bad); err == nil {
+			t.Errorf("parseGrids(%q) should fail", bad)
+		}
+	}
+
+	fails, err := parseFailures("holes,jam")
+	if err != nil || !reflect.DeepEqual(fails, []sim.FailureMode{sim.FailHoles, sim.FailJam}) {
+		t.Errorf("parseFailures = %v, %v", fails, err)
+	}
+	if _, err := parseFailures("flood"); err == nil {
+		t.Error("bad failure should fail")
+	}
+}
+
+func TestRunFlagCampaign(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-schemes", "SR,AR", "-grids", "8x8", "-spares", "8,24",
+		"-replicates", "3", "-seed", "11", "-out", dir, "-name", "unit",
+		"-metrics", "moves,success_rate", "-quiet",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "unit.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Jobs   int `json:"jobs"`
+		Points []struct {
+			Group string `json:"group"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs != 2*2*3 || len(m.Points) != 4 {
+		t.Errorf("manifest jobs=%d points=%d", m.Jobs, len(m.Points))
+	}
+	for _, f := range []string{"unit-moves.csv", "unit-moves.dat", "unit-success_rate.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing artifact %s: %v", f, err)
+		}
+	}
+}
+
+func TestRunSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	spec := `{
+		"schemes": ["SR"],
+		"grids": [{"cols": 8, "rows": 8}],
+		"spares": [16],
+		"failures": ["jam"],
+		"replicates": 2,
+		"seed": 4
+	}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{
+		"-spec", specPath, "-out", dir, "-name", "jamtest",
+		"-metrics", "all", "-quiet", "-ascii",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "jamtest.json")); err != nil {
+		t.Error(err)
+	}
+	// "all" exports every recorded metric, holes_before included.
+	if _, err := os.Stat(filepath.Join(dir, "jamtest-holes_before.csv")); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-schemes", "nope"},
+		{"-grids", "16"},
+		{"-spares", "ten"},
+		{"-holes", "1.5"},
+		{"-failures", "flood"},
+		{"-metrics", "unknown_metric", "-grids", "8x8", "-spares", "8", "-replicates", "1", "-quiet"},
+		{"-spec", "/nonexistent/spec.json"},
+	}
+	for _, args := range cases {
+		if err := run(append(args, "-out", t.TempDir())); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestRunSpecFileRejectsUnknownFields(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(specPath, []byte(`{"replciates": 5}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", specPath, "-out", dir, "-quiet"}); err == nil {
+		t.Error("typoed spec field should fail")
+	}
+}

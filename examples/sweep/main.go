@@ -1,0 +1,53 @@
+// Sweep: compare the SR and AR schemes over a range of spare counts
+// using the facade's parallel sweep API. All trials run concurrently on
+// the experiment engine, yet the numbers below are bit-identical on any
+// machine and worker count — every trial's seed is fixed before
+// dispatch.
+//
+// Run with: go run ./examples/sweep
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"wsncover"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 12x12 grid, three spare budgets, both schemes of the paper's
+	// evaluation, 25 seeded trials per point. Each scheme faces the same
+	// damage layouts, so the comparison is paired.
+	series, err := wsncover.Sweep(context.Background(), wsncover.SweepOptions{
+		Schemes: []wsncover.Scheme{wsncover.SR, wsncover.AR},
+		Cols:    12,
+		Rows:    12,
+		Spares:  []int{10, 40, 120},
+		Holes:   2,
+		Trials:  25,
+		Seed:    2008,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("scheme    N  recovery  success  moves/trial  dist/trial")
+	for _, s := range series {
+		for _, p := range s.Points {
+			fmt.Printf("%-6s %4d  %7.0f%%  %6.1f%%  %11.2f  %9.2f m\n",
+				s.Scheme, p.N, p.RecoveryRate, p.SuccessRate, p.MeanMoves, p.MeanDistance)
+		}
+	}
+
+	// The paper's headline: SR recovers every hole with fewer movements
+	// once spares are plentiful, while AR's redundant processes waste
+	// moves and sometimes strand a hole.
+	return nil
+}

@@ -1,0 +1,3 @@
+module wsncover
+
+go 1.24

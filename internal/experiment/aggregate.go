@@ -1,0 +1,148 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"wsncover/internal/plotdata"
+	"wsncover/internal/stats"
+)
+
+// Sample is one replicate's measurements at one sweep point. Group names
+// the curve the point belongs to (typically scheme + configuration), X
+// is the abscissa (typically the spare count N), and Values holds the
+// named metrics observed in this replicate.
+type Sample struct {
+	Group  string             `json:"group"`
+	X      float64            `json:"x"`
+	Values map[string]float64 `json:"values"`
+}
+
+// Point is the aggregate of every replicate that shares one (Group, X)
+// cell: each metric summarized by stats.Describe (mean, CI95, order
+// statistics).
+type Point struct {
+	Group   string                       `json:"group"`
+	X       float64                      `json:"x"`
+	Metrics map[string]stats.Description `json:"metrics"`
+}
+
+// Mean returns the mean of the named metric, or 0 when absent.
+func (p Point) Mean(metric string) float64 { return p.Metrics[metric].Mean }
+
+// Aggregate groups samples by (Group, X) and computes the descriptive
+// statistics of every metric across the group's replicates. Points come
+// back sorted by group then X, and metric values are accumulated in
+// sample order, so equal inputs aggregate to bit-identical outputs.
+func Aggregate(samples []Sample) []Point {
+	type cell struct {
+		group  string
+		x      float64
+		values map[string][]float64
+	}
+	type key struct {
+		group string
+		x     float64
+	}
+	cells := make(map[key]*cell)
+	order := make([]key, 0)
+	for _, s := range samples {
+		k := key{s.Group, s.X}
+		c, ok := cells[k]
+		if !ok {
+			c = &cell{group: s.Group, x: s.X, values: make(map[string][]float64)}
+			cells[k] = c
+			order = append(order, k)
+		}
+		for name, v := range s.Values {
+			c.values[name] = append(c.values[name], v)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].group != order[j].group {
+			return order[i].group < order[j].group
+		}
+		return order[i].x < order[j].x
+	})
+	out := make([]Point, 0, len(order))
+	for _, k := range order {
+		c := cells[k]
+		metrics := make(map[string]stats.Description, len(c.values))
+		for name, xs := range c.values {
+			metrics[name] = stats.Describe(xs)
+		}
+		out = append(out, Point{Group: c.group, X: c.x, Metrics: metrics})
+	}
+	return out
+}
+
+// Table assembles one metric of an aggregated point set into a plotdata
+// table: the shared X axis is the sorted union of every point's X, and
+// each group becomes one series of metric means. Cells a group never
+// visited are NaN so sparse sweeps still export.
+func Table(points []Point, metric, title, xlabel, ylabel string) (*plotdata.Table, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("experiment: no points to tabulate")
+	}
+	xSet := make(map[float64]bool)
+	groupOrder := make([]string, 0)
+	seenGroup := make(map[string]bool)
+	for _, p := range points {
+		xSet[p.X] = true
+		if !seenGroup[p.Group] {
+			seenGroup[p.Group] = true
+			groupOrder = append(groupOrder, p.Group)
+		}
+	}
+	xs := make([]float64, 0, len(xSet))
+	for x := range xSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	xIndex := make(map[float64]int, len(xs))
+	for i, x := range xs {
+		xIndex[x] = i
+	}
+	series := make([]plotdata.Series, 0, len(groupOrder))
+	byGroup := make(map[string][]float64, len(groupOrder))
+	for _, g := range groupOrder {
+		ys := make([]float64, len(xs))
+		for i := range ys {
+			ys[i] = math.NaN()
+		}
+		byGroup[g] = ys
+	}
+	found := false
+	for _, p := range points {
+		d, ok := p.Metrics[metric]
+		if !ok {
+			continue
+		}
+		found = true
+		byGroup[p.Group][xIndex[p.X]] = d.Mean
+	}
+	if !found {
+		return nil, fmt.Errorf("experiment: metric %q absent from all points", metric)
+	}
+	for _, g := range groupOrder {
+		series = append(series, plotdata.Series{Label: g, Y: byGroup[g]})
+	}
+	return plotdata.NewTable(title, xlabel, ylabel, xs, series...)
+}
+
+// MetricNames returns the sorted union of metric names across points.
+func MetricNames(points []Point) []string {
+	seen := make(map[string]bool)
+	for _, p := range points {
+		for name := range p.Metrics {
+			seen[name] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

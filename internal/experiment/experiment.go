@@ -1,0 +1,130 @@
+// Package experiment is the deterministic parallel experiment engine.
+// It executes batches of independent jobs — simulation trials, parameter
+// points, replicates — across a pool of worker goroutines and returns
+// their results in job order, so the output is bit-identical regardless
+// of the worker count or the order in which jobs happen to finish.
+//
+// The engine is deliberately domain-agnostic: a job is just an index and
+// a function. Domain layers (internal/sim's sweeps and campaigns, the
+// figure generators, cmd/sweep) enumerate their job space up front, fix
+// every job's random seed before dispatch (see Seeds), and fold the
+// ordered results afterwards. Determinism therefore never depends on
+// scheduling.
+//
+// On top of the runner the package supplies an aggregation layer:
+// Sample/Aggregate group replicate measurements into stats.Describe
+// summaries with 95% confidence intervals, Table exports any metric as a
+// plotdata table, and Manifest serializes a whole campaign as JSON.
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures a Run.
+type Options struct {
+	// Workers is the size of the goroutine pool; values below 1 mean
+	// runtime.GOMAXPROCS(0). The pool never exceeds the job count.
+	Workers int
+	// Progress, when non-nil, is called after every completed job with
+	// the number of jobs done so far and the total. Calls are serialized
+	// but may come from any worker goroutine; keep it fast.
+	Progress func(done, total int)
+}
+
+// workerCount resolves the effective pool size for total jobs.
+func (o Options) workerCount(total int) int {
+	w := o.Workers
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > total {
+		w = total
+	}
+	return w
+}
+
+// Run executes fn(ctx, i) for every index i in [0, total) on a worker
+// pool and returns the results ordered by index. The result slice is
+// identical for any worker count because each job is a pure function of
+// its index: jobs must draw randomness only from state fixed before the
+// call (for example a per-index seed from Seeds).
+//
+// The first failing job cancels the context passed to in-flight jobs,
+// stops unstarted work, and is returned. The reported error is
+// deterministic as well: jobs are claimed in index order and in-flight
+// jobs always finish, so the lowest failing index always runs and wins
+// ties. Jobs interrupted by the cancellation should return ctx.Err();
+// such echoes are not mistaken for the root cause. When the parent
+// context is cancelled first, Run returns its error.
+func Run[T any](ctx context.Context, total int, opts Options, fn func(ctx context.Context, index int) (T, error)) ([]T, error) {
+	if total < 0 {
+		return nil, fmt.Errorf("experiment: negative job count %d", total)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("experiment: nil job function")
+	}
+	results := make([]T, total)
+	if total == 0 {
+		return results, ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64 // next job index to claim
+		mu       sync.Mutex   // guards done, firstErr, errIndex, Progress
+		done     int
+		firstErr error
+		errIndex = total // lowest failing index seen so far
+	)
+	var wg sync.WaitGroup
+	for w := opts.workerCount(total); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total || ctx.Err() != nil {
+					return
+				}
+				res, err := fn(ctx, i)
+				if err != nil {
+					// A job unwinding with the cancellation error after
+					// another job already failed is an echo, not a cause.
+					echo := ctx.Err() != nil && errors.Is(err, ctx.Err())
+					mu.Lock()
+					if i < errIndex && !echo {
+						firstErr = fmt.Errorf("experiment: job %d: %w", i, err)
+						errIndex = i
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+				results[i] = res
+				mu.Lock()
+				done++
+				if opts.Progress != nil {
+					opts.Progress(done, total)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// The deferred cancel has not run yet, so a non-nil error here means
+	// the parent context was cancelled mid-run.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

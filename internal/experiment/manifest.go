@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Manifest is the JSON artifact describing one aggregated campaign: the
+// spec that produced it (opaque to this package), the job accounting,
+// and every aggregated point. Map keys marshal sorted and points are
+// pre-sorted by Aggregate, so the serialized form is deterministic.
+type Manifest struct {
+	// Name labels the campaign (used as the artifact base name).
+	Name string `json:"name"`
+	// Spec echoes the caller's sweep specification verbatim.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Jobs is the number of trials executed; Workers the pool size used.
+	Jobs    int `json:"jobs"`
+	Workers int `json:"workers"`
+	// Points holds the aggregated results.
+	Points []Point `json:"points"`
+}
+
+// NewManifest bundles aggregated points with a marshalled copy of spec.
+func NewManifest(name string, spec any, jobs, workers int, points []Point) (*Manifest, error) {
+	m := &Manifest{Name: name, Jobs: jobs, Workers: workers, Points: points}
+	if spec != nil {
+		raw, err := json.Marshal(spec)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: marshal spec: %w", err)
+		}
+		m.Spec = raw
+	}
+	return m, nil
+}
+
+// Write serializes the manifest as indented JSON.
+func (m *Manifest) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("experiment: encode manifest: %w", err)
+	}
+	return nil
+}
+
+// Save writes the manifest to dir/<name>.json, creating dir when needed,
+// and returns the written path.
+func (m *Manifest) Save(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("experiment: %w", err)
+	}
+	path := filepath.Join(dir, m.Name+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("experiment: %w", err)
+	}
+	if err := m.Write(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}

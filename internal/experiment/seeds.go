@@ -1,0 +1,18 @@
+package experiment
+
+import "wsncover/internal/randx"
+
+// Seeds derives n trial seeds from one base seed using the simulator's
+// stream-splitting discipline (randx.Rand.Split). The derivation walks
+// the indices in order on a single root stream, so the slice depends
+// only on (base, n) — never on worker count or scheduling — and each
+// seed heads an uncorrelated child stream. Callers assign seeds[i] to
+// job i before dispatching the batch to Run.
+func Seeds(base int64, n int) []int64 {
+	root := randx.New(base)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = root.Split(int64(i + 1)).Int63()
+	}
+	return out
+}

@@ -21,6 +21,8 @@ type ScalabilityConfig struct {
 	Trials int
 	// Seed anchors the trials.
 	Seed int64
+	// Workers sizes the trial worker pool; below 1 means GOMAXPROCS.
+	Workers int
 }
 
 // Scalability sweeps the grid size at constant spare density and reports
@@ -49,6 +51,7 @@ func Scalability(cfg ScalabilityConfig) (*plotdata.Table, error) {
 				Ns:       []int{n},
 				Trials:   cfg.Trials,
 				BaseSeed: cfg.Seed,
+				Workers:  cfg.Workers,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("figures: scalability %dx%d: %w", size, size, err)
@@ -81,6 +84,8 @@ type MultiHoleConfig struct {
 	Trials int
 	// Seed anchors the trials.
 	Seed int64
+	// Workers sizes the trial worker pool; below 1 means GOMAXPROCS.
+	Workers int
 }
 
 // MultiHole sweeps the number of simultaneous holes on the paper's 16x16
@@ -111,6 +116,7 @@ func MultiHole(cfg MultiHoleConfig) (*plotdata.Table, error) {
 				Ns:       []int{cfg.Spares},
 				Trials:   cfg.Trials,
 				BaseSeed: cfg.Seed,
+				Workers:  cfg.Workers,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("figures: multihole h=%d: %w", h, err)

@@ -36,6 +36,10 @@ type Config struct {
 	Cols, Rows int
 	// Holes per trial; zero means 1.
 	Holes int
+	// Workers sizes the trial worker pool of the underlying experiment
+	// engine; values below 1 mean GOMAXPROCS. Figure data is
+	// bit-identical for any worker count.
+	Workers int
 }
 
 func (c *Config) normalize() {
@@ -130,7 +134,8 @@ type Experimental struct {
 	Fig8b *plotdata.Table // analytical total distance, SR
 }
 
-// RunExperimental executes the SR and AR sweeps and assembles Figures 6-8.
+// RunExperimental executes the SR and AR sweeps on the parallel
+// experiment engine and assembles Figures 6-8.
 func RunExperimental(cfg Config) (*Experimental, error) {
 	cfg.normalize()
 	sweep := func(kind sim.SchemeKind) ([]sim.SweepPoint, error) {
@@ -141,6 +146,7 @@ func RunExperimental(cfg Config) (*Experimental, error) {
 			Ns:       cfg.Ns,
 			Trials:   cfg.Trials,
 			BaseSeed: cfg.Seed,
+			Workers:  cfg.Workers,
 		})
 	}
 	srPts, err := sweep(sim.SR)

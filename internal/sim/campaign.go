@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"wsncover/internal/experiment"
+)
+
+// GridSize is one grid-system dimension of a campaign.
+type GridSize struct {
+	Cols int `json:"cols"`
+	Rows int `json:"rows"`
+}
+
+// String implements fmt.Stringer.
+func (g GridSize) String() string { return fmt.Sprintf("%dx%d", g.Cols, g.Rows) }
+
+// ParseGridSize inverts String strictly: "CxR" with nothing else.
+func ParseGridSize(s string) (GridSize, error) {
+	c, r, ok := strings.Cut(strings.TrimSpace(s), "x")
+	cols, errC := strconv.Atoi(c)
+	rows, errR := strconv.Atoi(r)
+	if !ok || errC != nil || errR != nil {
+		return GridSize{}, fmt.Errorf("sim: bad grid size %q (want e.g. 16x16)", s)
+	}
+	return GridSize{Cols: cols, Rows: rows}, nil
+}
+
+// CampaignSpec describes a multi-dimensional Monte-Carlo campaign: the
+// cross product of schemes, grid sizes, spare counts, hole counts, and
+// failure modes, each cell replicated Replicates times. The JSON form is
+// what cmd/sweep reads as a spec file.
+type CampaignSpec struct {
+	// Schemes to compare; empty means SR and AR (the paper's pairing).
+	Schemes []SchemeKind `json:"schemes,omitempty"`
+	// Grids to evaluate; empty means the paper's 16x16.
+	Grids []GridSize `json:"grids,omitempty"`
+	// Spares lists the swept spare counts N; empty means PaperNs.
+	Spares []int `json:"spares,omitempty"`
+	// Holes lists simultaneous hole counts; empty means {1}. Ignored by
+	// the jam failure mode.
+	Holes []int `json:"holes,omitempty"`
+	// Failures lists damage models; empty means {FailHoles}.
+	Failures []FailureMode `json:"failures,omitempty"`
+	// Replicates is the trial count per cell; zero means 20.
+	Replicates int `json:"replicates,omitempty"`
+	// BaseSeed anchors the deterministic per-replicate seed derivation.
+	BaseSeed int64 `json:"seed,omitempty"`
+	// Workers sizes the worker pool; values below 1 mean GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+	// CommRange, JamRadius, AdjacentHolesOK, ARInitProb, and ARMaxHops
+	// pass through to every trial (zero values mean the trial defaults).
+	CommRange       float64 `json:"comm_range,omitempty"`
+	JamRadius       float64 `json:"jam_radius,omitempty"`
+	AdjacentHolesOK bool    `json:"adjacent_holes_ok,omitempty"`
+	ARInitProb      float64 `json:"ar_init_prob,omitempty"`
+	ARMaxHops       int     `json:"ar_max_hops,omitempty"`
+}
+
+func (s *CampaignSpec) normalize() {
+	if len(s.Schemes) == 0 {
+		s.Schemes = []SchemeKind{SR, AR}
+	}
+	if len(s.Grids) == 0 {
+		s.Grids = []GridSize{{16, 16}}
+	}
+	if len(s.Spares) == 0 {
+		s.Spares = PaperNs()
+	}
+	if len(s.Holes) == 0 {
+		s.Holes = []int{1}
+	}
+	if len(s.Failures) == 0 {
+		s.Failures = []FailureMode{FailHoles}
+	}
+	if s.Replicates == 0 {
+		s.Replicates = 20
+	}
+}
+
+// Normalized returns the spec with every empty dimension replaced by
+// its default — the form Jobs and RunCampaign actually execute, and the
+// one to echo into artifact labels and manifests.
+func (s CampaignSpec) Normalized() CampaignSpec {
+	s.normalize()
+	return s
+}
+
+// TrialJob is one fully resolved cell replicate of a campaign: every
+// sweep dimension pinned plus the pre-derived seed, so executing it is a
+// pure function of the job itself.
+type TrialJob struct {
+	Scheme    SchemeKind
+	Grid      GridSize
+	Spares    int
+	Holes     int
+	Failure   FailureMode
+	Replicate int
+	Seed      int64
+}
+
+// Group names the curve this job belongs to in aggregated output: every
+// dimension except the X axis (spares) and the replicate.
+func (j TrialJob) Group() string {
+	g := fmt.Sprintf("%s %s", j.Scheme, j.Grid)
+	if j.Failure != FailHoles {
+		g += " " + j.Failure.String()
+	} else if j.Holes != 1 {
+		g += fmt.Sprintf(" holes=%d", j.Holes)
+	}
+	return g
+}
+
+// config resolves the job into a runnable trial configuration.
+func (j TrialJob) config(s CampaignSpec) TrialConfig {
+	return TrialConfig{
+		Cols:            j.Grid.Cols,
+		Rows:            j.Grid.Rows,
+		CommRange:       s.CommRange,
+		Spares:          j.Spares,
+		Holes:           j.Holes,
+		AdjacentHolesOK: s.AdjacentHolesOK,
+		Failure:         j.Failure,
+		JamRadius:       s.JamRadius,
+		Scheme:          j.Scheme,
+		Seed:            j.Seed,
+		ARInitProb:      s.ARInitProb,
+		ARMaxHops:       s.ARMaxHops,
+	}
+}
+
+// Jobs expands the spec into its job list in a fixed nested order
+// (failure, grid, holes, scheme, spares, replicate). Replicate r uses
+// the r-th seed derived from BaseSeed across every cell, so all schemes
+// and configurations face statistically paired layouts, mirroring the
+// paper's methodology of comparing SR and AR on identical damage.
+func (s CampaignSpec) Jobs() []TrialJob {
+	s.normalize()
+	seeds := experiment.Seeds(s.BaseSeed, s.Replicates)
+	var jobs []TrialJob
+	for _, failure := range s.Failures {
+		// The jam disc ignores the hole count, so expanding the holes
+		// dimension there would replicate identical (config, seed) jobs
+		// and deflate the jam group's confidence intervals.
+		holesDim := s.Holes
+		if failure == FailJam {
+			holesDim = []int{1}
+		}
+		for _, g := range s.Grids {
+			for _, holes := range holesDim {
+				for _, scheme := range s.Schemes {
+					for _, spares := range s.Spares {
+						for r := 0; r < s.Replicates; r++ {
+							jobs = append(jobs, TrialJob{
+								Scheme:    scheme,
+								Grid:      g,
+								Spares:    spares,
+								Holes:     holes,
+								Failure:   failure,
+								Replicate: r,
+								Seed:      seeds[r],
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return jobs
+}
+
+// SampleOf converts one trial outcome into the engine's aggregation
+// currency: the job's curve identity, the spare count as X, and the
+// per-trial metrics the paper's figures are built from.
+func SampleOf(j TrialJob, res TrialResult) experiment.Sample {
+	recovered := 0.0
+	if res.Complete {
+		recovered = 1
+	}
+	return experiment.Sample{
+		Group: j.Group(),
+		X:     float64(j.Spares),
+		Values: map[string]float64{
+			"initiated":    float64(res.Summary.Initiated),
+			"moves":        float64(res.Summary.Moves),
+			"distance":     res.Summary.Distance,
+			"messages":     float64(res.Summary.Messages),
+			"success_rate": res.Summary.SuccessRate(),
+			"recovered":    recovered,
+			"rounds":       float64(res.Rounds),
+			"holes_before": float64(res.HolesBefore),
+			"holes_after":  float64(res.HolesAfter),
+		},
+	}
+}
+
+// RunCampaign executes every job of the spec on the parallel engine and
+// returns one sample per job, in job order. opts.Workers defaults to the
+// spec's Workers field when unset; results are bit-identical for any
+// worker count.
+func RunCampaign(ctx context.Context, spec CampaignSpec, opts experiment.Options) ([]experiment.Sample, error) {
+	spec.normalize()
+	jobs := spec.Jobs()
+	if opts.Workers == 0 {
+		opts.Workers = spec.Workers
+	}
+	results, err := experiment.Run(ctx, len(jobs), opts,
+		func(_ context.Context, i int) (TrialResult, error) {
+			res, err := RunTrial(jobs[i].config(spec))
+			if err != nil {
+				return TrialResult{}, fmt.Errorf("%s N=%d replicate %d: %w",
+					jobs[i].Group(), jobs[i].Spares, jobs[i].Replicate, err)
+			}
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	samples := make([]experiment.Sample, len(jobs))
+	for i, res := range results {
+		samples[i] = SampleOf(jobs[i], res)
+	}
+	return samples, nil
+}

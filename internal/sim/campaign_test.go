@@ -1,0 +1,284 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"wsncover/internal/experiment"
+)
+
+func TestRunTrialJamFailure(t *testing.T) {
+	res, err := RunTrial(TrialConfig{
+		Cols: 16, Rows: 16, Scheme: SR, Spares: 80, Failure: FailJam, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HolesBefore == 0 {
+		t.Fatal("jam created no holes; radius should cover at least one cell center region")
+	}
+	if !res.Complete {
+		t.Errorf("80 spares should repair a default jam: %+v", res)
+	}
+	if res.HolesAfter != 0 {
+		t.Errorf("holes remain after recovery: %+v", res)
+	}
+
+	// A wider jam kills more cells.
+	wide, err := RunTrial(TrialConfig{
+		Cols: 16, Rows: 16, Scheme: SR, Spares: 80, Failure: FailJam,
+		JamRadius: 15, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.HolesBefore <= res.HolesBefore {
+		t.Errorf("radius 15 made %d holes vs default's %d", wide.HolesBefore, res.HolesBefore)
+	}
+
+	if _, err := RunTrial(TrialConfig{
+		Cols: 8, Rows: 8, Scheme: SR, Failure: FailureMode(9),
+	}); err == nil {
+		t.Error("invalid failure mode should fail")
+	}
+	if _, err := RunTrial(TrialConfig{
+		Cols: 8, Rows: 8, Scheme: SR, JamRadius: -1,
+	}); err == nil {
+		t.Error("negative jam radius should fail")
+	}
+}
+
+// TestRunSweepWorkerCountInvariance is the engine's core acceptance
+// criterion at the sweep level: the same spec and seed must produce
+// bit-identical points at any worker count.
+func TestRunSweepWorkerCountInvariance(t *testing.T) {
+	base := SweepConfig{
+		Template: TrialConfig{Cols: 12, Rows: 12, Scheme: AR},
+		Ns:       []int{5, 20, 60},
+		Trials:   8,
+		BaseSeed: 1234,
+	}
+	run := func(workers int) []SweepPoint {
+		cfg := base
+		cfg.Workers = workers
+		pts, err := RunSweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); !reflect.DeepEqual(got, ref) {
+			t.Errorf("workers=%d diverged:\n%+v\nwant\n%+v", workers, got, ref)
+		}
+	}
+}
+
+func TestRunSweepContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunSweepContext(ctx, SweepConfig{
+		Template: TrialConfig{Cols: 16, Rows: 16, Scheme: SR},
+		Ns:       PaperNs(),
+		Trials:   50,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCampaignJobsExpansion(t *testing.T) {
+	spec := CampaignSpec{
+		Schemes:    []SchemeKind{SR, AR},
+		Grids:      []GridSize{{8, 8}, {12, 12}},
+		Spares:     []int{10, 30},
+		Holes:      []int{1, 2},
+		Failures:   []FailureMode{FailHoles, FailJam},
+		Replicates: 3,
+		BaseSeed:   77,
+	}
+	jobs := spec.Jobs()
+	// FailHoles expands the holes dimension; FailJam ignores hole counts
+	// (the disc decides), so it contributes a single holes value — no
+	// duplicate (config, seed) jobs inflating the jam statistics.
+	want := 2*2*2*2*3 + 2*2*1*2*3
+	if len(jobs) != want {
+		t.Fatalf("jobs = %d, want %d", len(jobs), want)
+	}
+	jamJobs := 0
+	for _, j := range jobs {
+		if j.Failure == FailJam {
+			jamJobs++
+			if j.Holes != 1 {
+				t.Fatalf("jam job carries holes=%d", j.Holes)
+			}
+		}
+	}
+	if jamJobs != 2*2*1*2*3 {
+		t.Errorf("jam jobs = %d", jamJobs)
+	}
+	// Replicate r shares its seed across every cell (paired layouts).
+	seeds := experiment.Seeds(77, 3)
+	for _, j := range jobs {
+		if j.Seed != seeds[j.Replicate] {
+			t.Fatalf("job %+v seed mismatch", j)
+		}
+	}
+	// Expansion is deterministic.
+	if !reflect.DeepEqual(jobs, spec.Jobs()) {
+		t.Error("Jobs() not reproducible")
+	}
+	// Group naming: scheme + grid, with non-default damage called out.
+	if g := jobs[0].Group(); g != "SR 8x8" {
+		t.Errorf("group = %q", g)
+	}
+	if g := (TrialJob{Scheme: AR, Grid: GridSize{16, 16}, Holes: 4}).Group(); g != "AR 16x16 holes=4" {
+		t.Errorf("group = %q", g)
+	}
+	if g := (TrialJob{Scheme: SR, Grid: GridSize{16, 16}, Failure: FailJam}).Group(); g != "SR 16x16 jam" {
+		t.Errorf("group = %q", g)
+	}
+}
+
+func TestRunCampaignAggregates(t *testing.T) {
+	spec := CampaignSpec{
+		Schemes:    []SchemeKind{SR, AR},
+		Grids:      []GridSize{{8, 8}},
+		Spares:     []int{8, 24},
+		Replicates: 4,
+		BaseSeed:   99,
+	}
+	samples, err := RunCampaign(context.Background(), spec, experiment.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2*2*4 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	pts := experiment.Aggregate(samples)
+	if len(pts) != 4 { // 2 schemes x 2 spare counts
+		t.Fatalf("points = %d: %+v", len(pts), pts)
+	}
+	for _, p := range pts {
+		d, ok := p.Metrics["moves"]
+		if !ok || d.N != 4 {
+			t.Errorf("%s/%g: moves = %+v", p.Group, p.X, d)
+		}
+		if p.Metrics["success_rate"].Mean < 0 || p.Metrics["success_rate"].Mean > 100 {
+			t.Errorf("%s/%g: success = %v", p.Group, p.X, p.Metrics["success_rate"])
+		}
+	}
+	// SR initiates exactly one process per hole per trial.
+	for _, p := range pts {
+		if p.Group == "SR 8x8" && p.Metrics["initiated"].Mean != 1 {
+			t.Errorf("SR initiated mean = %v, want 1", p.Metrics["initiated"].Mean)
+		}
+	}
+
+	// Worker-count invariance holds across the whole campaign too.
+	again, err := RunCampaign(context.Background(), spec, experiment.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(samples, again) {
+		t.Error("campaign results depend on worker count")
+	}
+}
+
+func TestCampaignSpecJSON(t *testing.T) {
+	in := `{
+		"schemes": ["SR", "sr+shortcut", "AR"],
+		"grids": [{"cols": 16, "rows": 16}],
+		"spares": [10, 55],
+		"failures": ["holes", "jam"],
+		"replicates": 5,
+		"seed": 42
+	}`
+	var spec CampaignSpec
+	if err := json.Unmarshal([]byte(in), &spec); err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Schemes) != 3 || spec.Schemes[1] != SRShortcut {
+		t.Errorf("schemes = %v", spec.Schemes)
+	}
+	if len(spec.Failures) != 2 || spec.Failures[1] != FailJam {
+		t.Errorf("failures = %v", spec.Failures)
+	}
+	out, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CampaignSpec
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, back) {
+		t.Errorf("round trip:\n%+v\n%+v", spec, back)
+	}
+	if err := json.Unmarshal([]byte(`{"schemes": ["XR"]}`), &spec); err == nil {
+		t.Error("bad scheme name should fail")
+	}
+	if err := json.Unmarshal([]byte(`{"failures": ["flood"]}`), &spec); err == nil {
+		t.Error("bad failure name should fail")
+	}
+}
+
+func TestCampaignSpecNormalized(t *testing.T) {
+	n := CampaignSpec{}.Normalized()
+	if n.Replicates != 20 || len(n.Schemes) != 2 || len(n.Spares) == 0 ||
+		len(n.Grids) != 1 || len(n.Holes) != 1 || len(n.Failures) != 1 {
+		t.Errorf("defaults not filled: %+v", n)
+	}
+	// Set fields survive.
+	n = CampaignSpec{Replicates: 7, Spares: []int{3}}.Normalized()
+	if n.Replicates != 7 || len(n.Spares) != 1 {
+		t.Errorf("explicit fields clobbered: %+v", n)
+	}
+}
+
+func TestParseGridSize(t *testing.T) {
+	g, err := ParseGridSize(" 16x16 ")
+	if err != nil || g != (GridSize{16, 16}) {
+		t.Errorf("ParseGridSize = %v, %v", g, err)
+	}
+	for _, bad := range []string{"16by16", "16x16x3", "8x8junk", "x8", "8x", ""} {
+		if _, err := ParseGridSize(bad); err == nil {
+			t.Errorf("ParseGridSize(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseSchemeKindAndFailureMode(t *testing.T) {
+	for in, want := range map[string]SchemeKind{
+		"SR": SR, "sr": SR, "SRS": SRShortcut, "SR+shortcut": SRShortcut, "ar": AR,
+	} {
+		got, err := ParseSchemeKind(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSchemeKind(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSchemeKind("bogus"); err == nil {
+		t.Error("bogus scheme should fail")
+	}
+	for in, want := range map[string]FailureMode{
+		"holes": FailHoles, "": FailHoles, "JAM": FailJam,
+	} {
+		got, err := ParseFailureMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFailureMode(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFailureMode("flood"); err == nil {
+		t.Error("bogus mode should fail")
+	}
+	if FailJam.String() != "jam" || FailHoles.String() != "holes" {
+		t.Error("FailureMode strings")
+	}
+	if FailureMode(9).String() == "" {
+		t.Error("invalid mode should render")
+	}
+}

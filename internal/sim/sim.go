@@ -5,12 +5,16 @@
 package sim
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"strings"
 
 	"wsncover/internal/ar"
 	"wsncover/internal/core"
 	"wsncover/internal/coverage"
 	"wsncover/internal/deploy"
+	"wsncover/internal/experiment"
 	"wsncover/internal/geom"
 	"wsncover/internal/grid"
 	"wsncover/internal/hamilton"
@@ -68,8 +72,97 @@ func (k SchemeKind) String() string {
 	}
 }
 
+// ParseSchemeKind inverts String, accepting the spellings the CLIs use
+// (case-insensitive; "SRS" abbreviates "SR+shortcut").
+func ParseSchemeKind(s string) (SchemeKind, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "SR":
+		return SR, nil
+	case "SR+SHORTCUT", "SRS":
+		return SRShortcut, nil
+	case "AR":
+		return AR, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown scheme %q (want SR, SR+shortcut, or AR)", s)
+	}
+}
+
+// MarshalJSON renders the scheme by name so sweep spec files stay
+// readable.
+func (k SchemeKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON parses a scheme name.
+func (k *SchemeKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseSchemeKind(s)
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
+}
+
 // PaperCommRange is the experimental communication range, R = 10 m.
 const PaperCommRange = 10.0
+
+// FailureMode selects how a trial damages the network before the scheme
+// starts. The zero value is the paper's model.
+type FailureMode int
+
+const (
+	// FailHoles vacates randomly chosen cells (the paper's Section 5
+	// configuration): the chosen cells receive no nodes at all.
+	FailHoles FailureMode = iota
+	// FailJam deploys complete coverage first, then disables every node
+	// within a jammed disc at a random center — the region-wide attack
+	// of Xu et al. [8] cited in the paper's introduction. The hole count
+	// is emergent from the jam radius rather than configured.
+	FailJam
+)
+
+// String implements fmt.Stringer.
+func (m FailureMode) String() string {
+	switch m {
+	case FailHoles:
+		return "holes"
+	case FailJam:
+		return "jam"
+	default:
+		return fmt.Sprintf("FailureMode(%d)", int(m))
+	}
+}
+
+// ParseFailureMode inverts String.
+func ParseFailureMode(s string) (FailureMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "holes", "":
+		return FailHoles, nil
+	case "jam":
+		return FailJam, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown failure mode %q (want holes or jam)", s)
+	}
+}
+
+// MarshalJSON renders the mode by name.
+func (m FailureMode) MarshalJSON() ([]byte, error) { return json.Marshal(m.String()) }
+
+// UnmarshalJSON parses a mode name.
+func (m *FailureMode) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseFailureMode(s)
+	if err != nil {
+		return err
+	}
+	*m = parsed
+	return nil
+}
 
 // TrialConfig describes one simulation trial.
 type TrialConfig struct {
@@ -82,11 +175,18 @@ type TrialConfig struct {
 	// Spares is the number of spare nodes N left in the network.
 	Spares int
 	// Holes is the number of simultaneous holes; the trial creates them
-	// before the scheme starts. Zero means 1.
+	// before the scheme starts. Zero means 1. Ignored under FailJam,
+	// where the jammed disc determines the damage.
 	Holes int
 	// AdjacentHolesOK permits holes in adjacent cells (harder case:
 	// monitors of holes may themselves be vacant).
 	AdjacentHolesOK bool
+	// Failure selects the damage model; the zero value (FailHoles) is
+	// the paper's random vacant cells.
+	Failure FailureMode
+	// JamRadius is the jammed-disc radius under FailJam; zero means 1.5
+	// cell sizes (a handful of neighboring cells).
+	JamRadius float64
 	// Scheme selects the controller.
 	Scheme SchemeKind
 	// Seed makes the trial reproducible.
@@ -118,6 +218,12 @@ func (cfg *TrialConfig) normalize() error {
 	}
 	if cfg.Spares < 0 {
 		return fmt.Errorf("sim: negative spare count %d", cfg.Spares)
+	}
+	if cfg.Failure != FailHoles && cfg.Failure != FailJam {
+		return fmt.Errorf("sim: unknown failure mode %v", cfg.Failure)
+	}
+	if cfg.JamRadius < 0 {
+		return fmt.Errorf("sim: negative jam radius %g", cfg.JamRadius)
 	}
 	return nil
 }
@@ -151,11 +257,7 @@ func RunTrial(cfg TrialConfig) (TrialResult, error) {
 		return TrialResult{}, err
 	}
 	net := network.New(sys, cfg.EnergyModel)
-	holes, err := deploy.PickHoleCells(sys, cfg.Holes, !cfg.AdjacentHolesOK, rng.Split(1))
-	if err != nil {
-		return TrialResult{}, err
-	}
-	if err := deploy.Controlled(net, cfg.Spares, holes, rng.Split(2)); err != nil {
+	if _, err := ApplyDamage(net, cfg, rng); err != nil {
 		return TrialResult{}, err
 	}
 	scheme, err := BuildScheme(net, cfg, rng.Split(3))
@@ -172,6 +274,55 @@ func RunTrial(cfg TrialConfig) (TrialResult, error) {
 	res.Complete = coverage.Complete(net)
 	res.Connected = net.HeadGraphConnected()
 	return res, nil
+}
+
+// DamageReport describes the failure a trial injected.
+type DamageReport struct {
+	// HoleCells are the vacated cells under FailHoles.
+	HoleCells []grid.Coord
+	// JamCenter, JamRadius, and Killed describe the FailJam disc: its
+	// random center, the effective radius, and the nodes it disabled.
+	JamCenter geom.Point
+	JamRadius float64
+	Killed    int
+}
+
+// ApplyDamage deploys the trial population on an empty network and
+// injects cfg's failure, drawing from rng with a fixed stream-split
+// discipline: equal seeds damage the network identically wherever the
+// trial is assembled (RunTrial, the CLIs). cfg is taken as given — call
+// sites that skip RunTrial must set Holes themselves.
+func ApplyDamage(net *network.Network, cfg TrialConfig, rng *randx.Rand) (DamageReport, error) {
+	sys := net.System()
+	switch cfg.Failure {
+	case FailJam:
+		// Deploy complete coverage, then jam a disc at a random center:
+		// every node inside it dies, heads included, and the vacated
+		// cells become the holes the scheme must repair.
+		damage := rng.Split(1)
+		if err := deploy.Controlled(net, cfg.Spares, nil, rng.Split(2)); err != nil {
+			return DamageReport{}, err
+		}
+		radius := cfg.JamRadius
+		if radius == 0 {
+			radius = 1.5 * sys.CellSize()
+		}
+		center := damage.InRect(sys.Bounds())
+		return DamageReport{
+			JamCenter: center,
+			JamRadius: radius,
+			Killed:    deploy.FailRegion(net, center, radius),
+		}, nil
+	default:
+		holes, err := deploy.PickHoleCells(sys, cfg.Holes, !cfg.AdjacentHolesOK, rng.Split(1))
+		if err != nil {
+			return DamageReport{}, err
+		}
+		if err := deploy.Controlled(net, cfg.Spares, holes, rng.Split(2)); err != nil {
+			return DamageReport{}, err
+		}
+		return DamageReport{HoleCells: holes}, nil
+	}
 }
 
 // BuildScheme constructs the configured controller over an existing
@@ -256,26 +407,48 @@ type SweepConfig struct {
 	Trials int
 	// BaseSeed derives per-trial seeds.
 	BaseSeed int64
+	// Workers sizes the trial worker pool; values below 1 mean
+	// GOMAXPROCS. Any worker count produces bit-identical points.
+	Workers int
 }
 
-// RunSweep evaluates the scheme over all spare counts. Trials at each
-// point use seeds BaseSeed + trialIndex, shared across schemes so that SR
-// and AR face identical hole/spare layouts.
+// RunSweep evaluates the scheme over all spare counts, running trials on
+// the parallel experiment engine. Trials at each point use seeds
+// BaseSeed + trialIndex, shared across schemes so that SR and AR face
+// identical hole/spare layouts.
 func RunSweep(cfg SweepConfig) ([]SweepPoint, error) {
+	return RunSweepContext(context.Background(), cfg)
+}
+
+// RunSweepContext is RunSweep with cancellation. It is a thin spec
+// builder over experiment.Run: the (N, trial) job space is enumerated
+// and seeded up front, trials execute in parallel, and the ordered
+// results fold into per-N points exactly as the sequential loop did, so
+// sweep output does not depend on the worker count.
+func RunSweepContext(ctx context.Context, cfg SweepConfig) ([]SweepPoint, error) {
 	if cfg.Trials < 1 {
 		return nil, fmt.Errorf("sim: sweep needs at least 1 trial")
 	}
-	out := make([]SweepPoint, 0, len(cfg.Ns))
-	for _, n := range cfg.Ns {
-		pt := SweepPoint{N: n}
-		for tr := 0; tr < cfg.Trials; tr++ {
+	results, err := experiment.Run(ctx, len(cfg.Ns)*cfg.Trials,
+		experiment.Options{Workers: cfg.Workers},
+		func(_ context.Context, i int) (TrialResult, error) {
 			tc := cfg.Template
-			tc.Spares = n
-			tc.Seed = cfg.BaseSeed + int64(tr)
+			tc.Spares = cfg.Ns[i/cfg.Trials]
+			tc.Seed = cfg.BaseSeed + int64(i%cfg.Trials)
 			res, err := RunTrial(tc)
 			if err != nil {
-				return nil, fmt.Errorf("sim: sweep N=%d trial %d: %w", n, tr, err)
+				return TrialResult{}, fmt.Errorf("sim: sweep N=%d trial %d: %w",
+					tc.Spares, i%cfg.Trials, err)
 			}
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, 0, len(cfg.Ns))
+	for ni, n := range cfg.Ns {
+		pt := SweepPoint{N: n}
+		for _, res := range results[ni*cfg.Trials : (ni+1)*cfg.Trials] {
 			pt.Summary = pt.Summary.Add(res.Summary)
 			pt.Trials++
 			if res.Complete {

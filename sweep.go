@@ -1,0 +1,120 @@
+package wsncover
+
+import (
+	"context"
+	"fmt"
+
+	"wsncover/internal/sim"
+)
+
+// SweepOptions configures a Monte-Carlo comparison sweep over the spare
+// count N, the evaluation of Section 5 exposed through the facade.
+type SweepOptions struct {
+	// Schemes to compare; empty means SR and AR (the paper's pairing).
+	Schemes []Scheme
+	// Cols and Rows size the grid; zero means the paper's 16x16.
+	Cols, Rows int
+	// Spares lists the swept spare counts N; empty means the paper's
+	// x axis (10..1000).
+	Spares []int
+	// Holes per trial; zero means 1.
+	Holes int
+	// Trials per (scheme, N) point; zero means 20.
+	Trials int
+	// Seed anchors all trials. Trial t uses the same derived layout for
+	// every scheme, so the schemes face identical damage.
+	Seed int64
+	// Workers sizes the parallel trial pool; values below 1 mean
+	// GOMAXPROCS. Results are bit-identical for any worker count.
+	Workers int
+}
+
+// SweepPoint aggregates the trials of one scheme at one spare count.
+type SweepPoint struct {
+	// N is the spare count.
+	N int
+	// Trials is the number of trials aggregated.
+	Trials int
+	// RecoveryRate is the percentage of trials that ended with complete
+	// coverage.
+	RecoveryRate float64
+	// SuccessRate is the percentage of replacement processes that
+	// converged (Figure 6b).
+	SuccessRate float64
+	// MeanMoves and MeanDistance are per-trial averages (Figures 7, 8).
+	MeanMoves    float64
+	MeanDistance float64
+}
+
+// SweepSeries is one scheme's curve over the swept spare counts.
+type SweepSeries struct {
+	Scheme Scheme
+	Points []SweepPoint
+}
+
+func (s Scheme) kind() (sim.SchemeKind, error) {
+	switch s {
+	case SR:
+		return sim.SR, nil
+	case SRShortcut:
+		return sim.SRShortcut, nil
+	case AR:
+		return sim.AR, nil
+	default:
+		return 0, fmt.Errorf("wsncover: unknown scheme %v", s)
+	}
+}
+
+// Sweep runs seeded recovery trials for every scheme and spare count on
+// the parallel experiment engine and returns one aggregated curve per
+// scheme. Equal options produce bit-identical curves regardless of the
+// worker count or core count.
+func Sweep(ctx context.Context, opts SweepOptions) ([]SweepSeries, error) {
+	if len(opts.Schemes) == 0 {
+		opts.Schemes = []Scheme{SR, AR}
+	}
+	if opts.Cols == 0 {
+		opts.Cols = 16
+	}
+	if opts.Rows == 0 {
+		opts.Rows = 16
+	}
+	if len(opts.Spares) == 0 {
+		opts.Spares = sim.PaperNs()
+	}
+	if opts.Trials == 0 {
+		opts.Trials = 20
+	}
+	out := make([]SweepSeries, 0, len(opts.Schemes))
+	for _, scheme := range opts.Schemes {
+		kind, err := scheme.kind()
+		if err != nil {
+			return nil, err
+		}
+		pts, err := sim.RunSweepContext(ctx, sim.SweepConfig{
+			Template: sim.TrialConfig{
+				Cols: opts.Cols, Rows: opts.Rows, Scheme: kind, Holes: opts.Holes,
+			},
+			Ns:       opts.Spares,
+			Trials:   opts.Trials,
+			BaseSeed: opts.Seed,
+			Workers:  opts.Workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("wsncover: %s sweep: %w", scheme, err)
+		}
+		series := SweepSeries{Scheme: scheme, Points: make([]SweepPoint, len(pts))}
+		for i, p := range pts {
+			series.Points[i] = SweepPoint{
+				N:            p.N,
+				Trials:       p.Trials,
+				RecoveryRate: 100 * float64(p.Recovered) / float64(p.Trials),
+				SuccessRate:  p.Summary.SuccessRate(),
+				MeanMoves:    p.MeanMovesPerTrial(),
+				MeanDistance: p.Summary.Distance / float64(p.Trials),
+			}
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}

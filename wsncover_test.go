@@ -1,6 +1,8 @@
 package wsncover
 
 import (
+	"context"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -213,5 +215,55 @@ func TestStepAPI(t *testing.T) {
 	}
 	if len(sc.Holes()) != 0 {
 		t.Error("single repair should finish within 30 manual rounds")
+	}
+}
+
+func TestSweepFacade(t *testing.T) {
+	opts := SweepOptions{
+		Schemes: []Scheme{SR, AR},
+		Cols:    8, Rows: 8,
+		Spares: []int{8, 24},
+		Trials: 6,
+		Seed:   31,
+	}
+	series, err := Sweep(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 || series[0].Scheme != SR || series[1].Scheme != AR {
+		t.Fatalf("series = %+v", series)
+	}
+	for _, s := range series {
+		if len(s.Points) != 2 {
+			t.Fatalf("%s points = %d", s.Scheme, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Trials != 6 {
+				t.Errorf("%s N=%d trials = %d", s.Scheme, p.N, p.Trials)
+			}
+			if p.RecoveryRate < 0 || p.RecoveryRate > 100 || p.SuccessRate < 0 || p.SuccessRate > 100 {
+				t.Errorf("%s N=%d rates out of range: %+v", s.Scheme, p.N, p)
+			}
+		}
+		// SR repairs the single default hole every time.
+		if s.Scheme == SR && s.Points[0].RecoveryRate != 100 {
+			t.Errorf("SR recovery = %v", s.Points[0].RecoveryRate)
+		}
+	}
+
+	// Bit-identical rerun at a different worker count.
+	opts.Workers = 1
+	again, err := Sweep(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(series, again) {
+		t.Error("facade sweep depends on worker count")
+	}
+
+	if _, err := Sweep(context.Background(), SweepOptions{
+		Schemes: []Scheme{Scheme(9)}, Spares: []int{5}, Trials: 1,
+	}); err == nil {
+		t.Error("invalid scheme should fail")
 	}
 }
