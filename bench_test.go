@@ -20,11 +20,16 @@ import (
 	"testing"
 
 	"wsncover/internal/analytic"
+	"wsncover/internal/core"
+	"wsncover/internal/deploy"
 	"wsncover/internal/experiment"
 	"wsncover/internal/figures"
 	"wsncover/internal/geom"
 	"wsncover/internal/grid"
 	"wsncover/internal/hamilton"
+	"wsncover/internal/network"
+	"wsncover/internal/node"
+	"wsncover/internal/randx"
 	"wsncover/internal/sim"
 )
 
@@ -355,7 +360,8 @@ func BenchmarkSweepParallel(b *testing.B) {
 }
 
 // BenchmarkCampaign16Cells times a small multi-dimensional campaign
-// (scheme x spares x failure mode) end to end through aggregation.
+// (scheme x spares x failure mode) end to end through the streaming
+// aggregation.
 func BenchmarkCampaign16Cells(b *testing.B) {
 	spec := sim.CampaignSpec{
 		Schemes:    []sim.SchemeKind{sim.SR, sim.AR},
@@ -367,13 +373,167 @@ func BenchmarkCampaign16Cells(b *testing.B) {
 	}
 	var points int
 	for i := 0; i < b.N; i++ {
-		samples, err := sim.RunCampaign(context.Background(), spec, experiment.Options{})
+		pts, err := sim.RunCampaign(context.Background(), spec, experiment.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
-		points = len(experiment.Aggregate(samples))
+		points = len(pts)
 	}
 	b.ReportMetric(float64(points), "points")
+}
+
+// BenchmarkCampaignAggregation contrasts the aggregation layer's memory
+// residency at high replicate counts: the batch path must hold every
+// sample until the final Aggregate (O(trials) retained bytes), the
+// streaming Accumulator folds each sample on arrival and retains only
+// per-(group, X) state (O(groups)). Each variant reports the heap bytes
+// still live at the point batch aggregation would run, measured across a
+// forced GC — the number that decides whether a 10^6-trial campaign fits
+// in memory.
+func BenchmarkCampaignAggregation(b *testing.B) {
+	const groups, xs, replicates = 6, 16, 200
+	mkSample := func(i int) experiment.Sample {
+		return experiment.Sample{
+			Group: [groups]string{"SR", "AR", "SRS", "SR jam", "AR jam", "SRS jam"}[i%groups],
+			X:     float64(10 * ((i / groups) % xs)),
+			Values: map[string]float64{
+				"moves": float64(i % 97), "distance": float64(i%31) * 1.7,
+				"success_rate": float64(i % 101), "rounds": float64(i % 53),
+			},
+		}
+	}
+	total := groups * xs * replicates
+	heapLive := func() float64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	}
+	b.Run("batch", func(b *testing.B) {
+		var retained float64
+		for i := 0; i < b.N; i++ {
+			before := heapLive()
+			samples := make([]experiment.Sample, 0, total)
+			for j := 0; j < total; j++ {
+				samples = append(samples, mkSample(j))
+			}
+			retained = heapLive() - before // every sample still live here
+			if pts := experiment.Aggregate(samples); len(pts) != groups*xs {
+				b.Fatalf("points = %d", len(pts))
+			}
+		}
+		b.ReportMetric(retained, "retained-B")
+		b.ReportMetric(retained/float64(total), "retained-B/trial")
+	})
+	b.Run("streaming", func(b *testing.B) {
+		var retained float64
+		for i := 0; i < b.N; i++ {
+			before := heapLive()
+			acc := experiment.NewAccumulator()
+			for j := 0; j < total; j++ {
+				acc.Add(mkSample(j))
+			}
+			retained = heapLive() - before // only the accumulator is live
+			if pts := acc.Points(); len(pts) != groups*xs {
+				b.Fatalf("points = %d", len(pts))
+			}
+		}
+		b.ReportMetric(retained, "retained-B")
+		b.ReportMetric(retained/float64(total), "retained-B/trial")
+	})
+}
+
+// BenchmarkDetectRound isolates the per-round cost of hole detection on a
+// 64x64 grid in the dominant steady-state regime (no fresh holes): the
+// reference full scan walks and allocates O(cells) every round, the
+// event-driven detector drains an empty journal. allocs/op here is the
+// "allocs per round" figure of the performance notes.
+func BenchmarkDetectRound(b *testing.B) {
+	for _, legacy := range []bool{false, true} {
+		name := "event"
+		if legacy {
+			name = "fullscan"
+		}
+		b.Run(name, func(b *testing.B) {
+			sys, err := grid.New(64, 64, 10, geom.Pt(0, 0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			net := network.New(sys, node.EnergyModel{})
+			rng := randx.New(7)
+			holes, err := deploy.PickHoleCells(sys, 8, true, rng.Split(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := deploy.Controlled(net, 200, holes, rng.Split(2)); err != nil {
+				b.Fatal(err)
+			}
+			topo, err := hamilton.Build(sys)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctrl, err := core.New(net, core.Config{
+				Topology: topo, RNG: rng.Split(3), FullScanDetect: legacy,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 200; i++ { // converge and warm every buffer
+				if err := ctrl.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ctrl.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTrialLarge exercises the single-trial hot path on big grids,
+// where per-round O(cells) scans dominate. The "fullscan" variants run
+// the seed's reference detector (kept behind TrialConfig.LegacyDetect);
+// the default variants run the event-driven detector with the
+// allocation-free round loop. Both produce bit-identical results — only
+// ns/op and allocs/op may differ.
+func BenchmarkTrialLarge(b *testing.B) {
+	dims := []struct {
+		name          string
+		cols, rows    int
+		spares, holes int
+	}{
+		{"64x64", 64, 64, 300, 16},
+		{"128x128", 128, 128, 600, 32},
+	}
+	for _, d := range dims {
+		for _, legacy := range []bool{false, true} {
+			name := d.name
+			if legacy {
+				name += "-fullscan"
+			}
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := sim.RunTrial(sim.TrialConfig{
+						Cols: d.cols, Rows: d.rows, Scheme: sim.SR,
+						Spares: d.spares, Holes: d.holes,
+						AdjacentHolesOK: true, Seed: int64(i % 8),
+						LegacyDetect: legacy,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Complete {
+						b.Fatalf("trial did not recover: %+v", res)
+					}
+				}
+			})
+		}
+	}
 }
 
 // --- Micro benches for the hot substrate paths ---

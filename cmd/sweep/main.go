@@ -21,10 +21,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"wsncover/internal/experiment"
 	"wsncover/internal/sim"
@@ -34,6 +36,61 @@ func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
+	}
+}
+
+// progressMeter renders completed/total with the trial rate and an ETA on
+// one self-overwriting line. Redraws are throttled to ~5/s so the meter
+// never slows the worker pool; report is called from the engine's
+// serialized Progress hook, so no locking is needed.
+type progressMeter struct {
+	w     io.Writer
+	start time.Time
+	last  time.Time
+}
+
+func newProgressMeter(w io.Writer) *progressMeter {
+	now := time.Now()
+	return &progressMeter{w: w, start: now, last: now}
+}
+
+func (p *progressMeter) report(done, total int) {
+	now := time.Now()
+	if done < total && now.Sub(p.last) < 200*time.Millisecond {
+		return
+	}
+	p.last = now
+	elapsed := now.Sub(p.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(done) / elapsed
+	}
+	eta := "--"
+	if rate > 0 && done < total {
+		eta = formatETA(time.Duration(float64(total-done) / rate * float64(time.Second)))
+	}
+	fmt.Fprintf(p.w, "\r%d/%d trials  %.0f trials/s  ETA %s   ", done, total, rate, eta)
+	if done == total {
+		fmt.Fprintf(p.w, "\r%d/%d trials  %.0f trials/s  in %s   \n",
+			done, total, rate, formatETA(now.Sub(p.start)))
+	}
+}
+
+// formatETA renders a duration as s / m+s / h+m. The duration is rounded
+// to whole seconds first so boundary values roll into the larger unit
+// ("60s" never appears; 59.7s renders as 1m00s).
+func formatETA(d time.Duration) string {
+	if d < time.Second {
+		return "<1s"
+	}
+	s := int(d.Seconds() + 0.5)
+	switch {
+	case s < 60:
+		return fmt.Sprintf("%ds", s)
+	case s < 3600:
+		return fmt.Sprintf("%dm%02ds", s/60, s%60)
+	default:
+		return fmt.Sprintf("%dh%02dm", s/3600, s/60%60)
 	}
 }
 
@@ -171,25 +228,19 @@ func run(args []string) error {
 	}
 	spec = spec.Normalized()
 
-	jobs := spec.Jobs()
+	totalJobs := spec.NumJobs()
 	opts := experiment.Options{Workers: spec.Workers}
 	if !*quiet {
-		opts.Progress = func(done, total int) {
-			if done%50 == 0 || done == total {
-				fmt.Fprintf(os.Stderr, "\r%d/%d trials", done, total)
-				if done == total {
-					fmt.Fprintln(os.Stderr)
-				}
-			}
-		}
+		opts.Progress = newProgressMeter(os.Stderr).report
 	}
-	samples, err := sim.RunCampaign(context.Background(), spec, opts)
+	// Trials stream into online per-(group, N) accumulators inside
+	// RunCampaign: campaign memory is O(groups), not O(trials).
+	points, err := sim.RunCampaign(context.Background(), spec, opts)
 	if err != nil {
 		return err
 	}
-	points := experiment.Aggregate(samples)
 
-	manifest, err := experiment.NewManifest(*name, spec, len(jobs), opts.Workers, points)
+	manifest, err := experiment.NewManifest(*name, spec, totalJobs, opts.Workers, points)
 	if err != nil {
 		return err
 	}
@@ -197,7 +248,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d jobs, %d points)\n", path, len(jobs), len(points))
+	fmt.Printf("wrote %s (%d jobs, %d points)\n", path, totalJobs, len(points))
 
 	metrics := splitList(*metricsS)
 	if len(metrics) == 1 && metrics[0] == "all" {

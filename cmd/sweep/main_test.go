@@ -5,7 +5,9 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
+	"time"
 
 	"wsncover/internal/sim"
 )
@@ -125,6 +127,51 @@ func TestRunErrors(t *testing.T) {
 	for _, args := range cases {
 		if err := run(append(args, "-out", t.TempDir())); err == nil {
 			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestProgressMeter(t *testing.T) {
+	var buf strings.Builder
+	p := newProgressMeter(&buf)
+	p.start = p.start.Add(-2 * time.Second) // pretend 2s elapsed
+	p.last = p.start
+	p.report(100, 400)
+	out := buf.String()
+	if !strings.Contains(out, "100/400 trials") {
+		t.Errorf("meter output %q lacks completed/total", out)
+	}
+	if !strings.Contains(out, "trials/s") || !strings.Contains(out, "ETA") {
+		t.Errorf("meter output %q lacks rate or ETA", out)
+	}
+
+	// Rapid updates are throttled; the final update always renders and
+	// reports the elapsed time instead of an ETA.
+	buf.Reset()
+	p.last = time.Now()
+	p.report(101, 400)
+	if buf.Len() != 0 {
+		t.Errorf("throttled update rendered %q", buf.String())
+	}
+	p.report(400, 400)
+	if out := buf.String(); !strings.Contains(out, "400/400 trials") || !strings.Contains(out, "in ") {
+		t.Errorf("final output %q", out)
+	}
+}
+
+func TestFormatETA(t *testing.T) {
+	cases := map[time.Duration]string{
+		500 * time.Millisecond:                                 "<1s",
+		42 * time.Second:                                       "42s",
+		59*time.Second + 700*time.Millisecond:                  "1m00s", // rounds across the unit boundary
+		3*time.Minute + 7*time.Second:                          "3m07s",
+		59*time.Minute + 59*time.Second + 800*time.Millisecond: "1h00m",
+		2*time.Hour + 5*time.Minute:                            "2h05m",
+		26*time.Hour + 30*time.Minute:                          "26h30m",
+	}
+	for d, want := range cases {
+		if got := formatETA(d); got != want {
+			t.Errorf("formatETA(%v) = %q, want %q", d, got, want)
 		}
 	}
 }

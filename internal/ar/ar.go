@@ -100,6 +100,17 @@ type Controller struct {
 	claims    map[grid.Coord]int
 	departing map[grid.Coord]bool
 	pending   []departure
+
+	// Scratch buffers reused across rounds so the hot loop does not
+	// allocate: the inbox snapshot, the vacant-cell scan, and the
+	// neighbor-classification lists of pickNext.
+	inboxBuf []network.Message
+	vacBuf   []grid.Coord
+	nbrBuf   []grid.Coord
+	spareBuf []grid.Coord
+	headBuf  []grid.Coord
+	initsBuf []grid.Coord
+	headsBuf []grid.Coord
 }
 
 // New creates an AR controller for the network.
@@ -187,8 +198,10 @@ func (c *Controller) moveInto(pid int, id node.ID, vacancy grid.Coord) error {
 }
 
 func (c *Controller) serveInbox() error {
-	inbox := append([]network.Message(nil), c.net.Inbox()...)
-	for _, m := range inbox {
+	// Snapshot into a controller-owned buffer: serving may enqueue
+	// (requeue) into the network's queues.
+	c.inboxBuf = append(c.inboxBuf[:0], c.net.Inbox()...)
+	for _, m := range c.inboxBuf {
 		if m.Kind != MsgCascade {
 			continue
 		}
@@ -264,9 +277,9 @@ func (c *Controller) serveRequest(p *proc, vacancy grid.Coord) error {
 // uniformly at random. It is the greedy self-avoiding step of AR's
 // snake-like search.
 func (c *Controller) pickNext(p *proc) (grid.Coord, bool) {
-	var withSpare, withHead []grid.Coord
-	var buf []grid.Coord
-	for _, nb := range c.net.System().Neighbors(buf, p.cur) {
+	withSpare, withHead := c.spareBuf[:0], c.headBuf[:0]
+	c.nbrBuf = c.net.System().Neighbors(c.nbrBuf[:0], p.cur)
+	for _, nb := range c.nbrBuf {
 		if p.visited[nb] || nb == p.hole {
 			continue
 		}
@@ -279,6 +292,7 @@ func (c *Controller) pickNext(p *proc) (grid.Coord, bool) {
 			withHead = append(withHead, nb)
 		}
 	}
+	c.spareBuf, c.headBuf = withSpare, withHead
 	if len(withSpare) > 0 {
 		return withSpare[c.rng.Intn(len(withSpare))], true
 	}
@@ -292,24 +306,26 @@ func (c *Controller) pickNext(p *proc) (grid.Coord, bool) {
 // every neighboring head flips a coin, with at least one initiator forced
 // (the redundancy of unsynchronized 1-hop detection).
 func (c *Controller) detect() error {
-	for _, v := range c.net.VacantCells() {
+	c.vacBuf = c.net.VacantCells(c.vacBuf[:0])
+	for _, v := range c.vacBuf {
 		if c.detected[v] {
 			continue
 		}
 		if _, cascading := c.claims[v]; cascading {
 			continue
 		}
-		var heads []grid.Coord
-		var buf []grid.Coord
-		for _, nb := range c.net.System().Neighbors(buf, v) {
+		heads := c.headsBuf[:0]
+		c.nbrBuf = c.net.System().Neighbors(c.nbrBuf[:0], v)
+		for _, nb := range c.nbrBuf {
 			if c.net.HeadOf(nb) != node.Invalid && !c.departing[nb] {
 				heads = append(heads, nb)
 			}
 		}
+		c.headsBuf = heads
 		if len(heads) == 0 {
 			continue // no observer yet; retry next round
 		}
-		var initiators []grid.Coord
+		initiators := c.initsBuf[:0]
 		for _, h := range heads {
 			if c.rng.Bool(c.initProb) {
 				initiators = append(initiators, h)
@@ -318,6 +334,7 @@ func (c *Controller) detect() error {
 		if len(initiators) == 0 {
 			initiators = append(initiators, heads[c.rng.Intn(len(heads))])
 		}
+		c.initsBuf = initiators
 		c.detected[v] = true
 		for _, g := range initiators {
 			if c.departing[g] {

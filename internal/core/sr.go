@@ -25,6 +25,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"wsncover/internal/grid"
 	"wsncover/internal/hamilton"
@@ -54,6 +55,12 @@ type Config struct {
 	// the vacancy is re-detected as a fresh hole and served by a new
 	// process. Zero disables expiry (the paper's reliable-channel model).
 	ClaimTTL int
+	// FullScanDetect selects the reference O(cells) per-round hole scan
+	// instead of the event-driven detector fed by the network's vacancy
+	// journal. The two are bit-identical (enforced by differential tests);
+	// the full scan exists as the executable specification and for
+	// benchmarking the win.
+	FullScanDetect bool
 }
 
 // proc is the controller-side record of one replacement process.
@@ -104,6 +111,23 @@ type Controller struct {
 	// departing marks heads already committed to a move this round.
 	departing map[grid.Coord]bool
 	pending   []departure
+
+	// fullScan selects the reference O(cells) detector.
+	fullScan bool
+	// holes is the event-driven detector's standing set of vacant cells
+	// awaiting a live claim: seeded from a one-time scan at construction,
+	// then maintained from the network's vacancy journal. Its size is the
+	// current hole count, so per-round detection is O(holes), not
+	// O(cells).
+	holes map[grid.Coord]struct{}
+
+	// Scratch buffers reused across rounds so the round loop does not
+	// allocate: inbox snapshot, journal drain, detection candidates, and
+	// the shortcut's neighbor probe.
+	inboxBuf []network.Message
+	eventBuf []grid.Coord
+	candBuf  []grid.Coord
+	nbrBuf   []grid.Coord
 }
 
 // New creates an SR controller for the network. The topology must be built
@@ -121,18 +145,32 @@ func New(net *network.Network, cfg Config) (*Controller, error) {
 	if rng == nil {
 		rng = randx.New(1)
 	}
-	return &Controller{
+	c := &Controller{
 		net:           net,
 		topo:          cfg.Topology,
 		rng:           rng,
 		col:           metrics.NewCollector(),
 		shortcut:      cfg.NeighborShortcut,
 		claimTTL:      cfg.ClaimTTL,
+		fullScan:      cfg.FullScanDetect,
 		procs:         make(map[int]*proc),
 		claims:        make(map[grid.Coord]claim),
 		failedOrigins: make(map[grid.Coord]bool),
 		departing:     make(map[grid.Coord]bool),
-	}, nil
+	}
+	if !c.fullScan {
+		// Seed the standing hole set from the network as handed over:
+		// damage injected before the controller existed never produced
+		// journal events this consumer saw. Stale pre-construction events
+		// are drained away first; from here on the journal is authoritative.
+		c.holes = make(map[grid.Coord]struct{})
+		c.net.DrainVacancyEvents(c.eventBuf[:0])
+		c.eventBuf = c.net.VacantCells(c.eventBuf[:0])
+		for _, g := range c.eventBuf {
+			c.holes[g] = struct{}{}
+		}
+	}
+	return c, nil
 }
 
 // Name identifies the scheme in experiment output.
@@ -235,9 +273,11 @@ func (c *Controller) moveInto(pid int, id node.ID, vacancy grid.Coord) error {
 
 // serveInbox handles cascade notifications delivered this round.
 func (c *Controller) serveInbox() error {
-	// Copy: serving may enqueue (requeue) into the network's outbox.
-	inbox := append([]network.Message(nil), c.net.Inbox()...)
-	for _, m := range inbox {
+	// Snapshot into a controller-owned scratch buffer: serving may enqueue
+	// (requeue) into the network's queues, and a fresh copy per round is
+	// exactly the allocation the hot loop must not make.
+	c.inboxBuf = append(c.inboxBuf[:0], c.net.Inbox()...)
+	for _, m := range c.inboxBuf {
 		if m.Kind != MsgCascade {
 			continue
 		}
@@ -291,8 +331,8 @@ func (c *Controller) pickSpare(cur, vacancy grid.Coord) node.ID {
 	// Future-work shortcut: the asked head also knows its own 1-hop
 	// neighborhood; pull a spare from a neighboring grid of the vacancy
 	// directly if one exists (the mover still crosses one cell boundary).
-	var buf []grid.Coord
-	for _, nb := range c.net.System().Neighbors(buf, vacancy) {
+	c.nbrBuf = c.net.System().Neighbors(c.nbrBuf[:0], vacancy)
+	for _, nb := range c.nbrBuf {
 		if nb == cur {
 			continue
 		}
@@ -343,7 +383,88 @@ func (c *Controller) cascade(p *proc, cur, vacancy grid.Coord) error {
 
 // detect lets every monitoring head check its watched grids and initiate
 // replacement processes for fresh, unclaimed holes.
+//
+// The event-driven detector consumes the network's vacancy journal into a
+// standing hole set and visits only current holes, ordered by their
+// monitor's cell index (rank-ordered within a monitor). That is exactly
+// the order the reference full scan discovers them in, and every
+// eligibility condition is evaluated lazily at visit time, so mid-pass
+// state changes (a donor filling a hole whose new head then detects its
+// own watched grid this same round; a monitor committing to a cascade) are
+// observed identically. Differential tests enforce bit-identical behavior.
 func (c *Controller) detect() error {
+	if c.fullScan {
+		return c.detectFullScan()
+	}
+	c.eventBuf = c.net.DrainVacancyEvents(c.eventBuf[:0])
+	for _, g := range c.eventBuf {
+		if c.net.IsVacant(g) {
+			c.holes[g] = struct{}{}
+		} else {
+			delete(c.holes, g)
+		}
+	}
+	c.candBuf = c.candBuf[:0]
+	for s := range c.holes {
+		c.candBuf = append(c.candBuf, s)
+	}
+	// Sort by the monitor scan key. Keys are unique: a monitor watches at
+	// most two grids and ranks split that tie.
+	sys := c.net.System()
+	slices.SortFunc(c.candBuf, func(a, b grid.Coord) int {
+		return c.detectKey(sys, a) - c.detectKey(sys, b)
+	})
+	for _, s := range c.candBuf {
+		g := c.topo.MonitorOf(s)
+		if c.net.HeadOf(g) == node.Invalid || c.departing[g] {
+			continue
+		}
+		if !c.net.IsVacant(s) {
+			continue // filled earlier this pass by a donated spare
+		}
+		if !c.admitClaimed(s) {
+			continue
+		}
+		if err := c.initiate(g, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// detectKey orders hole s by (monitor cell index, rank within the
+// monitor's watch list), the visit order of the reference full scan.
+func (c *Controller) detectKey(sys *grid.System, s grid.Coord) int {
+	return sys.Index(c.topo.MonitorOf(s))*2 + c.topo.MonitorRank(s)
+}
+
+// admitClaimed applies the claim-liveness rule shared by both detectors:
+// a vacancy with a live, fresh claim is not a fresh hole; a stalled or
+// orphaned claim is expired (claims of dead processes are kept when no
+// TTL is configured — failed origins must not re-fire every round).
+func (c *Controller) admitClaimed(s grid.Coord) bool {
+	cl, claimed := c.claims[s]
+	if !claimed {
+		return true
+	}
+	_, alive := c.procs[cl.pid]
+	fresh := c.claimTTL <= 0 || c.net.Round()-cl.round <= c.claimTTL
+	if alive && fresh {
+		return false
+	}
+	if c.claimTTL <= 0 {
+		return false
+	}
+	delete(c.claims, s)
+	return true
+}
+
+// detectFullScan is the reference detector exactly as the seed wrote it:
+// every monitoring head checks its watched grids in cell-index order,
+// O(cells) work and allocation per round. It is kept as the executable
+// specification the event-driven path is verified against and as the
+// baseline the large-trial benchmarks compare to.
+func (c *Controller) detectFullScan() error {
 	sys := c.net.System()
 	var watched []grid.Coord
 	for _, g := range sys.AllCoords() {
@@ -355,18 +476,8 @@ func (c *Controller) detect() error {
 			if !c.net.IsVacant(s) {
 				continue
 			}
-			if cl, claimed := c.claims[s]; claimed {
-				_, alive := c.procs[cl.pid]
-				fresh := c.claimTTL <= 0 || c.net.Round()-cl.round <= c.claimTTL
-				if alive && fresh {
-					continue
-				}
-				// Stalled or orphaned claim: expire it so this vacancy
-				// is treated as a fresh hole.
-				if c.claimTTL <= 0 {
-					continue
-				}
-				delete(c.claims, s)
+			if !c.admitClaimed(s) {
+				continue
 			}
 			if err := c.initiate(g, s); err != nil {
 				return err

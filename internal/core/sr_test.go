@@ -252,7 +252,7 @@ func TestAdjacentHolesRecovered(t *testing.T) {
 	c := newSR(t, net, topo)
 	run(t, c, 200)
 	if !coverage.Complete(net) {
-		t.Errorf("coverage incomplete; vacant: %v", net.VacantCells())
+		t.Errorf("coverage incomplete; vacant: %v", net.VacantCells(nil))
 	}
 	s := c.Collector().Summarize()
 	if s.Initiated != 2 || s.Converged != 2 {
@@ -286,7 +286,7 @@ func TestDualPathAllHoleLocations(t *testing.T) {
 			c := newSR(t, net, topo)
 			run(t, c, 200)
 			if !coverage.Complete(net) {
-				t.Errorf("hole at %s not recovered; vacant: %v", name, net.VacantCells())
+				t.Errorf("hole at %s not recovered; vacant: %v", name, net.VacantCells(nil))
 			}
 			s := c.Collector().Summarize()
 			if s.Initiated != 1 || s.Converged != 1 {
@@ -359,7 +359,7 @@ func TestResetFailedAllowsRetry(t *testing.T) {
 	c.ResetFailed()
 	run(t, c, 200)
 	if !coverage.Complete(net) {
-		t.Errorf("retry failed; vacant: %v", net.VacantCells())
+		t.Errorf("retry failed; vacant: %v", net.VacantCells(nil))
 	}
 }
 

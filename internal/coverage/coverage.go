@@ -16,10 +16,10 @@ import (
 // Holes returns the vacant cells of the network: the grids with no enabled
 // node, which under the virtual grid model are exactly the surveillance
 // holes.
-func Holes(w *network.Network) []grid.Coord { return w.VacantCells() }
+func Holes(w *network.Network) []grid.Coord { return w.VacantCells(nil) }
 
-// HoleCount returns the number of vacant cells.
-func HoleCount(w *network.Network) int { return len(w.VacantCells()) }
+// HoleCount returns the number of vacant cells in O(1).
+func HoleCount(w *network.Network) int { return w.VacantCount() }
 
 // Complete reports the paper's complete-coverage condition: every grid has
 // its own head.

@@ -81,7 +81,7 @@ func TestClustered(t *testing.T) {
 	// Clustering should leave some cells empty (3 tight clusters cannot
 	// blanket 100 cells with 300 points of sigma 1.5).
 	w.ElectHeads()
-	if len(w.VacantCells()) == 0 {
+	if len(w.VacantCells(nil)) == 0 {
 		t.Error("clustered deployment left no holes; distribution suspect")
 	}
 	if err := Clustered(w, 10, 0, 1, randx.New(1)); err == nil {
@@ -99,7 +99,7 @@ func TestControlled(t *testing.T) {
 	if got := w.TotalSpares(); got != 55 {
 		t.Errorf("TotalSpares = %d, want 55", got)
 	}
-	vac := w.VacantCells()
+	vac := w.VacantCells(nil)
 	if len(vac) != 2 {
 		t.Fatalf("VacantCells = %v", vac)
 	}

@@ -14,7 +14,11 @@
 // On top of the runner the package supplies an aggregation layer:
 // Sample/Aggregate group replicate measurements into stats.Describe
 // summaries with 95% confidence intervals, Table exports any metric as a
-// plotdata table, and Manifest serializes a whole campaign as JSON.
+// plotdata table, and Manifest serializes a whole campaign as JSON. For
+// campaigns too large to hold in memory, RunStream delivers results to a
+// sink in job order and Accumulator folds the sample stream into online
+// (Welford) per-group statistics, keeping memory independent of the
+// replicate count.
 package experiment
 
 import (
@@ -66,31 +70,91 @@ func Run[T any](ctx context.Context, total int, opts Options, fn func(ctx contex
 	if total < 0 {
 		return nil, fmt.Errorf("experiment: negative job count %d", total)
 	}
-	if fn == nil {
-		return nil, fmt.Errorf("experiment: nil job function")
-	}
 	results := make([]T, total)
+	err := RunStream(ctx, total, opts, fn, func(i int, res T) error {
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// RunStream is Run without result retention: each completed job's result
+// is handed to sink exactly once, in strictly increasing index order, and
+// then dropped. Out-of-order completions are buffered until the gap
+// closes, and a worker about to start a job too far ahead of the flush
+// point blocks until the gap narrows (the window is a small multiple of
+// the pool size), so the buffer is genuinely O(workers), not O(jobs) —
+// even when one early job is pathologically slow and the rest are fast —
+// which is what lets million-trial campaigns aggregate online.
+//
+// sink calls are serialized (no locking needed inside) but may come from
+// any worker goroutine. Because delivery order is the job order, a
+// deterministic fold over the stream (for example the streaming
+// Accumulator) is bit-identical at any worker count, exactly like Run's
+// ordered slice. A sink error stops the run like a failing job. On any
+// error, sink has received some prefix of the job space; no result after
+// the failing index is ever delivered.
+func RunStream[T any](ctx context.Context, total int, opts Options, fn func(ctx context.Context, index int) (T, error), sink func(index int, result T) error) error {
+	if total < 0 {
+		return fmt.Errorf("experiment: negative job count %d", total)
+	}
+	if fn == nil {
+		return fmt.Errorf("experiment: nil job function")
+	}
+	if sink == nil {
+		return fmt.Errorf("experiment: nil sink")
+	}
 	if total == 0 {
-		return results, ctx.Err()
+		return ctx.Err()
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	var (
-		next     atomic.Int64 // next job index to claim
-		mu       sync.Mutex   // guards done, firstErr, errIndex, Progress
-		done     int
-		firstErr error
-		errIndex = total // lowest failing index seen so far
+		next      atomic.Int64 // next job index to claim
+		mu        sync.Mutex   // guards everything below, Progress, sink
+		done      int
+		pending   = make(map[int]T) // completed but not yet flushed
+		nextFlush int               // lowest index not yet handed to sink
+		firstErr  error
+		errIndex  = total // lowest failing index seen so far
 	)
+	// Backpressure window: a worker holding index i waits until
+	// i < nextFlush + window before starting the job, bounding pending to
+	// the window size. The claimer of nextFlush itself never waits, so the
+	// flush point always advances and the wait cannot deadlock.
+	workers := opts.workerCount(total)
+	window := 32 * workers
+	if window < 64 {
+		window = 64
+	}
+	gate := sync.NewCond(&mu)
+	go func() {
+		// Wake waiters when the run is cancelled (error or parent ctx).
+		<-ctx.Done()
+		mu.Lock()
+		gate.Broadcast()
+		mu.Unlock()
+	}()
 	var wg sync.WaitGroup
-	for w := opts.workerCount(total); w > 0; w-- {
+	for w := workers; w > 0; w-- {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= total || ctx.Err() != nil {
+					return
+				}
+				mu.Lock()
+				for i >= nextFlush+window && ctx.Err() == nil {
+					gate.Wait()
+				}
+				mu.Unlock()
+				if ctx.Err() != nil {
 					return
 				}
 				res, err := fn(ctx, i)
@@ -107,24 +171,45 @@ func Run[T any](ctx context.Context, total int, opts Options, fn func(ctx contex
 					cancel()
 					return
 				}
-				results[i] = res
 				mu.Lock()
 				done++
 				if opts.Progress != nil {
 					opts.Progress(done, total)
 				}
+				pending[i] = res
+				failed := false
+				advanced := false
+				for {
+					r, ok := pending[nextFlush]
+					if !ok || nextFlush >= errIndex {
+						break
+					}
+					delete(pending, nextFlush)
+					if err := sink(nextFlush, r); err != nil {
+						firstErr = fmt.Errorf("experiment: sink at job %d: %w", nextFlush, err)
+						errIndex = nextFlush
+						failed = true
+						break
+					}
+					nextFlush++
+					advanced = true
+				}
+				if advanced {
+					gate.Broadcast()
+				}
 				mu.Unlock()
+				if failed {
+					cancel()
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		return firstErr
 	}
 	// The deferred cancel has not run yet, so a non-nil error here means
 	// the parent context was cancelled mid-run.
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return results, nil
+	return ctx.Err()
 }

@@ -61,6 +61,16 @@ type Topology struct {
 	sharedOrder []grid.Coord
 	sharedNext  []int
 	sharedPrev  []int
+
+	// monitor is the precomputed reverse monitoring relation: for every
+	// grid index, the dense index of the unique grid whose head watches it
+	// for vacancy. monitorRank is the grid's position within its monitor's
+	// Monitored list (only grid B of the dual-path construction has rank
+	// 1: C watches A first, then B). Together they give event-driven hole
+	// detection an O(1) "who detects this hole, and in what scan order"
+	// lookup. Set for both kinds.
+	monitor     []int
+	monitorRank []uint8
 }
 
 // Build constructs the appropriate topology for the grid system: a single
@@ -72,10 +82,37 @@ func Build(sys *grid.System) (*Topology, error) {
 	if n < 2 || m < 2 {
 		return nil, fmt.Errorf("hamilton: no Hamilton structure on a %dx%d grid (need at least 2x2)", n, m)
 	}
+	var (
+		t   *Topology
+		err error
+	)
 	if n*m%2 == 0 {
-		return buildCycle(sys)
+		t, err = buildCycle(sys)
+	} else {
+		t, err = buildDualPath(sys)
 	}
-	return buildDualPath(sys)
+	if err != nil {
+		return nil, err
+	}
+	t.buildMonitorIndex()
+	return t, nil
+}
+
+// buildMonitorIndex precomputes the reverse monitoring relation from the
+// forward Monitored lists, so MonitorOf is a single slice lookup.
+func (t *Topology) buildMonitorIndex() {
+	n := t.sys.NumCells()
+	t.monitor = make([]int, n)
+	t.monitorRank = make([]uint8, n)
+	var buf []grid.Coord
+	for idx := 0; idx < n; idx++ {
+		g := t.sys.CoordAt(idx)
+		buf = t.Monitored(buf[:0], g)
+		for rank, s := range buf {
+			t.monitor[t.sys.Index(s)] = idx
+			t.monitorRank[t.sys.Index(s)] = uint8(rank)
+		}
+	}
 }
 
 // Kind returns the construction kind.
@@ -142,18 +179,20 @@ func (t *Topology) Pred(g grid.Coord) grid.Coord {
 //   - dual path: C for holes at A or B, B for a hole at D (the paper's
 //     "only B will initiate"), and the shared-segment predecessor for every
 //     other grid.
+//
+// The relation is precomputed at Build time; the call is a single slice
+// lookup, suitable for per-event hot paths.
 func (t *Topology) MonitorOf(g grid.Coord) grid.Coord {
-	if t.kind == KindCycle {
-		return t.Pred(g)
-	}
-	switch g {
-	case t.a, t.b:
-		return t.c
-	case t.d:
-		return t.b
-	default:
-		return t.sys.CoordAt(t.sharedPrev[t.sys.Index(g)])
-	}
+	return t.sys.CoordAt(t.monitor[t.sys.Index(g)])
+}
+
+// MonitorRank returns g's position within MonitorOf(g)'s Monitored list.
+// It is 0 for every grid except B of the dual-path construction, whose
+// monitor C watches A at rank 0 and B at rank 1. Detection schemes use
+// (monitor index, rank) as the scan-order key that reproduces a full
+// index-order sweep over monitors.
+func (t *Topology) MonitorRank(g grid.Coord) int {
+	return int(t.monitorRank[t.sys.Index(g)])
 }
 
 // Monitored appends to dst the grids whose vacancy the head of g must

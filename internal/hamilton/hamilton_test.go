@@ -243,6 +243,36 @@ func TestMonitoredIsInverseOfMonitorOf(t *testing.T) {
 	}
 }
 
+func TestMonitorRankMatchesMonitoredPosition(t *testing.T) {
+	for _, dims := range [][2]int{{4, 5}, {16, 16}, {3, 3}, {5, 5}, {7, 5}} {
+		topo := buildOf(t, dims[0], dims[1])
+		ranked := 0
+		for _, g := range topo.System().AllCoords() {
+			for rank, watched := range topo.Monitored(nil, g) {
+				if got := topo.MonitorRank(watched); got != rank {
+					t.Errorf("%dx%d: MonitorRank(%v) = %d, want %d",
+						dims[0], dims[1], watched, got, rank)
+				}
+				if rank > 0 {
+					ranked++
+				}
+			}
+		}
+		// Only grid B of a dual path sits at rank 1; cycles have none.
+		wantRanked := 0
+		if topo.Kind() == KindDualPath {
+			wantRanked = 1
+			_, b, _, _, _ := topo.ABCD()
+			if topo.MonitorRank(b) != 1 {
+				t.Errorf("%dx%d: MonitorRank(B) = %d, want 1", dims[0], dims[1], topo.MonitorRank(b))
+			}
+		}
+		if ranked != wantRanked {
+			t.Errorf("%dx%d: %d grids at rank > 0, want %d", dims[0], dims[1], ranked, wantRanked)
+		}
+	}
+}
+
 func TestMonitorAdjacency(t *testing.T) {
 	// The monitor must be a 1-hop grid neighbor of the monitored grid so
 	// that R = sqrt(5)*r surveillance suffices.

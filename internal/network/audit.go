@@ -16,7 +16,9 @@ import (
 //   - no disabled node is registered anywhere;
 //   - each cell's head is a member of that cell and carries the Head role;
 //   - cells with enabled nodes have a head (election invariant);
-//   - exactly one node per occupied cell carries the Head role.
+//   - exactly one node per occupied cell carries the Head role;
+//   - the incremental enabled/head/vacant counters match a recount;
+//   - the vacancy journal's dirty bits agree with its event list.
 func (w *Network) Audit() []string {
 	var bad []string
 
@@ -82,6 +84,47 @@ func (w *Network) Audit() []string {
 		if heads != 1 {
 			bad = append(bad, fmt.Sprintf("cell %v has %d nodes with Head role", c, heads))
 		}
+	}
+
+	enabled, headed, vacant := 0, 0, 0
+	for idx, list := range w.cellNodes {
+		enabled += len(list)
+		if w.heads[idx] != node.Invalid {
+			headed++
+		}
+		if len(list) == 0 {
+			vacant++
+		}
+	}
+	if enabled != w.enabledCount {
+		bad = append(bad, fmt.Sprintf("enabledCount = %d, recount = %d", w.enabledCount, enabled))
+	}
+	if headed != w.headCount {
+		bad = append(bad, fmt.Sprintf("headCount = %d, recount = %d", w.headCount, headed))
+	}
+	if vacant != w.vacantCount {
+		bad = append(bad, fmt.Sprintf("vacantCount = %d, recount = %d", w.vacantCount, vacant))
+	}
+
+	dirty := 0
+	for idx, d := range w.vacancyDirty {
+		if d {
+			dirty++
+			found := false
+			for _, e := range w.vacancyEvents {
+				if e == idx {
+					found = true
+					break
+				}
+			}
+			if !found {
+				bad = append(bad, fmt.Sprintf("cell %v dirty but missing from the vacancy journal", w.sys.CoordAt(idx)))
+			}
+		}
+	}
+	if dirty != len(w.vacancyEvents) {
+		bad = append(bad, fmt.Sprintf("vacancy journal holds %d events but %d cells are dirty",
+			len(w.vacancyEvents), dirty))
 	}
 	return bad
 }

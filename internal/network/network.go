@@ -9,6 +9,7 @@ package network
 
 import (
 	"fmt"
+	"sort"
 
 	"wsncover/internal/geom"
 	"wsncover/internal/grid"
@@ -79,16 +80,63 @@ type Network struct {
 	msgsLost   int
 	totalMoves int
 	totalDist  float64
+
+	// Incremental registry counters, maintained on every mutation so the
+	// corresponding queries are O(1) instead of O(nodes) / O(cells).
+	enabledCount int
+	headCount    int
+	vacantCount  int
+
+	// Vacancy journal: cells whose emptiness flipped since the last
+	// DrainVacancyEvents, recorded once each (vacancyDirty dedups).
+	// Event-driven hole detection consumes this instead of scanning every
+	// cell per round.
+	vacancyDirty  []bool
+	vacancyEvents []int
+
+	// idScratch backs DisableAllInCell so bulk failure injection does not
+	// allocate a fresh id slice per call.
+	idScratch []node.ID
 }
 
 // New creates an empty network over the grid system.
 func New(sys *grid.System, energy node.EnergyModel) *Network {
 	return &Network{
-		sys:       sys,
-		energy:    energy,
-		cellNodes: make([][]node.ID, sys.NumCells()),
-		heads:     newHeadSlice(sys.NumCells()),
+		sys:          sys,
+		energy:       energy,
+		cellNodes:    make([][]node.ID, sys.NumCells()),
+		heads:        newHeadSlice(sys.NumCells()),
+		vacantCount:  sys.NumCells(),
+		vacancyDirty: make([]bool, sys.NumCells()),
 	}
+}
+
+// noteVacancyFlip records that cell idx transitioned between vacant and
+// occupied. Each cell appears at most once per drain; consumers resync
+// against IsVacant, so transitions that cancel out are harmless.
+func (w *Network) noteVacancyFlip(idx int) {
+	if !w.vacancyDirty[idx] {
+		w.vacancyDirty[idx] = true
+		w.vacancyEvents = append(w.vacancyEvents, idx)
+	}
+}
+
+// DrainVacancyEvents appends to dst the cells whose vacancy state changed
+// since the last drain, sorted by cell index for deterministic
+// consumption, resets the journal, and returns the extended slice. A cell
+// is reported at most once per drain even after several flips; callers
+// must check IsVacant for its current state.
+func (w *Network) DrainVacancyEvents(dst []grid.Coord) []grid.Coord {
+	if len(w.vacancyEvents) == 0 {
+		return dst
+	}
+	sort.Ints(w.vacancyEvents)
+	for _, idx := range w.vacancyEvents {
+		w.vacancyDirty[idx] = false
+		dst = append(dst, w.sys.CoordAt(idx))
+	}
+	w.vacancyEvents = w.vacancyEvents[:0]
+	return dst
 }
 
 func newHeadSlice(n int) []node.ID {
@@ -136,7 +184,12 @@ func (w *Network) AddNodeAt(p geom.Point) (node.ID, error) {
 	id := node.ID(len(w.nodes))
 	w.nodes = append(w.nodes, node.New(id, p))
 	idx := w.sys.Index(c)
+	if len(w.cellNodes[idx]) == 0 {
+		w.vacantCount--
+		w.noteVacancyFlip(idx)
+	}
 	w.cellNodes[idx] = append(w.cellNodes[idx], id)
+	w.enabledCount++
 	return id, nil
 }
 
@@ -151,16 +204,9 @@ func (w *Network) Node(id node.ID) *node.Node {
 // NumNodes returns the total number of nodes ever added, enabled or not.
 func (w *Network) NumNodes() int { return len(w.nodes) }
 
-// EnabledCount returns the number of enabled nodes.
-func (w *Network) EnabledCount() int {
-	n := 0
-	for _, nd := range w.nodes {
-		if nd.Enabled() {
-			n++
-		}
-	}
-	return n
-}
+// EnabledCount returns the number of enabled nodes. It is O(1), backed by
+// an incrementally maintained counter.
+func (w *Network) EnabledCount() int { return w.enabledCount }
 
 // CellOf returns the cell currently containing node id.
 func (w *Network) CellOf(id node.ID) (grid.Coord, bool) {
@@ -182,8 +228,13 @@ func (w *Network) removeFromCell(id node.ID, c grid.Coord) {
 			break
 		}
 	}
+	if len(w.cellNodes[idx]) == 0 {
+		w.vacantCount++
+		w.noteVacancyFlip(idx)
+	}
 	if w.heads[idx] == id {
 		w.heads[idx] = node.Invalid
+		w.headCount--
 		w.electLocked(c)
 	}
 }
@@ -202,6 +253,7 @@ func (w *Network) DisableNode(id node.ID) error {
 	c, _ := w.sys.CoordOf(nd.Location())
 	nd.Disable()
 	nd.SetRole(node.Spare)
+	w.enabledCount--
 	w.removeFromCell(id, c)
 	if w.obs != nil {
 		w.obs.NodeDisabled(id, c)
@@ -210,16 +262,17 @@ func (w *Network) DisableNode(id node.ID) error {
 }
 
 // DisableAllInCell disables every enabled node of cell c, creating a hole.
-// It returns the number of nodes disabled.
+// It returns the number of nodes disabled. The iteration snapshot lives in
+// a network-owned scratch buffer, so repeated failure injection does not
+// allocate.
 func (w *Network) DisableAllInCell(c grid.Coord) int {
 	idx := w.sys.Index(c)
-	ids := make([]node.ID, len(w.cellNodes[idx]))
-	copy(ids, w.cellNodes[idx])
-	for _, id := range ids {
+	w.idScratch = append(w.idScratch[:0], w.cellNodes[idx]...)
+	for _, id := range w.idScratch {
 		// Error impossible: ids come from the enabled registry.
 		_ = w.DisableNode(id)
 	}
-	return len(ids)
+	return len(w.idScratch)
 }
 
 // electLocked promotes one enabled node of c to head when the cell has
@@ -242,6 +295,7 @@ func (w *Network) electLocked(c grid.Coord) node.ID {
 	}
 	if best != node.Invalid {
 		w.heads[idx] = best
+		w.headCount++
 		w.nodes[best].SetRole(node.Head)
 		for _, id := range w.cellNodes[idx] {
 			if id != best {
@@ -321,15 +375,9 @@ func (w *Network) SpareCount(c grid.Coord) int {
 func (w *Network) HasSpare(c grid.Coord) bool { return w.SpareCount(c) > 0 }
 
 // TotalSpares returns the number of spare nodes in the whole network (the
-// paper's N).
-func (w *Network) TotalSpares() int {
-	n := 0
-	for idx := range w.cellNodes {
-		c := w.sys.CoordAt(idx)
-		n += w.SpareCount(c)
-	}
-	return n
-}
+// paper's N). Every enabled node that is not a cell head is a spare, so
+// the count falls out of the incremental counters in O(1).
+func (w *Network) TotalSpares() int { return w.enabledCount - w.headCount }
 
 // SpareNearest returns the spare of cell c whose location is closest to
 // target, or node.Invalid when the cell has no spare. Ties break on the
@@ -350,16 +398,21 @@ func (w *Network) SpareNearest(c grid.Coord, target geom.Point) node.ID {
 	return best
 }
 
-// VacantCells returns the addresses of all vacant cells.
-func (w *Network) VacantCells() []grid.Coord {
-	var out []grid.Coord
+// VacantCells appends the addresses of all vacant cells to dst in index
+// order and returns the extended slice. Pass nil for a fresh slice or a
+// recycled buffer to avoid the allocation.
+func (w *Network) VacantCells(dst []grid.Coord) []grid.Coord {
 	for idx, list := range w.cellNodes {
 		if len(list) == 0 {
-			out = append(out, w.sys.CoordAt(idx))
+			dst = append(dst, w.sys.CoordAt(idx))
 		}
 	}
-	return out
+	return dst
 }
+
+// VacantCount returns the number of vacant cells. It is O(1), backed by an
+// incrementally maintained counter.
+func (w *Network) VacantCount() int { return w.vacantCount }
 
 // CentralTarget draws a uniform random point in the central area of cell
 // c, the destination rule of the paper's mobility control.
@@ -393,9 +446,14 @@ func (w *Network) MoveNode(id node.ID, target geom.Point) error {
 	if from != to {
 		w.removeFromCell(id, from)
 		idx := w.sys.Index(to)
+		if len(w.cellNodes[idx]) == 0 {
+			w.vacantCount--
+			w.noteVacancyFlip(idx)
+		}
 		w.cellNodes[idx] = append(w.cellNodes[idx], id)
 		if w.heads[idx] == node.Invalid {
 			w.heads[idx] = id
+			w.headCount++
 			nd.SetRole(node.Head)
 			if w.obs != nil {
 				w.obs.HeadElected(id, to)

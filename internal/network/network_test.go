@@ -172,7 +172,7 @@ func TestDisableAllInCell(t *testing.T) {
 	if w.IsVacant(grid.C(1, 0)) {
 		t.Error("other cell untouched")
 	}
-	vac := w.VacantCells()
+	vac := w.VacantCells(nil)
 	if len(vac) != 3 { // (0,0) plus the two never-populated cells
 		t.Errorf("VacantCells = %v", vac)
 	}

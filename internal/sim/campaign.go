@@ -58,6 +58,12 @@ type CampaignSpec struct {
 	AdjacentHolesOK bool    `json:"adjacent_holes_ok,omitempty"`
 	ARInitProb      float64 `json:"ar_init_prob,omitempty"`
 	ARMaxHops       int     `json:"ar_max_hops,omitempty"`
+
+	// legacyDetect forces every SR trial onto the reference full-scan
+	// detector; set only by the differential tests that prove the
+	// event-driven detector reproduces the seed's campaign output byte
+	// for byte.
+	legacyDetect bool
 }
 
 func (s *CampaignSpec) normalize() {
@@ -129,18 +135,38 @@ func (j TrialJob) config(s CampaignSpec) TrialConfig {
 		Seed:            j.Seed,
 		ARInitProb:      s.ARInitProb,
 		ARMaxHops:       s.ARMaxHops,
+		LegacyDetect:    s.legacyDetect,
 	}
 }
 
-// Jobs expands the spec into its job list in a fixed nested order
-// (failure, grid, holes, scheme, spares, replicate). Replicate r uses
-// the r-th seed derived from BaseSeed across every cell, so all schemes
-// and configurations face statistically paired layouts, mirroring the
-// paper's methodology of comparing SR and AR on identical damage.
-func (s CampaignSpec) Jobs() []TrialJob {
+// JobSpace is the lazily indexed job space of a normalized spec: job i is
+// computed arithmetically from its index instead of materializing the
+// whole cross product, so a 10^6-trial campaign costs O(replicates) setup
+// memory (the shared seed table), not O(trials).
+type JobSpace struct {
+	spec   CampaignSpec
+	seeds  []int64
+	blocks []jobBlock
+	total  int
+}
+
+// jobBlock is one failure mode's contiguous index range.
+type jobBlock struct {
+	failure FailureMode
+	holes   []int
+	start   int
+	size    int
+}
+
+// JobSpace normalizes the spec and indexes its job list in the fixed
+// nested order (failure, grid, holes, scheme, spares, replicate).
+// Replicate r uses the r-th seed derived from BaseSeed across every
+// cell, so all schemes and configurations face statistically paired
+// layouts, mirroring the paper's methodology of comparing SR and AR on
+// identical damage.
+func (s CampaignSpec) JobSpace() JobSpace {
 	s.normalize()
-	seeds := experiment.Seeds(s.BaseSeed, s.Replicates)
-	var jobs []TrialJob
+	js := JobSpace{spec: s, seeds: experiment.Seeds(s.BaseSeed, s.Replicates)}
 	for _, failure := range s.Failures {
 		// The jam disc ignores the hole count, so expanding the holes
 		// dimension there would replicate identical (config, seed) jobs
@@ -149,25 +175,62 @@ func (s CampaignSpec) Jobs() []TrialJob {
 		if failure == FailJam {
 			holesDim = []int{1}
 		}
-		for _, g := range s.Grids {
-			for _, holes := range holesDim {
-				for _, scheme := range s.Schemes {
-					for _, spares := range s.Spares {
-						for r := 0; r < s.Replicates; r++ {
-							jobs = append(jobs, TrialJob{
-								Scheme:    scheme,
-								Grid:      g,
-								Spares:    spares,
-								Holes:     holes,
-								Failure:   failure,
-								Replicate: r,
-								Seed:      seeds[r],
-							})
-						}
-					}
-				}
-			}
+		size := len(s.Grids) * len(holesDim) * len(s.Schemes) * len(s.Spares) * s.Replicates
+		js.blocks = append(js.blocks, jobBlock{
+			failure: failure, holes: holesDim, start: js.total, size: size,
+		})
+		js.total += size
+	}
+	return js
+}
+
+// Len returns the total number of jobs.
+func (js JobSpace) Len() int { return js.total }
+
+// At returns job i. It panics when i is out of range.
+func (js JobSpace) At(i int) TrialJob {
+	if i < 0 || i >= js.total {
+		panic(fmt.Sprintf("sim: job index %d outside [0, %d)", i, js.total))
+	}
+	var blk jobBlock
+	for _, b := range js.blocks {
+		if i < b.start+b.size {
+			blk = b
+			break
 		}
+	}
+	s := js.spec
+	j := i - blk.start
+	r := j % s.Replicates
+	j /= s.Replicates
+	spares := s.Spares[j%len(s.Spares)]
+	j /= len(s.Spares)
+	scheme := s.Schemes[j%len(s.Schemes)]
+	j /= len(s.Schemes)
+	holes := blk.holes[j%len(blk.holes)]
+	j /= len(blk.holes)
+	return TrialJob{
+		Scheme:    scheme,
+		Grid:      s.Grids[j],
+		Spares:    spares,
+		Holes:     holes,
+		Failure:   blk.failure,
+		Replicate: r,
+		Seed:      js.seeds[r],
+	}
+}
+
+// NumJobs returns the job count of the normalized spec without expanding
+// it.
+func (s CampaignSpec) NumJobs() int { return s.JobSpace().Len() }
+
+// Jobs materializes the spec's job list. Prefer JobSpace for large
+// campaigns; Jobs exists for inspection and tests.
+func (s CampaignSpec) Jobs() []TrialJob {
+	js := s.JobSpace()
+	jobs := make([]TrialJob, js.Len())
+	for i := range jobs {
+		jobs[i] = js.At(i)
 	}
 	return jobs
 }
@@ -197,31 +260,62 @@ func SampleOf(j TrialJob, res TrialResult) experiment.Sample {
 	}
 }
 
-// RunCampaign executes every job of the spec on the parallel engine and
-// returns one sample per job, in job order. opts.Workers defaults to the
-// spec's Workers field when unset; results are bit-identical for any
-// worker count.
-func RunCampaign(ctx context.Context, spec CampaignSpec, opts experiment.Options) ([]experiment.Sample, error) {
+// RunCampaignStream executes every job of the spec on the parallel engine
+// and hands each trial's sample to sink in job-index order, never
+// retaining a TrialResult: each result is converted to its Sample inside
+// the worker and dropped once sunk. opts.Workers defaults to the spec's
+// Workers field when unset; the sink sees a bit-identical stream for any
+// worker count. A sink error aborts the campaign.
+func RunCampaignStream(ctx context.Context, spec CampaignSpec, opts experiment.Options, sink func(TrialJob, experiment.Sample) error) error {
 	spec.normalize()
-	jobs := spec.Jobs()
+	jobs := spec.JobSpace()
 	if opts.Workers == 0 {
 		opts.Workers = spec.Workers
 	}
-	results, err := experiment.Run(ctx, len(jobs), opts,
-		func(_ context.Context, i int) (TrialResult, error) {
-			res, err := RunTrial(jobs[i].config(spec))
+	return experiment.RunStream(ctx, jobs.Len(), opts,
+		func(_ context.Context, i int) (experiment.Sample, error) {
+			j := jobs.At(i)
+			res, err := RunTrial(j.config(spec))
 			if err != nil {
-				return TrialResult{}, fmt.Errorf("%s N=%d replicate %d: %w",
-					jobs[i].Group(), jobs[i].Spares, jobs[i].Replicate, err)
+				return experiment.Sample{}, fmt.Errorf("%s N=%d replicate %d: %w",
+					j.Group(), j.Spares, j.Replicate, err)
 			}
-			return res, nil
-		})
+			return SampleOf(j, res), nil
+		},
+		func(i int, s experiment.Sample) error { return sink(jobs.At(i), s) })
+}
+
+// RunCampaign executes the spec and aggregates online: every trial's
+// sample streams into per-(group, N) Welford accumulators, so memory is
+// O(groups) no matter the replicate count — a million-trial campaign
+// holds neither its TrialResults nor its Samples. The returned points are
+// sorted like experiment.Aggregate's and bit-identical for any worker
+// count. Callers needing the raw per-trial stream use RunCampaignStream
+// (or RunCampaignSamples to collect it).
+func RunCampaign(ctx context.Context, spec CampaignSpec, opts experiment.Options) ([]experiment.Point, error) {
+	acc := experiment.NewAccumulator()
+	err := RunCampaignStream(ctx, spec, opts, func(_ TrialJob, s experiment.Sample) error {
+		acc.Add(s)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	samples := make([]experiment.Sample, len(jobs))
-	for i, res := range results {
-		samples[i] = SampleOf(jobs[i], res)
+	return acc.Points(), nil
+}
+
+// RunCampaignSamples collects the campaign's per-trial samples in job
+// order. Memory is O(trials); prefer RunCampaign unless the individual
+// replicates are needed (exact-median aggregation, differential tests,
+// custom statistics).
+func RunCampaignSamples(ctx context.Context, spec CampaignSpec, opts experiment.Options) ([]experiment.Sample, error) {
+	samples := make([]experiment.Sample, 0, spec.NumJobs())
+	err := RunCampaignStream(ctx, spec, opts, func(_ TrialJob, s experiment.Sample) error {
+		samples = append(samples, s)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return samples, nil
 }

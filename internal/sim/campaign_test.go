@@ -152,7 +152,7 @@ func TestRunCampaignAggregates(t *testing.T) {
 		Replicates: 4,
 		BaseSeed:   99,
 	}
-	samples, err := RunCampaign(context.Background(), spec, experiment.Options{Workers: 4})
+	samples, err := RunCampaignSamples(context.Background(), spec, experiment.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,12 +180,76 @@ func TestRunCampaignAggregates(t *testing.T) {
 	}
 
 	// Worker-count invariance holds across the whole campaign too.
-	again, err := RunCampaign(context.Background(), spec, experiment.Options{Workers: 1})
+	again, err := RunCampaignSamples(context.Background(), spec, experiment.Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(samples, again) {
 		t.Error("campaign results depend on worker count")
+	}
+
+	// The streaming aggregation path agrees with the batch reference on
+	// every exact field and is itself worker-invariant.
+	streamed, err := RunCampaign(context.Background(), spec, experiment.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(pts) {
+		t.Fatalf("streamed points = %d, want %d", len(streamed), len(pts))
+	}
+	for i := range pts {
+		b, s := pts[i], streamed[i]
+		if b.Group != s.Group || b.X != s.X {
+			t.Fatalf("streamed point %d is (%s, %g), want (%s, %g)", i, s.Group, s.X, b.Group, b.X)
+		}
+		for name, bd := range b.Metrics {
+			sd := s.Metrics[name]
+			if bd.N != sd.N || bd.Min != sd.Min || bd.Max != sd.Max {
+				t.Errorf("%s/%g %s: %+v vs %+v", b.Group, b.X, name, bd, sd)
+			}
+			if diff := bd.Mean - sd.Mean; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("%s/%g %s: mean %v vs %v", b.Group, b.X, name, bd.Mean, sd.Mean)
+			}
+		}
+	}
+	streamedSeq, err := RunCampaign(context.Background(), spec, experiment.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(streamed, streamedSeq) {
+		t.Error("streaming aggregation depends on worker count")
+	}
+}
+
+func TestJobSpaceMatchesJobs(t *testing.T) {
+	spec := CampaignSpec{
+		Schemes:    []SchemeKind{SR, AR, SRShortcut},
+		Grids:      []GridSize{{8, 8}, {12, 12}},
+		Spares:     []int{10, 30, 50},
+		Holes:      []int{1, 2},
+		Failures:   []FailureMode{FailHoles, FailJam},
+		Replicates: 3,
+		BaseSeed:   5,
+	}
+	jobs := spec.Jobs()
+	js := spec.JobSpace()
+	if js.Len() != len(jobs) || spec.NumJobs() != len(jobs) {
+		t.Fatalf("Len = %d, NumJobs = %d, want %d", js.Len(), spec.NumJobs(), len(jobs))
+	}
+	for i, want := range jobs {
+		if got := js.At(i); got != want {
+			t.Fatalf("At(%d) = %+v, want %+v", i, got, want)
+		}
+	}
+	for _, bad := range []int{-1, js.Len()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d) should panic", bad)
+				}
+			}()
+			js.At(bad)
+		}()
 	}
 }
 

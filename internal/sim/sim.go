@@ -198,6 +198,11 @@ type TrialConfig struct {
 	ARMaxHops  int
 	// EnergyModel optionally charges movement energy.
 	EnergyModel node.EnergyModel
+	// LegacyDetect runs SR with the reference O(cells) full-scan hole
+	// detector instead of the event-driven one. The two are bit-identical;
+	// the flag exists for differential testing and benchmarking. AR is
+	// unaffected.
+	LegacyDetect bool
 }
 
 func (cfg *TrialConfig) normalize() error {
@@ -338,6 +343,7 @@ func BuildScheme(net *network.Network, cfg TrialConfig, rng *randx.Rand) (Scheme
 			Topology:         topo,
 			RNG:              rng,
 			NeighborShortcut: cfg.Scheme == SRShortcut,
+			FullScanDetect:   cfg.LegacyDetect,
 		})
 	case AR:
 		return ar.New(net, ar.Config{

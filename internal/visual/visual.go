@@ -17,7 +17,7 @@ import (
 func Network(w *network.Network) string {
 	sys := w.System()
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s  holes=%d spares=%d\n", sys, len(w.VacantCells()), w.TotalSpares())
+	fmt.Fprintf(&b, "%s  holes=%d spares=%d\n", sys, w.VacantCount(), w.TotalSpares())
 	for y := sys.Rows() - 1; y >= 0; y-- {
 		for x := 0; x < sys.Cols(); x++ {
 			c := grid.C(x, y)

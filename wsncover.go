@@ -232,7 +232,7 @@ func (sc *Scenario) Step() error { return sc.ctrl.Step() }
 func (sc *Scenario) SchemeName() string { return sc.ctrl.Name() }
 
 // Holes returns the current vacant cells.
-func (sc *Scenario) Holes() []grid.Coord { return sc.net.VacantCells() }
+func (sc *Scenario) Holes() []grid.Coord { return sc.net.VacantCells(nil) }
 
 // Spares returns the current number of spare nodes in the network.
 func (sc *Scenario) Spares() int { return sc.net.TotalSpares() }
