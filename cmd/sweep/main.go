@@ -1,19 +1,32 @@
 // Command sweep runs a multi-dimensional Monte-Carlo campaign on the
 // parallel experiment engine: the cross product of control schemes, grid
-// sizes, spare counts, hole counts, and failure modes, replicated and
-// aggregated into mean/CI95 summaries. It writes a JSON manifest plus
-// one CSV/gnuplot table per exported metric.
+// sizes, spare counts, hole counts, workloads, and runners, replicated
+// and aggregated into mean/CI95 summaries. It writes a JSON manifest
+// plus one CSV/gnuplot table per exported metric.
 //
 // Usage:
 //
 //	sweep [-schemes SR,AR] [-grids 16x16] [-spares 10,55,200]
-//	      [-holes 1] [-failures holes,jam] [-replicates 20] [-seed s]
+//	      [-holes 1] [-workloads holes,churn | -failures holes,jam]
+//	      [-runners sync,async] [-replicates 20] [-seed s]
 //	      [-workers w] [-metrics moves,success_rate|all] [-out dir]
-//	      [-name sweep] [-ascii] [-quiet]
+//	      [-name sweep] [-resume] [-ascii] [-quiet]
 //	sweep -spec campaign.json [-out dir] [-name sweep] ...
 //
 // A spec file is the JSON form of sim.CampaignSpec and replaces the
-// dimension flags. Results are bit-identical for any -workers value.
+// dimension flags; workload parameters ({"kind": "churn", "every": 5})
+// are available only there — the -workloads flag names bare kinds.
+// Results are bit-identical for any -workers value.
+//
+// -resume merges into an existing manifest: every (group, N) cell
+// already present is skipped, freshly run cells are added, and the
+// merged manifest plus its metric tables are rewritten. Manifests are
+// written on successful completion, so -resume grows a campaign in
+// stages: run a narrow spec first, then rerun with added spare counts,
+// schemes, grids, or workloads and only the new cells compute. The
+// seed, replicate count, and pass-through trial parameters must match
+// the prior manifest's; cells of dimension values the current spec no
+// longer lists are dropped from the merged output.
 package main
 
 import (
@@ -23,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -94,6 +108,78 @@ func formatETA(d time.Duration) string {
 	}
 }
 
+// resumeKey identifies one aggregated campaign cell in a manifest.
+type resumeKey struct {
+	group string
+	x     float64
+}
+
+// resumeCompatible rejects a resume whose prior manifest was produced
+// under different trial physics or seeding: dimension lists may differ
+// freely (extending the campaign is the point of -resume, and the
+// dimensions are encoded in each point's group/X identity), but the
+// seed, replicate count, and pass-through trial parameters must match —
+// they change results without changing any (group, N) label, so a merge
+// would silently mix incomparable points and break the paired-seed
+// methodology.
+func resumeCompatible(priorSpec json.RawMessage, spec sim.CampaignSpec) error {
+	if len(priorSpec) == 0 {
+		return nil
+	}
+	var prev sim.CampaignSpec
+	if err := json.Unmarshal(priorSpec, &prev); err != nil {
+		return fmt.Errorf("unreadable spec in manifest: %w", err)
+	}
+	type pinned struct {
+		seed            int64
+		replicates      int
+		commRange       float64
+		jamRadius       float64
+		adjacentHolesOK bool
+		arInitProb      float64
+		arMaxHops       int
+	}
+	pin := func(s sim.CampaignSpec) pinned {
+		s = s.Normalized()
+		// Resolve trial-level defaults an explicit spec may spell out,
+		// so "comm_range: 10" and an omitted comm_range compare equal.
+		if s.CommRange == 0 {
+			s.CommRange = sim.PaperCommRange
+		}
+		return pinned{
+			seed:            s.BaseSeed,
+			replicates:      s.Replicates,
+			commRange:       s.CommRange,
+			jamRadius:       s.JamRadius,
+			adjacentHolesOK: s.AdjacentHolesOK,
+			arInitProb:      s.ARInitProb,
+			arMaxHops:       s.ARMaxHops,
+		}
+	}
+	if a, b := pin(prev), pin(spec); a != b {
+		return fmt.Errorf("produced with %+v, current campaign has %+v; "+
+			"rerun with matching parameters or a fresh -name", a, b)
+	}
+	return nil
+}
+
+// mergePoints combines the retained points of a prior manifest with the
+// freshly computed ones and restores the canonical (group, X) order, so
+// a resumed manifest is indistinguishable from a single-run one. The
+// resume filter guarantees the two sets are disjoint.
+func mergePoints(prior, fresh []experiment.Point) []experiment.Point {
+	merged := make([]experiment.Point, 0, len(prior)+len(fresh))
+	merged = append(merged, prior...)
+	merged = append(merged, fresh...)
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Group != merged[j].Group {
+			return merged[i].Group < merged[j].Group
+		}
+		return merged[i].X < merged[j].X
+	})
+	return merged
+}
+
 func splitList(s string) []string {
 	var out []string
 	for _, f := range strings.Split(s, ",") {
@@ -152,6 +238,30 @@ func parseFailures(s string) ([]sim.FailureMode, error) {
 	return out, nil
 }
 
+func parseWorkloads(s string) ([]sim.WorkloadSpec, error) {
+	var out []sim.WorkloadSpec
+	for _, f := range splitList(s) {
+		spec := sim.WorkloadSpec{Kind: strings.ToLower(f)}
+		if _, err := sim.BuildWorkload(spec); err != nil {
+			return nil, err
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+func parseRunners(s string) ([]sim.RunnerKind, error) {
+	var out []sim.RunnerKind
+	for _, f := range splitList(s) {
+		r, err := sim.ParseRunnerKind(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
 func loadSpec(path string) (sim.CampaignSpec, error) {
 	var spec sim.CampaignSpec
 	data, err := os.ReadFile(path)
@@ -174,7 +284,10 @@ func run(args []string) error {
 		gridsS     = fs.String("grids", "16x16", "comma-separated grid sizes, CxR")
 		sparesS    = fs.String("spares", "", "comma-separated spare counts N (default: the paper's x axis)")
 		holesS     = fs.String("holes", "1", "comma-separated simultaneous hole counts")
-		failuresS  = fs.String("failures", "holes", "comma-separated damage models: holes, jam")
+		failuresS  = fs.String("failures", "holes", "comma-separated legacy damage models: holes, jam")
+		workloadsS = fs.String("workloads", "", "comma-separated workload kinds: "+strings.Join(sim.WorkloadKinds(), ", ")+" (parameters via -spec)")
+		runnersS   = fs.String("runners", "", "comma-separated trial runners: sync, async (default sync)")
+		resume     = fs.Bool("resume", false, "skip (group, N) cells already in the output manifest and merge new results into it")
 		replicates = fs.Int("replicates", 20, "trials per campaign cell")
 		seed       = fs.Int64("seed", 1, "base random seed")
 		workers    = fs.Int("workers", 0, "parallel trial workers (0 = all cores)")
@@ -198,6 +311,8 @@ func run(args []string) error {
 		}
 		spec = loaded
 	} else {
+		failuresFlagSet := false
+		fs.Visit(func(f *flag.Flag) { failuresFlagSet = failuresFlagSet || f.Name == "failures" })
 		var err error
 		if spec.Schemes, err = parseSchemes(*schemesS); err != nil {
 			return err
@@ -211,7 +326,17 @@ func run(args []string) error {
 		if spec.Holes, err = parseInts(*holesS); err != nil {
 			return err
 		}
-		if spec.Failures, err = parseFailures(*failuresS); err != nil {
+		if *workloadsS != "" {
+			if failuresFlagSet {
+				return fmt.Errorf("set -workloads or -failures, not both")
+			}
+			if spec.Workloads, err = parseWorkloads(*workloadsS); err != nil {
+				return err
+			}
+		} else if spec.Failures, err = parseFailures(*failuresS); err != nil {
+			return err
+		}
+		if spec.Runners, err = parseRunners(*runnersS); err != nil {
 			return err
 		}
 		spec.Replicates = *replicates
@@ -227,17 +352,83 @@ func run(args []string) error {
 		spec.Workers = *workers
 	}
 	spec = spec.Normalized()
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+
+	// -resume: load the existing manifest (if any) and mark its
+	// aggregated (group, N) cells as done, so only missing cells run.
+	manifestPath := filepath.Join(*outDir, *name+".json")
+	var priorPoints []experiment.Point
+	done := make(map[resumeKey]bool)
+	if *resume {
+		data, err := os.ReadFile(manifestPath)
+		switch {
+		case err == nil:
+			var prior experiment.Manifest
+			if err := json.Unmarshal(data, &prior); err != nil {
+				return fmt.Errorf("resume manifest %s: %w", manifestPath, err)
+			}
+			if err := resumeCompatible(prior.Spec, spec); err != nil {
+				return fmt.Errorf("resume manifest %s: %w", manifestPath, err)
+			}
+			// Only prior cells inside the current job space count: they
+			// are skipped and retained. Orphans (cells of a dimension
+			// value the current spec dropped) are discarded so the
+			// written manifest stays consistent with its recorded spec.
+			current := make(map[resumeKey]bool)
+			js := spec.JobSpace()
+			for i := 0; i < js.Len(); i++ {
+				j := js.At(i)
+				current[resumeKey{j.Group(), float64(j.Spares)}] = true
+			}
+			orphans := 0
+			for _, p := range prior.Points {
+				if !current[resumeKey{p.Group, p.X}] {
+					orphans++
+					continue
+				}
+				priorPoints = append(priorPoints, p)
+				done[resumeKey{p.Group, p.X}] = true
+			}
+			if orphans > 0 {
+				fmt.Printf("resume: dropping %d cells of %s outside the current spec\n",
+					orphans, manifestPath)
+			}
+		case os.IsNotExist(err):
+			// Nothing to resume from; run the full campaign.
+		default:
+			return err
+		}
+	}
+	var keep func(sim.TrialJob) bool
+	if len(done) > 0 {
+		keep = func(j sim.TrialJob) bool {
+			return !done[resumeKey{j.Group(), float64(j.Spares)}]
+		}
+	}
 
 	totalJobs := spec.NumJobs()
 	opts := experiment.Options{Workers: spec.Workers}
 	if !*quiet {
 		opts.Progress = newProgressMeter(os.Stderr).report
 	}
-	// Trials stream into online per-(group, N) accumulators inside
-	// RunCampaign: campaign memory is O(groups), not O(trials).
-	points, err := sim.RunCampaign(context.Background(), spec, opts)
+	// Trials stream into online per-(group, N) accumulators: campaign
+	// memory is O(groups), not O(trials).
+	acc := experiment.NewAccumulator()
+	err := sim.RunCampaignSubset(context.Background(), spec, opts, keep,
+		func(_ sim.TrialJob, s experiment.Sample) error {
+			acc.Add(s)
+			return nil
+		})
 	if err != nil {
 		return err
+	}
+	points := acc.Points()
+	if len(done) > 0 {
+		fmt.Printf("resume: %d cells already in %s, ran %d new trials\n",
+			len(done), manifestPath, acc.Samples())
+		points = mergePoints(priorPoints, points)
 	}
 
 	manifest, err := experiment.NewManifest(*name, spec, totalJobs, opts.Workers, points)

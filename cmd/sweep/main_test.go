@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -111,6 +112,232 @@ func TestRunSpecFile(t *testing.T) {
 	// "all" exports every recorded metric, holes_before included.
 	if _, err := os.Stat(filepath.Join(dir, "jamtest-holes_before.csv")); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestParseWorkloadsAndRunners(t *testing.T) {
+	wls, err := parseWorkloads("holes, churn")
+	if err != nil || !reflect.DeepEqual(wls, []sim.WorkloadSpec{{Kind: "holes"}, {Kind: "churn"}}) {
+		t.Errorf("parseWorkloads = %v, %v", wls, err)
+	}
+	if _, err := parseWorkloads("meteor"); err == nil {
+		t.Error("unknown workload kind should fail")
+	}
+	rs, err := parseRunners("sync,async")
+	if err != nil || !reflect.DeepEqual(rs, []sim.RunnerKind{sim.RunSync, sim.RunAsync}) {
+		t.Errorf("parseRunners = %v, %v", rs, err)
+	}
+	if _, err := parseRunners("warp"); err == nil {
+		t.Error("unknown runner should fail")
+	}
+}
+
+// TestRunWorkloadSpecCampaigns is the CLI acceptance criterion: churn
+// and depletion campaigns run end-to-end from a spec file, including the
+// async runner axis.
+func TestRunWorkloadSpecCampaigns(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	spec := `{
+		"schemes": ["SR"],
+		"grids": [{"cols": 8, "rows": 8}],
+		"spares": [16],
+		"workloads": [
+			{"kind": "churn", "holes": 2, "every": 4, "waves": 2},
+			{"kind": "depletion", "budget": 15}
+		],
+		"runners": ["sync", "async"],
+		"replicates": 2,
+		"seed": 6
+	}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{
+		"-spec", specPath, "-out", dir, "-name", "wl",
+		"-metrics", "moves,recovered", "-quiet",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "wl.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Jobs   int `json:"jobs"`
+		Points []struct {
+			Group string `json:"group"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	// 2 workloads x 2 runners x 1 scheme x 1 grid x 1 spare x 2 reps.
+	if m.Jobs != 8 || len(m.Points) != 4 {
+		t.Errorf("manifest jobs=%d points=%d", m.Jobs, len(m.Points))
+	}
+	groups := map[string]bool{}
+	for _, p := range m.Points {
+		groups[p.Group] = true
+	}
+	for _, want := range []string{
+		"SR 8x8 churn h=2 e=4 w=2",
+		"SR 8x8 churn h=2 e=4 w=2 async",
+		"SR 8x8 depletion b=15",
+		"SR 8x8 depletion b=15 async",
+	} {
+		if !groups[want] {
+			t.Errorf("missing group %q in %v", want, groups)
+		}
+	}
+}
+
+func TestRunWorkloadsFlag(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-schemes", "SR,AR", "-grids", "8x8", "-spares", "12",
+		"-workloads", "churn", "-replicates", "2", "-seed", "3",
+		"-out", dir, "-name", "churnflag", "-metrics", "moves", "-quiet",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "churnflag.json")); err != nil {
+		t.Error(err)
+	}
+	// -workloads and an explicit -failures conflict.
+	err = run([]string{
+		"-workloads", "churn", "-failures", "jam",
+		"-out", dir, "-quiet",
+	})
+	if err == nil {
+		t.Error("-workloads with -failures should fail")
+	}
+}
+
+// TestRunResume pins the -resume satellite: a manifest produced by a
+// partial campaign plus a resumed run over a wider spec must be
+// byte-identical to the wider campaign run from scratch, and cells
+// already present must not rerun.
+func TestRunResume(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{
+		"-schemes", "SR,AR", "-grids", "8x8", "-replicates", "3",
+		"-seed", "11", "-out", dir, "-name", "res",
+		"-metrics", "moves", "-quiet",
+	}
+	// Phase 1: the narrow campaign.
+	if err := run(append([]string{"-spares", "8"}, base...)); err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := os.ReadFile(filepath.Join(dir, "res.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 2: resume over the widened spares axis.
+	if err := run(append([]string{"-spares", "8,24", "-resume"}, base...)); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := os.ReadFile(filepath.Join(dir, "res.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(narrow, resumed) {
+		t.Fatal("resume added no points")
+	}
+	// Reference: the widened campaign from scratch. Replicate seeds are
+	// shared across cells, so the N=8 cells agree and the merged
+	// manifest must be byte-identical.
+	refDir := t.TempDir()
+	refArgs := []string{
+		"-spares", "8,24", "-schemes", "SR,AR", "-grids", "8x8",
+		"-replicates", "3", "-seed", "11", "-out", refDir, "-name", "res",
+		"-metrics", "moves", "-quiet",
+	}
+	if err := run(refArgs); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := os.ReadFile(filepath.Join(refDir, "res.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumed, ref) {
+		t.Errorf("resumed manifest differs from from-scratch manifest:\n%s\nvs\n%s", resumed, ref)
+	}
+	// Phase 3: resuming a complete manifest runs nothing and keeps the
+	// points intact.
+	if err := run(append([]string{"-spares", "8,24", "-resume"}, base...)); err != nil {
+		t.Fatal(err)
+	}
+	again, err := os.ReadFile(filepath.Join(dir, "res.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, ref) {
+		t.Error("no-op resume changed the manifest")
+	}
+}
+
+// TestRunResumeDropsOrphanCells pins manifest self-consistency: prior
+// points whose dimension values the current spec no longer lists are
+// dropped, so the written manifest never contains points its recorded
+// spec cannot describe.
+func TestRunResumeDropsOrphanCells(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{
+		"-grids", "8x8", "-spares", "8", "-replicates", "2", "-seed", "3",
+		"-out", dir, "-name", "orph", "-metrics", "moves", "-quiet",
+	}
+	if err := run(append([]string{"-schemes", "SR,AR"}, base...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-schemes", "SR", "-resume"}, base...)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "orph.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Points []struct {
+			Group string `json:"group"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Points) != 1 || m.Points[0].Group != "SR 8x8" {
+		t.Errorf("narrowed resume kept orphan points: %+v", m.Points)
+	}
+}
+
+// TestRunResumeRejectsIncompatibleSpec pins the merge-soundness check:
+// a resume may extend dimension lists, but changing the seed, replicate
+// count, or pass-through trial parameters would silently mix
+// incomparable points under unchanged (group, N) labels.
+func TestRunResumeRejectsIncompatibleSpec(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{
+		"-schemes", "SR", "-grids", "8x8", "-out", dir, "-name", "inc",
+		"-metrics", "moves", "-quiet",
+	}
+	if err := run(append([]string{"-spares", "8", "-seed", "1", "-replicates", "2"}, base...)); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-spares", "8,24", "-seed", "2", "-replicates", "2", "-resume"},
+		{"-spares", "8,24", "-seed", "1", "-replicates", "5", "-resume"},
+		{"-spares", "8,24", "-seed", "1", "-replicates", "2", "-adjacent", "-resume"},
+	} {
+		if err := run(append(args, base...)); err == nil ||
+			!strings.Contains(err.Error(), "resume manifest") {
+			t.Errorf("run(%v) = %v, want incompatible-resume error", args, err)
+		}
+	}
+	// The compatible extension still works.
+	if err := run(append([]string{"-spares", "8,24", "-seed", "1", "-replicates", "2", "-resume"}, base...)); err != nil {
+		t.Errorf("compatible resume failed: %v", err)
 	}
 }
 

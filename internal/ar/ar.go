@@ -29,6 +29,7 @@ package ar
 
 import (
 	"fmt"
+	"slices"
 
 	"wsncover/internal/grid"
 	"wsncover/internal/metrics"
@@ -63,6 +64,12 @@ type Config struct {
 	InitProb float64
 	// MaxHops is the cascade hop budget. Zero means DefaultMaxHops.
 	MaxHops int
+	// FullScanDetect selects the reference O(cells) per-round vacancy
+	// scan instead of the event-driven detector fed by the network's
+	// vacancy journal. The two are bit-identical (enforced by a lockstep
+	// differential test); the full scan exists as the executable
+	// specification and for benchmarking.
+	FullScanDetect bool
 }
 
 // proc is one AR replacement process.
@@ -101,11 +108,21 @@ type Controller struct {
 	departing map[grid.Coord]bool
 	pending   []departure
 
+	// fullScan selects the reference O(cells) detector.
+	fullScan bool
+	// holes is the event-driven detector's standing set of vacant cells:
+	// seeded from a one-time scan at construction, then maintained from
+	// the network's vacancy journal, so per-round detection is O(holes)
+	// instead of O(cells).
+	holes map[grid.Coord]struct{}
+
 	// Scratch buffers reused across rounds so the hot loop does not
-	// allocate: the inbox snapshot, the vacant-cell scan, and the
-	// neighbor-classification lists of pickNext.
+	// allocate: the inbox snapshot, the vacant-cell candidates (scanned
+	// or journal-fed), the journal drain, and the neighbor-classification
+	// lists of pickNext.
 	inboxBuf []network.Message
 	vacBuf   []grid.Coord
+	eventBuf []grid.Coord
 	nbrBuf   []grid.Coord
 	spareBuf []grid.Coord
 	headBuf  []grid.Coord
@@ -127,17 +144,32 @@ func New(net *network.Network, cfg Config) *Controller {
 	if maxHops == 0 {
 		maxHops = DefaultMaxHops
 	}
-	return &Controller{
+	c := &Controller{
 		net:       net,
 		rng:       rng,
 		col:       metrics.NewCollector(),
 		initProb:  initProb,
 		maxHops:   maxHops,
+		fullScan:  cfg.FullScanDetect,
 		procs:     make(map[int]*proc),
 		detected:  make(map[grid.Coord]bool),
 		claims:    make(map[grid.Coord]int),
 		departing: make(map[grid.Coord]bool),
 	}
+	if !c.fullScan {
+		// Seed the standing hole set from the network as handed over:
+		// damage injected before the controller existed never produced
+		// journal events this consumer saw. Stale pre-construction
+		// events are drained away first; from here on the journal is
+		// authoritative.
+		c.holes = make(map[grid.Coord]struct{})
+		c.net.DrainVacancyEvents(c.eventBuf[:0])
+		c.eventBuf = c.net.VacantCells(c.eventBuf[:0])
+		for _, g := range c.eventBuf {
+			c.holes[g] = struct{}{}
+		}
+	}
+	return c
 }
 
 // Name identifies the scheme in experiment output.
@@ -169,6 +201,21 @@ func (c *Controller) executeDepartures() error {
 	c.pending = c.pending[:0]
 	for _, d := range pending {
 		delete(c.departing, d.from)
+		if nd := c.net.Node(d.nodeID); nd == nil || !nd.Enabled() {
+			// The committed head died before its scheduled move (mid-run
+			// damage: a churn wave, depletion); the cascade cannot
+			// continue and the process fails. Release the outstanding
+			// vacancy — its claim and, for a first-hop death, its
+			// detected mark — so detection samples it afresh.
+			if owner, claimed := c.claims[d.vacancy]; claimed && owner == d.pid {
+				delete(c.claims, d.vacancy)
+			}
+			delete(c.detected, d.vacancy)
+			if p, ok := c.procs[d.pid]; ok {
+				c.finish(p, metrics.Failed)
+			}
+			continue
+		}
 		if err := c.moveInto(d.pid, d.nodeID, d.vacancy); err != nil {
 			return err
 		}
@@ -194,6 +241,11 @@ func (c *Controller) moveInto(pid int, id node.ID, vacancy grid.Coord) error {
 	if owner, ok := c.claims[vacancy]; ok && owner == pid {
 		delete(c.claims, vacancy)
 	}
+	// The refilled cell is no longer a sampled hole: if external damage
+	// (a churn wave, depletion) vacates it again later, its initiator
+	// set is sampled afresh. In a single-shot trial this is a no-op —
+	// any cascade re-vacancy carries a claim, which shields it first.
+	delete(c.detected, vacancy)
 	return nil
 }
 
@@ -302,11 +354,17 @@ func (c *Controller) pickNext(p *proc) (grid.Coord, bool) {
 	return grid.Coord{}, false
 }
 
-// detect scans for fresh holes and samples the initiator set of each:
-// every neighboring head flips a coin, with at least one initiator forced
-// (the redundancy of unsynchronized 1-hop detection).
+// detect finds fresh holes and samples the initiator set of each: every
+// neighboring head flips a coin, with at least one initiator forced (the
+// redundancy of unsynchronized 1-hop detection).
+//
+// The candidate holes come either from the reference full scan or from
+// the standing set maintained off the network's vacancy journal; the two
+// visit the same cells in the same order (cell index), with every
+// eligibility condition evaluated lazily at visit time, so the arms are
+// bit-identical — enforced by the lockstep differential test.
 func (c *Controller) detect() error {
-	c.vacBuf = c.net.VacantCells(c.vacBuf[:0])
+	c.vacBuf = c.vacantCandidates()
 	for _, v := range c.vacBuf {
 		if c.detected[v] {
 			continue
@@ -346,6 +404,31 @@ func (c *Controller) detect() error {
 		}
 	}
 	return nil
+}
+
+// vacantCandidates returns the current vacant cells in cell-index order.
+// The full scan recomputes them from the cell registry, O(cells); the
+// event-driven path folds the vacancy journal into the standing hole set
+// and sorts it by index — the same order at O(holes) per round.
+func (c *Controller) vacantCandidates() []grid.Coord {
+	if c.fullScan {
+		return c.net.VacantCells(c.vacBuf[:0])
+	}
+	c.eventBuf = c.net.DrainVacancyEvents(c.eventBuf[:0])
+	for _, g := range c.eventBuf {
+		if c.net.IsVacant(g) {
+			c.holes[g] = struct{}{}
+		} else {
+			delete(c.holes, g)
+		}
+	}
+	buf := c.vacBuf[:0]
+	for g := range c.holes {
+		buf = append(buf, g)
+	}
+	sys := c.net.System()
+	slices.SortFunc(buf, func(a, b grid.Coord) int { return sys.Index(a) - sys.Index(b) })
+	return buf
 }
 
 // initiate starts one AR process for the hole at v from the neighboring

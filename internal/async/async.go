@@ -342,6 +342,26 @@ func (c *Controller) arrive(e event) error {
 	if nd == nil {
 		return fmt.Errorf("async: process %d references unknown node %d", e.pid, e.nodeID)
 	}
+	if !nd.Enabled() {
+		// The committed node died before arriving (mid-run damage, e.g.
+		// depletion between events); the process fails. A departing head
+		// releases its grid's commitment so a successor can be served,
+		// and the outstanding vacancy's claim and failed mark are
+		// cleared so a later poll serves it with a fresh process — the
+		// hole is repairable, unlike a spare-drought failure.
+		if !e.final {
+			from, _ := c.net.System().CoordOf(nd.Location())
+			delete(c.departing, from)
+		}
+		if owner, claimed := c.claims[e.vacancy]; claimed && owner == e.pid {
+			delete(c.claims, e.vacancy)
+		}
+		if p, ok := c.procs[e.pid]; ok {
+			c.finish(p, metrics.Failed)
+			delete(c.failed, p.walk.Origin())
+		}
+		return nil
+	}
 	if !e.traveling {
 		e.target = c.net.CentralTarget(e.vacancy, c.rng)
 		travel := nd.Location().Dist(e.target) / c.cfg.MoveSpeed

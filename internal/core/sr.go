@@ -245,6 +245,21 @@ func (c *Controller) executeDepartures() error {
 	c.pending = c.pending[:0]
 	for _, d := range pending {
 		delete(c.departing, d.from)
+		if nd := c.net.Node(d.nodeID); nd == nil || !nd.Enabled() {
+			// The committed head died before its scheduled move (mid-run
+			// damage: a churn wave, depletion); the cascade cannot
+			// continue and the process fails. Unlike a spare-drought
+			// failure, the outstanding vacancy is repairable — release
+			// its claim so detection serves it with a fresh process.
+			if cl, claimed := c.claims[d.vacancy]; claimed && cl.pid == d.pid {
+				delete(c.claims, d.vacancy)
+			}
+			if p, ok := c.procs[d.pid]; ok {
+				c.finish(p, metrics.Failed)
+				delete(c.failedOrigins, p.walk.Origin())
+			}
+			continue
+		}
 		if err := c.moveInto(d.pid, d.nodeID, d.vacancy); err != nil {
 			return err
 		}

@@ -613,3 +613,51 @@ func TestActiveProcessesAccounting(t *testing.T) {
 		t.Error("processes should drain")
 	}
 }
+
+// TestDeadCommittedHeadReleasesClaim pins the mid-run-damage failure
+// path: when a head already committed to a cascade move dies before
+// executing it (a churn wave or depletion check), its process fails —
+// but the outstanding vacancy's claim must be released so a fresh
+// process repairs the hole from the remaining spares, instead of the
+// cell staying shielded from detection forever.
+func TestDeadCommittedHeadReleasesClaim(t *testing.T) {
+	hole := grid.C(2, 2)
+	spareCell := grid.C(0, 0)
+	net, topo := scenario(t, 5, 5, []grid.Coord{hole},
+		[]grid.Coord{spareCell, spareCell, spareCell})
+	monitor := topo.MonitorOf(hole)
+	if monitor == spareCell || monitor == hole {
+		t.Fatalf("fixture broken: monitor %v collides with spare cell or hole", monitor)
+	}
+	c := newSR(t, net, topo)
+	// Round 1: the hole's monitor detects it and, having no spare of its
+	// own, commits to a cascade departure for the next round.
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if c.ActiveProcesses() != 1 {
+		t.Fatalf("processes = %d, want 1", c.ActiveProcesses())
+	}
+	head := net.HeadOf(monitor)
+	if head == node.Invalid {
+		t.Fatalf("monitor %v has no head", monitor)
+	}
+	if err := net.DisableNode(head); err != nil {
+		t.Fatal(err)
+	}
+	idle := 0
+	for r := 0; r < 200 && idle < 3; r++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if c.Done() {
+			idle++
+		} else {
+			idle = 0
+		}
+	}
+	if !net.AllHeadsPresent() {
+		t.Fatalf("coverage not restored after committed head died: %d vacant cells",
+			net.VacantCount())
+	}
+}

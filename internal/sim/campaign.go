@@ -30,9 +30,9 @@ func ParseGridSize(s string) (GridSize, error) {
 }
 
 // CampaignSpec describes a multi-dimensional Monte-Carlo campaign: the
-// cross product of schemes, grid sizes, spare counts, hole counts, and
-// failure modes, each cell replicated Replicates times. The JSON form is
-// what cmd/sweep reads as a spec file.
+// cross product of schemes, grid sizes, spare counts, hole counts,
+// workloads, and runners, each cell replicated Replicates times. The
+// JSON form is what cmd/sweep reads as a spec file.
 type CampaignSpec struct {
 	// Schemes to compare; empty means SR and AR (the paper's pairing).
 	Schemes []SchemeKind `json:"schemes,omitempty"`
@@ -41,10 +41,20 @@ type CampaignSpec struct {
 	// Spares lists the swept spare counts N; empty means PaperNs.
 	Spares []int `json:"spares,omitempty"`
 	// Holes lists simultaneous hole counts; empty means {1}. Ignored by
-	// the jam failure mode.
+	// workloads that do not scale with it (jam, or any workload pinning
+	// its own hole count).
 	Holes []int `json:"holes,omitempty"`
-	// Failures lists damage models; empty means {FailHoles}.
+	// Failures lists damage models via the legacy enum; kept so existing
+	// spec files keep working. A spec sets Failures or Workloads, never
+	// both. Empty (with Workloads also empty) means {FailHoles}.
 	Failures []FailureMode `json:"failures,omitempty"`
+	// Workloads lists damage models as named workload specs — the
+	// composable successor of Failures. Each entry is one value of the
+	// campaign's damage dimension.
+	Workloads []WorkloadSpec `json:"workloads,omitempty"`
+	// Runners lists trial runners (sync rounds, async event stepping);
+	// empty means {sync}. The async runner supports SR only.
+	Runners []RunnerKind `json:"runners,omitempty"`
 	// Replicates is the trial count per cell; zero means 20.
 	Replicates int `json:"replicates,omitempty"`
 	// BaseSeed anchors the deterministic per-replicate seed derivation.
@@ -59,11 +69,16 @@ type CampaignSpec struct {
 	ARInitProb      float64 `json:"ar_init_prob,omitempty"`
 	ARMaxHops       int     `json:"ar_max_hops,omitempty"`
 
-	// legacyDetect forces every SR trial onto the reference full-scan
-	// detector; set only by the differential tests that prove the
-	// event-driven detector reproduces the seed's campaign output byte
+	// legacyDetect forces every trial onto the reference full-scan
+	// detectors; set only by the differential tests that prove the
+	// event-driven detectors reproduce the seed's campaign output byte
 	// for byte.
 	legacyDetect bool
+	// legacyAssembly routes every trial through the pre-workload
+	// assembly path (ApplyDamage + RunToConvergence); set only by the
+	// differential tests that prove the workload path reproduces the
+	// enum path byte for byte.
+	legacyAssembly bool
 }
 
 func (s *CampaignSpec) normalize() {
@@ -79,12 +94,66 @@ func (s *CampaignSpec) normalize() {
 	if len(s.Holes) == 0 {
 		s.Holes = []int{1}
 	}
-	if len(s.Failures) == 0 {
+	if len(s.Failures) == 0 && len(s.Workloads) == 0 {
 		s.Failures = []FailureMode{FailHoles}
 	}
 	if s.Replicates == 0 {
 		s.Replicates = 20
 	}
+}
+
+// Validate rejects specs the job space cannot execute: conflicting
+// damage dimensions, unregistered workload kinds, and runner/scheme
+// pairings the trial assembly would refuse. RunCampaignStream validates
+// automatically; CLIs call it early for friendlier errors.
+func (s CampaignSpec) Validate() error {
+	s.normalize()
+	if len(s.Failures) > 0 && len(s.Workloads) > 0 {
+		return fmt.Errorf("sim: campaign sets both failures and workloads; use workloads")
+	}
+	for _, w := range s.workloadDim() {
+		if _, err := BuildWorkload(w); err != nil {
+			return err
+		}
+	}
+	for _, r := range s.runnerDim() {
+		if r != RunSync && r != RunAsync {
+			return fmt.Errorf("sim: unknown runner %v", r)
+		}
+		if r != RunAsync {
+			continue
+		}
+		for _, k := range s.Schemes {
+			if k != SR {
+				return fmt.Errorf("sim: the async runner supports the SR scheme only; "+
+					"scheme %v cannot share a campaign with runner async", k)
+			}
+		}
+	}
+	return nil
+}
+
+// workloadDim resolves the campaign's damage dimension: the explicit
+// Workloads list, or the legacy Failures enum mapped onto its workload
+// re-expressions. The mapping preserves order, so legacy specs keep
+// their job indexing.
+func (s CampaignSpec) workloadDim() []WorkloadSpec {
+	if len(s.Workloads) > 0 {
+		return s.Workloads
+	}
+	out := make([]WorkloadSpec, len(s.Failures))
+	for i, f := range s.Failures {
+		out[i] = WorkloadSpec{Kind: f.String()}
+	}
+	return out
+}
+
+// runnerDim resolves the runner dimension; empty means sync only.
+func (s CampaignSpec) runnerDim() []RunnerKind {
+	if len(s.Runners) > 0 {
+		return s.Runners
+	}
+	return []RunnerKind{RunSync}
 }
 
 // Normalized returns the spec with every empty dimension replaced by
@@ -97,25 +166,30 @@ func (s CampaignSpec) Normalized() CampaignSpec {
 
 // TrialJob is one fully resolved cell replicate of a campaign: every
 // sweep dimension pinned plus the pre-derived seed, so executing it is a
-// pure function of the job itself.
+// pure function of the job itself. The job is comparable; its workload
+// is identified by its spec, not a constructed instance.
 type TrialJob struct {
 	Scheme    SchemeKind
 	Grid      GridSize
 	Spares    int
 	Holes     int
-	Failure   FailureMode
+	Workload  WorkloadSpec
+	Runner    RunnerKind
 	Replicate int
 	Seed      int64
 }
 
 // Group names the curve this job belongs to in aggregated output: every
-// dimension except the X axis (spares) and the replicate.
+// dimension except the X axis (spares) and the replicate. Legacy
+// dimensions keep their historical labels ("SR 16x16", "... jam",
+// "... holes=3"); workload parameters and the async runner extend them.
 func (j TrialJob) Group() string {
 	g := fmt.Sprintf("%s %s", j.Scheme, j.Grid)
-	if j.Failure != FailHoles {
-		g += " " + j.Failure.String()
-	} else if j.Holes != 1 {
-		g += fmt.Sprintf(" holes=%d", j.Holes)
+	if lbl := j.Workload.groupLabel(j.Holes); lbl != "" {
+		g += " " + lbl
+	}
+	if j.Runner != RunSync {
+		g += " " + j.Runner.String()
 	}
 	return g
 }
@@ -129,13 +203,15 @@ func (j TrialJob) config(s CampaignSpec) TrialConfig {
 		Spares:          j.Spares,
 		Holes:           j.Holes,
 		AdjacentHolesOK: s.AdjacentHolesOK,
-		Failure:         j.Failure,
+		Workload:        j.Workload,
+		Runner:          j.Runner,
 		JamRadius:       s.JamRadius,
 		Scheme:          j.Scheme,
 		Seed:            j.Seed,
 		ARInitProb:      s.ARInitProb,
 		ARMaxHops:       s.ARMaxHops,
 		LegacyDetect:    s.legacyDetect,
+		LegacyAssembly:  s.legacyAssembly,
 	}
 }
 
@@ -150,36 +226,41 @@ type JobSpace struct {
 	total  int
 }
 
-// jobBlock is one failure mode's contiguous index range.
+// jobBlock is one (workload, runner) pair's contiguous index range.
 type jobBlock struct {
-	failure FailureMode
-	holes   []int
-	start   int
-	size    int
+	workload WorkloadSpec
+	runner   RunnerKind
+	holes    []int
+	start    int
+	size     int
 }
 
 // JobSpace normalizes the spec and indexes its job list in the fixed
-// nested order (failure, grid, holes, scheme, spares, replicate).
-// Replicate r uses the r-th seed derived from BaseSeed across every
-// cell, so all schemes and configurations face statistically paired
-// layouts, mirroring the paper's methodology of comparing SR and AR on
-// identical damage.
+// nested order (workload, runner, grid, holes, scheme, spares,
+// replicate); legacy specs — one sync runner, workloads derived from
+// Failures — keep the pre-redesign indexing exactly. Replicate r uses
+// the r-th seed derived from BaseSeed across every cell, so all schemes
+// and configurations face statistically paired layouts, mirroring the
+// paper's methodology of comparing SR and AR on identical damage.
 func (s CampaignSpec) JobSpace() JobSpace {
 	s.normalize()
 	js := JobSpace{spec: s, seeds: experiment.Seeds(s.BaseSeed, s.Replicates)}
-	for _, failure := range s.Failures {
-		// The jam disc ignores the hole count, so expanding the holes
-		// dimension there would replicate identical (config, seed) jobs
-		// and deflate the jam group's confidence intervals.
+	for _, wl := range s.workloadDim() {
+		// A workload that does not scale with the holes dimension (jam's
+		// disc decides; a pinned hole count overrides) collapses it, so
+		// the campaign never replicates identical (config, seed) jobs
+		// that would deflate the group's confidence intervals.
 		holesDim := s.Holes
-		if failure == FailJam {
+		if !wl.usesHolesDim() {
 			holesDim = []int{1}
 		}
-		size := len(s.Grids) * len(holesDim) * len(s.Schemes) * len(s.Spares) * s.Replicates
-		js.blocks = append(js.blocks, jobBlock{
-			failure: failure, holes: holesDim, start: js.total, size: size,
-		})
-		js.total += size
+		for _, runner := range s.runnerDim() {
+			size := len(s.Grids) * len(holesDim) * len(s.Schemes) * len(s.Spares) * s.Replicates
+			js.blocks = append(js.blocks, jobBlock{
+				workload: wl, runner: runner, holes: holesDim, start: js.total, size: size,
+			})
+			js.total += size
+		}
 	}
 	return js
 }
@@ -214,7 +295,8 @@ func (js JobSpace) At(i int) TrialJob {
 		Grid:      s.Grids[j],
 		Spares:    spares,
 		Holes:     holes,
-		Failure:   blk.failure,
+		Workload:  blk.workload,
+		Runner:    blk.runner,
 		Replicate: r,
 		Seed:      js.seeds[r],
 	}
@@ -267,14 +349,40 @@ func SampleOf(j TrialJob, res TrialResult) experiment.Sample {
 // Workers field when unset; the sink sees a bit-identical stream for any
 // worker count. A sink error aborts the campaign.
 func RunCampaignStream(ctx context.Context, spec CampaignSpec, opts experiment.Options, sink func(TrialJob, experiment.Sample) error) error {
+	return RunCampaignSubset(ctx, spec, opts, nil, sink)
+}
+
+// RunCampaignSubset is RunCampaignStream restricted to the jobs keep
+// admits (nil keeps every job). Skipped jobs cost no work and do not
+// reach the sink; the surviving jobs still execute and deliver in
+// job-index order, so a subset campaign is bit-identical to the
+// corresponding slice of the full stream — the property cmd/sweep
+// -resume relies on when it merges a partial rerun into an existing
+// manifest.
+func RunCampaignSubset(ctx context.Context, spec CampaignSpec, opts experiment.Options, keep func(TrialJob) bool, sink func(TrialJob, experiment.Sample) error) error {
 	spec.normalize()
+	if err := spec.Validate(); err != nil {
+		return err
+	}
 	jobs := spec.JobSpace()
 	if opts.Workers == 0 {
 		opts.Workers = spec.Workers
 	}
-	return experiment.RunStream(ctx, jobs.Len(), opts,
+	index := func(i int) int { return i }
+	total := jobs.Len()
+	if keep != nil {
+		included := make([]int, 0, total)
+		for i := 0; i < total; i++ {
+			if keep(jobs.At(i)) {
+				included = append(included, i)
+			}
+		}
+		index = func(i int) int { return included[i] }
+		total = len(included)
+	}
+	return experiment.RunStream(ctx, total, opts,
 		func(_ context.Context, i int) (experiment.Sample, error) {
-			j := jobs.At(i)
+			j := jobs.At(index(i))
 			res, err := RunTrial(j.config(spec))
 			if err != nil {
 				return experiment.Sample{}, fmt.Errorf("%s N=%d replicate %d: %w",
@@ -282,7 +390,7 @@ func RunCampaignStream(ctx context.Context, spec CampaignSpec, opts experiment.O
 			}
 			return SampleOf(j, res), nil
 		},
-		func(i int, s experiment.Sample) error { return sink(jobs.At(i), s) })
+		func(i int, s experiment.Sample) error { return sink(jobs.At(index(i)), s) })
 }
 
 // RunCampaign executes the spec and aggregates online: every trial's

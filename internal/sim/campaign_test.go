@@ -111,7 +111,7 @@ func TestCampaignJobsExpansion(t *testing.T) {
 	}
 	jamJobs := 0
 	for _, j := range jobs {
-		if j.Failure == FailJam {
+		if j.Workload.Kind == WorkloadJam {
 			jamJobs++
 			if j.Holes != 1 {
 				t.Fatalf("jam job carries holes=%d", j.Holes)
@@ -139,7 +139,13 @@ func TestCampaignJobsExpansion(t *testing.T) {
 	if g := (TrialJob{Scheme: AR, Grid: GridSize{16, 16}, Holes: 4}).Group(); g != "AR 16x16 holes=4" {
 		t.Errorf("group = %q", g)
 	}
-	if g := (TrialJob{Scheme: SR, Grid: GridSize{16, 16}, Failure: FailJam}).Group(); g != "SR 16x16 jam" {
+	jam := TrialJob{Scheme: SR, Grid: GridSize{16, 16}, Holes: 1, Workload: WorkloadSpec{Kind: WorkloadJam}}
+	if g := jam.Group(); g != "SR 16x16 jam" {
+		t.Errorf("group = %q", g)
+	}
+	churn := TrialJob{Scheme: SR, Grid: GridSize{16, 16}, Holes: 1,
+		Workload: WorkloadSpec{Kind: WorkloadChurn, Every: 5, Waves: 3}, Runner: RunAsync}
+	if g := churn.Group(); g != "SR 16x16 churn e=5 w=3 async" {
 		t.Errorf("group = %q", g)
 	}
 }

@@ -71,8 +71,9 @@ func TestCampaignManifestsBitIdenticalAcrossDetectors(t *testing.T) {
 	}
 }
 
-// TestTrialLegacyDetectFlag spot-checks the TrialConfig plumbing: both
-// detectors must agree trial by trial, and the flag must not leak into AR.
+// TestTrialLegacyDetectFlag spot-checks the TrialConfig plumbing: for
+// every scheme — SR and, since the AR journal port, AR too — the
+// full-scan and event-driven detectors must agree trial by trial.
 func TestTrialLegacyDetectFlag(t *testing.T) {
 	for _, scheme := range []SchemeKind{SR, SRShortcut, AR} {
 		for seed := int64(0); seed < 4; seed++ {

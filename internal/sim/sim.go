@@ -12,7 +12,6 @@ import (
 
 	"wsncover/internal/ar"
 	"wsncover/internal/core"
-	"wsncover/internal/coverage"
 	"wsncover/internal/deploy"
 	"wsncover/internal/experiment"
 	"wsncover/internal/geom"
@@ -110,6 +109,11 @@ const PaperCommRange = 10.0
 
 // FailureMode selects how a trial damages the network before the scheme
 // starts. The zero value is the paper's model.
+//
+// FailureMode is the legacy two-value damage enum, kept working for
+// existing call sites and spec files. New code names its damage model
+// with a WorkloadSpec ({Kind: "churn", ...}); the "holes" and "jam"
+// workloads re-express this enum byte-identically.
 type FailureMode int
 
 const (
@@ -181,9 +185,18 @@ type TrialConfig struct {
 	// AdjacentHolesOK permits holes in adjacent cells (harder case:
 	// monitors of holes may themselves be vacant).
 	AdjacentHolesOK bool
-	// Failure selects the damage model; the zero value (FailHoles) is
-	// the paper's random vacant cells.
+	// Failure selects the damage model via the legacy enum; the zero
+	// value (FailHoles) is the paper's random vacant cells. Ignored —
+	// and required to stay zero — when Workload names a kind.
 	Failure FailureMode
+	// Workload selects the damage model as a named, parameterized spec
+	// ({Kind: "churn", Every: 5, ...}). The zero value falls back to the
+	// legacy Failure enum.
+	Workload WorkloadSpec
+	// Runner selects how the controller is stepped: synchronous global
+	// rounds (the zero value, the paper's system model) or the
+	// event-driven internal/async realization (SR only).
+	Runner RunnerKind
 	// JamRadius is the jammed-disc radius under FailJam; zero means 1.5
 	// cell sizes (a handful of neighboring cells).
 	JamRadius float64
@@ -198,11 +211,16 @@ type TrialConfig struct {
 	ARMaxHops  int
 	// EnergyModel optionally charges movement energy.
 	EnergyModel node.EnergyModel
-	// LegacyDetect runs SR with the reference O(cells) full-scan hole
-	// detector instead of the event-driven one. The two are bit-identical;
-	// the flag exists for differential testing and benchmarking. AR is
-	// unaffected.
+	// LegacyDetect runs SR and AR with their reference O(cells)
+	// full-scan hole detectors instead of the event-driven ones fed by
+	// the network vacancy journal. Each pair is bit-identical; the flag
+	// exists for differential testing and benchmarking.
 	LegacyDetect bool
+	// LegacyAssembly routes the trial through the pre-workload assembly
+	// path (ApplyDamage + RunToConvergence), the executable reference
+	// the workload schedule path is differential-tested against. Only
+	// the holes and jam workloads with the sync runner exist there.
+	LegacyAssembly bool
 }
 
 func (cfg *TrialConfig) normalize() error {
@@ -224,8 +242,27 @@ func (cfg *TrialConfig) normalize() error {
 	if cfg.Spares < 0 {
 		return fmt.Errorf("sim: negative spare count %d", cfg.Spares)
 	}
-	if cfg.Failure != FailHoles && cfg.Failure != FailJam {
-		return fmt.Errorf("sim: unknown failure mode %v", cfg.Failure)
+	if cfg.Workload == (WorkloadSpec{}) {
+		if cfg.Failure != FailHoles && cfg.Failure != FailJam {
+			return fmt.Errorf("sim: unknown failure mode %v", cfg.Failure)
+		}
+		cfg.Workload = WorkloadSpec{Kind: cfg.Failure.String()}
+	} else {
+		if cfg.Failure != FailHoles {
+			return fmt.Errorf("sim: set Workload or Failure, not both")
+		}
+		if cfg.Workload.Kind == "" {
+			// Parameters without a kind mean the default kind; the
+			// builder then rejects parameters it does not take, so a
+			// forgotten Kind fails loudly instead of being ignored.
+			cfg.Workload.Kind = WorkloadHoles
+		}
+	}
+	if cfg.Runner != RunSync && cfg.Runner != RunAsync {
+		return fmt.Errorf("sim: unknown runner %v", cfg.Runner)
+	}
+	if cfg.Runner == RunAsync && cfg.Scheme != SR {
+		return fmt.Errorf("sim: the async runner supports the SR scheme only, not %v", cfg.Scheme)
 	}
 	if cfg.JamRadius < 0 {
 		return fmt.Errorf("sim: negative jam radius %g", cfg.JamRadius)
@@ -250,35 +287,19 @@ type TrialResult struct {
 }
 
 // RunTrial builds the experimental configuration and runs the selected
-// scheme to convergence: one node per non-hole cell (the heads), Spares
-// spare nodes scattered uniformly, Holes vacant cells.
+// scheme over the configured workload's damage timeline: the workload
+// deploys the population (one node per non-hole cell plus Spares spare
+// nodes), its schedule events interleave with controller rounds, and the
+// trial converges once no process and no barrier event is outstanding.
 func RunTrial(cfg TrialConfig) (TrialResult, error) {
-	if err := cfg.normalize(); err != nil {
-		return TrialResult{}, err
+	if cfg.LegacyAssembly {
+		return runTrialLegacy(cfg)
 	}
-	rng := randx.New(cfg.Seed)
-	sys, err := grid.NewForCommRange(cfg.Cols, cfg.Rows, cfg.CommRange, geom.Pt(0, 0))
+	t, err := NewTrial(cfg)
 	if err != nil {
 		return TrialResult{}, err
 	}
-	net := network.New(sys, cfg.EnergyModel)
-	if _, err := ApplyDamage(net, cfg, rng); err != nil {
-		return TrialResult{}, err
-	}
-	scheme, err := BuildScheme(net, cfg, rng.Split(3))
-	if err != nil {
-		return TrialResult{}, err
-	}
-	res := TrialResult{HolesBefore: coverage.HoleCount(net)}
-	res.Rounds, err = RunToConvergence(scheme, cfg.MaxRounds)
-	if err != nil {
-		return TrialResult{}, err
-	}
-	res.Summary = scheme.Collector().Summarize()
-	res.HolesAfter = coverage.HoleCount(net)
-	res.Complete = coverage.Complete(net)
-	res.Connected = net.HeadGraphConnected()
-	return res, nil
+	return t.Run()
 }
 
 // DamageReport describes the failure a trial injected.
@@ -295,8 +316,11 @@ type DamageReport struct {
 // ApplyDamage deploys the trial population on an empty network and
 // injects cfg's failure, drawing from rng with a fixed stream-split
 // discipline: equal seeds damage the network identically wherever the
-// trial is assembled (RunTrial, the CLIs). cfg is taken as given — call
-// sites that skip RunTrial must set Holes themselves.
+// trial is assembled. It is the legacy enum-path damage step — the
+// executable reference the holes and jam workloads are
+// differential-tested against — and still serves CLIs that assemble
+// networks by hand (cmd/coveragesim). cfg is taken as given — call
+// sites must set Holes themselves.
 func ApplyDamage(net *network.Network, cfg TrialConfig, rng *randx.Rand) (DamageReport, error) {
 	sys := net.System()
 	switch cfg.Failure {
@@ -347,9 +371,10 @@ func BuildScheme(net *network.Network, cfg TrialConfig, rng *randx.Rand) (Scheme
 		})
 	case AR:
 		return ar.New(net, ar.Config{
-			RNG:      rng,
-			InitProb: cfg.ARInitProb,
-			MaxHops:  cfg.ARMaxHops,
+			RNG:            rng,
+			InitProb:       cfg.ARInitProb,
+			MaxHops:        cfg.ARMaxHops,
+			FullScanDetect: cfg.LegacyDetect,
 		}), nil
 	default:
 		return nil, fmt.Errorf("sim: unknown scheme %v", cfg.Scheme)

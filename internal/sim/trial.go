@@ -1,0 +1,402 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"wsncover/internal/async"
+	"wsncover/internal/coverage"
+	"wsncover/internal/geom"
+	"wsncover/internal/grid"
+	"wsncover/internal/hamilton"
+	"wsncover/internal/metrics"
+	"wsncover/internal/network"
+	"wsncover/internal/randx"
+)
+
+// asyncPollInterval is the nominal poll period of the async runner in
+// seconds; one schedule round maps to one poll period, and the round
+// budget maps to MaxRounds poll periods.
+const asyncPollInterval = 0.5
+
+// Trial is one assembled simulation: a deployed network, a controller,
+// and the workload's damage schedule, interleaved by Run's event loop.
+// A Trial is single-use: assemble with NewTrial, execute with Run.
+type Trial struct {
+	cfg   TrialConfig
+	net   *network.Network
+	sched Schedule
+
+	// Exactly one of scheme (sync runner) and actrl (async runner) is set.
+	scheme Scheme
+	actrl  *async.Controller
+
+	// evRNG is the stateful parent of the per-firing damage streams:
+	// applyDue splits one child stream off it per event firing, in
+	// firing order. The firing sequence is a pure function of the
+	// schedule, so equal (spec, seed) trials see equal streams — but
+	// reordering a schedule's firings reorders every subsequent stream.
+	evRNG *randx.Rand
+}
+
+// NewTrial resolves the configured workload into its schedule, deploys
+// the network, and attaches the controller, drawing from the seed with
+// the fixed stream-split discipline (deployment streams first, then the
+// scheme stream, then the event stream), so equal configurations
+// assemble identical trials wherever they run.
+func NewTrial(cfg TrialConfig) (*Trial, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	wl, err := BuildWorkload(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := wl.Schedule(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateEvents(sched.Events); err != nil {
+		return nil, err
+	}
+	rng := randx.New(cfg.Seed)
+	sys, err := grid.NewForCommRange(cfg.Cols, cfg.Rows, cfg.CommRange, geom.Pt(0, 0))
+	if err != nil {
+		return nil, err
+	}
+	net := network.New(sys, cfg.EnergyModel)
+	if sched.Deploy != nil {
+		if err := sched.Deploy(net, rng); err != nil {
+			return nil, err
+		}
+	}
+	t := &Trial{cfg: cfg, net: net, sched: sched}
+	if cfg.Runner == RunAsync {
+		topo, err := hamilton.Build(sys)
+		if err != nil {
+			return nil, err
+		}
+		t.actrl, err = async.New(net, async.Config{
+			Topology:     topo,
+			RNG:          rng.Split(3),
+			PollInterval: asyncPollInterval,
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		t.scheme, err = BuildScheme(net, cfg, rng.Split(3))
+		if err != nil {
+			return nil, err
+		}
+	}
+	t.evRNG = rng.Split(4)
+	return t, nil
+}
+
+// Network exposes the trial's network for inspection after Run.
+func (t *Trial) Network() *network.Network { return t.net }
+
+// collector returns the attached controller's metrics collector.
+func (t *Trial) collector() *metrics.Collector {
+	if t.actrl != nil {
+		return t.actrl.Collector()
+	}
+	return t.scheme.Collector()
+}
+
+// Run executes the trial's event loop — schedule events interleaved with
+// controller stepping — until the scheme converges with no barrier event
+// outstanding, or the round budget is exhausted, in which case
+// still-active processes are failed.
+func (t *Trial) Run() (TrialResult, error) {
+	var rounds, holesBefore int
+	var err error
+	if t.actrl != nil {
+		rounds, holesBefore, err = t.runAsync()
+	} else {
+		rounds, holesBefore, err = t.runSync()
+	}
+	if err != nil {
+		return TrialResult{}, err
+	}
+	return TrialResult{
+		Summary:     t.collector().Summarize(),
+		Rounds:      rounds,
+		HolesBefore: holesBefore,
+		HolesAfter:  coverage.HoleCount(t.net),
+		Complete:    coverage.Complete(t.net),
+		Connected:   t.net.HeadGraphConnected(),
+	}, nil
+}
+
+// validateEvents rejects schedule shapes the event loop cannot honor.
+func validateEvents(events []Event) error {
+	for _, ev := range events {
+		if ev.Round < 0 || ev.Every < 0 {
+			return fmt.Errorf("sim: schedule event with negative round/every: %+v", ev)
+		}
+		if ev.Every > 0 && ev.Barrier {
+			return fmt.Errorf("sim: recurring schedule events cannot be barriers")
+		}
+		if ev.Apply == nil {
+			return fmt.Errorf("sim: schedule event without Apply")
+		}
+	}
+	return nil
+}
+
+// eventCursor walks a schedule's events in firing order without
+// mutating the schedule: one-shot events by (round, declaration order),
+// recurring events re-arming themselves every Every rounds — O(1)
+// memory for any trial length. Within a round, one-shots fire before
+// recurring events.
+type eventCursor struct {
+	oneShot []Event
+	next    int
+	// lastBarrier is the index of the last barrier one-shot; the trial
+	// must not converge before it has fired.
+	lastBarrier int
+	recur       []Event
+	fire        []int // next firing round per recurring event
+	fired       []int // most recent firing round per recurring event
+}
+
+func newEventCursor(events []Event) *eventCursor {
+	c := &eventCursor{lastBarrier: -1}
+	for _, ev := range events {
+		if ev.Every > 0 {
+			c.recur = append(c.recur, ev)
+			c.fire = append(c.fire, ev.Round)
+			c.fired = append(c.fired, -1)
+		} else {
+			c.oneShot = append(c.oneShot, ev)
+		}
+	}
+	sort.SliceStable(c.oneShot, func(i, j int) bool {
+		return c.oneShot[i].Round < c.oneShot[j].Round
+	})
+	for i, ev := range c.oneShot {
+		if ev.Barrier {
+			c.lastBarrier = i
+		}
+	}
+	return c
+}
+
+// pop returns the next event due at or before round, if any.
+func (c *eventCursor) pop(round int) (Event, bool) {
+	if c.next < len(c.oneShot) && c.oneShot[c.next].Round <= round {
+		ev := c.oneShot[c.next]
+		c.next++
+		return ev, true
+	}
+	for i := range c.recur {
+		if c.fire[i] <= round {
+			c.fired[i] = c.fire[i]
+			c.fire[i] += c.recur[i].Every
+			return c.recur[i], true
+		}
+	}
+	return Event{}, false
+}
+
+// nextDue returns the earliest round any event is due at.
+func (c *eventCursor) nextDue() (int, bool) {
+	due, ok := 0, false
+	if c.next < len(c.oneShot) {
+		due, ok = c.oneShot[c.next].Round, true
+	}
+	for i := range c.fire {
+		if !ok || c.fire[i] < due {
+			due, ok = c.fire[i], true
+		}
+	}
+	return due, ok
+}
+
+// barrierPending reports whether a barrier event has not fired yet.
+func (c *eventCursor) barrierPending() bool { return c.next <= c.lastBarrier }
+
+// quiescent reports whether every recurring event has fired at least
+// once at or after the given round. Convergence requires quiescence
+// relative to the scheme's last active round: a recurring probe (a
+// depletion check) observes state the scheme's activity may have
+// changed, so each must get one look at the settled network before the
+// trial may end — after that, re-firing on an idle network is a no-op,
+// which is what lets the sync and async runners agree on outcomes.
+func (c *eventCursor) quiescent(since int) bool {
+	for i := range c.fired {
+		if c.fired[i] < since {
+			return false
+		}
+	}
+	return true
+}
+
+// applyDue fires every event due at or before round. The per-firing RNG
+// streams derive from evRNG sequentially; the firing order is a pure
+// function of the schedule, so equal trials see equal streams.
+func (t *Trial) applyDue(cur *eventCursor, round int) error {
+	for {
+		ev, ok := cur.pop(round)
+		if !ok {
+			return nil
+		}
+		if err := ev.Apply(t.net, t.evRNG.Split(int64(round)), round); err != nil {
+			return err
+		}
+	}
+}
+
+// runSync is the synchronous event loop. With an empty schedule it is
+// exactly RunToConvergence over the deployed damage, which is what keeps
+// the holes and jam workloads byte-identical to the pre-workload path.
+func (t *Trial) runSync() (rounds, holesBefore int, err error) {
+	const idleGrace = 3
+	cur := newEventCursor(t.sched.Events)
+	idle, lastActive := 0, 0
+	for rounds < t.cfg.MaxRounds {
+		if err := t.applyDue(cur, rounds); err != nil {
+			return rounds, holesBefore, err
+		}
+		if rounds == 0 {
+			// The initial damage: deployment shape plus round-0 events.
+			holesBefore = coverage.HoleCount(t.net)
+		}
+		if err := t.scheme.Step(); err != nil {
+			return rounds, holesBefore, err
+		}
+		rounds++
+		// Mid-run damage flips the network's vacancy journal; the
+		// event-driven detectors pick it up in the step above, so Done
+		// flips false the round after a wave lands. Convergence further
+		// requires every recurring probe to have seen the network since
+		// it last changed (quiescence) — otherwise a depletion check due
+		// just past the idle grace would be skipped and the sync runner
+		// would disagree with the async one.
+		if !t.scheme.Done() {
+			lastActive = rounds
+		}
+		if t.scheme.Done() && !cur.barrierPending() && cur.quiescent(lastActive) {
+			idle++
+			if idle >= idleGrace {
+				return rounds, holesBefore, nil
+			}
+		} else {
+			idle = 0
+		}
+	}
+	t.scheme.Finalize()
+	return rounds, holesBefore, nil
+}
+
+// runAsync drives the async controller between schedule events: each
+// event's round maps to round*pollInterval seconds of simulated time,
+// and the round budget to MaxRounds poll periods.
+func (t *Trial) runAsync() (rounds, holesBefore int, err error) {
+	cur := newEventCursor(t.sched.Events)
+	// Round-0 events are part of the initial damage and fire before any
+	// simulated time elapses.
+	if err := t.applyDue(cur, 0); err != nil {
+		return 0, 0, err
+	}
+	holesBefore = coverage.HoleCount(t.net)
+	for {
+		due, ok := cur.nextDue()
+		if !ok || due >= t.cfg.MaxRounds {
+			break
+		}
+		if _, err := t.actrl.RunUntil(float64(due) * asyncPollInterval); err != nil {
+			return t.asyncRounds(), holesBefore, err
+		}
+		if err := t.applyDue(cur, due); err != nil {
+			return t.asyncRounds(), holesBefore, err
+		}
+	}
+	if _, err := t.actrl.RunUntil(float64(t.cfg.MaxRounds) * asyncPollInterval); err != nil {
+		return t.asyncRounds(), holesBefore, err
+	}
+	if !t.actrl.Done() {
+		t.actrl.Finalize()
+	}
+	return t.asyncRounds(), holesBefore, nil
+}
+
+// asyncRounds converts the async controller's clock into nominal rounds
+// for TrialResult, capped at the round budget.
+func (t *Trial) asyncRounds() int {
+	rounds := int(t.actrl.Now()/asyncPollInterval) + 1
+	if rounds > t.cfg.MaxRounds {
+		rounds = t.cfg.MaxRounds
+	}
+	return rounds
+}
+
+// RunSchedule steps an already-assembled scheme through a schedule's
+// events until convergence: the event loop of Trial.Run exposed for
+// callers that deployed their own network (the wsncover facade's
+// Scenario). The schedule's Deploy is ignored — the caller's network is
+// taken as already populated — and the schedule itself is not mutated.
+// It returns the number of rounds run.
+func RunSchedule(s Scheme, net *network.Network, sched Schedule, evRNG *randx.Rand, maxRounds int) (int, error) {
+	if err := validateEvents(sched.Events); err != nil {
+		return 0, err
+	}
+	t := &Trial{
+		cfg:    TrialConfig{MaxRounds: maxRounds},
+		net:    net,
+		sched:  sched,
+		scheme: s,
+		evRNG:  evRNG,
+	}
+	rounds, _, err := t.runSync()
+	return rounds, err
+}
+
+// runTrialLegacy is the pre-workload trial assembly, kept verbatim as the
+// executable reference the workload path is differential-tested against:
+// ApplyDamage's FailureMode switch followed by RunToConvergence.
+func runTrialLegacy(cfg TrialConfig) (TrialResult, error) {
+	if err := cfg.normalize(); err != nil {
+		return TrialResult{}, err
+	}
+	switch cfg.Workload.Kind {
+	case WorkloadHoles:
+		cfg.Failure = FailHoles
+	case WorkloadJam:
+		cfg.Failure = FailJam
+		if cfg.Workload.Radius != 0 {
+			cfg.JamRadius = cfg.Workload.Radius
+		}
+	default:
+		return TrialResult{}, fmt.Errorf("sim: legacy assembly supports workloads %q and %q, not %q",
+			WorkloadHoles, WorkloadJam, cfg.Workload.Kind)
+	}
+	if cfg.Runner != RunSync {
+		return TrialResult{}, fmt.Errorf("sim: legacy assembly supports the sync runner only")
+	}
+	rng := randx.New(cfg.Seed)
+	sys, err := grid.NewForCommRange(cfg.Cols, cfg.Rows, cfg.CommRange, geom.Pt(0, 0))
+	if err != nil {
+		return TrialResult{}, err
+	}
+	net := network.New(sys, cfg.EnergyModel)
+	if _, err := ApplyDamage(net, cfg, rng); err != nil {
+		return TrialResult{}, err
+	}
+	scheme, err := BuildScheme(net, cfg, rng.Split(3))
+	if err != nil {
+		return TrialResult{}, err
+	}
+	res := TrialResult{HolesBefore: coverage.HoleCount(net)}
+	res.Rounds, err = RunToConvergence(scheme, cfg.MaxRounds)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	res.Summary = scheme.Collector().Summarize()
+	res.HolesAfter = coverage.HoleCount(net)
+	res.Complete = coverage.Complete(net)
+	res.Connected = net.HeadGraphConnected()
+	return res, nil
+}

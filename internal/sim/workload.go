@@ -1,0 +1,516 @@
+// Workload API: damage models as first-class, composable campaign
+// dimensions.
+//
+// A Workload owns a trial's damage timeline. It is constructed from a
+// JSON-named WorkloadSpec ({"kind": "churn", "holes": 3, "every": 5}),
+// resolves into a Schedule — a deployment plus round-indexed damage
+// events — and round-trips through CampaignSpec, so every scenario is
+// data in a spec file rather than a new code path. The registry lets
+// later packages add kinds without touching trial assembly.
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"wsncover/internal/deploy"
+	"wsncover/internal/network"
+	"wsncover/internal/node"
+	"wsncover/internal/randx"
+)
+
+// Built-in workload kinds. The two legacy kinds re-express the former
+// FailureMode enum and are differential-tested byte-identical to it.
+const (
+	// WorkloadHoles vacates randomly chosen cells before round 0 (the
+	// paper's Section 5 configuration).
+	WorkloadHoles = "holes"
+	// WorkloadJam deploys complete coverage, then disables every node
+	// within a jammed disc at a random center (Xu et al. [8]).
+	WorkloadJam = "jam"
+	// WorkloadChurn delivers waves of fresh holes while recovery runs:
+	// ongoing mobility control, the paper's premise, as a measurable
+	// scenario.
+	WorkloadChurn = "churn"
+	// WorkloadDepletion drains the movement energy model until nodes die
+	// (deploy.FailDepleted), turning recovery cost into network lifetime.
+	WorkloadDepletion = "depletion"
+)
+
+// Default parameters of the recurring workloads.
+const (
+	// DefaultChurnEvery is the round period between churn waves.
+	DefaultChurnEvery = 5
+	// DefaultChurnWaves is the number of churn waves (the first fires at
+	// round 0).
+	DefaultChurnWaves = 3
+	// DefaultDepletionEvery is the round period of depletion checks.
+	DefaultDepletionEvery = 2
+	// DefaultDepletionBudget is the per-node movement energy budget.
+	DefaultDepletionBudget = 30
+)
+
+// WorkloadSpec is the JSON-named description of a workload: Kind selects
+// a registered builder, the remaining fields parameterize it and must
+// stay zero when the kind does not use them (builders reject stray
+// parameters, catching spec-file typos). The flat, comparable shape is
+// what keeps campaign manifests mergeable and shardable: two jobs belong
+// to the same curve iff their specs are equal.
+type WorkloadSpec struct {
+	// Kind names the registered workload ("holes", "jam", "churn",
+	// "depletion", or an externally registered kind).
+	Kind string `json:"kind"`
+	// Holes pins the workload's hole count per injection (the initial
+	// batch for holes/depletion, each wave for churn), overriding the
+	// campaign's swept holes dimension.
+	Holes int `json:"holes,omitempty"`
+	// Every is the round period of recurring injections: churn waves,
+	// depletion checks.
+	Every int `json:"every,omitempty"`
+	// Waves is the churn wave count; the first wave fires at round 0.
+	Waves int `json:"waves,omitempty"`
+	// Radius is the jam disc radius in meters (0 = the trial's JamRadius,
+	// then 1.5 cell sizes).
+	Radius float64 `json:"radius,omitempty"`
+	// Budget is the depletion energy budget per node; a node whose
+	// movement energy account exceeds it dies at the next check.
+	Budget float64 `json:"budget,omitempty"`
+	// PerMeter and PerMove configure the depletion energy model when the
+	// trial does not set one (0 = 1 energy/meter, no per-move cost).
+	PerMeter float64 `json:"per_meter,omitempty"`
+	PerMove  float64 `json:"per_move,omitempty"`
+}
+
+// String renders the spec compactly: the kind plus its non-zero
+// parameters. Distinct specs of one kind render distinctly, so the label
+// is usable as a group-name component.
+func (w WorkloadSpec) String() string {
+	var b strings.Builder
+	b.WriteString(w.Kind)
+	if w.Holes != 0 {
+		fmt.Fprintf(&b, " h=%d", w.Holes)
+	}
+	if w.Every != 0 {
+		fmt.Fprintf(&b, " e=%d", w.Every)
+	}
+	if w.Waves != 0 {
+		fmt.Fprintf(&b, " w=%d", w.Waves)
+	}
+	if w.Radius != 0 {
+		fmt.Fprintf(&b, " r=%g", w.Radius)
+	}
+	if w.Budget != 0 {
+		fmt.Fprintf(&b, " b=%g", w.Budget)
+	}
+	if w.PerMeter != 0 {
+		fmt.Fprintf(&b, " pm=%g", w.PerMeter)
+	}
+	if w.PerMove != 0 {
+		fmt.Fprintf(&b, " pv=%g", w.PerMove)
+	}
+	return b.String()
+}
+
+// groupLabel names the workload inside a job's group label; empty for
+// the legacy default (random holes labeled by the holes dimension
+// alone). holes is the job's resolved holes-dimension value.
+func (w WorkloadSpec) groupLabel(holes int) string {
+	switch w.Kind {
+	case "", WorkloadHoles:
+		// A pinned hole count must label the curve even though the swept
+		// dimension collapsed to 1, or distinct holes workloads would
+		// silently aggregate into one group.
+		if w.Holes != 0 {
+			return fmt.Sprintf("holes=%d", w.Holes)
+		}
+		if holes != 1 {
+			return fmt.Sprintf("holes=%d", holes)
+		}
+		return ""
+	default:
+		s := w.String()
+		if w.usesHolesDim() && holes != 1 {
+			s += fmt.Sprintf(" holes=%d", holes)
+		}
+		return s
+	}
+}
+
+// usesHolesDim reports whether the workload's damage scales with the
+// campaign's swept holes dimension. Jam ignores it (the disc decides),
+// and any workload that pins its own hole count opts out, so the
+// campaign does not replicate identical (config, seed) jobs.
+func (w WorkloadSpec) usesHolesDim() bool {
+	if w.Kind == WorkloadJam {
+		return false
+	}
+	return w.Holes == 0
+}
+
+// Workload owns deterministic damage injection over a trial's timeline:
+// it resolves a concrete TrialConfig into a Schedule. Implementations
+// must draw randomness only from the streams their schedule functions
+// are handed, so equal (spec, seed) pairs damage the network
+// identically wherever the trial runs.
+type Workload interface {
+	// Kind returns the registered spec name.
+	Kind() string
+	// Schedule resolves the workload for one trial. It may adjust cfg
+	// before the network is built (e.g. depletion installs its energy
+	// model) and must validate its parameters.
+	Schedule(cfg *TrialConfig) (Schedule, error)
+}
+
+// Schedule is a trial's resolved damage timeline.
+type Schedule struct {
+	// Deploy populates the empty network and applies the round-0 damage
+	// that shapes the deployment itself (holes left vacant, jammed
+	// discs). It is called exactly once, before the controller exists.
+	Deploy func(net *network.Network, rng *randx.Rand) error
+	// Events are the mid-run damage injections, ordered by round.
+	Events []Event
+}
+
+// Event is one round-indexed damage injection of a schedule.
+type Event struct {
+	// Round is the controller round before whose step Apply fires;
+	// round 0 fires before the first step.
+	Round int
+	// Every > 0 makes the event recurring: it re-fires at Round+Every,
+	// Round+2*Every, ... for as long as the trial runs, at O(1) schedule
+	// memory (depletion checks). Recurring events cannot be barriers —
+	// they never drain.
+	Every int
+	// Barrier prevents trial convergence before the event has fired:
+	// damage that arrives regardless of scheme state (churn waves) is a
+	// barrier; probes that only observe state the scheme's own activity
+	// changes (depletion checks reading energy spent by movement) are
+	// not — the trial instead guarantees every recurring probe one
+	// firing after the scheme's last activity, after which re-firing on
+	// the idle network is a no-op.
+	Barrier bool
+	// Apply injects the damage. rng is a per-firing derived stream;
+	// round is the current trial round.
+	Apply func(net *network.Network, rng *randx.Rand, round int) error
+}
+
+// WorkloadBuilder constructs a workload from its validated spec.
+type WorkloadBuilder func(WorkloadSpec) (Workload, error)
+
+var workloadRegistry = map[string]WorkloadBuilder{}
+
+// RegisterWorkload adds a workload kind to the registry. It panics on an
+// empty or duplicate kind. Registration must happen during package
+// initialization; the registry is read concurrently by trial workers.
+func RegisterWorkload(kind string, build WorkloadBuilder) {
+	if kind == "" {
+		panic("sim: RegisterWorkload with empty kind")
+	}
+	if _, dup := workloadRegistry[kind]; dup {
+		panic(fmt.Sprintf("sim: workload kind %q registered twice", kind))
+	}
+	workloadRegistry[kind] = build
+}
+
+// BuildWorkload resolves a spec through the registry.
+func BuildWorkload(spec WorkloadSpec) (Workload, error) {
+	kind := spec.Kind
+	if kind == "" {
+		kind = WorkloadHoles
+		spec.Kind = kind
+	}
+	build, ok := workloadRegistry[kind]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown workload kind %q (registered: %s)",
+			kind, strings.Join(WorkloadKinds(), ", "))
+	}
+	return build(spec)
+}
+
+// WorkloadKinds returns the registered kinds, sorted.
+func WorkloadKinds() []string {
+	kinds := make([]string, 0, len(workloadRegistry))
+	for k := range workloadRegistry {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+func init() {
+	RegisterWorkload(WorkloadHoles, buildHolesWorkload)
+	RegisterWorkload(WorkloadJam, buildJamWorkload)
+	RegisterWorkload(WorkloadChurn, buildChurnWorkload)
+	RegisterWorkload(WorkloadDepletion, buildDepletionWorkload)
+}
+
+// rejectParams errors when any of the named spec fields is non-zero;
+// builders use it so stray parameters fail loudly instead of being
+// silently ignored.
+func rejectParams(spec WorkloadSpec, fields map[string]bool) error {
+	check := []struct {
+		name string
+		zero bool
+	}{
+		{"holes", spec.Holes == 0},
+		{"every", spec.Every == 0},
+		{"waves", spec.Waves == 0},
+		{"radius", spec.Radius == 0},
+		{"budget", spec.Budget == 0},
+		{"per_meter", spec.PerMeter == 0},
+		{"per_move", spec.PerMove == 0},
+	}
+	for _, c := range check {
+		if !c.zero && !fields[c.name] {
+			return fmt.Errorf("sim: workload %q does not take %q", spec.Kind, c.name)
+		}
+	}
+	return nil
+}
+
+// holesWorkload is the paper's model: vacate random cells before round 0.
+// Its deployment and damage are one act (the hole cells receive no nodes
+// at all) and its random-stream discipline is byte-identical to the
+// pre-workload FailHoles path.
+type holesWorkload struct{ spec WorkloadSpec }
+
+func buildHolesWorkload(spec WorkloadSpec) (Workload, error) {
+	if err := rejectParams(spec, map[string]bool{"holes": true}); err != nil {
+		return nil, err
+	}
+	return holesWorkload{spec}, nil
+}
+
+func (w holesWorkload) Kind() string { return WorkloadHoles }
+
+func (w holesWorkload) Schedule(cfg *TrialConfig) (Schedule, error) {
+	holes := w.spec.Holes
+	if holes == 0 {
+		holes = cfg.Holes
+	}
+	spares, avoidAdjacent := cfg.Spares, !cfg.AdjacentHolesOK
+	return Schedule{Deploy: func(net *network.Network, rng *randx.Rand) error {
+		cells, err := deploy.PickHoleCells(net.System(), holes, avoidAdjacent, rng.Split(1))
+		if err != nil {
+			return err
+		}
+		return deploy.Controlled(net, spares, cells, rng.Split(2))
+	}}, nil
+}
+
+// jamWorkload deploys complete coverage and jams a disc at a random
+// center; the hole count is emergent from the radius. Byte-identical to
+// the pre-workload FailJam path.
+type jamWorkload struct{ spec WorkloadSpec }
+
+func buildJamWorkload(spec WorkloadSpec) (Workload, error) {
+	if err := rejectParams(spec, map[string]bool{"radius": true}); err != nil {
+		return nil, err
+	}
+	if spec.Radius < 0 {
+		return nil, fmt.Errorf("sim: negative jam radius %g", spec.Radius)
+	}
+	return jamWorkload{spec}, nil
+}
+
+func (w jamWorkload) Kind() string { return WorkloadJam }
+
+func (w jamWorkload) Schedule(cfg *TrialConfig) (Schedule, error) {
+	radius := w.spec.Radius
+	if radius == 0 {
+		radius = cfg.JamRadius
+	}
+	spares := cfg.Spares
+	return Schedule{Deploy: func(net *network.Network, rng *randx.Rand) error {
+		// The damage stream is split before the deployment stream, the
+		// legacy ApplyDamage discipline the differential tests pin.
+		damage := rng.Split(1)
+		if err := deploy.Controlled(net, spares, nil, rng.Split(2)); err != nil {
+			return err
+		}
+		r := radius
+		if r == 0 {
+			r = 1.5 * net.System().CellSize()
+		}
+		deploy.FailRegion(net, damage.InRect(net.System().Bounds()), r)
+		return nil
+	}}, nil
+}
+
+// churnWorkload deploys complete coverage and then delivers waves of
+// fresh holes while recovery runs — the ongoing-mobility scenario the
+// paper motivates but never evaluates. Wave i fires at round i*Every and
+// vacates Holes cells (cells already vacant are left as they are).
+type churnWorkload struct{ spec WorkloadSpec }
+
+func buildChurnWorkload(spec WorkloadSpec) (Workload, error) {
+	err := rejectParams(spec, map[string]bool{"holes": true, "every": true, "waves": true})
+	if err != nil {
+		return nil, err
+	}
+	if spec.Every < 0 || spec.Waves < 0 || spec.Holes < 0 {
+		return nil, fmt.Errorf("sim: negative churn parameter in %+v", spec)
+	}
+	return churnWorkload{spec}, nil
+}
+
+func (w churnWorkload) Kind() string { return WorkloadChurn }
+
+func (w churnWorkload) Schedule(cfg *TrialConfig) (Schedule, error) {
+	holes := w.spec.Holes
+	if holes == 0 {
+		holes = cfg.Holes
+	}
+	every := w.spec.Every
+	if every == 0 {
+		every = DefaultChurnEvery
+	}
+	waves := w.spec.Waves
+	if waves == 0 {
+		waves = DefaultChurnWaves
+	}
+	spares, avoidAdjacent := cfg.Spares, !cfg.AdjacentHolesOK
+	sched := Schedule{Deploy: func(net *network.Network, rng *randx.Rand) error {
+		return deploy.Controlled(net, spares, nil, rng.Split(2))
+	}}
+	for i := 0; i < waves; i++ {
+		sched.Events = append(sched.Events, Event{
+			Round:   i * every,
+			Barrier: true,
+			Apply: func(net *network.Network, rng *randx.Rand, round int) error {
+				cells, err := deploy.PickHoleCells(net.System(), holes, avoidAdjacent, rng)
+				if err != nil {
+					return err
+				}
+				deploy.FailCells(net, cells)
+				return nil
+			},
+		})
+	}
+	return sched, nil
+}
+
+// depletionWorkload starts from the paper's hole configuration and
+// periodically kills every node whose movement energy account exceeds
+// the budget: recovery movement itself erodes the network, so the trial
+// measures lifetime under repair, not just repair cost. The checks only
+// observe energy spent by movement, so they are not convergence
+// barriers; the trial's quiescence rule still guarantees one check
+// after the last movement, so a node pushed over budget by its final
+// move cannot escape.
+type depletionWorkload struct{ spec WorkloadSpec }
+
+func buildDepletionWorkload(spec WorkloadSpec) (Workload, error) {
+	err := rejectParams(spec, map[string]bool{
+		"holes": true, "every": true, "budget": true, "per_meter": true, "per_move": true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if spec.Every < 0 || spec.Budget < 0 || spec.PerMeter < 0 || spec.PerMove < 0 {
+		return nil, fmt.Errorf("sim: negative depletion parameter in %+v", spec)
+	}
+	return depletionWorkload{spec}, nil
+}
+
+func (w depletionWorkload) Kind() string { return WorkloadDepletion }
+
+func (w depletionWorkload) Schedule(cfg *TrialConfig) (Schedule, error) {
+	holes := w.spec.Holes
+	if holes == 0 {
+		holes = cfg.Holes
+	}
+	every := w.spec.Every
+	if every == 0 {
+		every = DefaultDepletionEvery
+	}
+	budget := w.spec.Budget
+	if budget == 0 {
+		budget = DefaultDepletionBudget
+	}
+	// Depletion needs an energy model to have anything to drain; install
+	// the default linear one unless the trial configured its own.
+	if cfg.EnergyModel == (node.EnergyModel{}) {
+		perMeter := w.spec.PerMeter
+		if perMeter == 0 {
+			perMeter = 1
+		}
+		cfg.EnergyModel = node.EnergyModel{PerMeter: perMeter, PerMove: w.spec.PerMove}
+	}
+	spares, avoidAdjacent := cfg.Spares, !cfg.AdjacentHolesOK
+	return Schedule{
+		Deploy: func(net *network.Network, rng *randx.Rand) error {
+			cells, err := deploy.PickHoleCells(net.System(), holes, avoidAdjacent, rng.Split(1))
+			if err != nil {
+				return err
+			}
+			return deploy.Controlled(net, spares, cells, rng.Split(2))
+		},
+		Events: []Event{{
+			Round: every,
+			Every: every,
+			Apply: func(net *network.Network, _ *randx.Rand, _ int) error {
+				deploy.FailDepleted(net, budget)
+				return nil
+			},
+		}},
+	}, nil
+}
+
+// RunnerKind selects how a trial's controller is stepped: synchronous
+// global rounds (the paper's system model) or the event-driven
+// internal/async realization. The zero value is the synchronous runner,
+// so legacy configurations are unchanged.
+type RunnerKind int
+
+const (
+	// RunSync steps the scheme in global synchronous rounds.
+	RunSync RunnerKind = iota
+	// RunAsync drives the SR scheme with internal/async's timestamped
+	// event queue (polls with jitter, message delays, travel times).
+	// Schedule rounds map to nominal poll periods. SR only.
+	RunAsync
+)
+
+// String implements fmt.Stringer.
+func (k RunnerKind) String() string {
+	switch k {
+	case RunSync:
+		return "sync"
+	case RunAsync:
+		return "async"
+	default:
+		return fmt.Sprintf("RunnerKind(%d)", int(k))
+	}
+}
+
+// ParseRunnerKind inverts String ("" means sync).
+func ParseRunnerKind(s string) (RunnerKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "sync", "":
+		return RunSync, nil
+	case "async":
+		return RunAsync, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown runner %q (want sync or async)", s)
+	}
+}
+
+// MarshalJSON renders the runner by name so spec files stay readable.
+func (k RunnerKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON parses a runner name.
+func (k *RunnerKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseRunnerKind(s)
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
+}

@@ -19,6 +19,10 @@ type SweepOptions struct {
 	Spares []int
 	// Holes per trial; zero means 1.
 	Holes int
+	// Workload selects the damage model over the trial timeline; the
+	// zero value is the paper's random pre-placed holes. See Workload
+	// for the available kinds and parameters.
+	Workload Workload
 	// Trials per (scheme, N) point; zero means 20.
 	Trials int
 	// Seed anchors all trials. Trial t uses the same derived layout for
@@ -91,10 +95,18 @@ func Sweep(ctx context.Context, opts SweepOptions) ([]SweepSeries, error) {
 		if err != nil {
 			return nil, err
 		}
+		template := sim.TrialConfig{
+			Cols: opts.Cols, Rows: opts.Rows, Scheme: kind, Holes: opts.Holes,
+		}
+		// Pass a non-zero workload through even without a Kind: the trial
+		// assembly resolves the default kind and rejects parameters it
+		// does not take, so a forgotten Kind errors instead of silently
+		// sweeping the wrong scenario.
+		if opts.Workload != (Workload{}) {
+			template.Workload = opts.Workload.spec()
+		}
 		pts, err := sim.RunSweepContext(ctx, sim.SweepConfig{
-			Template: sim.TrialConfig{
-				Cols: opts.Cols, Rows: opts.Rows, Scheme: kind, Holes: opts.Holes,
-			},
+			Template: template,
 			Ns:       opts.Spares,
 			Trials:   opts.Trials,
 			BaseSeed: opts.Seed,

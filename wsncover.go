@@ -67,6 +67,45 @@ func (s Scheme) String() string {
 	}
 }
 
+// Workload names a damage model with parameters, the facade form of the
+// simulator's workload spec. Kind is required; the remaining fields
+// parameterize it and must stay zero when the kind does not use them:
+//
+//	Workload{Kind: "churn", Holes: 2, Every: 5, Waves: 3}
+//	Workload{Kind: "depletion", Budget: 40}
+//
+// Kinds: "holes" (random vacant cells before round 0), "jam" (disc
+// attack, Radius), "churn" (waves of Holes fresh holes every Every
+// rounds, Waves times), "depletion" (nodes die once their movement
+// energy exceeds Budget, checked every Every rounds; PerMeter/PerMove
+// configure the energy model when the trial has none — that applies to
+// Sweep, which deploys per trial; a Scenario fixes its energy model at
+// construction, so RunSchedule rejects them).
+type Workload struct {
+	Kind     string
+	Holes    int
+	Every    int
+	Waves    int
+	Radius   float64
+	Budget   float64
+	PerMeter float64
+	PerMove  float64
+}
+
+// spec converts to the simulator's workload spec.
+func (w Workload) spec() sim.WorkloadSpec {
+	return sim.WorkloadSpec{
+		Kind:     w.Kind,
+		Holes:    w.Holes,
+		Every:    w.Every,
+		Waves:    w.Waves,
+		Radius:   w.Radius,
+		Budget:   w.Budget,
+		PerMeter: w.PerMeter,
+		PerMove:  w.PerMove,
+	}
+}
+
 // Options configures a Scenario.
 type Options struct {
 	// Cols and Rows size the virtual grid (paper: 16x16). Required.
@@ -212,6 +251,74 @@ func (sc *Scenario) Run() (Result, error) {
 		ctrl.ResetFailed()
 	}
 	rounds, err := sim.RunToConvergence(sc.ctrl, 2*sc.sys.NumCells()+16)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Summary:   sc.ctrl.Collector().Summarize(),
+		Rounds:    rounds,
+		Holes:     coverage.HoleCount(sc.net),
+		Complete:  coverage.Complete(sc.net),
+		Connected: sc.net.HeadGraphConnected(),
+	}, nil
+}
+
+// RunSchedule drives the scenario through a workload's damage timeline:
+// the workload's schedule events (churn waves, depletion checks)
+// interleave with controller rounds until the schedule is exhausted and
+// the scheme converges. The scenario's existing deployment is kept —
+// only the schedule's events run, so workloads whose damage is entirely
+// part of the initial deployment (holes, jam) schedule nothing and
+// RunSchedule behaves like Run over damage injected with CreateHoles /
+// FailRegion. Like Run, it can be called repeatedly; metrics accumulate.
+func (sc *Scenario) RunSchedule(w Workload) (Result, error) {
+	wl, err := sim.BuildWorkload(w.spec())
+	if err != nil {
+		return Result{}, err
+	}
+	// Parameters that only act at deploy time cannot take effect on an
+	// already-deployed scenario; reject them so the caller does not
+	// silently measure the wrong thing.
+	switch w.Kind {
+	case sim.WorkloadHoles:
+		if w.Holes != 0 {
+			return Result{}, fmt.Errorf(
+				"wsncover: the holes workload's damage is part of deployment; use CreateHoles(%d) instead", w.Holes)
+		}
+	case sim.WorkloadJam:
+		if w.Radius != 0 {
+			return Result{}, fmt.Errorf(
+				"wsncover: the jam workload's damage is part of deployment; use FailRegion instead")
+		}
+	case sim.WorkloadDepletion:
+		if w.PerMeter != 0 || w.PerMove != 0 {
+			return Result{}, fmt.Errorf(
+				"wsncover: the scenario's energy model is fixed at construction; set Options.EnergyPerMeter/EnergyPerMove")
+		}
+		if sc.net.EnergyModel() == (node.EnergyModel{}) {
+			return Result{}, fmt.Errorf(
+				"wsncover: the depletion workload needs an energy model; set Options.EnergyPerMeter")
+		}
+	}
+	maxRounds := 2*sc.sys.NumCells() + 16
+	cfg := sim.TrialConfig{
+		Cols:        sc.opts.Cols,
+		Rows:        sc.opts.Rows,
+		CommRange:   sc.opts.CommRange,
+		Spares:      sc.opts.Spares,
+		Holes:       1,
+		Workload:    w.spec(),
+		MaxRounds:   maxRounds,
+		EnergyModel: sc.net.EnergyModel(),
+	}
+	sched, err := wl.Schedule(&cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if ctrl, ok := sc.ctrl.(*core.Controller); ok {
+		ctrl.ResetFailed()
+	}
+	rounds, err := sim.RunSchedule(sc.ctrl, sc.net, sched, sc.rng.Split(5), maxRounds)
 	if err != nil {
 		return Result{}, err
 	}

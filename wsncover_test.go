@@ -218,6 +218,138 @@ func TestStepAPI(t *testing.T) {
 	}
 }
 
+func TestRunScheduleChurn(t *testing.T) {
+	sc, err := NewScenario(Options{Cols: 10, Rows: 10, Spares: 50, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.RunSchedule(Workload{Kind: "churn", Holes: 2, Every: 4, Waves: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || res.Holes != 0 {
+		t.Errorf("churn schedule not repaired: %+v", res)
+	}
+	// Three waves of up to two holes each, repaired under fire.
+	if res.Summary.Initiated < 3 {
+		t.Errorf("expected processes across waves, got %d", res.Summary.Initiated)
+	}
+	if res.Rounds <= 2*4 {
+		t.Errorf("converged at round %d, before the last wave at round 8", res.Rounds)
+	}
+}
+
+func TestRunScheduleDepletion(t *testing.T) {
+	// Without an energy model depletion has nothing to drain; the facade
+	// says so instead of silently doing nothing.
+	plain, err := NewScenario(Options{Cols: 8, Rows: 8, Spares: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.RunSchedule(Workload{Kind: "depletion", Budget: 5}); err == nil ||
+		!strings.Contains(err.Error(), "energy model") {
+		t.Errorf("depletion without energy model: err = %v", err)
+	}
+
+	sc, err := NewScenario(Options{
+		Cols: 8, Rows: 8, Spares: 20, Seed: 2, EnergyPerMeter: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.CreateHoles(3); err != nil {
+		t.Fatal(err)
+	}
+	before := sc.Network().EnabledCount()
+	res, err := sc.RunSchedule(Workload{Kind: "depletion", Budget: 2, Every: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Network().EnabledCount() >= before {
+		t.Errorf("depletion killed no mover: %d -> %d enabled (result %+v)",
+			before, sc.Network().EnabledCount(), res)
+	}
+}
+
+func TestRunScheduleValidation(t *testing.T) {
+	sc, err := NewScenario(Options{Cols: 6, Rows: 6, Spares: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.RunSchedule(Workload{Kind: "meteor"}); err == nil {
+		t.Error("unknown workload kind should fail")
+	}
+	if _, err := sc.RunSchedule(Workload{Kind: "jam", Every: 2}); err == nil {
+		t.Error("stray workload parameter should fail")
+	}
+	// Deploy-time parameters cannot act on a deployed scenario and are
+	// rejected instead of being silently ignored.
+	if _, err := sc.RunSchedule(Workload{Kind: "holes", Holes: 3}); err == nil {
+		t.Error("deploy-time holes parameter should fail on a scenario")
+	}
+	if _, err := sc.RunSchedule(Workload{Kind: "jam", Radius: 9}); err == nil {
+		t.Error("deploy-time jam radius should fail on a scenario")
+	}
+	if _, err := sc.RunSchedule(Workload{Kind: "depletion", Budget: 5, PerMeter: 2}); err == nil {
+		t.Error("scenario-fixed energy parameters should fail")
+	}
+	// A no-event workload behaves like Run over existing damage.
+	if _, err := sc.CreateHoles(1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.RunSchedule(Workload{Kind: "holes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Errorf("hole not repaired: %+v", res)
+	}
+}
+
+func TestSweepFacadeWorkload(t *testing.T) {
+	opts := SweepOptions{
+		Schemes: []Scheme{SR, AR},
+		Cols:    8, Rows: 8,
+		Spares:   []int{20},
+		Workload: Workload{Kind: "churn", Holes: 1, Every: 3, Waves: 2},
+		Trials:   3,
+		Seed:     5,
+	}
+	series, err := Sweep(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if s.Points[0].Trials != 3 {
+			t.Errorf("%s trials = %d", s.Scheme, s.Points[0].Trials)
+		}
+		// Two waves per trial mean at least two processes per trial.
+		if s.Points[0].MeanMoves == 0 {
+			t.Errorf("%s churn sweep recorded no movement", s.Scheme)
+		}
+	}
+	again, err := Sweep(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(series, again) {
+		t.Error("workload sweep not reproducible")
+	}
+
+	// A workload with parameters but no Kind must error, not silently
+	// sweep the default scenario.
+	_, err = Sweep(context.Background(), SweepOptions{
+		Spares: []int{5}, Trials: 1,
+		Workload: Workload{Every: 5, Waves: 3},
+	})
+	if err == nil {
+		t.Error("kind-less parameterized workload should fail")
+	}
+}
+
 func TestSweepFacade(t *testing.T) {
 	opts := SweepOptions{
 		Schemes: []Scheme{SR, AR},
