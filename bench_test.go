@@ -508,6 +508,7 @@ func BenchmarkTrialLarge(b *testing.B) {
 	}{
 		{"64x64", 64, 64, 300, 16},
 		{"128x128", 128, 128, 600, 32},
+		{"256x256", 256, 256, 1200, 64},
 	}
 	for _, d := range dims {
 		for _, legacy := range []bool{false, true} {
@@ -533,6 +534,58 @@ func BenchmarkTrialLarge(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkReplicateSteadyState measures the pooled replicate engine in
+// its campaign steady state: one arena running trial after trial of the
+// same cell, the regime every Monte-Carlo campaign spends nearly all
+// its time in. The arena is warmed before the clock starts, so bytes/op
+// and allocs/op are the true per-replicate cost after the pool's
+// high-water marks settle; the "fresh" variants rebuild the world per
+// trial (the executable spec) and are the baseline the ≥5x bytes/op
+// acceptance criterion compares against. Seeds rotate so the steady
+// state covers varied layouts, exactly as a campaign's replicates do.
+func BenchmarkReplicateSteadyState(b *testing.B) {
+	dims := []struct {
+		name          string
+		cols, rows    int
+		spares, holes int
+	}{
+		{"64x64", 64, 64, 300, 16},
+		{"256x256", 256, 256, 1200, 64},
+	}
+	for _, d := range dims {
+		cfg := sim.TrialConfig{
+			Cols: d.cols, Rows: d.rows, Scheme: sim.SR,
+			Spares: d.spares, Holes: d.holes, AdjacentHolesOK: true,
+		}
+		b.Run("pooled-"+d.name, func(b *testing.B) {
+			arena := sim.NewTrialArena()
+			for s := int64(0); s < 4; s++ { // warm the pool across layouts
+				cfg.Seed = s
+				if _, err := arena.RunTrial(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = int64(i % 8)
+				if _, err := arena.RunTrial(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("fresh-"+d.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = int64(i % 8)
+				if _, err := sim.RunTrial(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

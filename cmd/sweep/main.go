@@ -10,8 +10,9 @@
 //	      [-holes 1] [-workloads holes,churn | -failures holes,jam]
 //	      [-runners sync,async] [-replicates 20] [-seed s]
 //	      [-workers w] [-metrics moves,success_rate|all] [-out dir]
-//	      [-name sweep] [-resume] [-ascii] [-quiet]
+//	      [-name sweep] [-resume] [-shard i/n] [-ascii] [-quiet]
 //	sweep -spec campaign.json [-out dir] [-name sweep] ...
+//	sweep -merge shard1.json shard2.json ... [-out dir] [-name merged]
 //
 // A spec file is the JSON form of sim.CampaignSpec and replaces the
 // dimension flags; workload parameters ({"kind": "churn", "every": 5})
@@ -27,6 +28,16 @@
 // seed, replicate count, and pass-through trial parameters must match
 // the prior manifest's; cells of dimension values the current spec no
 // longer lists are dropped from the merged output.
+//
+// -shard i/n runs only the i-th of n contiguous replicate blocks of
+// every campaign cell (1-based), so one campaign splits across boxes:
+// each box runs the same spec with its own -shard and -name, and
+// because replicate seeds derive from the full range, every shard
+// computes exactly the trials the unsharded campaign would. -merge
+// stitches the resulting shard manifests back into one campaign
+// manifest plus metric tables, validating that the shards share one
+// spec and that their replicate ranges tile the full range without
+// overlap or gap.
 package main
 
 import (
@@ -53,22 +64,56 @@ func main() {
 	}
 }
 
-// progressMeter renders completed/total with the trial rate and an ETA on
-// one self-overwriting line. Redraws are throttled to ~5/s so the meter
-// never slows the worker pool; report is called from the engine's
-// serialized Progress hook, so no locking is needed.
+// progressMeter renders completed/total with the trial rate and an ETA
+// on one self-overwriting line; on wide campaigns (more than one curve)
+// it adds a per-group breakdown — completed groups out of total plus
+// the cell currently being filled — so a day-long multi-dimensional run
+// shows where it is, not just how much is left. Redraws are throttled
+// to ~5/s so the meter never slows the worker pool; jobDone is called
+// from the engine's serialized sink, so no locking is needed.
 type progressMeter struct {
 	w     io.Writer
 	start time.Time
 	last  time.Time
+
+	done  int
+	total int
+
+	// Per-group accounting, enabled when the campaign has > 1 group.
+	groupTotal map[string]int
+	groupDone  map[string]int
+	groupsDone int
+	cur        string
 }
 
-func newProgressMeter(w io.Writer) *progressMeter {
+// newProgressMeter sizes the meter for total trials; groupTotal (the
+// per-group trial counts of the jobs that will actually run) enables
+// the breakdown and may be nil for single-group campaigns.
+func newProgressMeter(w io.Writer, total int, groupTotal map[string]int) *progressMeter {
 	now := time.Now()
-	return &progressMeter{w: w, start: now, last: now}
+	p := &progressMeter{w: w, start: now, last: now, total: total}
+	if len(groupTotal) > 1 {
+		p.groupTotal = groupTotal
+		p.groupDone = make(map[string]int, len(groupTotal))
+	}
+	return p
 }
 
-func (p *progressMeter) report(done, total int) {
+// jobDone records one finished trial of the given group and redraws.
+func (p *progressMeter) jobDone(group string) {
+	p.done++
+	if p.groupTotal != nil {
+		p.groupDone[group]++
+		p.cur = group
+		if p.groupDone[group] == p.groupTotal[group] {
+			p.groupsDone++
+		}
+	}
+	p.report()
+}
+
+func (p *progressMeter) report() {
+	done, total := p.done, p.total
 	now := time.Now()
 	if done < total && now.Sub(p.last) < 200*time.Millisecond {
 		return
@@ -79,15 +124,23 @@ func (p *progressMeter) report(done, total int) {
 	if elapsed > 0 {
 		rate = float64(done) / elapsed
 	}
+	groups := ""
+	if p.groupTotal != nil {
+		groups = fmt.Sprintf("  groups %d/%d", p.groupsDone, len(p.groupTotal))
+		if p.cur != "" && done < total {
+			groups += fmt.Sprintf("  [%s %d/%d]", p.cur, p.groupDone[p.cur], p.groupTotal[p.cur])
+		}
+	}
+	if done == total {
+		fmt.Fprintf(p.w, "\r%d/%d trials  %.0f trials/s%s  in %s   \n",
+			done, total, rate, groups, formatETA(now.Sub(p.start)))
+		return
+	}
 	eta := "--"
-	if rate > 0 && done < total {
+	if rate > 0 {
 		eta = formatETA(time.Duration(float64(total-done) / rate * float64(time.Second)))
 	}
-	fmt.Fprintf(p.w, "\r%d/%d trials  %.0f trials/s  ETA %s   ", done, total, rate, eta)
-	if done == total {
-		fmt.Fprintf(p.w, "\r%d/%d trials  %.0f trials/s  in %s   \n",
-			done, total, rate, formatETA(now.Sub(p.start)))
-	}
+	fmt.Fprintf(p.w, "\r%d/%d trials  %.0f trials/s  ETA %s%s   ", done, total, rate, eta, groups)
 }
 
 // formatETA renders a duration as s / m+s / h+m. The duration is rounded
@@ -106,6 +159,32 @@ func formatETA(d time.Duration) string {
 	default:
 		return fmt.Sprintf("%dh%02dm", s/3600, s/60%60)
 	}
+}
+
+// writeTables exports one CSV/gnuplot table per requested metric.
+func writeTables(points []experiment.Point, metricsS, outDir, name string, replicates int, ascii bool) error {
+	metrics := splitList(metricsS)
+	if len(metrics) == 1 && metrics[0] == "all" {
+		metrics = experiment.MetricNames(points)
+	}
+	sort.Strings(metrics)
+	for _, metric := range metrics {
+		tb, err := experiment.Table(points, metric,
+			fmt.Sprintf("%s: mean %s per trial (%d replicates/cell)", name, metric, replicates),
+			"N", metric)
+		if err != nil {
+			return err
+		}
+		paths, err := tb.SaveAll(outDir, name+"-"+metric)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", strings.Join(paths, ", "))
+		if ascii {
+			fmt.Println(tb.ASCII(72, 16))
+		}
+	}
+	return nil
 }
 
 // resumeKey identifies one aggregated campaign cell in a manifest.
@@ -133,6 +212,8 @@ func resumeCompatible(priorSpec json.RawMessage, spec sim.CampaignSpec) error {
 	type pinned struct {
 		seed            int64
 		replicates      int
+		shardFirst      int
+		shardCount      int
 		commRange       float64
 		jamRadius       float64
 		adjacentHolesOK bool
@@ -149,6 +230,8 @@ func resumeCompatible(priorSpec json.RawMessage, spec sim.CampaignSpec) error {
 		return pinned{
 			seed:            s.BaseSeed,
 			replicates:      s.Replicates,
+			shardFirst:      s.ShardFirst,
+			shardCount:      s.ShardCount,
 			commRange:       s.CommRange,
 			jamRadius:       s.JamRadius,
 			adjacentHolesOK: s.AdjacentHolesOK,
@@ -262,6 +345,130 @@ func parseRunners(s string) ([]sim.RunnerKind, error) {
 	return out, nil
 }
 
+// parseShard resolves "-shard i/n" (1-based) into the contiguous
+// replicate block [first, first+count) of shard i when replicates are
+// split as evenly as possible across n shards (the first replicates%n
+// shards get one extra).
+func parseShard(s string, replicates int) (first, count int, err error) {
+	is, ns, ok := strings.Cut(strings.TrimSpace(s), "/")
+	i, errI := strconv.Atoi(is)
+	n, errN := strconv.Atoi(ns)
+	if !ok || errI != nil || errN != nil {
+		return 0, 0, fmt.Errorf("bad shard %q (want i/n, e.g. 2/4)", s)
+	}
+	if n < 1 || i < 1 || i > n {
+		return 0, 0, fmt.Errorf("shard %d/%d outside 1..n", i, n)
+	}
+	if n > replicates {
+		return 0, 0, fmt.Errorf("cannot split %d replicates into %d shards", replicates, n)
+	}
+	base, rem := replicates/n, replicates%n
+	first = (i-1)*base + min(i-1, rem)
+	count = base
+	if i <= rem {
+		count++
+	}
+	return first, count, nil
+}
+
+// runMerge stitches shard manifests (same spec, disjoint replicate
+// ranges produced with -shard) into one campaign manifest plus metric
+// tables. Overlapping or gapped ranges, diverging specs, and asymmetric
+// point sets all fail loudly — a silent bad merge would corrupt the
+// paired-seed methodology the campaign layer guarantees.
+func runMerge(paths []string, outDir, name, metricsS string, ascii bool) error {
+	if len(paths) < 2 {
+		return fmt.Errorf("-merge needs at least two shard manifests, got %d", len(paths))
+	}
+	type shard struct {
+		path     string
+		spec     sim.CampaignSpec
+		manifest experiment.Manifest
+	}
+	shards := make([]shard, 0, len(paths))
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var m experiment.Manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			return fmt.Errorf("shard manifest %s: %w", path, err)
+		}
+		var spec sim.CampaignSpec
+		if err := json.Unmarshal(m.Spec, &spec); err != nil {
+			return fmt.Errorf("shard manifest %s: unreadable spec: %w", path, err)
+		}
+		spec = spec.Normalized()
+		if spec.ShardCount == 0 {
+			return fmt.Errorf("%s is not a shard manifest (no shard range in its spec)", path)
+		}
+		if err := spec.Validate(); err != nil {
+			return fmt.Errorf("shard manifest %s: %w", path, err)
+		}
+		shards = append(shards, shard{path: path, spec: spec, manifest: m})
+	}
+
+	// All shards must be the same campaign apart from the shard range
+	// (and execution metadata).
+	common := func(s sim.CampaignSpec) ([]byte, error) {
+		s.ShardFirst, s.ShardCount, s.Workers, s.FreshBuild = 0, 0, 0, false
+		return json.Marshal(s)
+	}
+	ref, err := common(shards[0].spec)
+	if err != nil {
+		return err
+	}
+	for _, sh := range shards[1:] {
+		got, err := common(sh.spec)
+		if err != nil {
+			return err
+		}
+		if string(got) != string(ref) {
+			return fmt.Errorf("%s and %s were produced by different campaign specs; "+
+				"shards must share everything but the shard range", shards[0].path, sh.path)
+		}
+	}
+
+	// The ranges must tile [0, Replicates) exactly: merge in replicate
+	// order, rejecting overlap, gaps, and missing shards.
+	sort.Slice(shards, func(i, j int) bool { return shards[i].spec.ShardFirst < shards[j].spec.ShardFirst })
+	next := 0
+	pointSets := make([][]experiment.Point, 0, len(shards))
+	jobs := 0
+	for _, sh := range shards {
+		switch {
+		case sh.spec.ShardFirst > next:
+			return fmt.Errorf("replicates [%d, %d) missing: no shard covers them", next, sh.spec.ShardFirst)
+		case sh.spec.ShardFirst < next:
+			return fmt.Errorf("%s overlaps the preceding shard at replicate %d", sh.path, sh.spec.ShardFirst)
+		}
+		next += sh.spec.ShardCount
+		pointSets = append(pointSets, sh.manifest.Points)
+		jobs += sh.manifest.Jobs
+	}
+	if next != shards[0].spec.Replicates {
+		return fmt.Errorf("replicates [%d, %d) missing: no shard covers them", next, shards[0].spec.Replicates)
+	}
+
+	points, err := experiment.MergeShardPoints(pointSets...)
+	if err != nil {
+		return err
+	}
+	mergedSpec := shards[0].spec
+	mergedSpec.ShardFirst, mergedSpec.ShardCount, mergedSpec.Workers, mergedSpec.FreshBuild = 0, 0, 0, false
+	manifest, err := experiment.NewManifest(name, mergedSpec, jobs, 0, points)
+	if err != nil {
+		return err
+	}
+	path, err := manifest.Save(outDir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("merged %d shards into %s (%d jobs, %d points)\n", len(shards), path, jobs, len(points))
+	return writeTables(points, metricsS, outDir, name, mergedSpec.Replicates, ascii)
+}
+
 func loadSpec(path string) (sim.CampaignSpec, error) {
 	var spec sim.CampaignSpec
 	data, err := os.ReadFile(path)
@@ -288,6 +495,8 @@ func run(args []string) error {
 		workloadsS = fs.String("workloads", "", "comma-separated workload kinds: "+strings.Join(sim.WorkloadKinds(), ", ")+" (parameters via -spec)")
 		runnersS   = fs.String("runners", "", "comma-separated trial runners: sync, async (default sync)")
 		resume     = fs.Bool("resume", false, "skip (group, N) cells already in the output manifest and merge new results into it")
+		shardS     = fs.String("shard", "", "replicate shard i/n: run only the i-th of n contiguous replicate blocks (stitch with -merge)")
+		merge      = fs.Bool("merge", false, "merge the shard manifests given as arguments into one campaign manifest instead of running trials")
 		replicates = fs.Int("replicates", 20, "trials per campaign cell")
 		seed       = fs.Int64("seed", 1, "base random seed")
 		workers    = fs.Int("workers", 0, "parallel trial workers (0 = all cores)")
@@ -299,8 +508,45 @@ func run(args []string) error {
 		ascii      = fs.Bool("ascii", false, "print ASCII previews of exported tables")
 		quiet      = fs.Bool("quiet", false, "suppress the progress meter")
 	)
-	if err := fs.Parse(args); err != nil {
-		return err
+	// Collect positional arguments (the -merge shard manifests) while
+	// allowing flags to follow them: the flag package stops at the first
+	// positional, so re-parse the remainder until everything is consumed
+	// ("sweep -merge a.json b.json -out dir" works either way around).
+	var positional []string
+	for rest := args; ; {
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		rest = fs.Args()
+		// A lone "-" is a positional too (flag.Parse stops at it without
+		// consuming it); collecting it keeps this loop making progress.
+		for len(rest) > 0 && (rest[0] == "-" || !strings.HasPrefix(rest[0], "-")) {
+			positional = append(positional, rest[0])
+			rest = rest[1:]
+		}
+		if len(rest) == 0 {
+			break
+		}
+	}
+
+	if *merge {
+		// Only output-shaping flags combine with -merge; any campaign
+		// dimension flag would be silently ignored, so reject it instead.
+		allowed := map[string]bool{"merge": true, "out": true, "name": true, "metrics": true, "ascii": true}
+		var stray []string
+		fs.Visit(func(f *flag.Flag) {
+			if !allowed[f.Name] {
+				stray = append(stray, "-"+f.Name)
+			}
+		})
+		if len(stray) > 0 {
+			return fmt.Errorf("-merge takes shard manifests as arguments and no campaign flags (got %s)",
+				strings.Join(stray, ", "))
+		}
+		return runMerge(positional, *outDir, *name, *metricsS, *ascii)
+	}
+	if len(positional) > 0 {
+		return fmt.Errorf("unexpected arguments %v (only -merge takes manifests)", positional)
 	}
 
 	var spec sim.CampaignSpec
@@ -352,6 +598,16 @@ func run(args []string) error {
 		spec.Workers = *workers
 	}
 	spec = spec.Normalized()
+	if *shardS != "" {
+		if spec.ShardCount > 0 {
+			return fmt.Errorf("the spec file already pins a shard range; drop -shard or the spec fields")
+		}
+		first, count, err := parseShard(*shardS, spec.Replicates)
+		if err != nil {
+			return err
+		}
+		spec.ShardFirst, spec.ShardCount = first, count
+	}
 	if err := spec.Validate(); err != nil {
 		return err
 	}
@@ -408,17 +664,35 @@ func run(args []string) error {
 		}
 	}
 
+	// Count the jobs that will actually run (after the shard and resume
+	// filters) and their per-group totals for the meter's breakdown.
+	// ExecutedJobs applies exactly the filter RunCampaignSubset executes,
+	// so the meter's total always matches the delivered stream.
+	executed := 0
+	groupTotal := make(map[string]int)
+	spec.ExecutedJobs(keep, func(j sim.TrialJob) {
+		executed++
+		groupTotal[j.Group()]++
+	})
 	totalJobs := spec.NumJobs()
+	if spec.ShardCount > 0 {
+		totalJobs = executed // a shard manifest records the trials it ran
+	}
 	opts := experiment.Options{Workers: spec.Workers}
+	var meter *progressMeter
 	if !*quiet {
-		opts.Progress = newProgressMeter(os.Stderr).report
+		meter = newProgressMeter(os.Stderr, executed, groupTotal)
 	}
 	// Trials stream into online per-(group, N) accumulators: campaign
-	// memory is O(groups), not O(trials).
+	// memory is O(groups), not O(trials). The meter rides the same
+	// ordered sink, so its per-group counts advance deterministically.
 	acc := experiment.NewAccumulator()
 	err := sim.RunCampaignSubset(context.Background(), spec, opts, keep,
-		func(_ sim.TrialJob, s experiment.Sample) error {
+		func(j sim.TrialJob, s experiment.Sample) error {
 			acc.Add(s)
+			if meter != nil {
+				meter.jobDone(j.Group())
+			}
 			return nil
 		})
 	if err != nil {
@@ -441,26 +715,8 @@ func run(args []string) error {
 	}
 	fmt.Printf("wrote %s (%d jobs, %d points)\n", path, totalJobs, len(points))
 
-	metrics := splitList(*metricsS)
-	if len(metrics) == 1 && metrics[0] == "all" {
-		metrics = experiment.MetricNames(points)
-	}
-	sort.Strings(metrics)
-	for _, metric := range metrics {
-		tb, err := experiment.Table(points, metric,
-			fmt.Sprintf("%s: mean %s per trial (%d replicates/cell)", *name, metric, spec.Replicates),
-			"N", metric)
-		if err != nil {
-			return err
-		}
-		paths, err := tb.SaveAll(*outDir, *name+"-"+metric)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", strings.Join(paths, ", "))
-		if *ascii {
-			fmt.Println(tb.ASCII(72, 16))
-		}
+	if err := writeTables(points, *metricsS, *outDir, *name, spec.Replicates, *ascii); err != nil {
+		return err
 	}
 
 	for _, p := range points {

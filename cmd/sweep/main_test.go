@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -10,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"wsncover/internal/experiment"
 	"wsncover/internal/sim"
 )
 
@@ -360,10 +363,11 @@ func TestRunErrors(t *testing.T) {
 
 func TestProgressMeter(t *testing.T) {
 	var buf strings.Builder
-	p := newProgressMeter(&buf)
+	p := newProgressMeter(&buf, 400, nil)
 	p.start = p.start.Add(-2 * time.Second) // pretend 2s elapsed
 	p.last = p.start
-	p.report(100, 400)
+	p.done = 99
+	p.jobDone("only")
 	out := buf.String()
 	if !strings.Contains(out, "100/400 trials") {
 		t.Errorf("meter output %q lacks completed/total", out)
@@ -371,17 +375,54 @@ func TestProgressMeter(t *testing.T) {
 	if !strings.Contains(out, "trials/s") || !strings.Contains(out, "ETA") {
 		t.Errorf("meter output %q lacks rate or ETA", out)
 	}
+	if strings.Contains(out, "groups") {
+		t.Errorf("single-group meter %q must not render a group breakdown", out)
+	}
 
 	// Rapid updates are throttled; the final update always renders and
 	// reports the elapsed time instead of an ETA.
 	buf.Reset()
 	p.last = time.Now()
-	p.report(101, 400)
+	p.jobDone("only")
 	if buf.Len() != 0 {
 		t.Errorf("throttled update rendered %q", buf.String())
 	}
-	p.report(400, 400)
+	p.done = 399
+	p.jobDone("only")
 	if out := buf.String(); !strings.Contains(out, "400/400 trials") || !strings.Contains(out, "in ") {
+		t.Errorf("final output %q", out)
+	}
+}
+
+// TestProgressMeterGroupBreakdown exercises the wide-campaign path: the
+// meter tracks per-group completion, names the advancing group, and
+// counts fully finished groups.
+func TestProgressMeterGroupBreakdown(t *testing.T) {
+	var buf strings.Builder
+	totals := map[string]int{"SR 16x16": 2, "AR 16x16": 2}
+	p := newProgressMeter(&buf, 4, totals)
+	p.start = p.start.Add(-2 * time.Second)
+	p.last = p.start
+
+	p.jobDone("SR 16x16")
+	out := buf.String()
+	if !strings.Contains(out, "groups 0/2") || !strings.Contains(out, "[SR 16x16 1/2]") {
+		t.Errorf("meter output %q lacks the group breakdown", out)
+	}
+
+	buf.Reset()
+	p.last = p.start // defeat throttling
+	p.jobDone("SR 16x16")
+	if out := buf.String(); !strings.Contains(out, "groups 1/2") {
+		t.Errorf("meter output %q should count the finished group", out)
+	}
+
+	p.last = p.start
+	p.jobDone("AR 16x16")
+	buf.Reset()
+	p.last = p.start
+	p.jobDone("AR 16x16")
+	if out := buf.String(); !strings.Contains(out, "4/4 trials") || !strings.Contains(out, "groups 2/2") {
 		t.Errorf("final output %q", out)
 	}
 }
@@ -411,5 +452,214 @@ func TestRunSpecFileRejectsUnknownFields(t *testing.T) {
 	}
 	if err := run([]string{"-spec", specPath, "-out", dir, "-quiet"}); err == nil {
 		t.Error("typoed spec field should fail")
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	// 10 replicates over 3 shards: blocks of 4, 3, 3.
+	cases := []struct {
+		s            string
+		first, count int
+	}{
+		{"1/3", 0, 4},
+		{"2/3", 4, 3},
+		{"3/3", 7, 3},
+		{"1/1", 0, 10},
+	}
+	for _, c := range cases {
+		first, count, err := parseShard(c.s, 10)
+		if err != nil || first != c.first || count != c.count {
+			t.Errorf("parseShard(%q, 10) = (%d, %d, %v), want (%d, %d)",
+				c.s, first, count, err, c.first, c.count)
+		}
+	}
+	for _, bad := range []string{"", "2", "0/3", "4/3", "a/b", "2/20"} {
+		if _, _, err := parseShard(bad, 10); err == nil {
+			t.Errorf("parseShard(%q, 10) should fail", bad)
+		}
+	}
+}
+
+// TestShardMergeMatchesUnsharded is the multi-box sharding story end to
+// end: run a campaign whole, run it again as three -shard pieces, merge
+// the pieces, and compare. Exact fields (counts, means up to the pooled
+// merge's reassociation, min/max) must agree with the unsharded run.
+func TestShardMergeMatchesUnsharded(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{
+		"-schemes", "SR,AR", "-grids", "8x8", "-spares", "8,24",
+		"-replicates", "5", "-seed", "21", "-out", dir, "-metrics", "moves", "-quiet",
+	}
+	if err := run(append([]string{"-name", "full"}, base...)); err != nil {
+		t.Fatal(err)
+	}
+	shardPaths := make([]string, 0, 3)
+	for i := 1; i <= 3; i++ {
+		name := fmt.Sprintf("shard%d", i)
+		args := append([]string{"-name", name, "-shard", fmt.Sprintf("%d/3", i)}, base...)
+		if err := run(args); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		shardPaths = append(shardPaths, filepath.Join(dir, name+".json"))
+	}
+	mergeArgs := append([]string{"-merge", "-out", dir, "-name", "merged", "-metrics", "moves"}, shardPaths...)
+	if err := run(mergeArgs); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+
+	load := func(name string) experiment.Manifest {
+		data, err := os.ReadFile(filepath.Join(dir, name+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m experiment.Manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	full, merged := load("full"), load("merged")
+	if merged.Jobs != full.Jobs {
+		t.Errorf("merged jobs = %d, full = %d", merged.Jobs, full.Jobs)
+	}
+	if len(merged.Points) != len(full.Points) {
+		t.Fatalf("merged has %d points, full has %d", len(merged.Points), len(full.Points))
+	}
+	for i, fp := range full.Points {
+		mp := merged.Points[i]
+		if mp.Group != fp.Group || mp.X != fp.X {
+			t.Fatalf("point %d: (%s, %g) vs (%s, %g)", i, mp.Group, mp.X, fp.Group, fp.X)
+		}
+		for name, fd := range fp.Metrics {
+			md := mp.Metrics[name]
+			if md.N != fd.N || md.Min != fd.Min || md.Max != fd.Max {
+				t.Errorf("%s/%s %s: N/min/max (%d,%g,%g) vs (%d,%g,%g)",
+					fp.Group, name, "exact fields", md.N, md.Min, md.Max, fd.N, fd.Min, fd.Max)
+			}
+			if math.Abs(md.Mean-fd.Mean) > 1e-9*(1+math.Abs(fd.Mean)) {
+				t.Errorf("%s/%s mean %g vs %g", fp.Group, name, md.Mean, fd.Mean)
+			}
+			if math.Abs(md.StdDev-fd.StdDev) > 1e-9*(1+math.Abs(fd.StdDev)) {
+				t.Errorf("%s/%s stddev %g vs %g", fp.Group, name, md.StdDev, fd.StdDev)
+			}
+		}
+	}
+	// The merged tables exist like a normal run's.
+	if _, err := os.Stat(filepath.Join(dir, "merged-moves.csv")); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMergeRejectsBadShardSets: overlaps, gaps, spec mismatches, and
+// non-shard manifests must all fail loudly instead of merging quietly.
+func TestMergeRejectsBadShardSets(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{
+		"-schemes", "SR", "-grids", "8x8", "-spares", "8",
+		"-replicates", "4", "-seed", "3", "-out", dir, "-metrics", "moves", "-quiet",
+	}
+	mk := func(name, shard string, extra ...string) string {
+		args := append([]string{"-name", name}, base...)
+		if shard != "" {
+			args = append(args, "-shard", shard)
+		}
+		args = append(args, extra...)
+		if err := run(args); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return filepath.Join(dir, name+".json")
+	}
+	s1 := mk("s1", "1/2")
+	s2 := mk("s2", "2/2")
+	whole := mk("whole", "")
+	if err := run([]string{
+		"-name", "o2", "-shard", "2/2", "-schemes", "SR", "-grids", "8x8",
+		"-spares", "8", "-replicates", "4", "-seed", "999", "-out", dir,
+		"-metrics", "moves", "-quiet",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	o2 := filepath.Join(dir, "o2.json")
+
+	cases := []struct {
+		name  string
+		paths []string
+		want  string
+	}{
+		{"overlap", []string{s1, s1}, "overlaps"},
+		{"gap", []string{s2, s2}, "missing"},
+		{"missing-tail", []string{s1}, "at least two"},
+		{"not-a-shard", []string{s1, whole}, "not a shard manifest"},
+		{"spec-mismatch", []string{s1, o2}, "different campaign specs"},
+	}
+	for _, c := range cases {
+		args := append([]string{"-merge", "-out", dir, "-name", "bad", "-metrics", "moves"}, c.paths...)
+		err := run(args)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: run(-merge %v) = %v, want error containing %q", c.name, c.paths, err, c.want)
+		}
+	}
+}
+
+// TestShardManifestRecordsRange: a shard's manifest must carry its
+// replicate range so -merge can validate the tiling.
+func TestShardManifestRecordsRange(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-schemes", "SR", "-grids", "8x8", "-spares", "8", "-replicates", "4",
+		"-seed", "5", "-shard", "2/2", "-out", dir, "-name", "s", "-metrics", "moves", "-quiet",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "s.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m experiment.Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	var spec sim.CampaignSpec
+	if err := json.Unmarshal(m.Spec, &spec); err != nil {
+		t.Fatal(err)
+	}
+	if spec.ShardFirst != 2 || spec.ShardCount != 2 {
+		t.Errorf("shard range [%d, +%d), want [2, +2)", spec.ShardFirst, spec.ShardCount)
+	}
+	if m.Jobs != 2 {
+		t.Errorf("shard manifest jobs = %d, want 2 (its own trials)", m.Jobs)
+	}
+	var pt struct {
+		Metrics map[string]struct {
+			N int `json:"N"`
+		} `json:"metrics"`
+	}
+	raw, _ := json.Marshal(m.Points[0])
+	if err := json.Unmarshal(raw, &pt); err != nil {
+		t.Fatal(err)
+	}
+	if pt.Metrics["moves"].N != 2 {
+		t.Errorf("shard point N = %d, want 2", pt.Metrics["moves"].N)
+	}
+}
+
+// TestBareDashArgumentErrors: a lone "-" must produce an error, not an
+// infinite flag-reparse loop (regression test).
+func TestBareDashArgumentErrors(t *testing.T) {
+	done := make(chan error, 1)
+	go func() { done <- run([]string{"-merge", "a.json", "-"}) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("run(-merge a.json -) should fail")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run(-merge a.json -) hung")
+	}
+	// Positionals without -merge are rejected too.
+	if err := run([]string{"x.json", "-out", t.TempDir(), "-quiet"}); err == nil ||
+		!strings.Contains(err.Error(), "unexpected arguments") {
+		t.Errorf("stray positional = %v, want unexpected-arguments error", err)
 	}
 }

@@ -70,6 +70,10 @@ type Config struct {
 	// differential test); the full scan exists as the executable
 	// specification and for benchmarking.
 	FullScanDetect bool
+	// Collector, when non-nil, is adopted as the metrics store after
+	// being Reset; nil allocates a fresh one. Pooled trial arenas pass
+	// their per-worker collector so replicates reuse its capacity.
+	Collector *metrics.Collector
 }
 
 // proc is one AR replacement process.
@@ -144,10 +148,16 @@ func New(net *network.Network, cfg Config) *Controller {
 	if maxHops == 0 {
 		maxHops = DefaultMaxHops
 	}
+	col := cfg.Collector
+	if col == nil {
+		col = metrics.NewCollector()
+	} else {
+		col.Reset()
+	}
 	c := &Controller{
 		net:       net,
 		rng:       rng,
-		col:       metrics.NewCollector(),
+		col:       col,
 		initProb:  initProb,
 		maxHops:   maxHops,
 		fullScan:  cfg.FullScanDetect,
@@ -160,10 +170,11 @@ func New(net *network.Network, cfg Config) *Controller {
 		// Seed the standing hole set from the network as handed over:
 		// damage injected before the controller existed never produced
 		// journal events this consumer saw. Stale pre-construction
-		// events are drained away first; from here on the journal is
-		// authoritative.
+		// events are discarded unseen (deployment journals one event per
+		// cell — materializing them would dominate a pooled trial's
+		// allocation); from here on the journal is authoritative.
 		c.holes = make(map[grid.Coord]struct{})
-		c.net.DrainVacancyEvents(c.eventBuf[:0])
+		c.net.DiscardVacancyEvents()
 		c.eventBuf = c.net.VacantCells(c.eventBuf[:0])
 		for _, g := range c.eventBuf {
 			c.holes[g] = struct{}{}
@@ -233,11 +244,11 @@ func (c *Controller) moveInto(pid int, id node.ID, vacancy grid.Coord) error {
 		return fmt.Errorf("ar: process %d references unknown node %d", pid, id)
 	}
 	target := c.net.CentralTarget(vacancy, c.rng)
-	before := nd.Location()
-	if err := c.net.MoveNode(id, target); err != nil {
+	dist, err := c.net.MoveNodeDist(id, target)
+	if err != nil {
 		return fmt.Errorf("ar: process %d move: %w", pid, err)
 	}
-	c.col.RecordMove(pid, before.Dist(target))
+	c.col.RecordMove(pid, dist)
 	if owner, ok := c.claims[vacancy]; ok && owner == pid {
 		delete(c.claims, vacancy)
 	}

@@ -47,6 +47,10 @@ type Config struct {
 	// PollJitter adds uniform jitter. Zero interval means 0.5 s.
 	PollInterval float64
 	PollJitter   float64
+	// Collector, when non-nil, is adopted as the metrics store after
+	// being Reset; nil allocates a fresh one. Pooled trial arenas pass
+	// their per-worker collector so replicates reuse its capacity.
+	Collector *metrics.Collector
 }
 
 func (c *Config) normalize() {
@@ -152,12 +156,18 @@ func New(net *network.Network, cfg Config) (*Controller, error) {
 	if rng == nil {
 		rng = randx.New(1)
 	}
+	col := cfg.Collector
+	if col == nil {
+		col = metrics.NewCollector()
+	} else {
+		col.Reset()
+	}
 	c := &Controller{
 		net:       net,
 		topo:      cfg.Topology,
 		rng:       rng,
 		cfg:       cfg,
-		col:       metrics.NewCollector(),
+		col:       col,
 		procs:     make(map[int]*proc),
 		claims:    make(map[grid.Coord]int),
 		departing: make(map[grid.Coord]bool),
@@ -372,11 +382,11 @@ func (c *Controller) arrive(e event) error {
 	}
 
 	from, _ := c.net.System().CoordOf(nd.Location())
-	before := nd.Location()
-	if err := c.net.MoveNode(e.nodeID, e.target); err != nil {
+	dist, err := c.net.MoveNodeDist(e.nodeID, e.target)
+	if err != nil {
 		return fmt.Errorf("async: process %d move: %w", e.pid, err)
 	}
-	c.col.RecordMove(e.pid, before.Dist(e.target))
+	c.col.RecordMove(e.pid, dist)
 	delete(c.departing, from)
 	delete(c.claims, e.vacancy)
 	if !e.final {

@@ -61,6 +61,10 @@ type Config struct {
 	// the full scan exists as the executable specification and for
 	// benchmarking the win.
 	FullScanDetect bool
+	// Collector, when non-nil, is adopted as the metrics store after
+	// being Reset; nil allocates a fresh one. Pooled trial arenas pass
+	// their per-worker collector so replicates reuse its capacity.
+	Collector *metrics.Collector
 }
 
 // proc is the controller-side record of one replacement process.
@@ -145,11 +149,17 @@ func New(net *network.Network, cfg Config) (*Controller, error) {
 	if rng == nil {
 		rng = randx.New(1)
 	}
+	col := cfg.Collector
+	if col == nil {
+		col = metrics.NewCollector()
+	} else {
+		col.Reset()
+	}
 	c := &Controller{
 		net:           net,
 		topo:          cfg.Topology,
 		rng:           rng,
-		col:           metrics.NewCollector(),
+		col:           col,
 		shortcut:      cfg.NeighborShortcut,
 		claimTTL:      cfg.ClaimTTL,
 		fullScan:      cfg.FullScanDetect,
@@ -162,9 +172,11 @@ func New(net *network.Network, cfg Config) (*Controller, error) {
 		// Seed the standing hole set from the network as handed over:
 		// damage injected before the controller existed never produced
 		// journal events this consumer saw. Stale pre-construction events
-		// are drained away first; from here on the journal is authoritative.
+		// are discarded unseen (deployment journals one event per cell —
+		// materializing them would dominate a pooled trial's allocation);
+		// from here on the journal is authoritative.
 		c.holes = make(map[grid.Coord]struct{})
-		c.net.DrainVacancyEvents(c.eventBuf[:0])
+		c.net.DiscardVacancyEvents()
 		c.eventBuf = c.net.VacantCells(c.eventBuf[:0])
 		for _, g := range c.eventBuf {
 			c.holes[g] = struct{}{}
@@ -277,11 +289,11 @@ func (c *Controller) moveInto(pid int, id node.ID, vacancy grid.Coord) error {
 		return fmt.Errorf("core: process %d references unknown node %d", pid, id)
 	}
 	target := c.net.CentralTarget(vacancy, c.rng)
-	before := nd.Location()
-	if err := c.net.MoveNode(id, target); err != nil {
+	dist, err := c.net.MoveNodeDist(id, target)
+	if err != nil {
 		return fmt.Errorf("core: process %d move: %w", pid, err)
 	}
-	c.col.RecordMove(pid, before.Dist(target))
+	c.col.RecordMove(pid, dist)
 	delete(c.claims, vacancy)
 	return nil
 }

@@ -11,6 +11,7 @@ package deploy
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"wsncover/internal/geom"
 	"wsncover/internal/grid"
@@ -18,6 +19,21 @@ import (
 	"wsncover/internal/node"
 	"wsncover/internal/randx"
 )
+
+// deployScratch is the pooled working set of the deployment hot path:
+// the permutation buffer of PickHoleCells and the hole marks and
+// occupied-cell list of Controlled. On large grids these dominated
+// per-trial allocation (a 256x256 permutation alone is 512 KB), so the
+// replicate engine's steady state recycles them through a sync.Pool.
+// Scratch is returned to the pool with hole marks cleared; slice
+// contents are garbage and re-truncated on every use.
+type deployScratch struct {
+	perm     []int
+	occupied []grid.Coord
+	hole     []bool
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(deployScratch) }}
 
 // Uniform scatters count nodes uniformly at random over the whole field.
 // This is the paper's deployment model.
@@ -85,18 +101,32 @@ func Clustered(w *network.Network, count, k int, sigma float64, rng *randx.Rand)
 // simultaneous holes and exactly spares spare nodes (the paper's N).
 func Controlled(w *network.Network, spares int, holeCells []grid.Coord, rng *randx.Rand) error {
 	sys := w.System()
-	hole := make(map[grid.Coord]bool, len(holeCells))
 	for _, h := range holeCells {
 		if !sys.Contains(h) {
 			return fmt.Errorf("controlled deploy: hole %v off-grid", h)
 		}
-		hole[h] = true
 	}
-	occupied := make([]grid.Coord, 0, sys.NumCells()-len(hole))
-	for _, c := range sys.AllCoords() {
-		if !hole[c] {
-			occupied = append(occupied, c)
+	sc := scratchPool.Get().(*deployScratch)
+	defer scratchPool.Put(sc)
+	n := sys.NumCells()
+	if cap(sc.hole) < n {
+		sc.hole = make([]bool, n)
+	}
+	hole := sc.hole[:n]
+	for _, h := range holeCells {
+		hole[sys.Index(h)] = true
+	}
+	occupied := sc.occupied[:0]
+	for idx := 0; idx < n; idx++ {
+		if !hole[idx] {
+			occupied = append(occupied, sys.CoordAt(idx))
 		}
+	}
+	sc.occupied = occupied
+	// Clear the marks immediately so the scratch returns to the pool
+	// clean on every exit path.
+	for _, h := range holeCells {
+		hole[sys.Index(h)] = false
 	}
 	if len(occupied) == 0 && spares > 0 {
 		return fmt.Errorf("controlled deploy: no non-hole cells for %d spares", spares)
@@ -177,7 +207,10 @@ func PickHoleCells(sys *grid.System, count int, avoidAdjacent bool, rng *randx.R
 	if count < 0 || count > sys.NumCells() {
 		return nil, fmt.Errorf("deploy: cannot pick %d holes from %d cells", count, sys.NumCells())
 	}
-	perm := rng.Perm(sys.NumCells())
+	sc := scratchPool.Get().(*deployScratch)
+	defer scratchPool.Put(sc)
+	sc.perm = rng.PermInto(sc.perm, sys.NumCells())
+	perm := sc.perm
 	var out []grid.Coord
 	for _, idx := range perm {
 		if len(out) == count {

@@ -41,8 +41,11 @@ type Options struct {
 	Progress func(done, total int)
 }
 
-// workerCount resolves the effective pool size for total jobs.
-func (o Options) workerCount(total int) int {
+// WorkerCount resolves the effective pool size for total jobs: the
+// Workers field, defaulted to GOMAXPROCS and capped at the job count.
+// Callers sizing per-worker state (sim's trial arenas) use it to
+// allocate exactly one slot per goroutine the run will start.
+func (o Options) WorkerCount(total int) int {
 	w := o.Workers
 	if w < 1 {
 		w = runtime.GOMAXPROCS(0)
@@ -98,11 +101,27 @@ func Run[T any](ctx context.Context, total int, opts Options, fn func(ctx contex
 // error, sink has received some prefix of the job space; no result after
 // the failing index is ever delivered.
 func RunStream[T any](ctx context.Context, total int, opts Options, fn func(ctx context.Context, index int) (T, error), sink func(index int, result T) error) error {
-	if total < 0 {
-		return fmt.Errorf("experiment: negative job count %d", total)
-	}
 	if fn == nil {
 		return fmt.Errorf("experiment: nil job function")
+	}
+	return RunStreamWorkers(ctx, total, opts,
+		func(ctx context.Context, _, index int) (T, error) { return fn(ctx, index) }, sink)
+}
+
+// RunStreamWorkers is RunStream with worker identity: fn additionally
+// receives the index of the pool goroutine executing the job, a stable
+// id in [0, Options.WorkerCount(total)). Jobs must remain pure functions
+// of their job index — worker-local state may only carry caches whose
+// contents never change results (pooled arenas, scratch buffers), which
+// is exactly what keeps the output bit-identical at any worker count.
+// Each worker id is used by one goroutine for the whole run, so fn may
+// mutate its worker slot without synchronization.
+func RunStreamWorkers[T any](ctx context.Context, total int, opts Options, fn func(ctx context.Context, worker, index int) (T, error), sink func(index int, result T) error) error {
+	if fn == nil {
+		return fmt.Errorf("experiment: nil job function")
+	}
+	if total < 0 {
+		return fmt.Errorf("experiment: negative job count %d", total)
 	}
 	if sink == nil {
 		return fmt.Errorf("experiment: nil sink")
@@ -126,7 +145,7 @@ func RunStream[T any](ctx context.Context, total int, opts Options, fn func(ctx 
 	// i < nextFlush + window before starting the job, bounding pending to
 	// the window size. The claimer of nextFlush itself never waits, so the
 	// flush point always advances and the wait cannot deadlock.
-	workers := opts.workerCount(total)
+	workers := opts.WorkerCount(total)
 	window := 32 * workers
 	if window < 64 {
 		window = 64
@@ -140,9 +159,9 @@ func RunStream[T any](ctx context.Context, total int, opts Options, fn func(ctx 
 		mu.Unlock()
 	}()
 	var wg sync.WaitGroup
-	for w := workers; w > 0; w-- {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
@@ -157,7 +176,7 @@ func RunStream[T any](ctx context.Context, total int, opts Options, fn func(ctx 
 				if ctx.Err() != nil {
 					return
 				}
-				res, err := fn(ctx, i)
+				res, err := fn(ctx, worker, i)
 				if err != nil {
 					// A job unwinding with the cancellation error after
 					// another job already failed is an echo, not a cause.
@@ -203,7 +222,7 @@ func RunStream[T any](ctx context.Context, total int, opts Options, fn func(ctx 
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if firstErr != nil {

@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"wsncover/internal/stats"
+)
+
+// MergeShardPoints stitches the aggregated points of campaign shards —
+// runs of the same spec over disjoint replicate subranges — into the
+// point set of the combined campaign. Every shard must cover exactly
+// the same (group, X) cells with the same metric names: shards differ
+// only in which replicates they ran, never in which curves they
+// produced, so any asymmetry is a sharding mistake and fails loudly.
+// Per-cell statistics combine with stats.Description.Merge (exact for
+// count/mean/min/max, pooled variance, estimated median); the output is
+// sorted like Aggregate's.
+func MergeShardPoints(shards ...[]Point) ([]Point, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("experiment: no shards to merge")
+	}
+	type key struct {
+		group string
+		x     float64
+	}
+	merged := make(map[key]Point, len(shards[0]))
+	order := make([]key, 0, len(shards[0]))
+	for _, p := range shards[0] {
+		k := key{p.Group, p.X}
+		if _, dup := merged[k]; dup {
+			return nil, fmt.Errorf("experiment: duplicate cell (%s, %g) in shard 0", p.Group, p.X)
+		}
+		metrics := make(map[string]stats.Description, len(p.Metrics))
+		for name, d := range p.Metrics {
+			metrics[name] = d
+		}
+		merged[k] = Point{Group: p.Group, X: p.X, Metrics: metrics}
+		order = append(order, k)
+	}
+	for si, shard := range shards[1:] {
+		if len(shard) != len(merged) {
+			return nil, fmt.Errorf("experiment: shard %d has %d cells, shard 0 has %d",
+				si+1, len(shard), len(merged))
+		}
+		seen := make(map[key]bool, len(shard))
+		for _, p := range shard {
+			k := key{p.Group, p.X}
+			if seen[k] {
+				return nil, fmt.Errorf("experiment: duplicate cell (%s, %g) in shard %d",
+					p.Group, p.X, si+1)
+			}
+			seen[k] = true
+			base, ok := merged[k]
+			if !ok {
+				return nil, fmt.Errorf("experiment: shard %d cell (%s, %g) absent from shard 0",
+					si+1, p.Group, p.X)
+			}
+			if len(p.Metrics) != len(base.Metrics) {
+				return nil, fmt.Errorf("experiment: shard %d cell (%s, %g) has %d metrics, shard 0 has %d",
+					si+1, p.Group, p.X, len(p.Metrics), len(base.Metrics))
+			}
+			for name, d := range p.Metrics {
+				bd, ok := base.Metrics[name]
+				if !ok {
+					return nil, fmt.Errorf("experiment: shard %d cell (%s, %g) metric %q absent from shard 0",
+						si+1, p.Group, p.X, name)
+				}
+				base.Metrics[name] = bd.Merge(d)
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].group != order[j].group {
+			return order[i].group < order[j].group
+		}
+		return order[i].x < order[j].x
+	})
+	out := make([]Point, 0, len(order))
+	for _, k := range order {
+		out = append(out, merged[k])
+	}
+	return out, nil
+}

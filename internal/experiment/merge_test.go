@@ -1,0 +1,47 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"wsncover/internal/stats"
+)
+
+func mergePt(group string, x float64, n int, mean float64) Point {
+	return Point{Group: group, X: x, Metrics: map[string]stats.Description{
+		"moves": {N: n, Mean: mean, Min: mean, Max: mean, Median: mean},
+	}}
+}
+
+func TestMergeShardPointsRejectsDuplicateInLaterShard(t *testing.T) {
+	shard0 := []Point{mergePt("SR", 10, 2, 3), mergePt("SR", 20, 2, 4)}
+	// Same length as shard0 but cell (SR, 10) twice and (SR, 20) missing:
+	// without per-shard duplicate detection this would silently
+	// double-count one cell and drop the other.
+	bad := []Point{mergePt("SR", 10, 2, 3), mergePt("SR", 10, 2, 5)}
+	if _, err := MergeShardPoints(shard0, bad); err == nil ||
+		!strings.Contains(err.Error(), "duplicate cell") {
+		t.Errorf("MergeShardPoints = %v, want duplicate-cell error", err)
+	}
+	// Shard 0 duplicates are rejected too.
+	if _, err := MergeShardPoints(bad, shard0); err == nil ||
+		!strings.Contains(err.Error(), "duplicate cell") {
+		t.Errorf("MergeShardPoints = %v, want duplicate-cell error", err)
+	}
+}
+
+func TestMergeShardPointsCombines(t *testing.T) {
+	a := []Point{mergePt("SR", 10, 2, 3)}
+	b := []Point{mergePt("SR", 10, 3, 5)}
+	got, err := MergeShardPoints(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := got[0].Metrics["moves"]
+	if d.N != 5 || d.Min != 3 || d.Max != 5 {
+		t.Errorf("merged = %+v", d)
+	}
+	if want := (2.0*3 + 3.0*5) / 5; d.Mean != want {
+		t.Errorf("mean = %g, want %g", d.Mean, want)
+	}
+}

@@ -308,3 +308,46 @@ func TestRunStreamManyGroupsStress(t *testing.T) {
 		}
 	}
 }
+
+// TestRunStreamWorkersIdentity checks the worker-id contract: ids lie in
+// [0, WorkerCount), each id is owned by exactly one goroutine for the
+// whole run, and results are delivered in job order regardless.
+func TestRunStreamWorkersIdentity(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		opts := Options{Workers: workers}
+		total := 400
+		n := opts.WorkerCount(total)
+		// jobsPerWorker[w] is written only by worker w — the race detector
+		// verifies single-goroutine ownership of each id.
+		jobsPerWorker := make([]int, n)
+		next := 0
+		err := RunStreamWorkers(context.Background(), total, opts,
+			func(_ context.Context, w, i int) (int, error) {
+				if w < 0 || w >= n {
+					t.Errorf("worker id %d outside [0, %d)", w, n)
+				}
+				jobsPerWorker[w]++
+				return i, nil
+			},
+			func(i, res int) error {
+				if i != next || res != i {
+					t.Fatalf("out-of-order delivery: got (%d,%d), want index %d", i, res, next)
+				}
+				next++
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next != total {
+			t.Fatalf("delivered %d of %d", next, total)
+		}
+		sum := 0
+		for _, c := range jobsPerWorker {
+			sum += c
+		}
+		if sum != total {
+			t.Fatalf("worker job counts sum to %d, want %d", sum, total)
+		}
+	}
+}

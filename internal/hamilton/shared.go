@@ -1,0 +1,54 @@
+package hamilton
+
+import (
+	"sync"
+
+	"wsncover/internal/grid"
+)
+
+// topoKey identifies the grid geometry a topology is built over. Two
+// grid.System instances with equal geometry have interchangeable
+// Hamilton structures: every table in a Topology is a pure function of
+// these fields.
+type topoKey struct {
+	cols, rows       int
+	cellSize         float64
+	originX, originY float64
+}
+
+// sharedTopos caches one immutable Topology per grid geometry for the
+// lifetime of the process. The number of distinct geometries a campaign
+// touches is the size of its grid dimension (a handful), so the cache is
+// effectively bounded; entries are never evicted.
+var sharedTopos sync.Map // topoKey -> *Topology
+
+// Shared returns the process-wide cached topology for sys's geometry,
+// building and memoizing it on first use. A Topology is immutable after
+// Build and safe for concurrent readers, so one instance serves every
+// trial worker; pooled replicate engines use Shared to stop paying the
+// O(cells) construction (succ/pred/monitor tables) once per trial.
+//
+// The returned topology's System() is the *grid.System it was first
+// built over — geometry-equal to sys but not necessarily the same
+// pointer. Consumers (core, async) compare grids by geometry, never by
+// identity. Errors (grids with no Hamilton structure) are not cached.
+func Shared(sys *grid.System) (*Topology, error) {
+	key := topoKey{
+		cols:     sys.Cols(),
+		rows:     sys.Rows(),
+		cellSize: sys.CellSize(),
+		originX:  sys.Origin().X,
+		originY:  sys.Origin().Y,
+	}
+	if t, ok := sharedTopos.Load(key); ok {
+		return t.(*Topology), nil
+	}
+	t, err := Build(sys)
+	if err != nil {
+		return nil, err
+	}
+	// Two racing first users may both build; LoadOrStore keeps exactly
+	// one winner so every later caller shares the same instance.
+	actual, _ := sharedTopos.LoadOrStore(key, t)
+	return actual.(*Topology), nil
+}

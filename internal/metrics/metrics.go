@@ -66,6 +66,14 @@ type Collector struct {
 // NewCollector returns an empty collector.
 func NewCollector() *Collector { return &Collector{} }
 
+// Reset empties the collector in place, keeping the process-record
+// capacity, so pooled trial arenas reuse one collector across
+// replicates instead of reallocating the record slice every trial.
+func (c *Collector) Reset() {
+	c.procs = c.procs[:0]
+	c.messages = 0
+}
+
 // StartProcess registers a new replacement process and returns its id.
 func (c *Collector) StartProcess(origin grid.Coord, round int) int {
 	id := len(c.procs)

@@ -97,6 +97,11 @@ type Network struct {
 	// idScratch backs DisableAllInCell so bulk failure injection does not
 	// allocate a fresh id slice per call.
 	idScratch []node.ID
+	// bfsVisited/bfsQueue/bfsNbr back HeadGraphConnected's search so the
+	// per-trial connectivity check does not allocate O(cells) each call.
+	bfsVisited []bool
+	bfsQueue   []int
+	bfsNbr     []grid.Coord
 }
 
 // New creates an empty network over the grid system.
@@ -121,6 +126,18 @@ func (w *Network) noteVacancyFlip(idx int) {
 	}
 }
 
+// DiscardVacancyEvents resets the vacancy journal without materializing
+// the flipped cells. Controllers taking over a freshly deployed network
+// use it to retire the deployment's events — one per cell, so a drain
+// into a coord buffer would be the largest allocation of a pooled trial
+// — before seeding their hole sets from VacantCells directly.
+func (w *Network) DiscardVacancyEvents() {
+	for _, idx := range w.vacancyEvents {
+		w.vacancyDirty[idx] = false
+	}
+	w.vacancyEvents = w.vacancyEvents[:0]
+}
+
 // DrainVacancyEvents appends to dst the cells whose vacancy state changed
 // since the last drain, sorted by cell index for deterministic
 // consumption, resets the journal, and returns the extended slice. A cell
@@ -137,6 +154,40 @@ func (w *Network) DrainVacancyEvents(dst []grid.Coord) []grid.Coord {
 	}
 	w.vacancyEvents = w.vacancyEvents[:0]
 	return dst
+}
+
+// Reset restores the network in place to the pristine state New would
+// produce — no nodes, every cell vacant, clocks, queues, counters, and
+// the vacancy journal zeroed — without allocating. The observer and the
+// lossy-radio configuration are cleared too (New leaves both unset);
+// re-attach them after Reset when needed. Every buffer keeps its
+// capacity, and the truncated node slice keeps its node objects, so a
+// Reset-then-redeploy cycle of the same population reuses all of the
+// previous trial's memory. Pooled replicate engines (sim.TrialArena)
+// call this between trials instead of rebuilding the world.
+func (w *Network) Reset() {
+	for i := range w.cellNodes {
+		w.cellNodes[i] = w.cellNodes[i][:0]
+	}
+	for i := range w.heads {
+		w.heads[i] = node.Invalid
+	}
+	w.DiscardVacancyEvents()
+	w.nodes = w.nodes[:0]
+	w.obs = nil
+	w.lossProb = 0
+	w.lossRNG = nil
+	w.round = 0
+	w.inbox = w.inbox[:0]
+	w.outbox = w.outbox[:0]
+	w.requeued = w.requeued[:0]
+	w.msgsSent = 0
+	w.msgsLost = 0
+	w.totalMoves = 0
+	w.totalDist = 0
+	w.enabledCount = 0
+	w.headCount = 0
+	w.vacantCount = w.sys.NumCells()
 }
 
 func newHeadSlice(n int) []node.ID {
@@ -175,14 +226,26 @@ func (w *Network) SetMessageLoss(p float64, rng *randx.Rand) error {
 func (w *Network) MessagesLost() int { return w.msgsLost }
 
 // AddNodeAt creates an enabled spare node at p and registers it. It
-// returns an error when p lies outside the surveillance field.
+// returns an error when p lies outside the surveillance field. After a
+// Reset, node objects left in the truncated slice's backing array are
+// reinitialized in place instead of reallocated, so redeploying a pooled
+// network allocates only when it grows past its high-water mark.
 func (w *Network) AddNodeAt(p geom.Point) (node.ID, error) {
 	c, ok := w.sys.CoordOf(p)
 	if !ok {
 		return node.Invalid, fmt.Errorf("network: point %v outside field %v", p, w.sys.Bounds())
 	}
 	id := node.ID(len(w.nodes))
-	w.nodes = append(w.nodes, node.New(id, p))
+	if n := len(w.nodes); n < cap(w.nodes) {
+		w.nodes = w.nodes[:n+1]
+		if nd := w.nodes[n]; nd != nil {
+			nd.Reinit(id, p)
+		} else {
+			w.nodes[n] = node.New(id, p)
+		}
+	} else {
+		w.nodes = append(w.nodes, node.New(id, p))
+	}
 	idx := w.sys.Index(c)
 	if len(w.cellNodes[idx]) == 0 {
 		w.vacantCount--
@@ -425,24 +488,34 @@ func (w *Network) CentralTarget(c grid.Coord, rng *randx.Rand) geom.Point {
 // cell has no head the mover is promoted on arrival; if the origin cell
 // retains enabled nodes a new head is elected there.
 func (w *Network) MoveNode(id node.ID, target geom.Point) error {
+	_, err := w.MoveNodeDist(id, target)
+	return err
+}
+
+// MoveNodeDist is MoveNode returning the distance moved. The distance is
+// computed exactly once (inside the node's odometer) and shared with the
+// caller, so controllers charging per-move metrics do not redo the
+// square root.
+func (w *Network) MoveNodeDist(id node.ID, target geom.Point) (float64, error) {
 	nd := w.Node(id)
 	if nd == nil {
-		return fmt.Errorf("network: unknown node %d", id)
+		return 0, fmt.Errorf("network: unknown node %d", id)
 	}
 	from, ok := w.sys.CoordOf(nd.Location())
 	if !ok {
-		return fmt.Errorf("network: node %d off-field at %v", id, nd.Location())
+		return 0, fmt.Errorf("network: node %d off-field at %v", id, nd.Location())
 	}
 	to, ok := w.sys.CoordOf(target)
 	if !ok {
-		return fmt.Errorf("network: move target %v outside field", target)
+		return 0, fmt.Errorf("network: move target %v outside field", target)
 	}
 	before := nd.Location()
-	if err := nd.MoveTo(target, w.energy); err != nil {
-		return err
+	dist, err := nd.MoveTo(target, w.energy)
+	if err != nil {
+		return 0, err
 	}
 	w.totalMoves++
-	w.totalDist += before.Dist(target)
+	w.totalDist += dist
 	if from != to {
 		w.removeFromCell(id, from)
 		idx := w.sys.Index(to)
@@ -465,7 +538,7 @@ func (w *Network) MoveNode(id node.ID, target geom.Point) error {
 	if w.obs != nil {
 		w.obs.NodeMoved(id, before, target, from, to)
 	}
-	return nil
+	return dist, nil
 }
 
 // TotalMoves returns the number of node movements performed so far.
@@ -549,14 +622,19 @@ func (w *Network) HeadGraphConnected() bool {
 	if total == 0 {
 		return false
 	}
-	visited := make([]bool, len(w.heads))
-	queue := []int{start}
+	if cap(w.bfsVisited) < len(w.heads) {
+		w.bfsVisited = make([]bool, len(w.heads))
+	}
+	visited := w.bfsVisited[:len(w.heads)]
+	for i := range visited {
+		visited[i] = false
+	}
+	queue := append(w.bfsQueue[:0], start)
 	visited[start] = true
 	reached := 1
-	var buf []grid.Coord
-	for len(queue) > 0 {
-		idx := queue[0]
-		queue = queue[1:]
+	buf := w.bfsNbr
+	for head := 0; head < len(queue); head++ {
+		idx := queue[head]
 		buf = w.sys.Neighbors(buf[:0], w.sys.CoordAt(idx))
 		for _, nb := range buf {
 			nidx := w.sys.Index(nb)
@@ -567,6 +645,8 @@ func (w *Network) HeadGraphConnected() bool {
 			}
 		}
 	}
+	w.bfsQueue = queue[:0]
+	w.bfsNbr = buf
 	return reached == total
 }
 

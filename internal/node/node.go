@@ -98,6 +98,13 @@ func New(id ID, loc geom.Point) *Node {
 	return &Node{id: id, loc: loc, status: Enabled, role: Spare}
 }
 
+// Reinit restores the node in place to the state New would produce:
+// enabled, spare, odometer and energy account zeroed. The network's
+// arena-backed node pool recycles node objects across trials with it.
+func (n *Node) Reinit(id ID, loc geom.Point) {
+	*n = Node{id: id, loc: loc, status: Enabled, role: Spare}
+}
+
 // ID returns the node's identity.
 func (n *Node) ID() ID { return n.id }
 
@@ -140,17 +147,19 @@ func (n *Node) Enable() {
 }
 
 // MoveTo relocates the node to target, charging the odometer and the
-// energy account. Disabled nodes cannot move.
-func (n *Node) MoveTo(target geom.Point, energy EnergyModel) error {
+// energy account, and returns the distance moved (0 on error). Disabled
+// nodes cannot move. Returning the distance lets the network and the
+// controllers share one computation per move instead of re-deriving it.
+func (n *Node) MoveTo(target geom.Point, energy EnergyModel) (float64, error) {
 	if n.status != Enabled {
-		return fmt.Errorf("node %d: cannot move while %v", n.id, n.status)
+		return 0, fmt.Errorf("node %d: cannot move while %v", n.id, n.status)
 	}
 	d := n.loc.Dist(target)
 	n.loc = target
 	n.moves++
 	n.traveled += d
 	n.energy += energy.Cost(d)
-	return nil
+	return d, nil
 }
 
 // Teleport places the node at target without charging the odometer. It is

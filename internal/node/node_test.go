@@ -51,8 +51,12 @@ func TestRoleTransitions(t *testing.T) {
 func TestMoveToAccounting(t *testing.T) {
 	n := New(0, geom.Pt(0, 0))
 	em := EnergyModel{PerMeter: 2, PerMove: 1}
-	if err := n.MoveTo(geom.Pt(3, 4), em); err != nil {
+	d, err := n.MoveTo(geom.Pt(3, 4), em)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if math.Abs(d-5) > 1e-12 {
+		t.Errorf("MoveTo distance = %v, want 5", d)
 	}
 	if n.Moves() != 1 {
 		t.Errorf("Moves = %d", n.Moves())
@@ -63,7 +67,7 @@ func TestMoveToAccounting(t *testing.T) {
 	if math.Abs(n.EnergySpent()-11) > 1e-12 {
 		t.Errorf("EnergySpent = %v, want 11", n.EnergySpent())
 	}
-	if err := n.MoveTo(geom.Pt(3, 5), em); err != nil {
+	if _, err := n.MoveTo(geom.Pt(3, 5), em); err != nil {
 		t.Fatal(err)
 	}
 	if n.Moves() != 2 || math.Abs(n.Traveled()-6) > 1e-12 {
@@ -74,7 +78,7 @@ func TestMoveToAccounting(t *testing.T) {
 func TestMoveDisabledFails(t *testing.T) {
 	n := New(0, geom.Pt(0, 0))
 	n.Disable()
-	if err := n.MoveTo(geom.Pt(1, 1), EnergyModel{}); err == nil {
+	if _, err := n.MoveTo(geom.Pt(1, 1), EnergyModel{}); err == nil {
 		t.Error("moving a disabled node should fail")
 	}
 	if n.Moves() != 0 {

@@ -50,6 +50,26 @@ func (r *Rand) Bool(p float64) bool { return r.src.Float64() < p }
 // Perm returns a random permutation of [0, n).
 func (r *Rand) Perm(n int) []int { return r.src.Perm(n) }
 
+// PermInto writes a random permutation of [0, n) into dst, reusing its
+// capacity, and returns it. It draws exactly the variates math/rand's
+// Perm draws, in the same order, so Perm and PermInto advance the stream
+// identically and produce identical permutations from equal states —
+// PermInto is the allocation-free form hot deployment paths use.
+func (r *Rand) PermInto(dst []int, n int) []int {
+	if cap(dst) < n {
+		dst = make([]int, n)
+	}
+	dst = dst[:n]
+	// The i=0 iteration is a self-swap but still consumes one Intn(1)
+	// draw, mirroring math/rand.Perm's Go 1 stream compatibility.
+	for i := 0; i < n; i++ {
+		j := r.src.Intn(i + 1)
+		dst[i] = dst[j]
+		dst[j] = i
+	}
+	return dst
+}
+
 // Shuffle randomly permutes n elements using the provided swap function.
 func (r *Rand) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
 

@@ -203,3 +203,36 @@ func TestNormFloat64(t *testing.T) {
 		t.Errorf("normal sample mean=%v sd=%v", mean, sd)
 	}
 }
+
+func TestPermIntoMatchesPerm(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		a := New(42)
+		b := New(42)
+		var buf []int
+		got := b.PermInto(buf, n)
+		want := a.Perm(n)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: len %d vs %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: PermInto diverges from Perm at %d: %v vs %v", n, i, got, want)
+			}
+		}
+		// The streams must have advanced identically.
+		if a.Int63() != b.Int63() {
+			t.Fatalf("n=%d: stream state diverged after permutation", n)
+		}
+	}
+}
+
+func TestPermIntoReusesCapacity(t *testing.T) {
+	r := New(7)
+	buf := make([]int, 0, 128)
+	allocs := testing.AllocsPerRun(10, func() {
+		buf = r.PermInto(buf[:0], 100)
+	})
+	if allocs > 0 {
+		t.Errorf("PermInto with sufficient capacity allocates %.1f times", allocs)
+	}
+}

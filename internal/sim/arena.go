@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"wsncover/internal/geom"
+	"wsncover/internal/grid"
+	"wsncover/internal/metrics"
+	"wsncover/internal/network"
+	"wsncover/internal/node"
+)
+
+// TrialArena is the pooled replicate engine's per-worker world: it owns
+// a Network (with its node storage and cell registries), the metrics
+// collector, and — via the hamilton.Shared cache and the deploy
+// package's scratch pool — every other piece of per-trial setup that
+// does not depend on the seed. Consecutive trials with the same grid
+// dimensions, communication range, and energy model Reset the network
+// in place instead of rebuilding it, which removes the deployment
+// allocations (~1.4 MB and ~9k objects per 64x64 trial) that dominated
+// campaign cost after the round loop went allocation-free.
+//
+// Pooling is purely a memory optimization: an arena-run trial is
+// byte-identical to the fresh-built RunTrial for the same TrialConfig —
+// network.Reset restores the pristine post-construction state, and the
+// differential tests compare whole campaign manifests across the two
+// paths. The fresh path remains the executable specification.
+//
+// An arena is not safe for concurrent use; the experiment engine gives
+// each worker goroutine its own (see RunCampaignStream). State exposed
+// by a finished trial (Trial.Network, the scheme's Collector) is
+// invalidated by the arena's next RunTrial.
+type TrialArena struct {
+	net *network.Network
+	col *metrics.Collector
+
+	// Geometry and physics the pooled network was built with; a trial
+	// that differs in any of them rebuilds instead of resetting.
+	cols, rows int
+	commRange  float64
+	energy     node.EnergyModel
+}
+
+// NewTrialArena returns an empty arena; the first trial populates it.
+func NewTrialArena() *TrialArena {
+	return &TrialArena{col: metrics.NewCollector()}
+}
+
+// networkFor returns a pristine network for the normalized trial
+// configuration: the pooled one, Reset in place, when the geometry and
+// energy model match; a fresh build otherwise (which then becomes the
+// pooled one).
+func (a *TrialArena) networkFor(cfg *TrialConfig) (*network.Network, error) {
+	if a.net != nil && a.cols == cfg.Cols && a.rows == cfg.Rows &&
+		a.commRange == cfg.CommRange && a.energy == cfg.EnergyModel {
+		a.net.Reset()
+		return a.net, nil
+	}
+	sys, err := grid.NewForCommRange(cfg.Cols, cfg.Rows, cfg.CommRange, geom.Pt(0, 0))
+	if err != nil {
+		return nil, err
+	}
+	a.net = network.New(sys, cfg.EnergyModel)
+	a.cols, a.rows = cfg.Cols, cfg.Rows
+	a.commRange = cfg.CommRange
+	a.energy = cfg.EnergyModel
+	return a.net, nil
+}
+
+// RunTrial executes one trial inside the arena, reusing pooled state
+// where the configuration allows. Results are byte-identical to the
+// package-level RunTrial. Configurations that force the reference
+// assembly (LegacyAssembly) bypass the pool entirely — that path is the
+// executable spec and stays verbatim.
+func (a *TrialArena) RunTrial(cfg TrialConfig) (TrialResult, error) {
+	if cfg.LegacyAssembly {
+		return runTrialLegacy(cfg)
+	}
+	t, err := newTrial(cfg, a)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	return t.Run()
+}

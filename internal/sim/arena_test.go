@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"wsncover/internal/experiment"
+)
+
+// TestArenaTrialsBitIdenticalToFresh runs a heterogeneous sequence of
+// configurations through one arena — forcing rebuilds, resets, scheme
+// switches, grid switches, and energy-model switches — and requires
+// every result to equal the fresh-built reference trial.
+func TestArenaTrialsBitIdenticalToFresh(t *testing.T) {
+	configs := []TrialConfig{
+		{Cols: 8, Rows: 8, Scheme: SR, Spares: 10, Holes: 2, Seed: 1},
+		{Cols: 8, Rows: 8, Scheme: SR, Spares: 10, Holes: 2, Seed: 2}, // reset reuse
+		{Cols: 8, Rows: 8, Scheme: AR, Spares: 10, Holes: 2, Seed: 2}, // scheme switch, same net shape
+		{Cols: 9, Rows: 9, Scheme: SR, Spares: 12, Holes: 3, Seed: 3}, // dual-path grid, rebuild
+		{Cols: 9, Rows: 9, Scheme: SRShortcut, Spares: 0, Holes: 3, Seed: 4},
+		{Cols: 8, Rows: 8, Scheme: SR, Spares: 10, Holes: 2, Seed: 1,
+			Workload: WorkloadSpec{Kind: WorkloadChurn, Every: 3, Waves: 2}},
+		{Cols: 8, Rows: 8, Scheme: SR, Spares: 20, Seed: 5,
+			Workload: WorkloadSpec{Kind: WorkloadDepletion, Budget: 15}}, // installs an energy model
+		{Cols: 8, Rows: 8, Scheme: SR, Spares: 10, Holes: 2, Seed: 6}, // back to no energy model
+		{Cols: 8, Rows: 8, Scheme: SR, Spares: 8, Seed: 7, Runner: RunAsync,
+			Workload: WorkloadSpec{Kind: WorkloadJam}},
+		{Cols: 8, Rows: 8, Scheme: SR, Spares: 10, Holes: 2, Seed: 8, LegacyDetect: true},
+	}
+	arena := NewTrialArena()
+	for i, cfg := range configs {
+		pooled, err := arena.RunTrial(cfg)
+		if err != nil {
+			t.Fatalf("config %d pooled: %v", i, err)
+		}
+		fresh, err := RunTrial(cfg)
+		if err != nil {
+			t.Fatalf("config %d fresh: %v", i, err)
+		}
+		if pooled != fresh {
+			t.Fatalf("config %d: pooled %+v differs from fresh %+v", i, pooled, fresh)
+		}
+	}
+}
+
+// pooledManifestBytes serializes a campaign manifest with pooling on or
+// off. Mirrors manifestBytes (differential_test.go), but over the
+// FreshBuild axis.
+func pooledManifestBytes(t *testing.T, spec CampaignSpec, fresh bool, workers int) []byte {
+	t.Helper()
+	spec.FreshBuild = fresh
+	samples, err := RunCampaignSamples(context.Background(), spec, experiment.Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := experiment.Aggregate(samples)
+	// The FreshBuild flag is execution strategy, not a result; pin it in
+	// the echoed spec so the byte comparison covers results only.
+	echo := spec.Normalized()
+	echo.FreshBuild = false
+	m, err := experiment.NewManifest("diff", echo, len(samples), 0, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCampaignManifestsBitIdenticalAcrossPooling is the tentpole
+// acceptance criterion: over schemes x workloads x runners, pooled and
+// fresh campaign runs must produce byte-identical manifests at any
+// worker count.
+func TestCampaignManifestsBitIdenticalAcrossPooling(t *testing.T) {
+	specs := []CampaignSpec{
+		{
+			Schemes: []SchemeKind{SR, SRShortcut, AR},
+			Grids:   []GridSize{{8, 8}, {9, 9}}, // cycle and dual path
+			Spares:  []int{4, 20},
+			Holes:   []int{1, 3},
+			Workloads: []WorkloadSpec{
+				{Kind: WorkloadHoles},
+				{Kind: WorkloadJam},
+				{Kind: WorkloadChurn, Every: 3, Waves: 2},
+				{Kind: WorkloadDepletion, Budget: 20},
+			},
+			Replicates: 2,
+			BaseSeed:   404,
+		},
+		{
+			// The async runner (SR only) alongside sync, plus a spare
+			// drought so exhausted walks cross the pooling boundary too.
+			Schemes:    []SchemeKind{SR},
+			Grids:      []GridSize{{8, 8}},
+			Spares:     []int{0, 10},
+			Runners:    []RunnerKind{RunSync, RunAsync},
+			Replicates: 3,
+			BaseSeed:   505,
+		},
+	}
+	for i, spec := range specs {
+		ref := pooledManifestBytes(t, spec, true, 1)
+		for _, workers := range []int{1, 4} {
+			if got := pooledManifestBytes(t, spec, false, workers); !bytes.Equal(got, ref) {
+				t.Errorf("spec %d: pooled manifest differs from fresh at workers=%d", i, workers)
+			}
+		}
+		if got := pooledManifestBytes(t, spec, true, 4); !bytes.Equal(got, ref) {
+			t.Errorf("spec %d: fresh manifest not worker-invariant", i)
+		}
+	}
+}
+
+// TestSteadyStateReplicateAllocBudget pins the arena's steady state
+// under a small fixed allocation budget per trial — the replicate-level
+// companion of the 0-allocs/round pin. The budget admits the per-trial
+// RNG streams, the controller's maps, and the workload closures; what
+// it excludes is everything proportional to the world size (node
+// objects, cell registries, topology tables, permutation buffers),
+// which the arena, the topology cache, and the deploy scratch pool
+// amortize across replicates.
+func TestSteadyStateReplicateAllocBudget(t *testing.T) {
+	const budget = 200 // allocs/trial (measured ~90 SR, ~112 AR; fresh 16x16 builds cost ~1500)
+	for _, scheme := range []SchemeKind{SR, AR} {
+		arena := NewTrialArena()
+		cfg := TrialConfig{Cols: 16, Rows: 16, Scheme: scheme, Spares: 40, Holes: 2}
+		run := func(seed int64) {
+			cfg.Seed = seed
+			if _, err := arena.RunTrial(cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for s := int64(0); s < 8; s++ { // warm the pool across varied layouts
+			run(s)
+		}
+		seed := int64(0)
+		allocs := testing.AllocsPerRun(16, func() {
+			run(seed % 8)
+			seed++
+		})
+		if allocs > budget {
+			t.Errorf("%v steady-state replicate allocates %.0f times, budget %d", scheme, allocs, budget)
+		}
+	}
+}

@@ -61,6 +61,22 @@ type CampaignSpec struct {
 	BaseSeed int64 `json:"seed,omitempty"`
 	// Workers sizes the worker pool; values below 1 mean GOMAXPROCS.
 	Workers int `json:"workers,omitempty"`
+	// ShardFirst and ShardCount restrict execution to the replicate
+	// subrange [ShardFirst, ShardFirst+ShardCount) of every cell, for
+	// sharding one campaign across processes or machines. Replicate
+	// seeds always derive from the full [0, Replicates) range, so a
+	// shard's trials are byte-identical to the same replicates of the
+	// unsharded campaign and disjoint shard manifests stitch back
+	// together (cmd/sweep -merge). A zero ShardCount means the full
+	// range.
+	ShardFirst int `json:"shard_first,omitempty"`
+	ShardCount int `json:"shard_count,omitempty"`
+	// FreshBuild routes every trial through the fresh world-building
+	// path instead of the pooled per-worker TrialArena. Results are
+	// byte-identical either way (the differential tests compare whole
+	// manifests); the knob exists for those tests and for debugging
+	// suspected pooling issues in the field.
+	FreshBuild bool `json:"fresh_build,omitempty"`
 	// CommRange, JamRadius, AdjacentHolesOK, ARInitProb, and ARMaxHops
 	// pass through to every trial (zero values mean the trial defaults).
 	CommRange       float64 `json:"comm_range,omitempty"`
@@ -115,6 +131,16 @@ func (s CampaignSpec) Validate() error {
 		if _, err := BuildWorkload(w); err != nil {
 			return err
 		}
+	}
+	if s.ShardFirst < 0 || s.ShardCount < 0 {
+		return fmt.Errorf("sim: negative shard range [%d, +%d)", s.ShardFirst, s.ShardCount)
+	}
+	if s.ShardCount == 0 && s.ShardFirst != 0 {
+		return fmt.Errorf("sim: shard_first %d without shard_count", s.ShardFirst)
+	}
+	if s.ShardCount > 0 && s.ShardFirst+s.ShardCount > s.Replicates {
+		return fmt.Errorf("sim: shard range [%d, %d) exceeds %d replicates",
+			s.ShardFirst, s.ShardFirst+s.ShardCount, s.Replicates)
 	}
 	for _, r := range s.runnerDim() {
 		if r != RunSync && r != RunAsync {
@@ -306,6 +332,36 @@ func (js JobSpace) At(i int) TrialJob {
 // it.
 func (s CampaignSpec) NumJobs() int { return s.JobSpace().Len() }
 
+// jobFilter wraps keep with the spec's replicate shard range. It is the
+// single definition of "which jobs execute": RunCampaignSubset applies
+// it, and ExecutedJobs exposes the same set to callers sizing progress
+// displays, so the two can never drift apart.
+func (s CampaignSpec) jobFilter(keep func(TrialJob) bool) func(TrialJob) bool {
+	if s.ShardCount == 0 {
+		return keep
+	}
+	lo, hi := s.ShardFirst, s.ShardFirst+s.ShardCount
+	return func(j TrialJob) bool {
+		return j.Replicate >= lo && j.Replicate < hi && (keep == nil || keep(j))
+	}
+}
+
+// ExecutedJobs calls fn for every job RunCampaignSubset would execute
+// under keep (nil keeps every job) — the shard range applied — in
+// job-index order. cmd/sweep sizes its progress meter and shard
+// manifests with it.
+func (s CampaignSpec) ExecutedJobs(keep func(TrialJob) bool, fn func(TrialJob)) {
+	s.normalize()
+	js := s.JobSpace()
+	admit := s.jobFilter(keep)
+	for i := 0; i < js.Len(); i++ {
+		j := js.At(i)
+		if admit == nil || admit(j) {
+			fn(j)
+		}
+	}
+}
+
 // Jobs materializes the spec's job list. Prefer JobSpace for large
 // campaigns; Jobs exists for inspection and tests.
 func (s CampaignSpec) Jobs() []TrialJob {
@@ -358,7 +414,14 @@ func RunCampaignStream(ctx context.Context, spec CampaignSpec, opts experiment.O
 // job-index order, so a subset campaign is bit-identical to the
 // corresponding slice of the full stream — the property cmd/sweep
 // -resume relies on when it merges a partial rerun into an existing
-// manifest.
+// manifest, and the spec's shard range relies on for cross-process
+// stitching.
+//
+// Each worker goroutine runs its trials inside a pooled TrialArena
+// (unless spec.FreshBuild), so consecutive replicates of a campaign
+// group reuse the previous trial's memory instead of rebuilding the
+// world; the differential tests pin that pooling never changes a byte
+// of output.
 func RunCampaignSubset(ctx context.Context, spec CampaignSpec, opts experiment.Options, keep func(TrialJob) bool, sink func(TrialJob, experiment.Sample) error) error {
 	spec.normalize()
 	if err := spec.Validate(); err != nil {
@@ -368,6 +431,7 @@ func RunCampaignSubset(ctx context.Context, spec CampaignSpec, opts experiment.O
 	if opts.Workers == 0 {
 		opts.Workers = spec.Workers
 	}
+	keep = spec.jobFilter(keep)
 	index := func(i int) int { return i }
 	total := jobs.Len()
 	if keep != nil {
@@ -380,10 +444,20 @@ func RunCampaignSubset(ctx context.Context, spec CampaignSpec, opts experiment.O
 		index = func(i int) int { return included[i] }
 		total = len(included)
 	}
-	return experiment.RunStream(ctx, total, opts,
-		func(_ context.Context, i int) (experiment.Sample, error) {
+	arenas := make([]*TrialArena, opts.WorkerCount(total))
+	return experiment.RunStreamWorkers(ctx, total, opts,
+		func(_ context.Context, w, i int) (experiment.Sample, error) {
 			j := jobs.At(index(i))
-			res, err := RunTrial(j.config(spec))
+			var res TrialResult
+			var err error
+			if spec.FreshBuild {
+				res, err = RunTrial(j.config(spec))
+			} else {
+				if arenas[w] == nil {
+					arenas[w] = NewTrialArena()
+				}
+				res, err = arenas[w].RunTrial(j.config(spec))
+			}
 			if err != nil {
 				return experiment.Sample{}, fmt.Errorf("%s N=%d replicate %d: %w",
 					j.Group(), j.Spares, j.Replicate, err)

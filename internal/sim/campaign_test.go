@@ -352,3 +352,73 @@ func TestParseSchemeKindAndFailureMode(t *testing.T) {
 		t.Error("invalid mode should render")
 	}
 }
+
+// TestShardRangeIsSliceOfFullCampaign pins the sharding contract: a
+// spec restricted to a replicate subrange computes exactly the trials
+// of that subrange in the unsharded campaign, byte for byte — the
+// property that makes cross-process shards stitchable.
+func TestShardRangeIsSliceOfFullCampaign(t *testing.T) {
+	spec := CampaignSpec{
+		Schemes:    []SchemeKind{SR, AR},
+		Grids:      []GridSize{{8, 8}},
+		Spares:     []int{6, 18},
+		Replicates: 5,
+		BaseSeed:   77,
+	}
+	full, err := RunCampaignSamples(context.Background(), spec, experiment.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect the full run's samples keyed in job order per shard range.
+	shards := []struct{ first, count int }{{0, 2}, {2, 2}, {4, 1}}
+	var stitched []experiment.Sample
+	for _, sh := range shards {
+		s := spec
+		s.ShardFirst, s.ShardCount = sh.first, sh.count
+		part, err := RunCampaignSamples(context.Background(), s, experiment.Options{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stitched = append(stitched, part...)
+	}
+	if len(stitched) != len(full) {
+		t.Fatalf("shards produced %d samples, full campaign %d", len(stitched), len(full))
+	}
+	// Shard delivery order is job order within each shard; regroup the
+	// full run the same way for the comparison.
+	var regrouped []experiment.Sample
+	js := spec.JobSpace()
+	for _, sh := range shards {
+		for i := 0; i < js.Len(); i++ {
+			r := js.At(i).Replicate
+			if r >= sh.first && r < sh.first+sh.count {
+				regrouped = append(regrouped, full[i])
+			}
+		}
+	}
+	for i := range regrouped {
+		if !reflect.DeepEqual(stitched[i], regrouped[i]) {
+			t.Fatalf("sample %d differs:\nshard: %+v\nfull:  %+v", i, stitched[i], regrouped[i])
+		}
+	}
+}
+
+// TestCampaignSpecShardValidation rejects malformed shard ranges.
+func TestCampaignSpecShardValidation(t *testing.T) {
+	base := CampaignSpec{Replicates: 10}
+	bad := []CampaignSpec{
+		{Replicates: 10, ShardFirst: -1, ShardCount: 2},
+		{Replicates: 10, ShardFirst: 0, ShardCount: -2},
+		{Replicates: 10, ShardFirst: 3, ShardCount: 0},
+		{Replicates: 10, ShardFirst: 8, ShardCount: 3},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("spec %d (%+v) should fail validation", i, spec)
+		}
+	}
+	base.ShardFirst, base.ShardCount = 8, 2
+	if err := base.Validate(); err != nil {
+		t.Errorf("valid shard range rejected: %v", err)
+	}
+}

@@ -355,11 +355,20 @@ func ApplyDamage(net *network.Network, cfg TrialConfig, rng *randx.Rand) (Damage
 }
 
 // BuildScheme constructs the configured controller over an existing
-// network.
+// network. The Hamilton topology comes from the process-wide
+// hamilton.Shared cache: it depends only on the grid geometry, so every
+// trial of a campaign shares one instance instead of rebuilding the
+// O(cells) tables per trial.
 func BuildScheme(net *network.Network, cfg TrialConfig, rng *randx.Rand) (Scheme, error) {
+	return buildScheme(net, cfg, rng, nil)
+}
+
+// buildScheme is BuildScheme with an optional reusable metrics
+// collector (the trial arena's; nil allocates fresh).
+func buildScheme(net *network.Network, cfg TrialConfig, rng *randx.Rand, col *metrics.Collector) (Scheme, error) {
 	switch cfg.Scheme {
 	case SR, SRShortcut:
-		topo, err := hamilton.Build(net.System())
+		topo, err := hamilton.Shared(net.System())
 		if err != nil {
 			return nil, err
 		}
@@ -368,6 +377,7 @@ func BuildScheme(net *network.Network, cfg TrialConfig, rng *randx.Rand) (Scheme
 			RNG:              rng,
 			NeighborShortcut: cfg.Scheme == SRShortcut,
 			FullScanDetect:   cfg.LegacyDetect,
+			Collector:        col,
 		})
 	case AR:
 		return ar.New(net, ar.Config{
@@ -375,6 +385,7 @@ func BuildScheme(net *network.Network, cfg TrialConfig, rng *randx.Rand) (Scheme
 			InitProb:       cfg.ARInitProb,
 			MaxHops:        cfg.ARMaxHops,
 			FullScanDetect: cfg.LegacyDetect,
+			Collector:      col,
 		}), nil
 	default:
 		return nil, fmt.Errorf("sim: unknown scheme %v", cfg.Scheme)
@@ -452,26 +463,38 @@ func RunSweep(cfg SweepConfig) ([]SweepPoint, error) {
 }
 
 // RunSweepContext is RunSweep with cancellation. It is a thin spec
-// builder over experiment.Run: the (N, trial) job space is enumerated
-// and seeded up front, trials execute in parallel, and the ordered
-// results fold into per-N points exactly as the sequential loop did, so
-// sweep output does not depend on the worker count.
+// builder over the experiment engine: the (N, trial) job space is
+// enumerated and seeded up front, trials execute in parallel — each
+// worker running consecutive trials inside its own pooled TrialArena —
+// and the ordered results fold into per-N points exactly as the
+// sequential loop did, so sweep output does not depend on the worker
+// count (and, by the arena's differential guarantee, not on pooling).
 func RunSweepContext(ctx context.Context, cfg SweepConfig) ([]SweepPoint, error) {
 	if cfg.Trials < 1 {
 		return nil, fmt.Errorf("sim: sweep needs at least 1 trial")
 	}
-	results, err := experiment.Run(ctx, len(cfg.Ns)*cfg.Trials,
-		experiment.Options{Workers: cfg.Workers},
-		func(_ context.Context, i int) (TrialResult, error) {
+	total := len(cfg.Ns) * cfg.Trials
+	opts := experiment.Options{Workers: cfg.Workers}
+	arenas := make([]*TrialArena, opts.WorkerCount(total))
+	results := make([]TrialResult, total)
+	err := experiment.RunStreamWorkers(ctx, total, opts,
+		func(_ context.Context, w, i int) (TrialResult, error) {
 			tc := cfg.Template
 			tc.Spares = cfg.Ns[i/cfg.Trials]
 			tc.Seed = cfg.BaseSeed + int64(i%cfg.Trials)
-			res, err := RunTrial(tc)
+			if arenas[w] == nil {
+				arenas[w] = NewTrialArena()
+			}
+			res, err := arenas[w].RunTrial(tc)
 			if err != nil {
 				return TrialResult{}, fmt.Errorf("sim: sweep N=%d trial %d: %w",
 					tc.Spares, i%cfg.Trials, err)
 			}
 			return res, nil
+		},
+		func(i int, res TrialResult) error {
+			results[i] = res
+			return nil
 		})
 	if err != nil {
 		return nil, err

@@ -44,7 +44,14 @@ type Trial struct {
 // the fixed stream-split discipline (deployment streams first, then the
 // scheme stream, then the event stream), so equal configurations
 // assemble identical trials wherever they run.
-func NewTrial(cfg TrialConfig) (*Trial, error) {
+func NewTrial(cfg TrialConfig) (*Trial, error) { return newTrial(cfg, nil) }
+
+// newTrial is NewTrial with an optional arena. A nil arena builds every
+// piece of the world fresh (the executable specification); a non-nil
+// arena reuses its pooled network and collector where the configuration
+// matches. The seed's stream-split discipline is identical on both
+// paths, so the assembled trials are byte-identical.
+func newTrial(cfg TrialConfig, arena *TrialArena) (*Trial, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
@@ -60,11 +67,22 @@ func NewTrial(cfg TrialConfig) (*Trial, error) {
 		return nil, err
 	}
 	rng := randx.New(cfg.Seed)
-	sys, err := grid.NewForCommRange(cfg.Cols, cfg.Rows, cfg.CommRange, geom.Pt(0, 0))
-	if err != nil {
-		return nil, err
+	var net *network.Network
+	var col *metrics.Collector
+	if arena != nil {
+		// The workload may have installed its energy model into cfg
+		// above, so pool compatibility is decided on the resolved config.
+		if net, err = arena.networkFor(&cfg); err != nil {
+			return nil, err
+		}
+		col = arena.col
+	} else {
+		sys, err := grid.NewForCommRange(cfg.Cols, cfg.Rows, cfg.CommRange, geom.Pt(0, 0))
+		if err != nil {
+			return nil, err
+		}
+		net = network.New(sys, cfg.EnergyModel)
 	}
-	net := network.New(sys, cfg.EnergyModel)
 	if sched.Deploy != nil {
 		if err := sched.Deploy(net, rng); err != nil {
 			return nil, err
@@ -72,7 +90,7 @@ func NewTrial(cfg TrialConfig) (*Trial, error) {
 	}
 	t := &Trial{cfg: cfg, net: net, sched: sched}
 	if cfg.Runner == RunAsync {
-		topo, err := hamilton.Build(sys)
+		topo, err := hamilton.Shared(net.System())
 		if err != nil {
 			return nil, err
 		}
@@ -80,12 +98,13 @@ func NewTrial(cfg TrialConfig) (*Trial, error) {
 			Topology:     topo,
 			RNG:          rng.Split(3),
 			PollInterval: asyncPollInterval,
+			Collector:    col,
 		})
 		if err != nil {
 			return nil, err
 		}
 	} else {
-		t.scheme, err = BuildScheme(net, cfg, rng.Split(3))
+		t.scheme, err = buildScheme(net, cfg, rng.Split(3), col)
 		if err != nil {
 			return nil, err
 		}

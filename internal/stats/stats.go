@@ -125,6 +125,42 @@ type Description struct {
 	Median float64
 }
 
+// Merge combines two descriptions of disjoint samples into the
+// description of their union. Count, mean, min, and max merge exactly;
+// the standard deviation uses the parallel-variance formula of Chan et
+// al. (means and sums of squared deviations combine exactly, up to
+// floating-point reassociation) and CI95 is re-derived from it. The
+// median cannot be reconstructed from summaries alone, so the merge
+// reports the count-weighted mean of the two medians — an estimate, on
+// par with the streaming P-squared median the accumulator reports
+// beyond five observations. Campaign shard manifests are stitched with
+// this (cmd/sweep -merge).
+func (d Description) Merge(o Description) Description {
+	switch {
+	case d.N == 0:
+		return o
+	case o.N == 0:
+		return d
+	}
+	n := d.N + o.N
+	nf, df, of := float64(n), float64(d.N), float64(o.N)
+	delta := o.Mean - d.Mean
+	mean := d.Mean + delta*of/nf
+	m2 := d.StdDev*d.StdDev*(df-1) + o.StdDev*o.StdDev*(of-1) + delta*delta*df*of/nf
+	out := Description{
+		N:      n,
+		Mean:   mean,
+		Min:    math.Min(d.Min, o.Min),
+		Max:    math.Max(d.Max, o.Max),
+		Median: (d.Median*df + o.Median*of) / nf,
+	}
+	if n >= 2 {
+		out.StdDev = math.Sqrt(m2 / (nf - 1))
+		out.CI95 = 1.96 * out.StdDev / math.Sqrt(nf)
+	}
+	return out
+}
+
 // Describe computes all descriptive statistics of xs at once.
 func Describe(xs []float64) Description {
 	return Description{

@@ -136,3 +136,34 @@ func TestMedianBetweenMinMaxProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestDescriptionMerge(t *testing.T) {
+	all := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3.5}
+	for _, split := range []int{0, 1, 3, 5, 10} {
+		a := Describe(all[:split])
+		b := Describe(all[split:])
+		m := a.Merge(b)
+		want := Describe(all)
+		if m.N != want.N || m.Min != want.Min || m.Max != want.Max {
+			t.Errorf("split %d: N/min/max (%d,%g,%g), want (%d,%g,%g)",
+				split, m.N, m.Min, m.Max, want.N, want.Min, want.Max)
+		}
+		if math.Abs(m.Mean-want.Mean) > 1e-12 {
+			t.Errorf("split %d: mean %g, want %g", split, m.Mean, want.Mean)
+		}
+		if math.Abs(m.StdDev-want.StdDev) > 1e-12 {
+			t.Errorf("split %d: stddev %g, want %g", split, m.StdDev, want.StdDev)
+		}
+		if math.Abs(m.CI95-want.CI95) > 1e-12 {
+			t.Errorf("split %d: ci95 %g, want %g", split, m.CI95, want.CI95)
+		}
+	}
+	// Empty merges are identities.
+	d := Describe(all)
+	if got := (Description{}).Merge(d); got != d {
+		t.Errorf("empty.Merge(d) = %+v, want %+v", got, d)
+	}
+	if got := d.Merge(Description{}); got != d {
+		t.Errorf("d.Merge(empty) = %+v, want %+v", got, d)
+	}
+}
