@@ -10,9 +10,11 @@
 //	      [-holes 1] [-workloads holes,churn | -failures holes,jam]
 //	      [-runners sync,async] [-replicates 20] [-seed s]
 //	      [-workers w] [-metrics moves,success_rate|all] [-out dir]
-//	      [-name sweep] [-resume] [-shard i/n] [-ascii] [-quiet]
+//	      [-name sweep] [-resume] [-shard i/n] [-checkpoint]
+//	      [-progress meter|json|none] [-ascii] [-quiet]
 //	sweep -spec campaign.json [-out dir] [-name sweep] ...
 //	sweep -merge shard1.json shard2.json ... [-out dir] [-name merged]
+//	sweep -dispatch n [-exec "ssh host{shard} --"] [campaign flags ...]
 //
 // A spec file is the JSON form of sim.CampaignSpec and replaces the
 // dimension flags; workload parameters ({"kind": "churn", "every": 5})
@@ -37,7 +39,28 @@
 // stitches the resulting shard manifests back into one campaign
 // manifest plus metric tables, validating that the shards share one
 // spec and that their replicate ranges tile the full range without
-// overlap or gap.
+// overlap, gap, or duplicated shards. A single manifest covering the
+// whole range (-shard 1/1) merges degenerately into the unsharded
+// manifest. Merged medians cannot be recomputed from shard summaries;
+// they are count-weighted estimates marked "median_approx" in the
+// manifest.
+//
+// -dispatch n does all of that automatically: it splits the campaign
+// into n shard specs, runs one supervised worker subprocess per shard
+// (the current binary by default; -exec prefixes the command, with
+// "{shard}" replaced by the shard number, so "ssh box{shard} --"
+// reaches remote machines sharing the -out directory), folds the
+// workers' progress into one live fleet meter, retries dead workers
+// with -resume from their checkpoint manifests, and merges the shard
+// manifests into the final campaign manifest.
+//
+// -progress selects the progress channel: "meter" is the human line on
+// stderr, "json" emits newline-delimited experiment.Progress events
+// ({"done":..,"total":..,"group":..}) on stdout — the protocol dispatch
+// supervisors consume — and "none" is silent. -checkpoint rewrites the
+// manifest (atomically) every time a campaign cell completes, so a
+// killed run leaves a partial manifest a later -resume picks up; the
+// dispatch driver enables it for every worker.
 package main
 
 import (
@@ -53,6 +76,7 @@ import (
 	"strings"
 	"time"
 
+	"wsncover/internal/dispatch"
 	"wsncover/internal/experiment"
 	"wsncover/internal/sim"
 )
@@ -64,105 +88,100 @@ func main() {
 	}
 }
 
-// progressMeter renders completed/total with the trial rate and an ETA
-// on one self-overwriting line; on wide campaigns (more than one curve)
-// it adds a per-group breakdown — completed groups out of total plus
-// the cell currently being filled — so a day-long multi-dimensional run
-// shows where it is, not just how much is left. Redraws are throttled
-// to ~5/s so the meter never slows the worker pool; jobDone is called
-// from the engine's serialized sink, so no locking is needed.
-type progressMeter struct {
+// progressOut is where -progress=json events go. It is the process
+// stdout — a dispatch supervisor reads the worker's stdout — and a
+// variable only so tests can capture the stream.
+var progressOut io.Writer = os.Stdout
+
+// jsonProgress emits the newline-delimited progress protocol
+// (experiment.Progress events) a dispatch supervisor consumes. The
+// initial and final events always go out — the supervisor needs the
+// totals up front and the completion for certain — and intermediate
+// events are throttled like the human meter so a fast campaign never
+// bottlenecks on pipe writes.
+type jsonProgress struct {
 	w     io.Writer
-	start time.Time
-	last  time.Time
-
-	done  int
 	total int
-
-	// Per-group accounting, enabled when the campaign has > 1 group.
-	groupTotal map[string]int
-	groupDone  map[string]int
-	groupsDone int
-	cur        string
+	last  time.Time
 }
 
-// newProgressMeter sizes the meter for total trials; groupTotal (the
-// per-group trial counts of the jobs that will actually run) enables
-// the breakdown and may be nil for single-group campaigns.
-func newProgressMeter(w io.Writer, total int, groupTotal map[string]int) *progressMeter {
+func newJSONProgress(w io.Writer, total int) *jsonProgress {
+	e := &jsonProgress{w: w, total: total}
+	e.emit(0, "")
+	return e
+}
+
+func (e *jsonProgress) emit(done int, group string) {
 	now := time.Now()
-	p := &progressMeter{w: w, start: now, last: now, total: total}
-	if len(groupTotal) > 1 {
-		p.groupTotal = groupTotal
-		p.groupDone = make(map[string]int, len(groupTotal))
-	}
-	return p
-}
-
-// jobDone records one finished trial of the given group and redraws.
-func (p *progressMeter) jobDone(group string) {
-	p.done++
-	if p.groupTotal != nil {
-		p.groupDone[group]++
-		p.cur = group
-		if p.groupDone[group] == p.groupTotal[group] {
-			p.groupsDone++
-		}
-	}
-	p.report()
-}
-
-func (p *progressMeter) report() {
-	done, total := p.done, p.total
-	now := time.Now()
-	if done < total && now.Sub(p.last) < 200*time.Millisecond {
+	if done != 0 && done != e.total && now.Sub(e.last) < 200*time.Millisecond {
 		return
 	}
-	p.last = now
-	elapsed := now.Sub(p.start).Seconds()
-	rate := 0.0
-	if elapsed > 0 {
-		rate = float64(done) / elapsed
+	e.last = now
+	e.w.Write(experiment.Progress{Done: done, Total: e.total, Group: group}.MarshalLine())
+}
+
+// checkpointer rewrites the manifest after every completed campaign
+// cell, atomically (tmp + rename), so a run killed mid-campaign leaves
+// a valid partial manifest at the real path for -resume to pick up.
+// Only fully completed (group, N) cells are written: -resume skips
+// whole cells, so a partial cell's trials would be rerun anyway.
+type checkpointer struct {
+	path      string // final manifest path; checkpoints land here atomically
+	name      string
+	spec      sim.CampaignSpec
+	prior     []experiment.Point
+	priorJobs int
+	workers   int
+	acc       *experiment.Accumulator
+	cellTotal map[resumeKey]int
+	cellDone  map[resumeKey]int
+	completed map[resumeKey]bool
+	doneJobs  int
+}
+
+// trialDone records one finished trial; when its cell completes, the
+// manifest checkpoint is rewritten.
+func (c *checkpointer) trialDone(k resumeKey) error {
+	c.cellDone[k]++
+	if c.cellDone[k] < c.cellTotal[k] {
+		return nil
 	}
-	groups := ""
-	if p.groupTotal != nil {
-		groups = fmt.Sprintf("  groups %d/%d", p.groupsDone, len(p.groupTotal))
-		if p.cur != "" && done < total {
-			groups += fmt.Sprintf("  [%s %d/%d]", p.cur, p.groupDone[p.cur], p.groupTotal[p.cur])
+	c.completed[k] = true
+	c.doneJobs += c.cellTotal[k]
+	return c.write()
+}
+
+func (c *checkpointer) write() error {
+	pts := make([]experiment.Point, 0, len(c.completed))
+	for _, p := range c.acc.Points() {
+		if c.completed[resumeKey{p.Group, p.X}] {
+			pts = append(pts, p)
 		}
 	}
-	if done == total {
-		fmt.Fprintf(p.w, "\r%d/%d trials  %.0f trials/s%s  in %s   \n",
-			done, total, rate, groups, formatETA(now.Sub(p.start)))
-		return
+	pts = mergePoints(c.prior, pts)
+	manifest, err := experiment.NewManifest(c.name, c.spec, c.priorJobs+c.doneJobs, c.workers, pts)
+	if err != nil {
+		return err
 	}
-	eta := "--"
-	if rate > 0 {
-		eta = formatETA(time.Duration(float64(total-done) / rate * float64(time.Second)))
+	tmp := c.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
 	}
-	fmt.Fprintf(p.w, "\r%d/%d trials  %.0f trials/s  ETA %s%s   ", done, total, rate, eta, groups)
+	if err := manifest.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, c.path)
 }
 
-// formatETA renders a duration as s / m+s / h+m. The duration is rounded
-// to whole seconds first so boundary values roll into the larger unit
-// ("60s" never appears; 59.7s renders as 1m00s).
-func formatETA(d time.Duration) string {
-	if d < time.Second {
-		return "<1s"
-	}
-	s := int(d.Seconds() + 0.5)
-	switch {
-	case s < 60:
-		return fmt.Sprintf("%ds", s)
-	case s < 3600:
-		return fmt.Sprintf("%dm%02ds", s/60, s%60)
-	default:
-		return fmt.Sprintf("%dh%02dm", s/3600, s/60%60)
-	}
-}
-
-// writeTables exports one CSV/gnuplot table per requested metric.
-func writeTables(points []experiment.Point, metricsS, outDir, name string, replicates int, ascii bool) error {
+// writeTables exports one CSV/gnuplot table per requested metric,
+// logging to w (stdout normally, stderr when stdout carries the JSON
+// progress protocol).
+func writeTables(w io.Writer, points []experiment.Point, metricsS, outDir, name string, replicates int, ascii bool) error {
 	metrics := splitList(metricsS)
 	if len(metrics) == 1 && metrics[0] == "all" {
 		metrics = experiment.MetricNames(points)
@@ -179,9 +198,9 @@ func writeTables(points []experiment.Point, metricsS, outDir, name string, repli
 		if err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", strings.Join(paths, ", "))
+		fmt.Fprintf(w, "wrote %s\n", strings.Join(paths, ", "))
 		if ascii {
-			fmt.Println(tb.ASCII(72, 16))
+			fmt.Fprintln(w, tb.ASCII(72, 16))
 		}
 	}
 	return nil
@@ -346,9 +365,9 @@ func parseRunners(s string) ([]sim.RunnerKind, error) {
 }
 
 // parseShard resolves "-shard i/n" (1-based) into the contiguous
-// replicate block [first, first+count) of shard i when replicates are
-// split as evenly as possible across n shards (the first replicates%n
-// shards get one extra).
+// replicate block [first, first+count) of shard i; the even-split math
+// is sim.ShardRange, shared with the dispatch driver so hand-launched
+// and dispatched shards always cover identical ranges.
 func parseShard(s string, replicates int) (first, count int, err error) {
 	is, ns, ok := strings.Cut(strings.TrimSpace(s), "/")
 	i, errI := strconv.Atoi(is)
@@ -356,108 +375,19 @@ func parseShard(s string, replicates int) (first, count int, err error) {
 	if !ok || errI != nil || errN != nil {
 		return 0, 0, fmt.Errorf("bad shard %q (want i/n, e.g. 2/4)", s)
 	}
-	if n < 1 || i < 1 || i > n {
-		return 0, 0, fmt.Errorf("shard %d/%d outside 1..n", i, n)
-	}
-	if n > replicates {
-		return 0, 0, fmt.Errorf("cannot split %d replicates into %d shards", replicates, n)
-	}
-	base, rem := replicates/n, replicates%n
-	first = (i-1)*base + min(i-1, rem)
-	count = base
-	if i <= rem {
-		count++
-	}
-	return first, count, nil
+	return sim.ShardRange(i, n, replicates)
 }
 
 // runMerge stitches shard manifests (same spec, disjoint replicate
-// ranges produced with -shard) into one campaign manifest plus metric
-// tables. Overlapping or gapped ranges, diverging specs, and asymmetric
-// point sets all fail loudly — a silent bad merge would corrupt the
-// paired-seed methodology the campaign layer guarantees.
-func runMerge(paths []string, outDir, name, metricsS string, ascii bool) error {
-	if len(paths) < 2 {
-		return fmt.Errorf("-merge needs at least two shard manifests, got %d", len(paths))
-	}
-	type shard struct {
-		path     string
-		spec     sim.CampaignSpec
-		manifest experiment.Manifest
-	}
-	shards := make([]shard, 0, len(paths))
-	for _, path := range paths {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		var m experiment.Manifest
-		if err := json.Unmarshal(data, &m); err != nil {
-			return fmt.Errorf("shard manifest %s: %w", path, err)
-		}
-		var spec sim.CampaignSpec
-		if err := json.Unmarshal(m.Spec, &spec); err != nil {
-			return fmt.Errorf("shard manifest %s: unreadable spec: %w", path, err)
-		}
-		spec = spec.Normalized()
-		if spec.ShardCount == 0 {
-			return fmt.Errorf("%s is not a shard manifest (no shard range in its spec)", path)
-		}
-		if err := spec.Validate(); err != nil {
-			return fmt.Errorf("shard manifest %s: %w", path, err)
-		}
-		shards = append(shards, shard{path: path, spec: spec, manifest: m})
-	}
-
-	// All shards must be the same campaign apart from the shard range
-	// (and execution metadata).
-	common := func(s sim.CampaignSpec) ([]byte, error) {
-		s.ShardFirst, s.ShardCount, s.Workers, s.FreshBuild = 0, 0, 0, false
-		return json.Marshal(s)
-	}
-	ref, err := common(shards[0].spec)
-	if err != nil {
-		return err
-	}
-	for _, sh := range shards[1:] {
-		got, err := common(sh.spec)
-		if err != nil {
-			return err
-		}
-		if string(got) != string(ref) {
-			return fmt.Errorf("%s and %s were produced by different campaign specs; "+
-				"shards must share everything but the shard range", shards[0].path, sh.path)
-		}
-	}
-
-	// The ranges must tile [0, Replicates) exactly: merge in replicate
-	// order, rejecting overlap, gaps, and missing shards.
-	sort.Slice(shards, func(i, j int) bool { return shards[i].spec.ShardFirst < shards[j].spec.ShardFirst })
-	next := 0
-	pointSets := make([][]experiment.Point, 0, len(shards))
-	jobs := 0
-	for _, sh := range shards {
-		switch {
-		case sh.spec.ShardFirst > next:
-			return fmt.Errorf("replicates [%d, %d) missing: no shard covers them", next, sh.spec.ShardFirst)
-		case sh.spec.ShardFirst < next:
-			return fmt.Errorf("%s overlaps the preceding shard at replicate %d", sh.path, sh.spec.ShardFirst)
-		}
-		next += sh.spec.ShardCount
-		pointSets = append(pointSets, sh.manifest.Points)
-		jobs += sh.manifest.Jobs
-	}
-	if next != shards[0].spec.Replicates {
-		return fmt.Errorf("replicates [%d, %d) missing: no shard covers them", next, shards[0].spec.Replicates)
-	}
-
-	points, err := experiment.MergeShardPoints(pointSets...)
-	if err != nil {
-		return err
-	}
-	mergedSpec := shards[0].spec
-	mergedSpec.ShardFirst, mergedSpec.ShardCount, mergedSpec.Workers, mergedSpec.FreshBuild = 0, 0, 0, false
-	manifest, err := experiment.NewManifest(name, mergedSpec, jobs, 0, points)
+// ranges produced with -shard or -dispatch) into one campaign manifest
+// plus metric tables. All validation — overlap, gaps, spec drift, the
+// same shard passed twice, non-shard inputs — lives in
+// dispatch.MergeShardManifests and fails loudly; a silent bad merge
+// would corrupt the paired-seed methodology the campaign layer
+// guarantees. A single manifest covering the whole replicate range
+// merges degenerately.
+func runMerge(w io.Writer, paths []string, outDir, name, metricsS string, ascii bool) error {
+	manifest, mergedSpec, err := dispatch.MergeShardManifests(paths, name)
 	if err != nil {
 		return err
 	}
@@ -465,8 +395,9 @@ func runMerge(paths []string, outDir, name, metricsS string, ascii bool) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("merged %d shards into %s (%d jobs, %d points)\n", len(shards), path, jobs, len(points))
-	return writeTables(points, metricsS, outDir, name, mergedSpec.Replicates, ascii)
+	fmt.Fprintf(w, "merged %d shard manifest(s) into %s (%d jobs, %d points)\n",
+		len(paths), path, manifest.Jobs, len(manifest.Points))
+	return writeTables(w, manifest.Points, metricsS, outDir, name, mergedSpec.Replicates, ascii)
 }
 
 func loadSpec(path string) (sim.CampaignSpec, error) {
@@ -475,12 +406,61 @@ func loadSpec(path string) (sim.CampaignSpec, error) {
 	if err != nil {
 		return spec, err
 	}
-	dec := json.NewDecoder(strings.NewReader(string(data)))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
+	if err := sim.UnmarshalSpecJSON(data, &spec); err != nil {
 		return spec, fmt.Errorf("spec %s: %w", path, err)
 	}
 	return spec, nil
+}
+
+// runDispatch is the -dispatch n mode: supervise a fleet of shard
+// workers, then persist the auto-merged campaign manifest and its
+// tables exactly like an unsharded run would.
+func runDispatch(w io.Writer, spec sim.CampaignSpec, shards int, execS, outDir, name, metricsS string, resume, ascii bool, progressMode string) error {
+	opts := dispatch.Options{
+		Shards: shards,
+		OutDir: outDir,
+		Name:   name,
+		Resume: resume,
+	}
+	if execS != "" {
+		exe, err := os.Executable()
+		if err != nil {
+			return err
+		}
+		opts.Worker = append(strings.Fields(execS), exe)
+	}
+	if progressMode == "meter" {
+		fm := dispatch.NewFleetMeter(os.Stderr)
+		opts.OnProgress = fm.Update
+	}
+	manifest, mergedSpec, err := dispatch.Run(context.Background(), spec, opts)
+	if err != nil {
+		return err
+	}
+	path, err := manifest.Save(outDir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "dispatched %d shards; merged into %s (%d jobs, %d points)\n",
+		shards, path, manifest.Jobs, len(manifest.Points))
+	if err := writeTables(w, manifest.Points, metricsS, outDir, name, mergedSpec.Replicates, ascii); err != nil {
+		return err
+	}
+	printSummary(w, manifest.Points)
+	return nil
+}
+
+// printSummary renders the per-point digest shown after every
+// successful campaign.
+func printSummary(w io.Writer, points []experiment.Point) {
+	for _, p := range points {
+		fmt.Fprintf(w, "%-24s N=%-5g moves=%6.1f±%-5.1f dist=%7.1f success=%5.1f%% recovered=%5.1f%%\n",
+			p.Group, p.X,
+			p.Metrics["moves"].Mean, p.Metrics["moves"].CI95,
+			p.Metrics["distance"].Mean,
+			p.Metrics["success_rate"].Mean,
+			100*p.Metrics["recovered"].Mean)
+	}
 }
 
 func run(args []string) error {
@@ -497,6 +477,10 @@ func run(args []string) error {
 		resume     = fs.Bool("resume", false, "skip (group, N) cells already in the output manifest and merge new results into it")
 		shardS     = fs.String("shard", "", "replicate shard i/n: run only the i-th of n contiguous replicate blocks (stitch with -merge)")
 		merge      = fs.Bool("merge", false, "merge the shard manifests given as arguments into one campaign manifest instead of running trials")
+		dispatchN  = fs.Int("dispatch", 0, "run the campaign as n supervised shard worker subprocesses and auto-merge their manifests")
+		execS      = fs.String("exec", "", "worker command prefix for -dispatch ({shard} = shard number), e.g. \"ssh box{shard} --\"")
+		progressS  = fs.String("progress", "meter", "progress display: meter, json (event protocol on stdout), none")
+		checkpoint = fs.Bool("checkpoint", false, "rewrite the manifest after every completed cell so a killed run can -resume")
 		replicates = fs.Int("replicates", 20, "trials per campaign cell")
 		seed       = fs.Int64("seed", 1, "base random seed")
 		workers    = fs.Int("workers", 0, "parallel trial workers (0 = all cores)")
@@ -506,7 +490,7 @@ func run(args []string) error {
 		outDir     = fs.String("out", "out", "output directory for artifacts")
 		name       = fs.String("name", "sweep", "campaign name (artifact base name)")
 		ascii      = fs.Bool("ascii", false, "print ASCII previews of exported tables")
-		quiet      = fs.Bool("quiet", false, "suppress the progress meter")
+		quiet      = fs.Bool("quiet", false, "suppress the progress meter (alias for -progress none)")
 	)
 	// Collect positional arguments (the -merge shard manifests) while
 	// allowing flags to follow them: the flag package stops at the first
@@ -529,6 +513,23 @@ func run(args []string) error {
 		}
 	}
 
+	// Resolve the progress channel early: when stdout carries the JSON
+	// event protocol, every informational print moves to stderr so the
+	// supervisor's stream stays parseable.
+	progressMode := *progressS
+	if *quiet && progressMode == "meter" {
+		progressMode = "none"
+	}
+	switch progressMode {
+	case "meter", "json", "none":
+	default:
+		return fmt.Errorf("unknown -progress mode %q (want meter, json, or none)", progressMode)
+	}
+	infoW := io.Writer(os.Stdout)
+	if progressMode == "json" {
+		infoW = os.Stderr
+	}
+
 	if *merge {
 		// Only output-shaping flags combine with -merge; any campaign
 		// dimension flag would be silently ignored, so reject it instead.
@@ -543,7 +544,7 @@ func run(args []string) error {
 			return fmt.Errorf("-merge takes shard manifests as arguments and no campaign flags (got %s)",
 				strings.Join(stray, ", "))
 		}
-		return runMerge(positional, *outDir, *name, *metricsS, *ascii)
+		return runMerge(infoW, positional, *outDir, *name, *metricsS, *ascii)
 	}
 	if len(positional) > 0 {
 		return fmt.Errorf("unexpected arguments %v (only -merge takes manifests)", positional)
@@ -612,6 +613,22 @@ func run(args []string) error {
 		return err
 	}
 
+	if *dispatchN > 0 {
+		if spec.ShardCount > 0 {
+			return fmt.Errorf("-dispatch splits the campaign itself; drop -shard (or the spec's shard range)")
+		}
+		if *checkpoint {
+			return fmt.Errorf("-checkpoint belongs to workers; the dispatch driver enables it for every shard")
+		}
+		if progressMode == "json" {
+			return fmt.Errorf("-dispatch renders a fleet meter; the JSON protocol is spoken by its workers")
+		}
+		return runDispatch(infoW, spec, *dispatchN, *execS, *outDir, *name, *metricsS, *resume, *ascii, progressMode)
+	}
+	if *execS != "" {
+		return fmt.Errorf("-exec only applies to -dispatch")
+	}
+
 	// -resume: load the existing manifest (if any) and mark its
 	// aggregated (group, N) cells as done, so only missing cells run.
 	manifestPath := filepath.Join(*outDir, *name+".json")
@@ -648,7 +665,7 @@ func run(args []string) error {
 				done[resumeKey{p.Group, p.X}] = true
 			}
 			if orphans > 0 {
-				fmt.Printf("resume: dropping %d cells of %s outside the current spec\n",
+				fmt.Fprintf(infoW, "resume: dropping %d cells of %s outside the current spec\n",
 					orphans, manifestPath)
 			}
 		case os.IsNotExist(err):
@@ -667,31 +684,92 @@ func run(args []string) error {
 	// Count the jobs that will actually run (after the shard and resume
 	// filters) and their per-group totals for the meter's breakdown.
 	// ExecutedJobs applies exactly the filter RunCampaignSubset executes,
-	// so the meter's total always matches the delivered stream.
+	// so the meter's — and the JSON protocol's — total always matches
+	// the delivered stream: under -shard it is the shard's own trial
+	// count, never the full campaign's replicate range.
 	executed := 0
 	groupTotal := make(map[string]int)
 	spec.ExecutedJobs(keep, func(j sim.TrialJob) {
 		executed++
 		groupTotal[j.Group()]++
 	})
+	// cellAll is every cell's expected trial count under the shard range
+	// alone (no resume filter): the checkpointer needs it to tell a
+	// completed cell from a partial one, and the Jobs accounting below
+	// needs it to credit resumed-over prior cells.
+	cellAll := make(map[resumeKey]int)
+	spec.ExecutedJobs(nil, func(j sim.TrialJob) {
+		cellAll[resumeKey{j.Group(), float64(j.Spares)}]++
+	})
+	priorJobs := 0
+	for k := range done {
+		priorJobs += cellAll[k]
+	}
 	totalJobs := spec.NumJobs()
 	if spec.ShardCount > 0 {
-		totalJobs = executed // a shard manifest records the trials it ran
+		// A shard manifest records the trials it represents: the ones
+		// this run executed plus the ones a resumed prior manifest
+		// already carried — never the full campaign's count, and never
+		// undercounting after a checkpointed retry.
+		totalJobs = executed + priorJobs
 	}
 	opts := experiment.Options{Workers: spec.Workers}
-	var meter *progressMeter
-	if !*quiet {
-		meter = newProgressMeter(os.Stderr, executed, groupTotal)
+	var meter *dispatch.Meter
+	if progressMode == "meter" {
+		meter = dispatch.NewMeter(os.Stderr, executed, groupTotal)
+	}
+	var emitter *jsonProgress
+	if progressMode == "json" && executed > 0 {
+		emitter = newJSONProgress(progressOut, executed)
 	}
 	// Trials stream into online per-(group, N) accumulators: campaign
 	// memory is O(groups), not O(trials). The meter rides the same
 	// ordered sink, so its per-group counts advance deterministically.
 	acc := experiment.NewAccumulator()
+	var ck *checkpointer
+	if *checkpoint {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		ck = &checkpointer{
+			path:      manifestPath,
+			name:      *name,
+			spec:      spec,
+			prior:     priorPoints,
+			priorJobs: priorJobs,
+			workers:   opts.Workers,
+			acc:       acc,
+			cellTotal: cellAll,
+			cellDone:  make(map[resumeKey]int, len(cellAll)),
+			completed: make(map[resumeKey]bool, len(cellAll)),
+		}
+	}
+	// Test-only crash hook: WSNSWEEP_EXIT_AFTER=k kills the process
+	// after k completed trials (checkpoint written first), simulating a
+	// worker dying mid-run for the dispatch failure-path tests.
+	exitAfter := 0
+	if s := os.Getenv("WSNSWEEP_EXIT_AFTER"); s != "" {
+		exitAfter, _ = strconv.Atoi(s)
+	}
+	ran := 0
 	err := sim.RunCampaignSubset(context.Background(), spec, opts, keep,
 		func(j sim.TrialJob, s experiment.Sample) error {
 			acc.Add(s)
+			ran++
+			group := j.Group()
 			if meter != nil {
-				meter.jobDone(j.Group())
+				meter.JobDone(group)
+			}
+			if emitter != nil {
+				emitter.emit(ran, group)
+			}
+			if ck != nil {
+				if err := ck.trialDone(resumeKey{group, float64(j.Spares)}); err != nil {
+					return err
+				}
+			}
+			if exitAfter > 0 && ran == exitAfter {
+				os.Exit(7)
 			}
 			return nil
 		})
@@ -700,7 +778,7 @@ func run(args []string) error {
 	}
 	points := acc.Points()
 	if len(done) > 0 {
-		fmt.Printf("resume: %d cells already in %s, ran %d new trials\n",
+		fmt.Fprintf(infoW, "resume: %d cells already in %s, ran %d new trials\n",
 			len(done), manifestPath, acc.Samples())
 		points = mergePoints(priorPoints, points)
 	}
@@ -713,19 +791,16 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d jobs, %d points)\n", path, totalJobs, len(points))
+	fmt.Fprintf(infoW, "wrote %s (%d jobs, %d points)\n", path, totalJobs, len(points))
 
-	if err := writeTables(points, *metricsS, *outDir, *name, spec.Replicates, *ascii); err != nil {
+	if err := writeTables(infoW, points, *metricsS, *outDir, *name, spec.Replicates, *ascii); err != nil {
 		return err
 	}
 
-	for _, p := range points {
-		fmt.Printf("%-24s N=%-5g moves=%6.1f±%-5.1f dist=%7.1f success=%5.1f%% recovered=%5.1f%%\n",
-			p.Group, p.X,
-			p.Metrics["moves"].Mean, p.Metrics["moves"].CI95,
-			p.Metrics["distance"].Mean,
-			p.Metrics["success_rate"].Mean,
-			100*p.Metrics["recovered"].Mean)
+	// A worker speaking the JSON protocol skips the per-point digest:
+	// its supervisor prints the merged campaign's once.
+	if progressMode != "json" {
+		printSummary(infoW, points)
 	}
 	return nil
 }

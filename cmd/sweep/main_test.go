@@ -361,89 +361,6 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
-func TestProgressMeter(t *testing.T) {
-	var buf strings.Builder
-	p := newProgressMeter(&buf, 400, nil)
-	p.start = p.start.Add(-2 * time.Second) // pretend 2s elapsed
-	p.last = p.start
-	p.done = 99
-	p.jobDone("only")
-	out := buf.String()
-	if !strings.Contains(out, "100/400 trials") {
-		t.Errorf("meter output %q lacks completed/total", out)
-	}
-	if !strings.Contains(out, "trials/s") || !strings.Contains(out, "ETA") {
-		t.Errorf("meter output %q lacks rate or ETA", out)
-	}
-	if strings.Contains(out, "groups") {
-		t.Errorf("single-group meter %q must not render a group breakdown", out)
-	}
-
-	// Rapid updates are throttled; the final update always renders and
-	// reports the elapsed time instead of an ETA.
-	buf.Reset()
-	p.last = time.Now()
-	p.jobDone("only")
-	if buf.Len() != 0 {
-		t.Errorf("throttled update rendered %q", buf.String())
-	}
-	p.done = 399
-	p.jobDone("only")
-	if out := buf.String(); !strings.Contains(out, "400/400 trials") || !strings.Contains(out, "in ") {
-		t.Errorf("final output %q", out)
-	}
-}
-
-// TestProgressMeterGroupBreakdown exercises the wide-campaign path: the
-// meter tracks per-group completion, names the advancing group, and
-// counts fully finished groups.
-func TestProgressMeterGroupBreakdown(t *testing.T) {
-	var buf strings.Builder
-	totals := map[string]int{"SR 16x16": 2, "AR 16x16": 2}
-	p := newProgressMeter(&buf, 4, totals)
-	p.start = p.start.Add(-2 * time.Second)
-	p.last = p.start
-
-	p.jobDone("SR 16x16")
-	out := buf.String()
-	if !strings.Contains(out, "groups 0/2") || !strings.Contains(out, "[SR 16x16 1/2]") {
-		t.Errorf("meter output %q lacks the group breakdown", out)
-	}
-
-	buf.Reset()
-	p.last = p.start // defeat throttling
-	p.jobDone("SR 16x16")
-	if out := buf.String(); !strings.Contains(out, "groups 1/2") {
-		t.Errorf("meter output %q should count the finished group", out)
-	}
-
-	p.last = p.start
-	p.jobDone("AR 16x16")
-	buf.Reset()
-	p.last = p.start
-	p.jobDone("AR 16x16")
-	if out := buf.String(); !strings.Contains(out, "4/4 trials") || !strings.Contains(out, "groups 2/2") {
-		t.Errorf("final output %q", out)
-	}
-}
-
-func TestFormatETA(t *testing.T) {
-	cases := map[time.Duration]string{
-		500 * time.Millisecond:                                 "<1s",
-		42 * time.Second:                                       "42s",
-		59*time.Second + 700*time.Millisecond:                  "1m00s", // rounds across the unit boundary
-		3*time.Minute + 7*time.Second:                          "3m07s",
-		59*time.Minute + 59*time.Second + 800*time.Millisecond: "1h00m",
-		2*time.Hour + 5*time.Minute:                            "2h05m",
-		26*time.Hour + 30*time.Minute:                          "26h30m",
-	}
-	for d, want := range cases {
-		if got := formatETA(d); got != want {
-			t.Errorf("formatETA(%v) = %q, want %q", d, got, want)
-		}
-	}
-}
-
 func TestRunSpecFileRejectsUnknownFields(t *testing.T) {
 	dir := t.TempDir()
 	specPath := filepath.Join(dir, "spec.json")
@@ -550,8 +467,9 @@ func TestShardMergeMatchesUnsharded(t *testing.T) {
 	}
 }
 
-// TestMergeRejectsBadShardSets: overlaps, gaps, spec mismatches, and
-// non-shard manifests must all fail loudly instead of merging quietly.
+// TestMergeRejectsBadShardSets: overlaps, gaps, spec mismatches,
+// non-shard manifests, and the same shard passed twice must all fail
+// loudly instead of merging quietly.
 func TestMergeRejectsBadShardSets(t *testing.T) {
 	dir := t.TempDir()
 	base := []string{
@@ -571,6 +489,7 @@ func TestMergeRejectsBadShardSets(t *testing.T) {
 	}
 	s1 := mk("s1", "1/2")
 	s2 := mk("s2", "2/2")
+	s2copy := mk("s2copy", "2/2") // same shard rerun under a new name
 	whole := mk("whole", "")
 	if err := run([]string{
 		"-name", "o2", "-shard", "2/2", "-schemes", "SR", "-grids", "8x8",
@@ -580,17 +499,33 @@ func TestMergeRejectsBadShardSets(t *testing.T) {
 		t.Fatal(err)
 	}
 	o2 := filepath.Join(dir, "o2.json")
+	// A genuinely overlapping range ([1, 4) against [0, 2)) needs a spec
+	// file: -shard only produces even tilings.
+	overlapSpec := filepath.Join(dir, "overlap.spec.json")
+	if err := os.WriteFile(overlapSpec, []byte(`{
+		"schemes": ["SR"], "grids": [{"cols": 8, "rows": 8}], "spares": [8],
+		"replicates": 4, "seed": 3, "shard_first": 1, "shard_count": 3
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", overlapSpec, "-name", "ov", "-out", dir, "-metrics", "moves", "-quiet"}); err != nil {
+		t.Fatal(err)
+	}
+	ov := filepath.Join(dir, "ov.json")
 
 	cases := []struct {
 		name  string
 		paths []string
 		want  string
 	}{
-		{"overlap", []string{s1, s1}, "overlaps"},
-		{"gap", []string{s2, s2}, "missing"},
-		{"missing-tail", []string{s1}, "at least two"},
+		{"same-path-twice", []string{s1, s1}, "passed twice"},
+		{"same-shard-two-files", []string{s1, s2, s2copy}, "same shard"},
+		{"overlap", []string{s1, ov}, "overlaps"},
+		{"gap", []string{s2}, "missing"},
+		{"missing-tail", []string{s1}, "missing"},
 		{"not-a-shard", []string{s1, whole}, "not a shard manifest"},
 		{"spec-mismatch", []string{s1, o2}, "different campaign specs"},
+		{"no-manifests", nil, "no shard manifests"},
 	}
 	for _, c := range cases {
 		args := append([]string{"-merge", "-out", dir, "-name", "bad", "-metrics", "moves"}, c.paths...)
@@ -598,6 +533,43 @@ func TestMergeRejectsBadShardSets(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), c.want) {
 			t.Errorf("%s: run(-merge %v) = %v, want error containing %q", c.name, c.paths, err, c.want)
 		}
+	}
+}
+
+// TestMergeSingleShardDegenerate: one manifest covering the whole
+// replicate range (-shard 1/1) merges into a manifest identical to the
+// unsharded run's — same points, exact unmarked medians — with only the
+// shard range stripped from its spec.
+func TestMergeSingleShardDegenerate(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{
+		"-schemes", "SR", "-grids", "8x8", "-spares", "8",
+		"-replicates", "4", "-seed", "3", "-out", dir, "-metrics", "moves", "-quiet",
+	}
+	if err := run(append([]string{"-name", "solo", "-shard", "1/1"}, base...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-name", "plain"}, base...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-merge", filepath.Join(dir, "solo.json"),
+		"-out", dir, "-name", "plain2", "-metrics", "moves"}); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := os.ReadFile(filepath.Join(dir, "plain.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := os.ReadFile(filepath.Join(dir, "plain2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical apart from the artifact name: normalize it and compare
+	// bytes, median field included — a degenerate merge has the real
+	// per-cell samples' statistics, so nothing is approximated.
+	norm := strings.Replace(string(merged), `"name": "plain2"`, `"name": "plain"`, 1)
+	if norm != string(plain) {
+		t.Errorf("single-shard merge differs from the unsharded manifest:\n%s\nvs\n%s", norm, plain)
 	}
 }
 

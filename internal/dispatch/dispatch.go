@@ -1,0 +1,517 @@
+// Package dispatch runs one Monte-Carlo campaign as a fleet of shard
+// worker subprocesses and merges the results automatically — the
+// scale-past-one-box driver on top of cmd/sweep's -shard/-merge
+// plumbing.
+//
+// Run splits a campaign spec into n shard specs with
+// sim.CampaignSpec.SplitShards (replicate seeds derive from the full
+// range, so every shard computes byte-identical slices of the unsharded
+// campaign), launches one supervised worker subprocess per shard, and
+// folds the workers' newline-delimited JSON progress streams
+// (experiment.Progress events, cmd/sweep -progress=json) into live
+// fleet snapshots. A worker that dies is retried with -resume, picking
+// up from the checkpoint manifest it wrote as cells completed; when
+// every shard finishes, the shard manifests merge through
+// MergeShardManifests into the final campaign manifest.
+//
+// The worker command is a template, so the fleet is not tied to the
+// local box: Options.Worker{"ssh", "box{shard}", "--", "sweep"} runs
+// shard i on host box<i>. The default template re-executes the current
+// binary, which is what cmd/sweep -dispatch uses.
+package dispatch
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"wsncover/internal/experiment"
+	"wsncover/internal/sim"
+)
+
+// ShardState is the lifecycle of one shard in the fleet.
+type ShardState int
+
+const (
+	// ShardPending: the worker has not been launched yet.
+	ShardPending ShardState = iota
+	// ShardRunning: a worker attempt is executing (Attempts > 1 means a
+	// retry after a failure).
+	ShardRunning
+	// ShardDone: the shard's manifest is complete on disk.
+	ShardDone
+	// ShardFailed: every attempt failed; Err holds the last error.
+	ShardFailed
+)
+
+// String implements fmt.Stringer.
+func (s ShardState) String() string {
+	switch s {
+	case ShardPending:
+		return "pending"
+	case ShardRunning:
+		return "running"
+	case ShardDone:
+		return "done"
+	case ShardFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("ShardState(%d)", int(s))
+}
+
+// ShardStatus is the live state of one shard worker.
+type ShardStatus struct {
+	// Shard is the 1-based shard number.
+	Shard int
+	State ShardState
+	// Progress counts the shard's trials: Total is the shard's full
+	// trial count (computed from the spec, not trusted from the worker),
+	// and Done folds the worker's reports on top of whatever a resumed
+	// attempt skipped. A retry's first report resyncs Done to the
+	// checkpointed prefix, so trials of partially completed cells —
+	// which the resume recomputes — honestly drop off the meter rather
+	// than being counted twice.
+	Progress experiment.Progress
+	// Attempts counts worker launches, first try included.
+	Attempts int
+	// ManifestPath is where the shard's manifest lands.
+	ManifestPath string
+	// Err is the terminal error of a failed shard.
+	Err error
+}
+
+// FleetSnapshot is one serialized observation of the whole fleet,
+// delivered to Options.OnProgress after every state change.
+type FleetSnapshot struct {
+	// Fleet is the merged progress of every shard (experiment.MergeProgress).
+	Fleet experiment.Progress
+	// Shards holds a copy of every shard's status, in shard order.
+	Shards []ShardStatus
+}
+
+// Terminal reports whether every shard has finished, successfully or
+// not.
+func (s FleetSnapshot) Terminal() bool {
+	for _, sh := range s.Shards {
+		if sh.State != ShardDone && sh.State != ShardFailed {
+			return false
+		}
+	}
+	return len(s.Shards) > 0
+}
+
+// Options configures a fleet run.
+type Options struct {
+	// Shards is the fleet size; the campaign's replicate dimension is
+	// split into this many even blocks.
+	Shards int
+	// Worker is the argv template invoked for each shard before the
+	// standard sweep arguments (-spec, -out, -name, -progress=json, ...)
+	// are appended. The literal "{shard}" in any element is replaced by
+	// the 1-based shard number, so {"ssh", "box{shard}", "--", "sweep"}
+	// reaches one remote host per shard. Empty means the current
+	// executable — every shard a local subprocess.
+	Worker []string
+	// OutDir receives the shard spec files, shard manifests, and
+	// checkpoints. With a remote Worker template it must name a
+	// directory the workers and the driver share (NFS or equivalent).
+	OutDir string
+	// Name is the campaign name; shard artifacts are <Name>-shard<i>.
+	Name string
+	// Retries is how many times a failed shard is relaunched (with
+	// -resume, so completed cells are not recomputed). Negative means
+	// none; zero means the default of 2.
+	Retries int
+	// Resume passes -resume to first attempts too, so a rerun of the
+	// whole fleet picks up surviving shard manifests from a previous
+	// dispatch instead of starting over.
+	Resume bool
+	// Env lists extra environment variables (KEY=VALUE) for workers, on
+	// top of the driver's environment.
+	Env []string
+	// Stderr receives the workers' stderr, each line prefixed with its
+	// shard ("shard 2: ..."); nil means the driver's stderr.
+	Stderr io.Writer
+	// OnProgress, when non-nil, observes every fleet state change.
+	// Calls are serialized; keep it fast (a meter redraw).
+	OnProgress func(FleetSnapshot)
+}
+
+func (o Options) retries() int {
+	switch {
+	case o.Retries < 0:
+		return 0
+	case o.Retries == 0:
+		return 2
+	}
+	return o.Retries
+}
+
+// Run executes the campaign as a fleet of opts.Shards shard workers and
+// returns the merged manifest (not yet written to disk) plus the merged
+// spec. The spec must not already pin a shard range. On failure —
+// a shard exhausting its retries cancels the remaining workers — the
+// error lists every root-cause shard failure; surviving checkpoints and
+// shard manifests stay in OutDir, so rerunning with Resume set picks up
+// where the fleet stopped.
+func Run(ctx context.Context, spec sim.CampaignSpec, opts Options) (*experiment.Manifest, sim.CampaignSpec, error) {
+	var none sim.CampaignSpec
+	if opts.Shards < 1 {
+		return nil, none, fmt.Errorf("dispatch: fleet needs at least one shard, got %d", opts.Shards)
+	}
+	if opts.Name == "" {
+		opts.Name = "sweep"
+	}
+	if opts.OutDir == "" {
+		opts.OutDir = "out"
+	}
+	spec = spec.Normalized()
+	shardSpecs, err := spec.SplitShards(opts.Shards)
+	if err != nil {
+		return nil, none, fmt.Errorf("dispatch: %w", err)
+	}
+	worker := opts.Worker
+	if len(worker) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, none, fmt.Errorf("dispatch: no worker template and no current executable: %w", err)
+		}
+		worker = []string{exe}
+		// Local fleet: every worker is a subprocess of this box, so an
+		// unpinned Workers (0 = all cores) would oversubscribe the CPU
+		// n-fold. Split the cores across the shards instead; an explicit
+		// spec.Workers is respected verbatim (remote templates are too —
+		// each remote box owns its own cores). Worker counts change wall
+		// clock only, never results.
+		if spec.Workers == 0 {
+			per := runtime.GOMAXPROCS(0) / opts.Shards
+			if per < 1 {
+				per = 1
+			}
+			for i := range shardSpecs {
+				shardSpecs[i].Workers = per
+			}
+		}
+	}
+	if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
+		return nil, none, fmt.Errorf("dispatch: %w", err)
+	}
+
+	f := &fleet{
+		opts:     opts,
+		worker:   worker,
+		statuses: make([]ShardStatus, len(shardSpecs)),
+		specs:    make([]string, len(shardSpecs)),
+	}
+	if f.opts.Stderr == nil {
+		f.opts.Stderr = os.Stderr
+	}
+	for i, shSpec := range shardSpecs {
+		n := i + 1
+		// The shard's full trial count is computed here, not trusted from
+		// worker reports: a resumed attempt reports only its remaining
+		// work, and the fleet totals must not shrink when that happens.
+		total := 0
+		shSpec.ExecutedJobs(nil, func(sim.TrialJob) { total++ })
+		f.statuses[i] = ShardStatus{
+			Shard:        n,
+			State:        ShardPending,
+			Progress:     experiment.Progress{Total: total},
+			ManifestPath: filepath.Join(opts.OutDir, fmt.Sprintf("%s-shard%d.json", opts.Name, n)),
+		}
+		specPath := filepath.Join(opts.OutDir, fmt.Sprintf("%s-shard%d.spec.json", opts.Name, n))
+		data, err := json.MarshalIndent(shSpec, "", "  ")
+		if err != nil {
+			return nil, none, fmt.Errorf("dispatch: marshal shard %d spec: %w", n, err)
+		}
+		if err := os.WriteFile(specPath, append(data, '\n'), 0o644); err != nil {
+			return nil, none, fmt.Errorf("dispatch: %w", err)
+		}
+		f.specs[i] = specPath
+	}
+
+	// A shard out of retries dooms the merge; cancel the siblings
+	// instead of burning their remaining work. Checkpoints survive for a
+	// Resume rerun.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := range f.statuses {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := f.runShard(ctx, i); err != nil {
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Cancellation echoes — shards killed because a sibling failed first
+	// or the parent context ended — are casualties, not causes; report
+	// them only when no root cause exists (pure parent cancellation).
+	var failures, echoes []error
+	for i := range f.statuses {
+		st := &f.statuses[i]
+		if st.State != ShardFailed {
+			continue
+		}
+		e := fmt.Errorf("shard %d: %w", st.Shard, st.Err)
+		if errors.Is(st.Err, context.Canceled) || errors.Is(st.Err, context.DeadlineExceeded) {
+			echoes = append(echoes, e)
+		} else {
+			failures = append(failures, e)
+		}
+	}
+	if len(failures) == 0 {
+		failures = echoes
+	}
+	if len(failures) > 0 {
+		return nil, none, fmt.Errorf("dispatch: %w", errors.Join(failures...))
+	}
+
+	paths := make([]string, len(f.statuses))
+	for i, st := range f.statuses {
+		paths[i] = st.ManifestPath
+	}
+	manifest, mergedSpec, err := MergeShardManifests(paths, opts.Name)
+	if err != nil {
+		return nil, none, fmt.Errorf("dispatch: merging fleet manifests: %w", err)
+	}
+	return manifest, mergedSpec, nil
+}
+
+// fleet is the shared state of one Run: the shard statuses every worker
+// goroutine mutates under mu, and the written shard spec paths.
+type fleet struct {
+	opts   Options
+	worker []string
+
+	mu       sync.Mutex
+	statuses []ShardStatus
+	specs    []string
+}
+
+// update mutates shard i's status under the lock and broadcasts a
+// snapshot.
+func (f *fleet) update(i int, mutate func(*ShardStatus)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mutate(&f.statuses[i])
+	if f.opts.OnProgress == nil {
+		return
+	}
+	f.opts.OnProgress(f.snapshotLocked())
+}
+
+func (f *fleet) snapshotLocked() FleetSnapshot {
+	shards := make([]ShardStatus, len(f.statuses))
+	copy(shards, f.statuses)
+	events := make([]experiment.Progress, len(shards))
+	for i, s := range shards {
+		events[i] = s.Progress
+	}
+	return FleetSnapshot{Fleet: experiment.MergeProgress(events...), Shards: shards}
+}
+
+// runShard supervises one shard through its retry budget. It returns a
+// non-nil error only when the shard is terminally failed.
+func (f *fleet) runShard(ctx context.Context, i int) error {
+	attempts := 1 + f.opts.retries()
+	var last error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if ctx.Err() != nil {
+			last = ctx.Err()
+			break
+		}
+		resume := f.opts.Resume || attempt > 1
+		f.update(i, func(st *ShardStatus) {
+			st.State = ShardRunning
+			st.Attempts = attempt
+		})
+		last = f.runWorker(ctx, i, resume)
+		if last != nil && ctx.Err() != nil {
+			// The worker died because the fleet is shutting down; make
+			// the error recognizably a cancellation echo so the fleet
+			// error reports root causes, not casualties.
+			last = fmt.Errorf("%w (worker: %v)", ctx.Err(), last)
+		}
+		if last == nil {
+			f.update(i, func(st *ShardStatus) {
+				st.State = ShardDone
+				st.Progress.Done = st.Progress.Total
+				st.Progress.Group = ""
+			})
+			return nil
+		}
+	}
+	f.update(i, func(st *ShardStatus) {
+		st.State = ShardFailed
+		st.Err = last
+	})
+	return last
+}
+
+// runWorker launches one worker attempt for shard i, streams its
+// progress events into the fleet state, and returns the process error
+// (nil on a clean exit that left a manifest behind).
+func (f *fleet) runWorker(ctx context.Context, i int, resume bool) error {
+	f.mu.Lock()
+	st := f.statuses[i]
+	specPath := f.specs[i]
+	f.mu.Unlock()
+
+	argv := expandWorker(f.worker, st.Shard)
+	argv = append(argv, workerArgs(specPath, f.opts.OutDir, shardName(f.opts.Name, st.Shard), resume)...)
+	cmd := exec.CommandContext(ctx, argv[0], argv[1:]...)
+	// A killed worker can leave grandchildren holding its pipes open;
+	// WaitDelay bounds how long Wait humors them, and the watcher below
+	// unblocks the progress scanner the same way.
+	cmd.WaitDelay = 5 * time.Second
+	if len(f.opts.Env) > 0 {
+		cmd.Env = append(os.Environ(), f.opts.Env...)
+	}
+	stderr := &lineWriter{mu: &stderrMu, w: f.opts.Stderr, prefix: fmt.Sprintf("shard %d: ", st.Shard)}
+	defer stderr.flush()
+	cmd.Stderr = stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	watchCtx, stopWatch := context.WithCancel(ctx)
+	defer stopWatch()
+	go func() {
+		<-watchCtx.Done()
+		stdout.Close()
+	}()
+	scanner := bufio.NewScanner(stdout)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for scanner.Scan() {
+		ev, ok := experiment.ParseProgressLine(scanner.Bytes())
+		if !ok {
+			continue
+		}
+		f.update(i, func(s *ShardStatus) {
+			// A resumed attempt reports done/total of its remaining work
+			// only; the skipped prefix stays counted as done.
+			skipped := s.Progress.Total - ev.Total
+			if skipped < 0 {
+				skipped = 0
+			}
+			done := skipped + ev.Done
+			if done > s.Progress.Total {
+				done = s.Progress.Total
+			}
+			if done > s.Progress.Done || ev.Done == 0 {
+				s.Progress.Done = done
+			}
+			s.Progress.Group = ev.Group
+		})
+	}
+	scanErr := scanner.Err()
+	if err := cmd.Wait(); err != nil {
+		return fmt.Errorf("worker %s: %w", strings.Join(argv, " "), err)
+	}
+	if scanErr != nil {
+		return fmt.Errorf("worker %s: reading progress: %w", strings.Join(argv, " "), scanErr)
+	}
+	if _, err := os.Stat(st.ManifestPath); err != nil {
+		return fmt.Errorf("worker exited cleanly but left no manifest at %s", st.ManifestPath)
+	}
+	return nil
+}
+
+// shardName labels shard i's artifacts.
+func shardName(name string, shard int) string {
+	return fmt.Sprintf("%s-shard%d", name, shard)
+}
+
+// workerArgs is the standard sweep argument list appended to the worker
+// template: run this spec file, write the shard manifest into the fleet
+// directory, speak the JSON progress protocol, checkpoint completed
+// cells so a retry can resume, and skip per-metric tables (the merged
+// campaign exports those once).
+func workerArgs(specPath, outDir, name string, resume bool) []string {
+	args := []string{
+		"-spec", specPath,
+		"-out", outDir,
+		"-name", name,
+		"-metrics", "",
+		"-progress", "json",
+		"-checkpoint",
+	}
+	if resume {
+		args = append(args, "-resume")
+	}
+	return args
+}
+
+// expandWorker substitutes the 1-based shard number for "{shard}" in
+// every template element.
+func expandWorker(tmpl []string, shard int) []string {
+	out := make([]string, len(tmpl))
+	for i, t := range tmpl {
+		out[i] = strings.ReplaceAll(t, "{shard}", strconv.Itoa(shard))
+	}
+	return out
+}
+
+// stderrMu serializes whole lines from concurrent workers onto the
+// shared stderr destination.
+var stderrMu sync.Mutex
+
+// lineWriter buffers writes until a full line is available, then emits
+// prefix+line under the shared mutex, so concurrent workers' stderr
+// interleaves whole lines instead of fragments.
+type lineWriter struct {
+	mu     *sync.Mutex
+	w      io.Writer
+	prefix string
+	buf    []byte
+}
+
+func (lw *lineWriter) Write(p []byte) (int, error) {
+	lw.buf = append(lw.buf, p...)
+	for {
+		nl := bytes.IndexByte(lw.buf, '\n')
+		if nl < 0 {
+			return len(p), nil
+		}
+		line := lw.buf[:nl+1]
+		lw.mu.Lock()
+		_, err := fmt.Fprintf(lw.w, "%s%s", lw.prefix, line)
+		lw.mu.Unlock()
+		lw.buf = lw.buf[nl+1:]
+		if err != nil {
+			return len(p), err
+		}
+	}
+}
+
+// flush emits any buffered unterminated tail — a worker killed
+// mid-write often leaves its most important diagnostic without a
+// trailing newline.
+func (lw *lineWriter) flush() {
+	if len(lw.buf) == 0 {
+		return
+	}
+	lw.mu.Lock()
+	fmt.Fprintf(lw.w, "%s%s\n", lw.prefix, lw.buf)
+	lw.mu.Unlock()
+	lw.buf = nil
+}

@@ -1,0 +1,275 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wsncover/internal/sim"
+)
+
+// fullSpec is the unsharded campaign the stub-worker fleets dispatch:
+// one cell, four replicates, so two shards own two trials each.
+func fullSpec() sim.CampaignSpec {
+	return sim.CampaignSpec{
+		Schemes:    []sim.SchemeKind{sim.SR},
+		Grids:      []sim.GridSize{{Cols: 8, Rows: 8}},
+		Spares:     []int{8},
+		Replicates: 4,
+		BaseSeed:   1,
+	}.Normalized()
+}
+
+// collector gathers fleet snapshots thread-safely.
+type collector struct {
+	mu    sync.Mutex
+	snaps []FleetSnapshot
+}
+
+func (c *collector) add(s FleetSnapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.snaps = append(c.snaps, s)
+}
+
+func (c *collector) all() []FleetSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]FleetSnapshot(nil), c.snaps...)
+}
+
+// TestRunStubFleet drives the whole orchestration loop with /bin/sh
+// stand-ins for cmd/sweep: workers emit the JSON progress protocol and
+// "produce" pre-written shard manifests, and the driver must fold the
+// streams into fleet snapshots and auto-merge the manifests.
+func TestRunStubFleet(t *testing.T) {
+	dir := t.TempDir()
+	writeManifest(t, dir, "camp-shard1", shardSpec(0, 2, 4), 2, 3)
+	writeManifest(t, dir, "camp-shard2", shardSpec(2, 2, 4), 2, 5)
+
+	var col collector
+	script := `printf '{"done":0,"total":2}\n{"done":2,"total":2,"group":"SR 8x8"}\n'`
+	manifest, spec, err := Run(context.Background(), fullSpec(), Options{
+		Shards:     2,
+		Worker:     []string{"/bin/sh", "-c", script, "stub-shard{shard}"},
+		OutDir:     dir,
+		Name:       "camp",
+		OnProgress: col.add,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if manifest.Jobs != 4 || len(manifest.Points) != 1 {
+		t.Errorf("merged manifest jobs=%d points=%d", manifest.Jobs, len(manifest.Points))
+	}
+	d := manifest.Points[0].Metrics["moves"]
+	if d.N != 4 || d.Mean != 4 || !d.MedianApprox {
+		t.Errorf("merged cell = %+v, want N=4 mean=4 approx median", d)
+	}
+	if spec.ShardCount != 0 {
+		t.Errorf("merged spec keeps a shard range: %+v", spec)
+	}
+
+	// The driver wrote each shard's spec file with its replicate block.
+	for i, wantFirst := range []int{0, 2} {
+		path := filepath.Join(dir, "camp-shard"+string(rune('1'+i))+".spec.json")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("shard spec file: %v", err)
+		}
+		var sh sim.CampaignSpec
+		if err := sim.UnmarshalSpecJSON(data, &sh); err != nil {
+			t.Fatal(err)
+		}
+		if sh.ShardFirst != wantFirst || sh.ShardCount != 2 {
+			t.Errorf("shard %d spec range [%d, +%d), want [%d, +2)", i+1, sh.ShardFirst, sh.ShardCount, wantFirst)
+		}
+	}
+
+	// Snapshots: the fleet total is 4 from the start (computed from the
+	// spec, not worker reports), and some snapshot saw both shards done
+	// with the full fleet complete.
+	snaps := col.all()
+	if len(snaps) == 0 {
+		t.Fatal("no progress snapshots delivered")
+	}
+	for _, s := range snaps {
+		if s.Fleet.Total != 4 {
+			t.Fatalf("snapshot fleet total = %d, want 4 throughout: %+v", s.Fleet.Total, s)
+		}
+	}
+	last := snaps[len(snaps)-1]
+	if !last.Terminal() || last.Fleet.Done != 4 {
+		t.Errorf("final snapshot %+v, want terminal 4/4", last)
+	}
+	for _, sh := range last.Shards {
+		if sh.State != ShardDone || sh.Progress.Done != 2 {
+			t.Errorf("shard %d final status %+v, want done 2/2", sh.Shard, sh)
+		}
+	}
+}
+
+// TestRunRetriesFailedWorker: a worker that dies is relaunched with
+// -resume and the fleet still converges; the worker's stderr reaches the
+// driver's sink with a shard prefix.
+func TestRunRetriesFailedWorker(t *testing.T) {
+	dir := t.TempDir()
+	writeManifest(t, dir, "camp-shard1", shardSpec(0, 2, 4), 2, 3)
+	writeManifest(t, dir, "camp-shard2", shardSpec(2, 2, 4), 2, 5)
+	sent := filepath.Join(dir, "died-once")
+	resumed := filepath.Join(dir, "saw-resume")
+
+	// Shard 1 dies mid-run on its first attempt; its retry must carry
+	// -resume. Shard 2 succeeds immediately.
+	script := `
+if [ "$1" = "1" ] && [ ! -e "` + sent + `" ]; then
+  touch "` + sent + `"
+  printf '{"done":1,"total":2}\n'
+  echo "boom" >&2
+  exit 1
+fi
+if [ "$1" = "1" ]; then
+  case "$*" in *-resume*) touch "` + resumed + `" ;; esac
+fi
+printf '{"done":2,"total":2}\n'`
+	var col collector
+	var errBuf bytes.Buffer
+	manifest, _, err := Run(context.Background(), fullSpec(), Options{
+		Shards:     2,
+		Worker:     []string{"/bin/sh", "-c", script, "stub", "{shard}"},
+		OutDir:     dir,
+		Name:       "camp",
+		Retries:    2,
+		Stderr:     &errBuf,
+		OnProgress: col.add,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if manifest.Jobs != 4 {
+		t.Errorf("merged jobs = %d", manifest.Jobs)
+	}
+	if _, err := os.Stat(resumed); err != nil {
+		t.Error("retry attempt did not pass -resume to the worker")
+	}
+	if got := errBuf.String(); !strings.Contains(got, "shard 1: boom") {
+		t.Errorf("driver stderr %q lacks the prefixed worker line", got)
+	}
+	sawRetry := false
+	for _, s := range col.all() {
+		for _, sh := range s.Shards {
+			if sh.Shard == 1 && sh.Attempts == 2 {
+				sawRetry = true
+			}
+			// The first attempt reported 1/2 before dying; the fleet
+			// must never lose that trial's credit except on the retry's
+			// own resync.
+			if sh.Progress.Done > sh.Progress.Total {
+				t.Errorf("shard %d over-counts: %+v", sh.Shard, sh.Progress)
+			}
+		}
+	}
+	if !sawRetry {
+		t.Error("no snapshot observed shard 1 on attempt 2")
+	}
+}
+
+// TestRunFailsAfterRetries: a shard that keeps dying fails the fleet
+// with its own error and cancels the long-running sibling instead of
+// waiting it out.
+func TestRunFailsAfterRetries(t *testing.T) {
+	dir := t.TempDir()
+	script := `if [ "$1" = "1" ]; then echo "shard1 giving up" >&2; exit 3; fi; exec sleep 60`
+	start := time.Now()
+	_, _, err := Run(context.Background(), fullSpec(), Options{
+		Shards:  2,
+		Worker:  []string{"/bin/sh", "-c", script, "stub", "{shard}"},
+		OutDir:  dir,
+		Name:    "camp",
+		Retries: -1,
+		Stderr:  io.Discard,
+	})
+	if err == nil || !strings.Contains(err.Error(), "shard 1") {
+		t.Fatalf("err = %v, want shard 1 failure", err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Errorf("fleet failure took %v; the sleeping sibling was not cancelled", elapsed)
+	}
+}
+
+// TestRunCleanExitWithoutManifestIsFailure: exit status 0 with no
+// manifest on disk is a worker bug (or a lost shared filesystem), not a
+// success.
+func TestRunCleanExitWithoutManifestIsFailure(t *testing.T) {
+	dir := t.TempDir()
+	writeManifest(t, dir, "camp-shard1", shardSpec(0, 2, 4), 2, 3)
+	// Shard 2 never writes camp-shard2.json.
+	_, _, err := Run(context.Background(), fullSpec(), Options{
+		Shards:  2,
+		Worker:  []string{"/bin/sh", "-c", "exit 0", "stub"},
+		OutDir:  dir,
+		Name:    "camp",
+		Retries: -1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "no manifest") {
+		t.Fatalf("err = %v, want no-manifest failure", err)
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	if _, _, err := Run(context.Background(), fullSpec(), Options{Shards: 0}); err == nil {
+		t.Error("zero shards should fail")
+	}
+	if _, _, err := Run(context.Background(), fullSpec(), Options{Shards: 99, OutDir: t.TempDir()}); err == nil {
+		t.Error("more shards than replicates should fail")
+	}
+	pinned := fullSpec()
+	pinned.ShardFirst, pinned.ShardCount = 0, 2
+	if _, _, err := Run(context.Background(), pinned, Options{Shards: 2, OutDir: t.TempDir()}); err == nil {
+		t.Error("dispatching an already sharded spec should fail")
+	}
+}
+
+func TestExpandWorkerAndArgs(t *testing.T) {
+	got := expandWorker([]string{"ssh", "box{shard}", "--", "sweep"}, 3)
+	want := []string{"ssh", "box3", "--", "sweep"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("expandWorker = %v, want %v", got, want)
+		}
+	}
+	args := workerArgs("s.json", "out", "camp-shard2", false)
+	joined := strings.Join(args, " ")
+	for _, want := range []string{"-spec s.json", "-name camp-shard2", "-progress json", "-checkpoint", "-metrics "} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("workerArgs %q lacks %q", joined, want)
+		}
+	}
+	if strings.Contains(joined, "-resume") {
+		t.Errorf("first attempt %q must not resume", joined)
+	}
+	if r := strings.Join(workerArgs("s.json", "out", "n", true), " "); !strings.Contains(r, "-resume") {
+		t.Errorf("retry args %q lack -resume", r)
+	}
+}
+
+func TestLineWriter(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	lw := &lineWriter{mu: &mu, w: &buf, prefix: "shard 7: "}
+	lw.Write([]byte("partial"))
+	if buf.Len() != 0 {
+		t.Errorf("incomplete line flushed early: %q", buf.String())
+	}
+	lw.Write([]byte(" line\nsecond\n"))
+	want := "shard 7: partial line\nshard 7: second\n"
+	if buf.String() != want {
+		t.Errorf("lineWriter output %q, want %q", buf.String(), want)
+	}
+}

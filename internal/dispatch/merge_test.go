@@ -1,0 +1,131 @@
+package dispatch
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wsncover/internal/experiment"
+	"wsncover/internal/sim"
+	"wsncover/internal/stats"
+)
+
+// shardSpec builds the canonical small campaign restricted to one
+// replicate block.
+func shardSpec(first, count, replicates int) sim.CampaignSpec {
+	return sim.CampaignSpec{
+		Schemes:    []sim.SchemeKind{sim.SR},
+		Grids:      []sim.GridSize{{Cols: 8, Rows: 8}},
+		Spares:     []int{8},
+		Replicates: replicates,
+		BaseSeed:   1,
+		ShardFirst: first,
+		ShardCount: count,
+	}.Normalized()
+}
+
+// writeManifest persists a one-cell manifest for the given spec and
+// returns its path.
+func writeManifest(t *testing.T, dir, name string, spec sim.CampaignSpec, n int, mean float64) string {
+	t.Helper()
+	points := []experiment.Point{{
+		Group: "SR 8x8", X: 8,
+		Metrics: map[string]stats.Description{
+			"moves": {N: n, Mean: mean, Min: mean - 1, Max: mean + 1, Median: mean},
+		},
+	}}
+	m, err := experiment.NewManifest(name, spec, n, 0, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, name+".json")
+}
+
+func TestMergeShardManifests(t *testing.T) {
+	dir := t.TempDir()
+	a := writeManifest(t, dir, "a", shardSpec(0, 2, 4), 2, 3)
+	b := writeManifest(t, dir, "b", shardSpec(2, 2, 4), 2, 5)
+	bCopy := writeManifest(t, dir, "bcopy", shardSpec(2, 2, 4), 2, 5)
+	whole := writeManifest(t, dir, "whole", shardSpec(0, 4, 4), 4, 4)
+	full := writeManifest(t, dir, "full", sim.CampaignSpec{
+		Schemes:    []sim.SchemeKind{sim.SR},
+		Grids:      []sim.GridSize{{Cols: 8, Rows: 8}},
+		Spares:     []int{8},
+		Replicates: 4,
+		BaseSeed:   1,
+	}.Normalized(), 4, 4)
+	drift := writeManifest(t, dir, "drift", func() sim.CampaignSpec {
+		s := shardSpec(2, 2, 4)
+		s.BaseSeed = 99
+		return s
+	}(), 2, 5)
+
+	cases := []struct {
+		name    string
+		paths   []string
+		wantErr string // empty = success
+	}{
+		{"two-shards", []string{a, b}, ""},
+		{"order-independent", []string{b, a}, ""},
+		{"single-shard-full-range", []string{whole}, ""},
+		{"single-shard-partial", []string{a}, "missing"},
+		{"same-path-twice", []string{a, a}, "passed twice"},
+		{"same-range-two-files", []string{a, b, bCopy}, "same shard"},
+		{"gap", []string{b}, "missing"},
+		{"not-a-shard", []string{a, full}, "not a shard manifest"},
+		{"spec-drift", []string{a, drift}, "different campaign specs"},
+		{"empty", nil, "no shard manifests"},
+	}
+	for _, c := range cases {
+		m, spec, err := MergeShardManifests(c.paths, "merged")
+		if c.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("%s: err = %v, want substring %q", c.name, err, c.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if spec.ShardCount != 0 || spec.ShardFirst != 0 {
+			t.Errorf("%s: merged spec keeps shard range [%d, +%d)", c.name, spec.ShardFirst, spec.ShardCount)
+		}
+		if m.Jobs != 4 || len(m.Points) != 1 {
+			t.Errorf("%s: jobs=%d points=%d, want 4 jobs 1 point", c.name, m.Jobs, len(m.Points))
+		}
+		d := m.Points[0].Metrics["moves"]
+		if d.N != 4 {
+			t.Errorf("%s: merged N = %d, want 4", c.name, d.N)
+		}
+	}
+}
+
+// TestMergeShardManifestsMedianHonesty: a true multi-shard merge cannot
+// know the pooled median and must say so; the degenerate single-shard
+// merge passes the exact median through untouched.
+func TestMergeShardManifestsMedianHonesty(t *testing.T) {
+	dir := t.TempDir()
+	a := writeManifest(t, dir, "a", shardSpec(0, 2, 4), 2, 3)
+	b := writeManifest(t, dir, "b", shardSpec(2, 2, 4), 2, 5)
+	m, _, err := MergeShardManifests([]string{a, b}, "merged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Points[0].Metrics["moves"]
+	if !d.MedianApprox {
+		t.Errorf("multi-shard merged median %+v must be marked approximate", d)
+	}
+
+	whole := writeManifest(t, dir, "whole", shardSpec(0, 4, 4), 4, 4)
+	single, _, err := MergeShardManifests([]string{whole}, "merged1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := single.Points[0].Metrics["moves"]; d.MedianApprox || d.Median != 4 {
+		t.Errorf("single-shard merge must keep the exact median: %+v", d)
+	}
+}

@@ -1,0 +1,208 @@
+package dispatch
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"wsncover/internal/experiment"
+)
+
+// testClock is a manually advanced time source.
+type testClock struct{ t time.Time }
+
+func newTestClock() *testClock {
+	return &testClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+func (c *testClock) now() time.Time          { return c.t }
+func (c *testClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestMeter(t *testing.T) {
+	var buf strings.Builder
+	clock := newTestClock()
+	m := NewMeter(&buf, 400, nil)
+	m.SetClock(clock.now)
+	m.done = 99
+	clock.advance(2 * time.Second)
+	m.JobDone("only")
+	out := buf.String()
+	if !strings.Contains(out, "100/400 trials") {
+		t.Errorf("meter output %q lacks completed/total", out)
+	}
+	if !strings.Contains(out, "trials/s") || !strings.Contains(out, "ETA") {
+		t.Errorf("meter output %q lacks rate or ETA", out)
+	}
+	if strings.Contains(out, "groups") {
+		t.Errorf("single-group meter %q must not render a group breakdown", out)
+	}
+	if m.Done() != 100 {
+		t.Errorf("Done() = %d", m.Done())
+	}
+
+	// Rapid updates are throttled; the final update always renders and
+	// reports the elapsed time instead of an ETA.
+	buf.Reset()
+	clock.advance(50 * time.Millisecond)
+	m.JobDone("only")
+	if buf.Len() != 0 {
+		t.Errorf("throttled update rendered %q", buf.String())
+	}
+	m.done = 399
+	m.JobDone("only")
+	if out := buf.String(); !strings.Contains(out, "400/400 trials") || !strings.Contains(out, "in ") {
+		t.Errorf("final output %q", out)
+	}
+}
+
+// TestMeterGroupBreakdown exercises the wide-campaign path: the meter
+// tracks per-group completion, names the advancing group, and counts
+// fully finished groups.
+func TestMeterGroupBreakdown(t *testing.T) {
+	var buf strings.Builder
+	clock := newTestClock()
+	totals := map[string]int{"SR 16x16": 2, "AR 16x16": 2}
+	m := NewMeter(&buf, 4, totals)
+	m.SetClock(clock.now)
+
+	clock.advance(2 * time.Second)
+	m.JobDone("SR 16x16")
+	out := buf.String()
+	if !strings.Contains(out, "groups 0/2") || !strings.Contains(out, "[SR 16x16 1/2]") {
+		t.Errorf("meter output %q lacks the group breakdown", out)
+	}
+
+	buf.Reset()
+	clock.advance(time.Second)
+	m.JobDone("SR 16x16")
+	if out := buf.String(); !strings.Contains(out, "groups 1/2") {
+		t.Errorf("meter output %q should count the finished group", out)
+	}
+
+	clock.advance(time.Second)
+	m.JobDone("AR 16x16")
+	buf.Reset()
+	clock.advance(time.Second)
+	m.JobDone("AR 16x16")
+	if out := buf.String(); !strings.Contains(out, "4/4 trials") || !strings.Contains(out, "groups 2/2") {
+		t.Errorf("final output %q", out)
+	}
+}
+
+// TestMeterShardTotals pins the sharded-meter contract: a meter sized
+// from a shard's executed jobs renders the shard's own trial count as
+// the denominator, never the full campaign's replicate range. (cmd/sweep
+// feeds ExecutedJobs counts; its CLI-level regression test covers the
+// wiring, this covers the rendering.)
+func TestMeterShardTotals(t *testing.T) {
+	var buf strings.Builder
+	clock := newTestClock()
+	// Campaign: 20 replicates; this shard owns 5 trials.
+	m := NewMeter(&buf, 5, nil)
+	m.SetClock(clock.now)
+	clock.advance(time.Second)
+	m.JobDone("SR 8x8")
+	out := buf.String()
+	if !strings.Contains(out, "1/5 trials") {
+		t.Errorf("shard meter rendered %q, want the shard's own total 1/5", out)
+	}
+	if strings.Contains(out, "/20") {
+		t.Errorf("shard meter %q leaked the full campaign total", out)
+	}
+	// ETA derives from the shard total too: 1 trial/s, 4 left -> 4s.
+	if !strings.Contains(out, "ETA 4s") {
+		t.Errorf("shard meter %q: ETA must be computed from the shard's remaining trials", out)
+	}
+}
+
+func TestFormatETA(t *testing.T) {
+	cases := map[time.Duration]string{
+		500 * time.Millisecond:                                 "<1s",
+		42 * time.Second:                                       "42s",
+		59*time.Second + 700*time.Millisecond:                  "1m00s", // rounds across the unit boundary
+		3*time.Minute + 7*time.Second:                          "3m07s",
+		59*time.Minute + 59*time.Second + 800*time.Millisecond: "1h00m",
+		2*time.Hour + 5*time.Minute:                            "2h05m",
+		26*time.Hour + 30*time.Minute:                          "26h30m",
+	}
+	for d, want := range cases {
+		if got := FormatETA(d); got != want {
+			t.Errorf("FormatETA(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func snap(shards ...ShardStatus) FleetSnapshot {
+	events := make([]experiment.Progress, len(shards))
+	for i, s := range shards {
+		events[i] = s.Progress
+	}
+	return FleetSnapshot{Fleet: experiment.MergeProgress(events...), Shards: shards}
+}
+
+func TestFleetMeterRendering(t *testing.T) {
+	var buf strings.Builder
+	clock := newTestClock()
+	f := NewFleetMeter(&buf)
+	f.SetClock(clock.now)
+
+	clock.advance(2 * time.Second)
+	f.Update(snap(
+		ShardStatus{Shard: 1, State: ShardDone, Progress: experiment.Progress{Done: 10, Total: 10}},
+		ShardStatus{Shard: 2, State: ShardRunning, Attempts: 1, Progress: experiment.Progress{Done: 4, Total: 10}},
+		ShardStatus{Shard: 3, State: ShardRunning, Attempts: 2, Progress: experiment.Progress{Done: 2, Total: 10}},
+		ShardStatus{Shard: 4, State: ShardPending, Progress: experiment.Progress{Total: 10}},
+	))
+	out := buf.String()
+	for _, want := range []string{"fleet 16/40 trials", "trials/s", "ETA", "[1:ok 2:40% 3:retry2 4:wait]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet line %q lacks %q", out, want)
+		}
+	}
+
+	// Throttled mid-run, but a terminal snapshot always renders with
+	// elapsed time and per-shard outcomes.
+	buf.Reset()
+	clock.advance(50 * time.Millisecond)
+	f.Update(snap(
+		ShardStatus{Shard: 1, State: ShardRunning, Attempts: 1, Progress: experiment.Progress{Done: 5, Total: 10}},
+		ShardStatus{Shard: 2, State: ShardRunning, Attempts: 1, Progress: experiment.Progress{Done: 5, Total: 10}},
+	))
+	if buf.Len() != 0 {
+		t.Errorf("throttled fleet update rendered %q", buf.String())
+	}
+	f.Update(snap(
+		ShardStatus{Shard: 1, State: ShardDone, Progress: experiment.Progress{Done: 10, Total: 10}},
+		ShardStatus{Shard: 2, State: ShardFailed, Progress: experiment.Progress{Done: 3, Total: 10}},
+	))
+	out = buf.String()
+	for _, want := range []string{"fleet 13/20 trials", "in ", "[1:ok 2:FAIL]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("terminal fleet line %q lacks %q", out, want)
+		}
+	}
+}
+
+func TestFleetSnapshotTerminal(t *testing.T) {
+	if (FleetSnapshot{}).Terminal() {
+		t.Error("empty snapshot is not terminal")
+	}
+	running := snap(ShardStatus{Shard: 1, State: ShardRunning})
+	if running.Terminal() {
+		t.Error("running fleet is not terminal")
+	}
+	ended := snap(ShardStatus{Shard: 1, State: ShardDone}, ShardStatus{Shard: 2, State: ShardFailed})
+	if !ended.Terminal() {
+		t.Error("done+failed fleet is terminal")
+	}
+}
+
+func TestShardStateString(t *testing.T) {
+	for s, want := range map[ShardState]string{
+		ShardPending: "pending", ShardRunning: "running",
+		ShardDone: "done", ShardFailed: "failed", ShardState(9): "ShardState(9)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+}

@@ -17,8 +17,8 @@ import (
 // observations). Feeding samples in a fixed order — RunStream delivers
 // results in job-index order — makes the fold bit-identical at any
 // worker count. Relative to Aggregate, means match to within floating-
-// point reassociation and medians beyond n=5 are estimates; every other
-// field agrees.
+// point reassociation and medians beyond n=5 are estimates (flagged by
+// stats.Description.MedianApprox); every other field agrees.
 //
 // The zero value is not usable; call NewAccumulator. An Accumulator is
 // not safe for concurrent use — RunStream serializes sink calls, which
@@ -127,6 +127,10 @@ func (o *onlineStat) describe() stats.Description {
 		Min:    o.min,
 		Max:    o.max,
 		Median: o.med.value(),
+		// The P-squared median retains the first five observations
+		// exactly; beyond that the center marker is an estimate, and the
+		// description says so.
+		MedianApprox: o.n > 5,
 	}
 	if o.n == 0 {
 		// Mirror stats.Describe on an empty sample.

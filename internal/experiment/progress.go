@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Progress is one campaign progress event: how many trials are done out
+// of how many the run will execute, and (optionally) the group of the
+// trial that just completed. It is the payload of the newline-delimited
+// JSON protocol shard workers speak on stdout (cmd/sweep -progress=json)
+// and the unit the dispatch driver folds into its fleet meter — one
+// line, one event:
+//
+//	{"done":12,"total":40,"group":"SR 16x16"}
+type Progress struct {
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	Group string `json:"group,omitempty"`
+}
+
+// MarshalLine renders the event as one newline-terminated JSON line.
+func (p Progress) MarshalLine() []byte {
+	b, _ := json.Marshal(p) // no marshalable-field can fail
+	return append(b, '\n')
+}
+
+// ParseProgressLine decodes one line of the progress protocol. Lines
+// that are not progress events — worker chatter, empty lines — return
+// ok=false rather than an error, so a supervisor can scan a mixed
+// stdout stream and fold only the protocol lines.
+func ParseProgressLine(line []byte) (Progress, bool) {
+	trimmed := bytesTrimSpace(line)
+	if len(trimmed) == 0 || trimmed[0] != '{' {
+		return Progress{}, false
+	}
+	var p Progress
+	if err := json.Unmarshal(trimmed, &p); err != nil || p.Total <= 0 || p.Done < 0 || p.Done > p.Total {
+		return Progress{}, false
+	}
+	return p, true
+}
+
+func bytesTrimSpace(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t' || b[0] == '\r' || b[0] == '\n') {
+		b = b[1:]
+	}
+	for len(b) > 0 && (b[len(b)-1] == ' ' || b[len(b)-1] == '\t' || b[len(b)-1] == '\r' || b[len(b)-1] == '\n') {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// MergeProgress folds per-shard progress events into fleet-wide totals:
+// done and total sum, and the group is kept only when every non-empty
+// input agrees on it (shards of one campaign usually disagree, so the
+// fleet event is groupless). Events with a zero Total — shards that
+// have not reported yet — contribute nothing to Done but may still
+// carry their Total once known, so the fold is safe to run over a
+// partially started fleet.
+func MergeProgress(events ...Progress) Progress {
+	var out Progress
+	group, groupSet, groupMixed := "", false, false
+	for _, e := range events {
+		out.Done += e.Done
+		out.Total += e.Total
+		if e.Group == "" {
+			continue
+		}
+		if !groupSet {
+			group, groupSet = e.Group, true
+		} else if group != e.Group {
+			groupMixed = true
+		}
+	}
+	if groupSet && !groupMixed {
+		out.Group = group
+	}
+	return out
+}
+
+// Fraction returns completion in [0, 1]; a zero-total event is 0.
+func (p Progress) Fraction() float64 {
+	if p.Total <= 0 {
+		return 0
+	}
+	return float64(p.Done) / float64(p.Total)
+}
+
+// String implements fmt.Stringer.
+func (p Progress) String() string {
+	if p.Group == "" {
+		return fmt.Sprintf("%d/%d", p.Done, p.Total)
+	}
+	return fmt.Sprintf("%d/%d [%s]", p.Done, p.Total, p.Group)
+}

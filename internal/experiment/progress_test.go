@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"testing"
+
+	"wsncover/internal/stats"
+)
+
+func TestProgressLineRoundTrip(t *testing.T) {
+	p := Progress{Done: 12, Total: 40, Group: "SR 16x16"}
+	line := p.MarshalLine()
+	if line[len(line)-1] != '\n' {
+		t.Fatalf("MarshalLine %q must end in newline", line)
+	}
+	got, ok := ParseProgressLine(line)
+	if !ok || got != p {
+		t.Errorf("round trip = %+v, %v; want %+v", got, ok, p)
+	}
+	if want := `{"done":12,"total":40,"group":"SR 16x16"}` + "\n"; string(line) != want {
+		t.Errorf("wire form %q, want %q", line, want)
+	}
+	// The groupless form omits the group key entirely.
+	bare := Progress{Done: 0, Total: 40}
+	if want := `{"done":0,"total":40}` + "\n"; string(bare.MarshalLine()) != want {
+		t.Errorf("bare wire form %q, want %q", bare.MarshalLine(), want)
+	}
+}
+
+// TestParseProgressLineSkipsChatter: a supervisor scans the worker's
+// whole stdout; anything that is not a well-formed event is ignored, not
+// an error.
+func TestParseProgressLineSkipsChatter(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"   ",
+		"wrote out/shard1.json (4 jobs, 2 points)",
+		"resume: 2 cells already in out/shard1.json, ran 2 new trials",
+		"{not json",
+		`{"done":5,"total":0}`,  // zero total: not a live event
+		`{"done":-1,"total":4}`, // negative done
+		`{"done":9,"total":4}`,  // done past total
+	} {
+		if p, ok := ParseProgressLine([]byte(line)); ok {
+			t.Errorf("ParseProgressLine(%q) accepted %+v", line, p)
+		}
+	}
+	if p, ok := ParseProgressLine([]byte("  {\"done\":4,\"total\":4}\r\n")); !ok || p.Done != 4 {
+		t.Errorf("padded line = %+v, %v", p, ok)
+	}
+}
+
+func TestMergeProgress(t *testing.T) {
+	fleet := MergeProgress(
+		Progress{Done: 3, Total: 10, Group: "SR"},
+		Progress{Done: 0, Total: 10},
+		Progress{Done: 10, Total: 10, Group: "AR"},
+	)
+	if fleet.Done != 13 || fleet.Total != 30 || fleet.Group != "" {
+		t.Errorf("fleet = %+v", fleet)
+	}
+	// Agreement across every reporting shard keeps the group.
+	same := MergeProgress(Progress{Done: 1, Total: 2, Group: "SR"}, Progress{Done: 2, Total: 2, Group: "SR"})
+	if same.Group != "SR" {
+		t.Errorf("agreeing groups lost: %+v", same)
+	}
+	if got := MergeProgress(); got != (Progress{}) {
+		t.Errorf("empty fold = %+v", got)
+	}
+	if f := (Progress{Done: 1, Total: 4}).Fraction(); f != 0.25 {
+		t.Errorf("Fraction = %g", f)
+	}
+	if f := (Progress{}).Fraction(); f != 0 {
+		t.Errorf("zero-total Fraction = %g", f)
+	}
+	if s := (Progress{Done: 1, Total: 4, Group: "g"}).String(); s != "1/4 [g]" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// TestAccumulatorMarksEstimatedMedians: the streaming fold is exact (and
+// says so) through five observations, an estimate (and says so) beyond.
+func TestAccumulatorMarksEstimatedMedians(t *testing.T) {
+	feed := func(n int) stats.Description {
+		acc := NewAccumulator()
+		for i := 0; i < n; i++ {
+			acc.Add(Sample{Group: "g", X: 1, Values: map[string]float64{"m": float64(i)}})
+		}
+		return acc.Points()[0].Metrics["m"]
+	}
+	if d := feed(5); d.MedianApprox || d.Median != 2 {
+		t.Errorf("n=5: %+v, want exact median 2", d)
+	}
+	if d := feed(6); !d.MedianApprox {
+		t.Errorf("n=6: %+v, want MedianApprox", d)
+	}
+}

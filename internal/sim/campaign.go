@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"strconv"
 	"strings"
@@ -188,6 +190,19 @@ func (s CampaignSpec) runnerDim() []RunnerKind {
 func (s CampaignSpec) Normalized() CampaignSpec {
 	s.normalize()
 	return s
+}
+
+// UnmarshalSpecJSON decodes a campaign spec strictly: unknown fields are
+// an error, so a typoed dimension name fails loudly instead of silently
+// running the default campaign. cmd/sweep's -spec files and the
+// dispatch driver's generated shard specs both decode through this.
+func UnmarshalSpecJSON(data []byte, spec *CampaignSpec) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(spec); err != nil {
+		return fmt.Errorf("sim: campaign spec: %w", err)
+	}
+	return nil
 }
 
 // TrialJob is one fully resolved cell replicate of a campaign: every

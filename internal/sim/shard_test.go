@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestShardRange(t *testing.T) {
+	// 10 replicates over 3 shards: blocks of 4, 3, 3.
+	cases := []struct {
+		i, n, reps   int
+		first, count int
+	}{
+		{1, 3, 10, 0, 4},
+		{2, 3, 10, 4, 3},
+		{3, 3, 10, 7, 3},
+		{1, 1, 10, 0, 10},
+		{2, 5, 5, 1, 1},
+	}
+	for _, c := range cases {
+		first, count, err := ShardRange(c.i, c.n, c.reps)
+		if err != nil || first != c.first || count != c.count {
+			t.Errorf("ShardRange(%d, %d, %d) = (%d, %d, %v), want (%d, %d)",
+				c.i, c.n, c.reps, first, count, err, c.first, c.count)
+		}
+	}
+	for _, bad := range [][3]int{{0, 3, 10}, {4, 3, 10}, {1, 0, 10}, {1, 20, 10}} {
+		if _, _, err := ShardRange(bad[0], bad[1], bad[2]); err == nil {
+			t.Errorf("ShardRange(%v) should fail", bad)
+		}
+	}
+}
+
+// TestSplitShardsTilesReplicates: the shard specs partition the full
+// replicate range exactly and differ from the parent only in the range.
+func TestSplitShardsTilesReplicates(t *testing.T) {
+	spec := CampaignSpec{
+		Schemes:    []SchemeKind{SR},
+		Grids:      []GridSize{{8, 8}},
+		Spares:     []int{8, 24},
+		Replicates: 10,
+		BaseSeed:   7,
+	}
+	shards, err := spec.SplitShards(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 3 {
+		t.Fatalf("got %d shards", len(shards))
+	}
+	next := 0
+	for i, sh := range shards {
+		if sh.ShardFirst != next {
+			t.Errorf("shard %d starts at %d, want %d", i+1, sh.ShardFirst, next)
+		}
+		next = sh.ShardFirst + sh.ShardCount
+		// Everything but the range matches the normalized parent.
+		plain := sh
+		plain.ShardFirst, plain.ShardCount = 0, 0
+		if err := plain.Validate(); err != nil {
+			t.Errorf("shard %d: %v", i+1, err)
+		}
+		if plain.Replicates != 10 || plain.BaseSeed != 7 || len(plain.Spares) != 2 {
+			t.Errorf("shard %d drifted from parent: %+v", i+1, plain)
+		}
+	}
+	if next != spec.Replicates {
+		t.Errorf("shards cover [0, %d), want [0, %d)", next, spec.Replicates)
+	}
+}
+
+// TestSplitShardsJobsEqualUnshardedJobs: the union of the shards'
+// executed jobs is exactly the unsharded job list, seeds included — the
+// property that makes dispatched shard manifests byte-identical slices.
+func TestSplitShardsJobsEqualUnshardedJobs(t *testing.T) {
+	spec := CampaignSpec{
+		Schemes:    []SchemeKind{SR, AR},
+		Grids:      []GridSize{{8, 8}},
+		Spares:     []int{8},
+		Replicates: 5,
+		BaseSeed:   3,
+	}
+	shards, err := spec.SplitShards(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := make(map[TrialJob]int)
+	for _, sh := range shards {
+		sh.ExecutedJobs(nil, func(j TrialJob) { sharded[j]++ })
+	}
+	full := 0
+	spec.Normalized().ExecutedJobs(nil, func(j TrialJob) {
+		full++
+		if sharded[j] != 1 {
+			t.Errorf("job %+v covered %d times, want exactly once", j, sharded[j])
+		}
+	})
+	if full != len(sharded) {
+		t.Errorf("shards executed %d distinct jobs, unsharded campaign has %d", len(sharded), full)
+	}
+}
+
+func TestSplitShardsErrors(t *testing.T) {
+	spec := CampaignSpec{Replicates: 4}
+	if _, err := spec.SplitShards(5); err == nil {
+		t.Error("splitting 4 replicates into 5 shards should fail")
+	}
+	pinned := CampaignSpec{Replicates: 4, ShardFirst: 0, ShardCount: 2}
+	if _, err := pinned.SplitShards(2); err == nil {
+		t.Error("re-splitting a shard spec should fail")
+	}
+}

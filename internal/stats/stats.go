@@ -123,6 +123,14 @@ type Description struct {
 	Min    float64
 	Max    float64
 	Median float64
+	// MedianApprox marks Median as an estimate rather than the exact
+	// order statistic of the described sample: true after merging
+	// summaries (Merge cannot see the underlying samples) and for the
+	// streaming P-squared median beyond five observations. Exact
+	// descriptions — Describe over retained samples, streaming cells of
+	// at most five observations — leave it false, so a manifest reader
+	// can tell an honest median from a reconstruction.
+	MedianApprox bool `json:"median_approx,omitempty"`
 }
 
 // Merge combines two descriptions of disjoint samples into the
@@ -130,11 +138,15 @@ type Description struct {
 // the standard deviation uses the parallel-variance formula of Chan et
 // al. (means and sums of squared deviations combine exactly, up to
 // floating-point reassociation) and CI95 is re-derived from it. The
-// median cannot be reconstructed from summaries alone, so the merge
-// reports the count-weighted mean of the two medians — an estimate, on
-// par with the streaming P-squared median the accumulator reports
-// beyond five observations. Campaign shard manifests are stitched with
-// this (cmd/sweep -merge).
+// median cannot be reconstructed from summaries alone, so when both
+// sides are non-empty the merge reports the count-weighted mean of the
+// two medians and sets MedianApprox — the weighted mean is NOT the
+// median of the pooled samples and can diverge arbitrarily on skewed
+// shards, so the flag travels with the value into manifests. Merging
+// with an empty description is an identity and stays exact. Campaign
+// shard manifests are stitched with this (cmd/sweep -merge); callers
+// that retained the raw samples should recompute the median with
+// Median or Describe instead of merging summaries.
 func (d Description) Merge(o Description) Description {
 	switch {
 	case d.N == 0:
@@ -148,11 +160,12 @@ func (d Description) Merge(o Description) Description {
 	mean := d.Mean + delta*of/nf
 	m2 := d.StdDev*d.StdDev*(df-1) + o.StdDev*o.StdDev*(of-1) + delta*delta*df*of/nf
 	out := Description{
-		N:      n,
-		Mean:   mean,
-		Min:    math.Min(d.Min, o.Min),
-		Max:    math.Max(d.Max, o.Max),
-		Median: (d.Median*df + o.Median*of) / nf,
+		N:            n,
+		Mean:         mean,
+		Min:          math.Min(d.Min, o.Min),
+		Max:          math.Max(d.Max, o.Max),
+		Median:       (d.Median*df + o.Median*of) / nf,
+		MedianApprox: true,
 	}
 	if n >= 2 {
 		out.StdDev = math.Sqrt(m2 / (nf - 1))
@@ -174,8 +187,13 @@ func Describe(xs []float64) Description {
 	}
 }
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. An approximate median renders as
+// "med~=" instead of "med=".
 func (d Description) String() string {
-	return fmt.Sprintf("n=%d mean=%.4g±%.2g sd=%.4g min=%.4g med=%.4g max=%.4g",
-		d.N, d.Mean, d.CI95, d.StdDev, d.Min, d.Median, d.Max)
+	med := "med="
+	if d.MedianApprox {
+		med = "med~="
+	}
+	return fmt.Sprintf("n=%d mean=%.4g±%.2g sd=%.4g min=%.4g %s%.4g max=%.4g",
+		d.N, d.Mean, d.CI95, d.StdDev, d.Min, med, d.Median, d.Max)
 }
