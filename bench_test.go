@@ -31,6 +31,7 @@ import (
 	"wsncover/internal/node"
 	"wsncover/internal/randx"
 	"wsncover/internal/sim"
+	"wsncover/internal/telemetry"
 )
 
 // benchNs is the reduced sweep used by the experimental benchmarks.
@@ -587,6 +588,52 @@ func BenchmarkReplicateSteadyState(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkTelemetrySteadyState reruns the pooled 64x64 steady state
+// with the full observability pipeline live — hub, a draining SSE-style
+// subscriber, publisher, and the per-trial Tracker hook — pinning that
+// telemetry adds zero allocations to the trial hot path: between
+// throttled publishes a trial costs two map updates and a clock read,
+// so allocs/op must match ReplicateSteadyState/pooled-64x64. The total
+// is oversized so no trial hits the group-boundary or final paths,
+// exactly like a long campaign's interior.
+func BenchmarkTelemetrySteadyState(b *testing.B) {
+	cfg := sim.TrialConfig{
+		Cols: 64, Rows: 64, Scheme: sim.SR,
+		Spares: 300, Holes: 16, AdjacentHolesOK: true,
+	}
+	const group = "SR 64x64"
+	hub := telemetry.NewHub()
+	sub := hub.Subscribe()
+	drained := make(chan struct{})
+	go func() {
+		for range sub.Events() {
+		}
+		close(drained)
+	}()
+	pub := telemetry.NewPublisher(hub)
+	tracker := telemetry.NewTracker(pub, 1<<30, []string{group}, map[string]int{group: 1 << 30})
+	arena := sim.NewTrialArena()
+	for s := int64(0); s < 4; s++ {
+		cfg.Seed = s
+		if _, err := arena.RunTrial(cfg); err != nil {
+			b.Fatal(err)
+		}
+		tracker.TrialDone(group)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i % 8)
+		if _, err := arena.RunTrial(cfg); err != nil {
+			b.Fatal(err)
+		}
+		tracker.TrialDone(group)
+	}
+	b.StopTimer()
+	hub.Close()
+	<-drained
 }
 
 // --- Micro benches for the hot substrate paths ---

@@ -17,6 +17,12 @@
 // across machines, which is what makes them CI-gateable; ns_op gates
 // should use generous ratios if used at all. The baseline for a name is
 // the most recent history entry that records it.
+//
+// -trend NAME:METRIC (repeatable) prints the same measured-vs-baseline
+// comparison as a report-only row — never a failure, and a missing
+// baseline or measurement is tolerated. It exists for wall-clock
+// metrics: ns_op on shared CI boxes is too noisy to gate, but the trend
+// line in the log makes a 10x cliff visible the day it happens.
 package main
 
 import (
@@ -45,16 +51,39 @@ func (c *checkList) Set(s string) error {
 	if len(parts) != 3 {
 		return fmt.Errorf("bad check %q (want NAME:METRIC:MAXRATIO)", s)
 	}
-	switch parts[1] {
-	case "ns_op", "bytes_op", "allocs_op":
-	default:
-		return fmt.Errorf("bad metric %q (want ns_op, bytes_op, or allocs_op)", parts[1])
+	if err := validMetric(parts[1]); err != nil {
+		return err
 	}
 	ratio, err := strconv.ParseFloat(parts[2], 64)
 	if err != nil || ratio <= 0 {
 		return fmt.Errorf("bad ratio %q", parts[2])
 	}
 	*c = append(*c, checkSpec{name: parts[0], metric: parts[1], maxRatio: ratio})
+	return nil
+}
+
+func validMetric(m string) error {
+	switch m {
+	case "ns_op", "bytes_op", "allocs_op":
+		return nil
+	}
+	return fmt.Errorf("bad metric %q (want ns_op, bytes_op, or allocs_op)", m)
+}
+
+// trendList collects -trend NAME:METRIC report-only comparisons.
+type trendList []checkSpec
+
+func (c *trendList) String() string { return fmt.Sprintf("%v", []checkSpec(*c)) }
+
+func (c *trendList) Set(s string) error {
+	name, metric, ok := strings.Cut(s, ":")
+	if !ok || name == "" {
+		return fmt.Errorf("bad trend %q (want NAME:METRIC)", s)
+	}
+	if err := validMetric(metric); err != nil {
+		return err
+	}
+	*c = append(*c, checkSpec{name: name, metric: metric})
 	return nil
 }
 
@@ -110,11 +139,13 @@ func parseBench(lines *bufio.Scanner) (map[string]map[string]float64, error) {
 
 func run() error {
 	var checks checkList
+	var trends trendList
 	baselinePath := flag.String("baseline", "BENCH_trial.json", "benchmark history file")
 	flag.Var(&checks, "check", "NAME:METRIC:MAXRATIO assertion (repeatable)")
+	flag.Var(&trends, "trend", "NAME:METRIC report-only comparison, never a failure (repeatable)")
 	flag.Parse()
-	if len(checks) == 0 {
-		return fmt.Errorf("no -check assertions given")
+	if len(checks) == 0 && len(trends) == 0 {
+		return fmt.Errorf("no -check assertions or -trend reports given")
 	}
 	data, err := os.ReadFile(*baselinePath)
 	if err != nil {
@@ -154,6 +185,22 @@ func run() error {
 		}
 		fmt.Printf("%-50s %-10s %12.0f vs baseline %12.0f  (%.2fx, limit %.2fx) %s\n",
 			c.name, c.metric, gotVal, baseVal, ratio, c.maxRatio, status)
+	}
+	// Trend rows report, never gate: a missing baseline or measurement
+	// prints as such instead of failing the run.
+	for _, c := range trends {
+		gotVal, haveGot := measured[c.name][c.metric]
+		base, _ := baseline.baselineFor(c.name)
+		baseVal, haveBase := base[c.metric]
+		switch {
+		case !haveGot:
+			fmt.Printf("%-50s %-10s not in the piped bench output (trend)\n", c.name, c.metric)
+		case !haveBase || baseVal <= 0:
+			fmt.Printf("%-50s %-10s %12.0f — no baseline (trend)\n", c.name, c.metric, gotVal)
+		default:
+			fmt.Printf("%-50s %-10s %12.0f vs baseline %12.0f  (%.2fx) trend\n",
+				c.name, c.metric, gotVal, baseVal, gotVal/baseVal)
+		}
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d benchmark regression(s) beyond threshold", failed)

@@ -15,19 +15,19 @@
 // Execution metadata — worker counts, fresh-build and shard-range
 // fields — is ignored: it changes wall clock, never results.
 //
+// The comparison itself is dispatch.DiffManifests; cmd/runlog diff
+// applies the same contract to the manifests of two ledger records.
+//
 // Exit status: 0 when equivalent, 1 when the manifests differ, 2 on
 // usage or read errors.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 
-	"wsncover/internal/experiment"
-	"wsncover/internal/sim"
+	"wsncover/internal/dispatch"
 )
 
 func main() {
@@ -37,7 +37,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: manifestdiff [-tol t] a.json b.json")
 		os.Exit(2)
 	}
-	diffs, err := diffManifests(flag.Arg(0), flag.Arg(1), *tol)
+	diffs, err := dispatch.DiffManifests(flag.Arg(0), flag.Arg(1), *tol)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "manifestdiff:", err)
 		os.Exit(2)
@@ -51,98 +51,4 @@ func main() {
 	}
 	fmt.Printf("%s and %s are equivalent (modulo estimated medians and execution metadata)\n",
 		flag.Arg(0), flag.Arg(1))
-}
-
-// loadManifest reads a manifest and its spec with execution metadata
-// cleared.
-func loadManifest(path string) (experiment.Manifest, sim.CampaignSpec, error) {
-	var m experiment.Manifest
-	var spec sim.CampaignSpec
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return m, spec, err
-	}
-	if err := json.Unmarshal(data, &m); err != nil {
-		return m, spec, fmt.Errorf("%s: %w", path, err)
-	}
-	if len(m.Spec) > 0 {
-		if err := json.Unmarshal(m.Spec, &spec); err != nil {
-			return m, spec, fmt.Errorf("%s: unreadable spec: %w", path, err)
-		}
-	}
-	spec.Workers, spec.FreshBuild = 0, false
-	spec.ShardFirst, spec.ShardCount = 0, 0
-	return m, spec, nil
-}
-
-// diffManifests returns a human-readable list of contract violations
-// between the two manifests (empty means equivalent).
-func diffManifests(pathA, pathB string, tol float64) ([]string, error) {
-	a, specA, err := loadManifest(pathA)
-	if err != nil {
-		return nil, err
-	}
-	b, specB, err := loadManifest(pathB)
-	if err != nil {
-		return nil, err
-	}
-	var diffs []string
-	add := func(format string, args ...any) { diffs = append(diffs, fmt.Sprintf(format, args...)) }
-
-	sa, _ := json.Marshal(specA)
-	sb, _ := json.Marshal(specB)
-	if string(sa) != string(sb) {
-		add("spec: %s vs %s", sa, sb)
-	}
-	if a.Name != b.Name {
-		add("name: %q vs %q", a.Name, b.Name)
-	}
-	if a.Jobs != b.Jobs {
-		add("jobs: %d vs %d", a.Jobs, b.Jobs)
-	}
-	if len(a.Points) != len(b.Points) {
-		add("points: %d vs %d", len(a.Points), len(b.Points))
-		return diffs, nil
-	}
-	close := func(x, y float64) bool { return math.Abs(x-y) <= tol*(1+math.Abs(y)) }
-	for i, pb := range b.Points {
-		pa := a.Points[i]
-		cell := fmt.Sprintf("(%s, %g)", pb.Group, pb.X)
-		if pa.Group != pb.Group || pa.X != pb.X {
-			add("point %d: (%s, %g) vs %s", i, pa.Group, pa.X, cell)
-			continue
-		}
-		if len(pa.Metrics) != len(pb.Metrics) {
-			add("%s: %d metrics vs %d", cell, len(pa.Metrics), len(pb.Metrics))
-			continue
-		}
-		for name, db := range pb.Metrics {
-			da, ok := pa.Metrics[name]
-			if !ok {
-				add("%s: metric %q missing", cell, name)
-				continue
-			}
-			if da.N != db.N {
-				add("%s/%s: N %d vs %d", cell, name, da.N, db.N)
-			}
-			if da.Min != db.Min || da.Max != db.Max {
-				add("%s/%s: min/max (%g, %g) vs (%g, %g)", cell, name, da.Min, da.Max, db.Min, db.Max)
-			}
-			if !close(da.Mean, db.Mean) {
-				add("%s/%s: mean %g vs %g", cell, name, da.Mean, db.Mean)
-			}
-			if !close(da.StdDev, db.StdDev) {
-				add("%s/%s: stddev %g vs %g", cell, name, da.StdDev, db.StdDev)
-			}
-			if !close(da.CI95, db.CI95) {
-				add("%s/%s: ci95 %g vs %g", cell, name, da.CI95, db.CI95)
-			}
-			// Medians compare only exact-to-exact; an estimate carries
-			// its own health warning instead.
-			if !da.MedianApprox && !db.MedianApprox && !close(da.Median, db.Median) {
-				add("%s/%s: median %g vs %g", cell, name, da.Median, db.Median)
-			}
-		}
-	}
-	return diffs, nil
 }

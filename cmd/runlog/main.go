@@ -1,0 +1,256 @@
+// Command runlog queries the run ledger — the append-only NDJSON
+// history cmd/sweep writes one record into per completed campaign
+// (internal/telemetry, default <out>/ledger.ndjson).
+//
+// Usage:
+//
+//	runlog [-ledger out/ledger.ndjson] list
+//	runlog [-ledger ...] show <ref>
+//	runlog [-ledger ...] diff [-tol t] <refA> <refB>
+//	runlog bench [-baseline BENCH_trial.json] [-metric ns_op]
+//
+// A <ref> names one record: a 1-based index into the ledger (append
+// order, so 1 is the oldest), a spec-hash prefix (with or without the
+// "sha256:" prefix), or a campaign name — the latest matching record
+// wins for hashes and names, so "runlog show churn" is the most recent
+// churn campaign.
+//
+// diff compares two records' manifests under the same shard merge
+// contract cmd/manifestdiff enforces (dispatch.DiffManifests): because
+// the engine is deterministic, two runs with equal spec hashes must
+// produce equivalent manifests, and diff proves it — across machines,
+// shard layouts, and fleet sizes. Exit status 1 means the manifests
+// differ, 2 usage or read errors.
+//
+// bench is the wall-clock companion: it tabulates each benchmark's
+// metric across the BENCH_trial.json history (newest first), the trend
+// table CI prints next to the gated alloc checks.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"wsncover/internal/dispatch"
+	"wsncover/internal/telemetry"
+)
+
+// errDiffs marks a successful comparison that found differences, so
+// main can exit 1 (differ) rather than 2 (broken).
+var errDiffs = errors.New("manifests differ")
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	switch {
+	case err == nil:
+	case errors.Is(err, errDiffs):
+		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, "runlog:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("runlog", flag.ContinueOnError)
+	ledgerPath := fs.String("ledger", "out/ledger.ndjson", "run-ledger NDJSON file")
+	tol := fs.Float64("tol", 1e-9, "diff: relative tolerance for mean/stddev/CI95")
+	baseline := fs.String("baseline", "BENCH_trial.json", "bench: benchmark history file")
+	metric := fs.String("metric", "ns_op", "bench: metric to tabulate (ns_op, bytes_op, allocs_op)")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: runlog [flags] list | show <ref> | diff <refA> <refB> | bench")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sub := fs.Arg(0)
+	rest := fs.Args()
+	if len(rest) > 0 {
+		rest = rest[1:]
+	}
+	switch sub {
+	case "", "list":
+		return runList(w, *ledgerPath)
+	case "show":
+		if len(rest) != 1 {
+			return fmt.Errorf("show takes one record ref")
+		}
+		return runShow(w, *ledgerPath, rest[0])
+	case "diff":
+		if len(rest) != 2 {
+			return fmt.Errorf("diff takes two record refs")
+		}
+		return runDiff(w, *ledgerPath, rest[0], rest[1], *tol)
+	case "bench":
+		return runBench(w, *baseline, *metric)
+	}
+	return fmt.Errorf("unknown subcommand %q (want list, show, diff, or bench)", sub)
+}
+
+// resolve finds the record a ref names: a 1-based ledger index, a
+// spec-hash prefix, or a campaign name (latest match wins for the
+// latter two). The returned index is 0-based.
+func resolve(recs []telemetry.Record, ref string) (int, error) {
+	if n, err := strconv.Atoi(ref); err == nil {
+		if n < 1 || n > len(recs) {
+			return 0, fmt.Errorf("record %d out of range (ledger has %d)", n, len(recs))
+		}
+		return n - 1, nil
+	}
+	hashRef := ref
+	if !strings.HasPrefix(hashRef, "sha256:") {
+		hashRef = "sha256:" + hashRef
+	}
+	for i := len(recs) - 1; i >= 0; i-- {
+		if strings.HasPrefix(recs[i].SpecHash, hashRef) {
+			return i, nil
+		}
+	}
+	for i := len(recs) - 1; i >= 0; i-- {
+		if recs[i].Name == ref {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("no record matches %q (not an index, spec-hash prefix, or campaign name)", ref)
+}
+
+// shortHash abbreviates "sha256:<64 hex>" for the list table.
+func shortHash(h string) string {
+	h = strings.TrimPrefix(h, "sha256:")
+	if len(h) > 12 {
+		h = h[:12]
+	}
+	return h
+}
+
+func runList(w io.Writer, path string) error {
+	recs, err := telemetry.ReadLedger(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-4s %-20s %-16s %-9s %6s %6s %9s %10s  %s\n",
+		"#", "time", "name", "mode", "jobs", "pts", "wall_s", "trials/s", "spec")
+	for i, r := range recs {
+		fmt.Fprintf(w, "%-4d %-20s %-16s %-9s %6d %6d %9.2f %10.1f  %s\n",
+			i+1, r.Time.Format("2006-01-02 15:04:05"), r.Name, r.Mode,
+			r.Jobs, r.Points, r.WallS, r.TrialsPerS, shortHash(r.SpecHash))
+	}
+	return nil
+}
+
+func runShow(w io.Writer, path, ref string) error {
+	recs, err := telemetry.ReadLedger(path)
+	if err != nil {
+		return err
+	}
+	i, err := resolve(recs, ref)
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(recs[i], "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s\n", b)
+	return nil
+}
+
+func runDiff(w io.Writer, path, refA, refB string, tol float64) error {
+	recs, err := telemetry.ReadLedger(path)
+	if err != nil {
+		return err
+	}
+	ia, err := resolve(recs, refA)
+	if err != nil {
+		return err
+	}
+	ib, err := resolve(recs, refB)
+	if err != nil {
+		return err
+	}
+	a, b := recs[ia], recs[ib]
+	if a.SpecHash != b.SpecHash {
+		fmt.Fprintf(w, "spec hashes differ (%s vs %s); comparing anyway\n",
+			shortHash(a.SpecHash), shortHash(b.SpecHash))
+	}
+	diffs, err := dispatch.DiffManifests(a.Manifest, b.Manifest, tol)
+	if err != nil {
+		return err
+	}
+	if len(diffs) > 0 {
+		for _, d := range diffs {
+			fmt.Fprintln(w, d)
+		}
+		fmt.Fprintf(w, "%d difference(s) between %s and %s\n", len(diffs), a.Manifest, b.Manifest)
+		return errDiffs
+	}
+	fmt.Fprintf(w, "%s and %s are equivalent (modulo estimated medians and execution metadata)\n",
+		a.Manifest, b.Manifest)
+	return nil
+}
+
+// benchHistory mirrors the slice of BENCH_trial.json runlog needs.
+type benchHistory struct {
+	History []struct {
+		PR         int                           `json:"pr"`
+		Date       string                        `json:"date"`
+		Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+	} `json:"history"`
+}
+
+// runBench prints one row per benchmark, one column per history entry
+// (newest first), for the chosen metric — the per-PR trend table.
+func runBench(w io.Writer, path, metric string) error {
+	switch metric {
+	case "ns_op", "bytes_op", "allocs_op":
+	default:
+		return fmt.Errorf("bad -metric %q (want ns_op, bytes_op, or allocs_op)", metric)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var hist benchHistory
+	if err := json.Unmarshal(data, &hist); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(hist.History) == 0 {
+		return fmt.Errorf("%s has no history entries", path)
+	}
+	names := map[string]bool{}
+	for _, e := range hist.History {
+		for n := range e.Benchmarks {
+			names[n] = true
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	fmt.Fprintf(w, "%-44s", metric)
+	for _, e := range hist.History {
+		fmt.Fprintf(w, " %12s", fmt.Sprintf("pr%d", e.PR))
+	}
+	fmt.Fprintln(w)
+	for _, n := range sorted {
+		fmt.Fprintf(w, "%-44s", n)
+		for _, e := range hist.History {
+			if v, ok := e.Benchmarks[n][metric]; ok {
+				fmt.Fprintf(w, " %12.0f", v)
+			} else {
+				fmt.Fprintf(w, " %12s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wsncover/internal/experiment"
+	"wsncover/internal/sim"
+	"wsncover/internal/stats"
+	"wsncover/internal/telemetry"
+)
+
+// writeManifest persists a one-point manifest and returns its path.
+func writeManifest(t *testing.T, dir, name string, mean float64) string {
+	t.Helper()
+	spec := sim.CampaignSpec{
+		Schemes: []sim.SchemeKind{sim.SR}, Grids: []sim.GridSize{{Cols: 8, Rows: 8}},
+		Spares: []int{8}, Replicates: 4, BaseSeed: 1,
+	}.Normalized()
+	pts := []experiment.Point{{
+		Group: "SR 8x8", X: 8,
+		Metrics: map[string]stats.Description{
+			"moves": {N: 4, Mean: mean, Min: 1, Max: 9, Median: mean},
+		},
+	}}
+	m, err := experiment.NewManifest(name, spec, 4, 0, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, name+".json")
+}
+
+// buildLedger writes three records: two equivalent runs of one campaign
+// (same spec hash) and one genuinely different run.
+func buildLedger(t *testing.T) (ledger string, hash string) {
+	t.Helper()
+	dir := t.TempDir()
+	ledger = filepath.Join(dir, "ledger.ndjson")
+	a := writeManifest(t, dir, "alpha", 5)
+	b := writeManifest(t, dir, "beta", 5)
+	c := writeManifest(t, dir, "gamma", 7)
+	hash = "sha256:aabbccdd00112233"
+	base := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	for i, r := range []telemetry.Record{
+		{Name: "alpha", Mode: "run", SpecHash: hash, Manifest: a, Jobs: 4, Points: 1, WallS: 1.5},
+		{Name: "beta", Mode: "dispatch", SpecHash: hash, Manifest: b, Jobs: 4, Points: 1, Shards: 2, WallS: 0.9},
+		{Name: "gamma", Mode: "run", SpecHash: "sha256:ffee00", Manifest: c, Jobs: 4, Points: 1, WallS: 1.1},
+	} {
+		r.Time = base.Add(time.Duration(i) * time.Minute)
+		if err := telemetry.AppendRecord(ledger, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ledger, hash
+}
+
+func TestRunlogList(t *testing.T) {
+	ledger, _ := buildLedger(t)
+	var out strings.Builder
+	if err := run([]string{"-ledger", ledger, "list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"alpha", "beta", "gamma", "dispatch", "aabbccdd0011"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("list output missing %q:\n%s", want, s)
+		}
+	}
+	// The bare command defaults to list.
+	var def strings.Builder
+	if err := run([]string{"-ledger", ledger}, &def); err != nil {
+		t.Fatal(err)
+	}
+	if def.String() != s {
+		t.Error("default subcommand should be list")
+	}
+}
+
+func TestRunlogShowResolvesRefs(t *testing.T) {
+	ledger, hash := buildLedger(t)
+	for ref, wantName := range map[string]string{
+		"1":      "alpha", // 1-based index
+		"gamma":  "gamma", // campaign name
+		"beta":   "beta",
+		"aabbcc": "beta", // hash prefix: latest match wins
+		hash:     "beta", // full hash, sha256: prefix included
+	} {
+		var out strings.Builder
+		if err := run([]string{"-ledger", ledger, "show", ref}, &out); err != nil {
+			t.Fatalf("show %q: %v", ref, err)
+		}
+		if !strings.Contains(out.String(), `"name": "`+wantName+`"`) {
+			t.Errorf("show %q resolved to:\n%s\nwant %s", ref, out.String(), wantName)
+		}
+	}
+	if err := run([]string{"-ledger", ledger, "show", "nonesuch"}, &strings.Builder{}); err == nil {
+		t.Error("unresolvable ref should error")
+	}
+	if err := run([]string{"-ledger", ledger, "show", "99"}, &strings.Builder{}); err == nil {
+		t.Error("out-of-range index should error")
+	}
+}
+
+func TestRunlogDiff(t *testing.T) {
+	ledger, _ := buildLedger(t)
+	// alpha vs beta: same statistics, different manifest names — the
+	// merge contract reports exactly the name difference.
+	var out strings.Builder
+	err := run([]string{"-ledger", ledger, "diff", "alpha", "beta"}, &out)
+	if !errors.Is(err, errDiffs) {
+		t.Fatalf("diff alpha beta = %v, want errDiffs (names differ)", err)
+	}
+	if !strings.Contains(out.String(), "name") {
+		t.Errorf("diff output should mention the name difference:\n%s", out.String())
+	}
+	// alpha vs gamma differ in results too, and the spec hashes differ.
+	out.Reset()
+	err = run([]string{"-ledger", ledger, "diff", "1", "gamma"}, &out)
+	if !errors.Is(err, errDiffs) {
+		t.Fatalf("diff 1 gamma = %v, want errDiffs", err)
+	}
+	if !strings.Contains(out.String(), "spec hashes differ") {
+		t.Errorf("diff should warn about differing spec hashes:\n%s", out.String())
+	}
+	// A record diffed against itself is equivalent.
+	out.Reset()
+	if err := run([]string{"-ledger", ledger, "diff", "1", "1"}, &out); err != nil {
+		t.Fatalf("diff 1 1 = %v, want nil", err)
+	}
+	if !strings.Contains(out.String(), "equivalent") {
+		t.Errorf("self-diff output:\n%s", out.String())
+	}
+}
+
+func TestRunlogBench(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_trial.json")
+	hist := `{"history": [
+		{"pr": 5, "date": "2026-08-01", "benchmarks": {
+			"ReplicateSteadyState/pooled-64x64": {"ns_op": 500000, "bytes_op": 41000, "allocs_op": 145}}},
+		{"pr": 4, "date": "2026-07-29", "benchmarks": {
+			"ReplicateSteadyState/pooled-64x64": {"ns_op": 544336, "bytes_op": 41370, "allocs_op": 145},
+			"TrialLarge/64x64": {"ns_op": 1355868}}}
+	]}`
+	if err := os.WriteFile(path, []byte(hist), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"bench", "-baseline", path}, &out); err == nil {
+		t.Log("flags after subcommand are not parsed; expected usage is flags first")
+	}
+	out.Reset()
+	if err := run([]string{"-baseline", path, "bench"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"pr5", "pr4", "500000", "544336", "ReplicateSteadyState/pooled-64x64"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("bench table missing %q:\n%s", want, s)
+		}
+	}
+	// TrialLarge has no pr5 entry: its row carries a dash.
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "TrialLarge/64x64") && !strings.Contains(line, "-") {
+			t.Errorf("missing-entry dash absent: %q", line)
+		}
+	}
+	out.Reset()
+	if err := run([]string{"-baseline", path, "-metric", "watts", "bench"}, &out); err == nil {
+		t.Error("bad metric should error")
+	}
+}

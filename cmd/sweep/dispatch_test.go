@@ -387,9 +387,9 @@ func TestDispatchFlagConflicts(t *testing.T) {
 	}{
 		{[]string{"-dispatch", "2", "-shard", "1/2"}, "-dispatch splits"},
 		{[]string{"-dispatch", "2", "-checkpoint"}, "-checkpoint belongs to workers"},
-		{[]string{"-dispatch", "2", "-progress", "json"}, "fleet meter"},
 		{[]string{"-exec", "ssh box --"}, "-exec only applies"},
 		{[]string{"-progress", "sometimes"}, "unknown -progress mode"},
+		{[]string{"-pprof"}, "requires -dash"},
 	}
 	for _, c := range cases {
 		err := run(append(c.args, "-schemes", "SR", "-grids", "8x8", "-spares", "8",

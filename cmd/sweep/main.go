@@ -12,6 +12,7 @@
 //	      [-workers w] [-metrics moves,success_rate|all] [-out dir]
 //	      [-name sweep] [-resume] [-shard i/n] [-checkpoint]
 //	      [-progress meter|json|none] [-ascii] [-quiet]
+//	      [-dash addr [-pprof] [-dash-linger d]] [-ledger path|none]
 //	sweep -spec campaign.json [-out dir] [-name sweep] ...
 //	sweep -merge shard1.json shard2.json ... [-out dir] [-name merged]
 //	sweep -dispatch n [-exec "ssh host{shard} --"] [campaign flags ...]
@@ -56,11 +57,24 @@
 //
 // -progress selects the progress channel: "meter" is the human line on
 // stderr, "json" emits newline-delimited experiment.Progress events
-// ({"done":..,"total":..,"group":..}) on stdout — the protocol dispatch
-// supervisors consume — and "none" is silent. -checkpoint rewrites the
+// ({"done":..,"total":..,"group":..,"group_done":..}) on stdout — the
+// protocol dispatch supervisors consume; combined with -dispatch it
+// emits the merged fleet's progress instead, so a supervisor of
+// supervisors composes — and "none" is silent. -checkpoint rewrites the
 // manifest (atomically) every time a campaign cell completes, so a
 // killed run leaves a partial manifest a later -resume picks up; the
 // dispatch driver enables it for every worker.
+//
+// Observability: -dash addr serves the live telemetry dashboard
+// (internal/telemetry) while the campaign runs — an HTML page at /, the
+// snapshot stream at /events (SSE, or NDJSON with ?format=ndjson),
+// liveness at /healthz, and net/http/pprof under -pprof. -dash-linger
+// keeps it serving after completion so a human can see the final state.
+// Every successful run appends one record to the run ledger
+// (<out>/ledger.ndjson, or -ledger path; -ledger none disables), the
+// NDJSON history cmd/runlog queries. Structured logs go to stderr via
+// log/slog; WSNSWEEP_LOG sets the level and WSNSWEEP_LOG_FORMAT=json
+// makes them machine-parseable.
 package main
 
 import (
@@ -69,6 +83,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -79,6 +94,7 @@ import (
 	"wsncover/internal/dispatch"
 	"wsncover/internal/experiment"
 	"wsncover/internal/sim"
+	"wsncover/internal/telemetry"
 )
 
 func main() {
@@ -98,26 +114,60 @@ var progressOut io.Writer = os.Stdout
 // initial and final events always go out — the supervisor needs the
 // totals up front and the completion for certain — and intermediate
 // events are throttled like the human meter so a fast campaign never
-// bottlenecks on pipe writes.
+// bottlenecks on pipe writes. Each event carries the current group's
+// completed-trial count (GroupDone), and a group finishing forces an
+// event, so the supervisor's per-group ledger sees every group reach
+// its final count even under throttling.
 type jsonProgress struct {
-	w     io.Writer
-	total int
-	last  time.Time
+	w          io.Writer
+	total      int
+	last       time.Time
+	groupTotal map[string]int
+	groupDone  map[string]int
 }
 
-func newJSONProgress(w io.Writer, total int) *jsonProgress {
-	e := &jsonProgress{w: w, total: total}
-	e.emit(0, "")
+func newJSONProgress(w io.Writer, total int, groupTotal map[string]int) *jsonProgress {
+	e := &jsonProgress{
+		w: w, total: total,
+		groupTotal: groupTotal,
+		groupDone:  make(map[string]int, len(groupTotal)),
+	}
+	e.w.Write(experiment.Progress{Done: 0, Total: e.total}.MarshalLine())
 	return e
 }
 
 func (e *jsonProgress) emit(done int, group string) {
+	e.groupDone[group]++
+	boundary := e.groupDone[group] == e.groupTotal[group]
 	now := time.Now()
-	if done != 0 && done != e.total && now.Sub(e.last) < 200*time.Millisecond {
+	if done != e.total && !boundary && now.Sub(e.last) < 200*time.Millisecond {
 		return
 	}
 	e.last = now
-	e.w.Write(experiment.Progress{Done: done, Total: e.total, Group: group}.MarshalLine())
+	e.w.Write(experiment.Progress{
+		Done: done, Total: e.total,
+		Group: group, GroupDone: e.groupDone[group],
+	}.MarshalLine())
+}
+
+// fleetJSON re-emits a dispatch fleet's merged progress as the same
+// NDJSON protocol the workers speak — "-dispatch n -progress=json"
+// composes: a supervisor of this process parses the stream exactly as
+// this process parses its workers'. The initial full-total event is
+// written by the caller before the fleet starts; terminal snapshots
+// always go out.
+type fleetJSON struct {
+	w    io.Writer
+	last time.Time
+}
+
+func (e *fleetJSON) update(snap dispatch.FleetSnapshot) {
+	now := time.Now()
+	if !snap.Terminal() && now.Sub(e.last) < 200*time.Millisecond {
+		return
+	}
+	e.last = now
+	e.w.Write(snap.Fleet.MarshalLine())
 }
 
 // checkpointer rewrites the manifest after every completed campaign
@@ -137,6 +187,7 @@ type checkpointer struct {
 	cellDone  map[resumeKey]int
 	completed map[resumeKey]bool
 	doneJobs  int
+	log       *slog.Logger
 }
 
 // trialDone records one finished trial; when its cell completes, the
@@ -148,7 +199,13 @@ func (c *checkpointer) trialDone(k resumeKey) error {
 	}
 	c.completed[k] = true
 	c.doneJobs += c.cellTotal[k]
-	return c.write()
+	if err := c.write(); err != nil {
+		return err
+	}
+	c.log.Debug("checkpoint written",
+		"manifest", c.path, "group", k.group, "x", k.x,
+		"cells", len(c.completed), "done_jobs", c.doneJobs)
+	return nil
 }
 
 func (c *checkpointer) write() error {
@@ -176,6 +233,156 @@ func (c *checkpointer) write() error {
 		return err
 	}
 	return os.Rename(tmp, c.path)
+}
+
+// dashNotify is a test hook: when set, it runs with the dashboard's
+// bound address (and its hub) after the server starts and before the
+// campaign does, so a test can subscribe ahead of the first event.
+var dashNotify func(addr string, hub *telemetry.Hub)
+
+// dashAddrFileEnv, when set, names a file the bound dashboard address is
+// written to — the hook CI's smoke test uses to find a ":0" port.
+const dashAddrFileEnv = "WSNSWEEP_DASH_ADDR_FILE"
+
+// dashRig bundles the live-dashboard pieces -dash turns on: the hub the
+// campaign publishes into, the HTTP server over it, and the publisher
+// that stamps snapshots with elapsed/rate/ETA.
+type dashRig struct {
+	hub    *telemetry.Hub
+	server *telemetry.Server
+	pub    *telemetry.Publisher
+	addr   string
+	linger time.Duration
+}
+
+func startDash(addr string, pprof bool, linger time.Duration, logger *slog.Logger) (*dashRig, error) {
+	hub := telemetry.NewHub()
+	srv := telemetry.NewServer(hub)
+	srv.Pprof = pprof
+	bound, err := srv.Start(addr)
+	if err != nil {
+		return nil, err
+	}
+	logger.Info("dashboard serving", "addr", bound, "url", "http://"+bound+"/", "pprof", pprof)
+	if path := os.Getenv(dashAddrFileEnv); path != "" {
+		if err := os.WriteFile(path, []byte(bound), 0o644); err != nil {
+			srv.Close()
+			return nil, err
+		}
+	}
+	if dashNotify != nil {
+		dashNotify(bound, hub)
+	}
+	return &dashRig{hub: hub, server: srv, pub: telemetry.NewPublisher(hub), addr: bound, linger: linger}, nil
+}
+
+// finish shuts the dashboard down; after a successful campaign it first
+// lingers (-dash-linger) so a human — or a smoke test — can still read
+// the final state. Nil-safe, so call sites need no -dash conditionals.
+func (d *dashRig) finish(runErr error) {
+	if d == nil {
+		return
+	}
+	if runErr == nil && d.linger > 0 {
+		time.Sleep(d.linger)
+	}
+	d.server.Close()
+}
+
+// shardViews and groupViews convert a fleet snapshot's vectors into the
+// telemetry package's wire shapes — the conversion lives here because
+// telemetry must not import dispatch (the dependency runs the other
+// way: nothing below the command layer knows about the dashboard).
+func shardViews(shards []dispatch.ShardStatus) []telemetry.ShardView {
+	out := make([]telemetry.ShardView, len(shards))
+	for i, s := range shards {
+		out[i] = telemetry.ShardView{
+			Shard:    s.Shard,
+			State:    s.State.String(),
+			Done:     s.Progress.Done,
+			Total:    s.Progress.Total,
+			Attempts: s.Attempts,
+		}
+	}
+	return out
+}
+
+func groupViews(groups []dispatch.GroupProgress) []telemetry.GroupView {
+	out := make([]telemetry.GroupView, len(groups))
+	for i, g := range groups {
+		out[i] = telemetry.GroupView{Group: g.Group, Done: g.Done, Total: g.Total}
+	}
+	return out
+}
+
+// fleetStats rides the dispatch progress callback and captures what the
+// ledger records about a fleet run: worker relaunch counts and each
+// group's active wall span (snapshot-granular — from the first snapshot
+// where the group shows progress to the last where its count advanced).
+type fleetStats struct {
+	attempts  []int
+	prevDone  map[string]int
+	groupSpan *telemetry.GroupTimer
+}
+
+func newFleetStats() *fleetStats {
+	return &fleetStats{prevDone: make(map[string]int), groupSpan: telemetry.NewGroupTimer()}
+}
+
+func (f *fleetStats) update(s dispatch.FleetSnapshot) {
+	if f.attempts == nil {
+		f.attempts = make([]int, len(s.Shards))
+	}
+	for i, sh := range s.Shards {
+		if i < len(f.attempts) && sh.Attempts > f.attempts[i] {
+			f.attempts[i] = sh.Attempts
+		}
+	}
+	for _, g := range s.Groups {
+		if g.Done > f.prevDone[g.Group] {
+			f.prevDone[g.Group] = g.Done
+			f.groupSpan.Observe(g.Group)
+		}
+	}
+}
+
+// retries is the number of worker relaunches the fleet needed.
+func (f *fleetStats) retries() int {
+	n := 0
+	for _, a := range f.attempts {
+		if a > 1 {
+			n += a - 1
+		}
+	}
+	return n
+}
+
+// resolveLedger turns the -ledger flag into a path: the default is
+// <out>/ledger.ndjson, "none" disables (empty return).
+func resolveLedger(flagVal, outDir string) string {
+	switch flagVal {
+	case "none":
+		return ""
+	case "":
+		return filepath.Join(outDir, "ledger.ndjson")
+	}
+	return flagVal
+}
+
+// appendLedger hashes the spec, appends the record, and logs it; a
+// ledger failure is reported but never fails a completed campaign.
+func appendLedger(path string, rec telemetry.Record, spec sim.CampaignSpec, logger *slog.Logger) {
+	hash, err := telemetry.SpecHash(spec)
+	if err != nil {
+		logger.Error("ledger: hashing spec", "err", err)
+		return
+	}
+	rec.SpecHash = hash
+	if err := telemetry.AppendRecord(path, rec); err != nil {
+		logger.Error("ledger append failed", "path", path, "err", err)
+		return
+	}
+	logger.Debug("ledger appended", "path", path, "mode", rec.Mode, "spec_hash", hash)
 }
 
 // writeTables exports one CSV/gnuplot table per requested metric,
@@ -414,13 +621,17 @@ func loadSpec(path string) (sim.CampaignSpec, error) {
 
 // runDispatch is the -dispatch n mode: supervise a fleet of shard
 // workers, then persist the auto-merged campaign manifest and its
-// tables exactly like an unsharded run would.
-func runDispatch(w io.Writer, spec sim.CampaignSpec, shards int, execS, outDir, name, metricsS string, resume, ascii bool, progressMode string) error {
+// tables exactly like an unsharded run would. The fleet's progress
+// stream tees to every observer the flags turned on — terminal meter,
+// NDJSON re-emitter, dashboard publisher — plus the ledger's stats
+// capture; all ride the same serialized callback.
+func runDispatch(w io.Writer, spec sim.CampaignSpec, shards int, execS, outDir, name, metricsS string, resume, ascii bool, progressMode string, logger *slog.Logger, rig *dashRig, ledPath string) error {
 	opts := dispatch.Options{
 		Shards: shards,
 		OutDir: outDir,
 		Name:   name,
 		Resume: resume,
+		Logger: logger,
 	}
 	if execS != "" {
 		exe, err := os.Executable()
@@ -429,14 +640,42 @@ func runDispatch(w io.Writer, spec sim.CampaignSpec, shards int, execS, outDir, 
 		}
 		opts.Worker = append(strings.Fields(execS), exe)
 	}
+	var sinks []func(dispatch.FleetSnapshot)
 	if progressMode == "meter" {
 		fm := dispatch.NewFleetMeter(os.Stderr)
-		opts.OnProgress = fm.Update
+		sinks = append(sinks, fm.Update)
 	}
+	if progressMode == "json" {
+		// The initial event goes out before the fleet starts, carrying the
+		// full campaign total — the same contract our own workers honor.
+		total := 0
+		spec.Normalized().ExecutedJobs(nil, func(sim.TrialJob) { total++ })
+		progressOut.Write(experiment.Progress{Done: 0, Total: total}.MarshalLine())
+		fj := &fleetJSON{w: progressOut}
+		sinks = append(sinks, fj.update)
+	}
+	stats := newFleetStats()
+	sinks = append(sinks, stats.update)
+	if rig != nil {
+		sinks = append(sinks, func(s dispatch.FleetSnapshot) {
+			final := s.Terminal()
+			if !rig.pub.Due(final) {
+				return
+			}
+			rig.pub.Publish(s.Fleet, shardViews(s.Shards), groupViews(s.Groups), final)
+		})
+	}
+	opts.OnProgress = func(s dispatch.FleetSnapshot) {
+		for _, sink := range sinks {
+			sink(s)
+		}
+	}
+	start := time.Now()
 	manifest, mergedSpec, err := dispatch.Run(context.Background(), spec, opts)
 	if err != nil {
 		return err
 	}
+	wall := time.Since(start)
 	path, err := manifest.Save(outDir)
 	if err != nil {
 		return err
@@ -446,7 +685,29 @@ func runDispatch(w io.Writer, spec sim.CampaignSpec, shards int, execS, outDir, 
 	if err := writeTables(w, manifest.Points, metricsS, outDir, name, mergedSpec.Replicates, ascii); err != nil {
 		return err
 	}
-	printSummary(w, manifest.Points)
+	if progressMode != "json" {
+		printSummary(w, manifest.Points)
+	}
+	if ledPath != "" {
+		rec := telemetry.Record{
+			Name:     name,
+			Mode:     "dispatch",
+			Manifest: path,
+			Jobs:     manifest.Jobs,
+			Points:   len(manifest.Points),
+			Workers:  mergedSpec.Workers,
+			Shards:   shards,
+			Retries:  stats.retries(),
+			WallS:    wall.Seconds(),
+			// Workers are reaped children, so their CPU time is in here.
+			CPUS:         telemetry.CPUSeconds(),
+			GroupSeconds: stats.groupSpan.Seconds(),
+		}
+		if wall > 0 {
+			rec.TrialsPerS = float64(manifest.Jobs) / wall.Seconds()
+		}
+		appendLedger(ledPath, rec, mergedSpec, logger)
+	}
 	return nil
 }
 
@@ -463,7 +724,8 @@ func printSummary(w io.Writer, points []experiment.Point) {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
+	var dash *dashRig
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
 		specPath   = fs.String("spec", "", "JSON campaign spec file (replaces the dimension flags)")
@@ -491,6 +753,10 @@ func run(args []string) error {
 		name       = fs.String("name", "sweep", "campaign name (artifact base name)")
 		ascii      = fs.Bool("ascii", false, "print ASCII previews of exported tables")
 		quiet      = fs.Bool("quiet", false, "suppress the progress meter (alias for -progress none)")
+		dashS      = fs.String("dash", "", "serve the live telemetry dashboard at this address (host:port; port 0 picks a free one)")
+		dashLinger = fs.Duration("dash-linger", 0, "keep the dashboard serving this long after a successful campaign")
+		pprofF     = fs.Bool("pprof", false, "expose net/http/pprof on the dashboard server (requires -dash)")
+		ledgerS    = fs.String("ledger", "", "run-ledger NDJSON path (default <out>/ledger.ndjson; \"none\" disables)")
 	)
 	// Collect positional arguments (the -merge shard manifests) while
 	// allowing flags to follow them: the flag package stops at the first
@@ -513,6 +779,8 @@ func run(args []string) error {
 		}
 	}
 
+	logger := telemetry.NewLogger(os.Stderr)
+
 	// Resolve the progress channel early: when stdout carries the JSON
 	// event protocol, every informational print moves to stderr so the
 	// supervisor's stream stays parseable.
@@ -528,6 +796,9 @@ func run(args []string) error {
 	infoW := io.Writer(os.Stdout)
 	if progressMode == "json" {
 		infoW = os.Stderr
+	}
+	if *pprofF && *dashS == "" {
+		return fmt.Errorf("-pprof rides the dashboard server; it requires -dash")
 	}
 
 	if *merge {
@@ -613,6 +884,18 @@ func run(args []string) error {
 		return err
 	}
 
+	ledPath := resolveLedger(*ledgerS, *outDir)
+	if *dashS != "" {
+		rig, derr := startDash(*dashS, *pprofF, *dashLinger, logger)
+		if derr != nil {
+			return derr
+		}
+		// The dashboard outlives the campaign by -dash-linger on success
+		// and shuts down immediately on failure, whichever path returns.
+		defer func() { rig.finish(err) }()
+		dash = rig
+	}
+
 	if *dispatchN > 0 {
 		if spec.ShardCount > 0 {
 			return fmt.Errorf("-dispatch splits the campaign itself; drop -shard (or the spec's shard range)")
@@ -620,10 +903,7 @@ func run(args []string) error {
 		if *checkpoint {
 			return fmt.Errorf("-checkpoint belongs to workers; the dispatch driver enables it for every shard")
 		}
-		if progressMode == "json" {
-			return fmt.Errorf("-dispatch renders a fleet meter; the JSON protocol is spoken by its workers")
-		}
-		return runDispatch(infoW, spec, *dispatchN, *execS, *outDir, *name, *metricsS, *resume, *ascii, progressMode)
+		return runDispatch(infoW, spec, *dispatchN, *execS, *outDir, *name, *metricsS, *resume, *ascii, progressMode, logger, dash, ledPath)
 	}
 	if *execS != "" {
 		return fmt.Errorf("-exec only applies to -dispatch")
@@ -665,8 +945,8 @@ func run(args []string) error {
 				done[resumeKey{p.Group, p.X}] = true
 			}
 			if orphans > 0 {
-				fmt.Fprintf(infoW, "resume: dropping %d cells of %s outside the current spec\n",
-					orphans, manifestPath)
+				logger.Info("resume: dropping cells outside the current spec",
+					"manifest", manifestPath, "orphans", orphans)
 			}
 		case os.IsNotExist(err):
 			// Nothing to resume from; run the full campaign.
@@ -689,9 +969,14 @@ func run(args []string) error {
 	// count, never the full campaign's replicate range.
 	executed := 0
 	groupTotal := make(map[string]int)
+	var groupOrder []string
 	spec.ExecutedJobs(keep, func(j sim.TrialJob) {
 		executed++
-		groupTotal[j.Group()]++
+		g := j.Group()
+		if _, ok := groupTotal[g]; !ok {
+			groupOrder = append(groupOrder, g)
+		}
+		groupTotal[g]++
 	})
 	// cellAll is every cell's expected trial count under the shard range
 	// alone (no resume filter): the checkpointer needs it to tell a
@@ -720,7 +1005,18 @@ func run(args []string) error {
 	}
 	var emitter *jsonProgress
 	if progressMode == "json" && executed > 0 {
-		emitter = newJSONProgress(progressOut, executed)
+		emitter = newJSONProgress(progressOut, executed, groupTotal)
+	}
+	// The dashboard tracker and the ledger's group timer ride the same
+	// ordered sink as the meter; with a dashboard the tracker does both
+	// jobs, without one a bare timer still feeds the ledger.
+	var tracker *telemetry.Tracker
+	var gtimer *telemetry.GroupTimer
+	switch {
+	case dash != nil:
+		tracker = telemetry.NewTracker(dash.pub, executed, groupOrder, groupTotal)
+	case ledPath != "":
+		gtimer = telemetry.NewGroupTimer()
 	}
 	// Trials stream into online per-(group, N) accumulators: campaign
 	// memory is O(groups), not O(trials). The meter rides the same
@@ -742,6 +1038,7 @@ func run(args []string) error {
 			cellTotal: cellAll,
 			cellDone:  make(map[resumeKey]int, len(cellAll)),
 			completed: make(map[resumeKey]bool, len(cellAll)),
+			log:       logger,
 		}
 	}
 	// Test-only crash hook: WSNSWEEP_EXIT_AFTER=k kills the process
@@ -752,7 +1049,8 @@ func run(args []string) error {
 		exitAfter, _ = strconv.Atoi(s)
 	}
 	ran := 0
-	err := sim.RunCampaignSubset(context.Background(), spec, opts, keep,
+	start := time.Now()
+	err = sim.RunCampaignSubset(context.Background(), spec, opts, keep,
 		func(j sim.TrialJob, s experiment.Sample) error {
 			acc.Add(s)
 			ran++
@@ -762,6 +1060,11 @@ func run(args []string) error {
 			}
 			if emitter != nil {
 				emitter.emit(ran, group)
+			}
+			if tracker != nil {
+				tracker.TrialDone(group)
+			} else if gtimer != nil {
+				gtimer.Observe(group)
 			}
 			if ck != nil {
 				if err := ck.trialDone(resumeKey{group, float64(j.Spares)}); err != nil {
@@ -776,10 +1079,14 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	wall := time.Since(start)
+	if tracker != nil {
+		tracker.Final()
+	}
 	points := acc.Points()
 	if len(done) > 0 {
-		fmt.Fprintf(infoW, "resume: %d cells already in %s, ran %d new trials\n",
-			len(done), manifestPath, acc.Samples())
+		logger.Info("resume: skipped completed cells",
+			"manifest", manifestPath, "cells", len(done), "new_trials", acc.Samples())
 		points = mergePoints(priorPoints, points)
 	}
 
@@ -801,6 +1108,39 @@ func run(args []string) error {
 	// its supervisor prints the merged campaign's once.
 	if progressMode != "json" {
 		printSummary(infoW, points)
+	}
+
+	if ledPath != "" {
+		mode := "run"
+		if spec.ShardCount > 0 {
+			mode = "shard"
+		}
+		var groupS map[string]float64
+		switch {
+		case tracker != nil:
+			groupS = tracker.GroupSeconds()
+		case gtimer != nil:
+			groupS = gtimer.Seconds()
+		}
+		rec := telemetry.Record{
+			Name:         *name,
+			Mode:         mode,
+			Manifest:     path,
+			Jobs:         totalJobs,
+			Points:       len(points),
+			Workers:      spec.Workers,
+			ShardFirst:   spec.ShardFirst,
+			ShardCount:   spec.ShardCount,
+			WallS:        wall.Seconds(),
+			CPUS:         telemetry.CPUSeconds(),
+			GroupSeconds: groupS,
+		}
+		// Rate over trials actually executed: a resumed run is not
+		// credited with the cells it skipped.
+		if wall > 0 {
+			rec.TrialsPerS = float64(ran) / wall.Seconds()
+		}
+		appendLedger(ledPath, rec, spec, logger)
 	}
 	return nil
 }

@@ -1,0 +1,116 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"wsncover/internal/experiment"
+	"wsncover/internal/sim"
+)
+
+// LoadManifest reads a manifest and its spec with execution metadata
+// cleared — worker counts, fresh-build and shard-range fields change
+// wall clock, never results, so the merge contract ignores them.
+func LoadManifest(path string) (experiment.Manifest, sim.CampaignSpec, error) {
+	var m experiment.Manifest
+	var spec sim.CampaignSpec
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return m, spec, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, spec, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(m.Spec) > 0 {
+		if err := json.Unmarshal(m.Spec, &spec); err != nil {
+			return m, spec, fmt.Errorf("%s: unreadable spec: %w", path, err)
+		}
+	}
+	spec.Workers, spec.FreshBuild = 0, false
+	spec.ShardFirst, spec.ShardCount = 0, 0
+	return m, spec, nil
+}
+
+// DiffManifests compares two campaign manifests under the shard merge
+// contract and returns a human-readable list of violations (empty means
+// equivalent). Structural fields — name, job counts, point identities,
+// metric names, and the exactly-merged statistics (N, min, max) — must
+// match byte-for-byte. Mean, standard deviation, and CI95 must agree
+// within the relative tolerance tol: the pooled-variance merge
+// reassociates floating-point sums, so the last bits legitimately
+// wobble. Medians are compared only when both sides are exact; a median
+// marked median_approx is an estimate and is skipped.
+//
+// cmd/manifestdiff is the command-line face of this contract;
+// cmd/runlog diff applies it to the manifests of two ledger records.
+func DiffManifests(pathA, pathB string, tol float64) ([]string, error) {
+	a, specA, err := LoadManifest(pathA)
+	if err != nil {
+		return nil, err
+	}
+	b, specB, err := LoadManifest(pathB)
+	if err != nil {
+		return nil, err
+	}
+	var diffs []string
+	add := func(format string, args ...any) { diffs = append(diffs, fmt.Sprintf(format, args...)) }
+
+	sa, _ := json.Marshal(specA)
+	sb, _ := json.Marshal(specB)
+	if string(sa) != string(sb) {
+		add("spec: %s vs %s", sa, sb)
+	}
+	if a.Name != b.Name {
+		add("name: %q vs %q", a.Name, b.Name)
+	}
+	if a.Jobs != b.Jobs {
+		add("jobs: %d vs %d", a.Jobs, b.Jobs)
+	}
+	if len(a.Points) != len(b.Points) {
+		add("points: %d vs %d", len(a.Points), len(b.Points))
+		return diffs, nil
+	}
+	close := func(x, y float64) bool { return math.Abs(x-y) <= tol*(1+math.Abs(y)) }
+	for i, pb := range b.Points {
+		pa := a.Points[i]
+		cell := fmt.Sprintf("(%s, %g)", pb.Group, pb.X)
+		if pa.Group != pb.Group || pa.X != pb.X {
+			add("point %d: (%s, %g) vs %s", i, pa.Group, pa.X, cell)
+			continue
+		}
+		if len(pa.Metrics) != len(pb.Metrics) {
+			add("%s: %d metrics vs %d", cell, len(pa.Metrics), len(pb.Metrics))
+			continue
+		}
+		for name, db := range pb.Metrics {
+			da, ok := pa.Metrics[name]
+			if !ok {
+				add("%s: metric %q missing", cell, name)
+				continue
+			}
+			if da.N != db.N {
+				add("%s/%s: N %d vs %d", cell, name, da.N, db.N)
+			}
+			if da.Min != db.Min || da.Max != db.Max {
+				add("%s/%s: min/max (%g, %g) vs (%g, %g)", cell, name, da.Min, da.Max, db.Min, db.Max)
+			}
+			if !close(da.Mean, db.Mean) {
+				add("%s/%s: mean %g vs %g", cell, name, da.Mean, db.Mean)
+			}
+			if !close(da.StdDev, db.StdDev) {
+				add("%s/%s: stddev %g vs %g", cell, name, da.StdDev, db.StdDev)
+			}
+			if !close(da.CI95, db.CI95) {
+				add("%s/%s: ci95 %g vs %g", cell, name, da.CI95, db.CI95)
+			}
+			// Medians compare only exact-to-exact; an estimate carries
+			// its own health warning instead.
+			if !da.MedianApprox && !db.MedianApprox && !close(da.Median, db.Median) {
+				add("%s/%s: median %g vs %g", cell, name, da.Median, db.Median)
+			}
+		}
+	}
+	return diffs, nil
+}

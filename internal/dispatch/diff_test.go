@@ -1,4 +1,4 @@
-package main
+package dispatch
 
 import (
 	"path/filepath"
@@ -10,7 +10,7 @@ import (
 	"wsncover/internal/stats"
 )
 
-func save(t *testing.T, dir, name string, spec sim.CampaignSpec, points []experiment.Point) string {
+func saveManifest(t *testing.T, dir, name string, spec sim.CampaignSpec, points []experiment.Point) string {
 	t.Helper()
 	m, err := experiment.NewManifest(name, spec, 4, 0, points)
 	if err != nil {
@@ -22,7 +22,7 @@ func save(t *testing.T, dir, name string, spec sim.CampaignSpec, points []experi
 	return filepath.Join(dir, name+".json")
 }
 
-func pt(mean, median float64, approx bool) []experiment.Point {
+func onePoint(mean, median float64, approx bool) []experiment.Point {
 	return []experiment.Point{{
 		Group: "SR 8x8", X: 8,
 		Metrics: map[string]stats.Description{
@@ -40,11 +40,11 @@ func TestDiffManifests(t *testing.T) {
 	shardSpec := spec
 	shardSpec.ShardFirst, shardSpec.ShardCount, shardSpec.Workers = 0, 4, 8
 
-	a := save(t, dir, "a", spec, pt(5, 4, false))
+	a := saveManifest(t, dir, "a", spec, onePoint(5, 4, false))
 	// Same statistics modulo: float wobble on the mean, an estimated
 	// median, and execution metadata in the spec.
-	b := save(t, dir, "a2", shardSpec, pt(5+1e-13, 99, true))
-	diffs, err := diffManifests(a, b, 1e-9)
+	b := saveManifest(t, dir, "a2", shardSpec, onePoint(5+1e-13, 99, true))
+	diffs, err := DiffManifests(a, b, 1e-9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,8 +55,8 @@ func TestDiffManifests(t *testing.T) {
 	}
 
 	// A genuinely different mean is flagged.
-	c := save(t, dir, "a", spec, pt(6, 4, false))
-	diffs, err = diffManifests(c, b, 1e-9)
+	c := saveManifest(t, dir, "a", spec, onePoint(6, 4, false))
+	diffs, err = DiffManifests(c, b, 1e-9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,9 +69,9 @@ func TestDiffManifests(t *testing.T) {
 	}
 
 	// Exact-vs-exact medians do compare.
-	d1 := save(t, dir, "m1", spec, pt(5, 4, false))
-	d2 := save(t, dir, "m2", spec, pt(5, 3, false))
-	diffs, err = diffManifests(d1, d2, 1e-9)
+	d1 := saveManifest(t, dir, "m1", spec, onePoint(5, 4, false))
+	d2 := saveManifest(t, dir, "m2", spec, onePoint(5, 3, false))
+	diffs, err = DiffManifests(d1, d2, 1e-9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestDiffManifests(t *testing.T) {
 		t.Errorf("diffs = %v, want a median difference (both sides exact)", diffs)
 	}
 
-	if _, err := diffManifests(filepath.Join(dir, "missing.json"), a, 1e-9); err == nil {
+	if _, err := DiffManifests(filepath.Join(dir, "missing.json"), a, 1e-9); err == nil {
 		t.Error("missing file should error")
 	}
 }

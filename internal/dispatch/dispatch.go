@@ -28,6 +28,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
+	"maps"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -92,6 +94,14 @@ type ShardStatus struct {
 	Err error
 }
 
+// GroupProgress counts one campaign group's completed trials across the
+// whole fleet, against the group's campaign-wide total.
+type GroupProgress struct {
+	Group string
+	Done  int
+	Total int
+}
+
 // FleetSnapshot is one serialized observation of the whole fleet,
 // delivered to Options.OnProgress after every state change.
 type FleetSnapshot struct {
@@ -99,6 +109,12 @@ type FleetSnapshot struct {
 	Fleet experiment.Progress
 	// Shards holds a copy of every shard's status, in shard order.
 	Shards []ShardStatus
+	// Groups breaks the fleet's progress down by campaign group, in job
+	// order, folding the workers' per-group counts (Progress.GroupDone)
+	// across shards. Completion is exact — a finished shard counts its
+	// full per-group totals — while in-flight counts are a lower bound,
+	// since a resumed attempt reports only the work it recomputes.
+	Groups []GroupProgress
 }
 
 // Terminal reports whether every shard has finished, successfully or
@@ -147,6 +163,17 @@ type Options struct {
 	// OnProgress, when non-nil, observes every fleet state change.
 	// Calls are serialized; keep it fast (a meter redraw).
 	OnProgress func(FleetSnapshot)
+	// Logger receives structured lifecycle events: worker launches and
+	// clean exits at debug, retries at warn (shard/attempt/err attrs),
+	// terminal shard failures at error. Nil discards them.
+	Logger *slog.Logger
+}
+
+func (o Options) logger() *slog.Logger {
+	if o.Logger != nil {
+		return o.Logger
+	}
+	return slog.New(slog.DiscardHandler)
 }
 
 func (o Options) retries() int {
@@ -210,21 +237,39 @@ func Run(ctx context.Context, spec sim.CampaignSpec, opts Options) (*experiment.
 	}
 
 	f := &fleet{
-		opts:     opts,
-		worker:   worker,
-		statuses: make([]ShardStatus, len(shardSpecs)),
-		specs:    make([]string, len(shardSpecs)),
+		opts:       opts,
+		worker:     worker,
+		log:        opts.logger(),
+		statuses:   make([]ShardStatus, len(shardSpecs)),
+		specs:      make([]string, len(shardSpecs)),
+		groupTotal: make(map[string]int),
+		groupDone:  make([]map[string]int, len(shardSpecs)),
+		shardGroup: make([]map[string]int, len(shardSpecs)),
 	}
 	if f.opts.Stderr == nil {
 		f.opts.Stderr = os.Stderr
 	}
+	// Campaign-wide group totals come from the unsharded spec, in job
+	// order — the heatmap's rows and denominators.
+	spec.ExecutedJobs(nil, func(j sim.TrialJob) {
+		g := j.Group()
+		if _, ok := f.groupTotal[g]; !ok {
+			f.groupOrder = append(f.groupOrder, g)
+		}
+		f.groupTotal[g]++
+	})
 	for i, shSpec := range shardSpecs {
 		n := i + 1
 		// The shard's full trial count is computed here, not trusted from
 		// worker reports: a resumed attempt reports only its remaining
 		// work, and the fleet totals must not shrink when that happens.
 		total := 0
-		shSpec.ExecutedJobs(nil, func(sim.TrialJob) { total++ })
+		f.groupDone[i] = make(map[string]int)
+		f.shardGroup[i] = make(map[string]int)
+		shSpec.ExecutedJobs(nil, func(j sim.TrialJob) {
+			total++
+			f.shardGroup[i][j.Group()]++
+		})
 		f.statuses[i] = ShardStatus{
 			Shard:        n,
 			State:        ShardPending,
@@ -298,10 +343,19 @@ func Run(ctx context.Context, spec sim.CampaignSpec, opts Options) (*experiment.
 type fleet struct {
 	opts   Options
 	worker []string
+	log    *slog.Logger
 
-	mu       sync.Mutex
-	statuses []ShardStatus
-	specs    []string
+	// The group ledger for fleet snapshots: campaign-wide totals in job
+	// order, each shard's per-group totals, and the per-(shard, group)
+	// high-water mark of reported GroupDone counts.
+	groupOrder []string
+	groupTotal map[string]int
+	shardGroup []map[string]int
+
+	mu        sync.Mutex
+	statuses  []ShardStatus
+	specs     []string
+	groupDone []map[string]int
 }
 
 // update mutates shard i's status under the lock and broadcasts a
@@ -323,7 +377,19 @@ func (f *fleet) snapshotLocked() FleetSnapshot {
 	for i, s := range shards {
 		events[i] = s.Progress
 	}
-	return FleetSnapshot{Fleet: experiment.MergeProgress(events...), Shards: shards}
+	groups := make([]GroupProgress, len(f.groupOrder))
+	for gi, g := range f.groupOrder {
+		done := 0
+		for i := range f.groupDone {
+			d := f.groupDone[i][g]
+			if max := f.shardGroup[i][g]; d > max {
+				d = max
+			}
+			done += d
+		}
+		groups[gi] = GroupProgress{Group: g, Done: done, Total: f.groupTotal[g]}
+	}
+	return FleetSnapshot{Fleet: experiment.MergeProgress(events...), Shards: shards, Groups: groups}
 }
 
 // runShard supervises one shard through its retry budget. It returns a
@@ -337,6 +403,9 @@ func (f *fleet) runShard(ctx context.Context, i int) error {
 			break
 		}
 		resume := f.opts.Resume || attempt > 1
+		if attempt > 1 {
+			f.log.Warn("shard retry", "shard", i+1, "attempt", attempt, "err", last)
+		}
 		f.update(i, func(st *ShardStatus) {
 			st.State = ShardRunning
 			st.Attempts = attempt
@@ -349,14 +418,19 @@ func (f *fleet) runShard(ctx context.Context, i int) error {
 			last = fmt.Errorf("%w (worker: %v)", ctx.Err(), last)
 		}
 		if last == nil {
+			f.log.Debug("shard done", "shard", i+1, "attempt", attempt)
 			f.update(i, func(st *ShardStatus) {
 				st.State = ShardDone
 				st.Progress.Done = st.Progress.Total
 				st.Progress.Group = ""
+				// The shard's manifest is complete, so its groups are too,
+				// whatever fraction of them this attempt recomputed.
+				f.groupDone[i] = maps.Clone(f.shardGroup[i])
 			})
 			return nil
 		}
 	}
+	f.log.Error("shard failed", "shard", i+1, "attempts", attempts, "err", last)
 	f.update(i, func(st *ShardStatus) {
 		st.State = ShardFailed
 		st.Err = last
@@ -375,6 +449,7 @@ func (f *fleet) runWorker(ctx context.Context, i int, resume bool) error {
 
 	argv := expandWorker(f.worker, st.Shard)
 	argv = append(argv, workerArgs(specPath, f.opts.OutDir, shardName(f.opts.Name, st.Shard), resume)...)
+	f.log.Debug("shard launch", "shard", st.Shard, "attempt", st.Attempts, "resume", resume, "argv", strings.Join(argv, " "))
 	cmd := exec.CommandContext(ctx, argv[0], argv[1:]...)
 	// A killed worker can leave grandchildren holding its pipes open;
 	// WaitDelay bounds how long Wait humors them, and the watcher below
@@ -421,6 +496,13 @@ func (f *fleet) runWorker(ctx context.Context, i int, resume bool) error {
 				s.Progress.Done = done
 			}
 			s.Progress.Group = ev.Group
+			// Per-group counts fold as high-water marks: workers force an
+			// event at every group boundary, so each group's final count
+			// lands even under throttling, and a resumed attempt restarting
+			// a group from its remaining work cannot regress the ledger.
+			if ev.Group != "" && ev.GroupDone > f.groupDone[i][ev.Group] {
+				f.groupDone[i][ev.Group] = ev.GroupDone
+			}
 		})
 	}
 	scanErr := scanner.Err()
@@ -445,7 +527,8 @@ func shardName(name string, shard int) string {
 // template: run this spec file, write the shard manifest into the fleet
 // directory, speak the JSON progress protocol, checkpoint completed
 // cells so a retry can resume, and skip per-metric tables (the merged
-// campaign exports those once).
+// campaign exports those once) and ledger records (the driver appends
+// one record for the whole fleet).
 func workerArgs(specPath, outDir, name string, resume bool) []string {
 	args := []string{
 		"-spec", specPath,
@@ -454,6 +537,7 @@ func workerArgs(specPath, outDir, name string, resume bool) []string {
 		"-metrics", "",
 		"-progress", "json",
 		"-checkpoint",
+		"-ledger", "none",
 	}
 	if resume {
 		args = append(args, "-resume")

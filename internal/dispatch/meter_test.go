@@ -182,6 +182,88 @@ func TestFleetMeterRendering(t *testing.T) {
 	}
 }
 
+// TestFleetMeterZeroTotalShards: before any shard reports, every total
+// is zero — the meter must render without dividing by zero and show an
+// unknown ETA, not a bogus one.
+func TestFleetMeterZeroTotalShards(t *testing.T) {
+	var buf strings.Builder
+	clock := newTestClock()
+	f := NewFleetMeter(&buf)
+	f.SetClock(clock.now)
+	clock.advance(time.Second)
+	f.Update(snap(
+		ShardStatus{Shard: 1, State: ShardPending},
+		ShardStatus{Shard: 2, State: ShardPending},
+	))
+	out := buf.String()
+	for _, want := range []string{"fleet 0/0 trials", "0 trials/s", "ETA --", "[1:wait 2:wait]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cold-fleet line %q lacks %q", out, want)
+		}
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Errorf("cold-fleet line %q leaked a division by zero", out)
+	}
+}
+
+// TestFleetMeterNeverReportingShard: a shard that launches but emits no
+// progress events holds 0/0 while its peers advance; the aggregate and
+// ETA come from the reporting shards alone and never go non-finite.
+func TestFleetMeterNeverReportingShard(t *testing.T) {
+	var buf strings.Builder
+	clock := newTestClock()
+	f := NewFleetMeter(&buf)
+	f.SetClock(clock.now)
+	clock.advance(2 * time.Second)
+	f.Update(snap(
+		ShardStatus{Shard: 1, State: ShardRunning, Attempts: 1, Progress: experiment.Progress{Done: 8, Total: 16}},
+		ShardStatus{Shard: 2, State: ShardRunning, Attempts: 1}, // silent: no event yet
+	))
+	out := buf.String()
+	if !strings.Contains(out, "fleet 8/16 trials") {
+		t.Errorf("fleet line %q should aggregate only reporting shards", out)
+	}
+	// 4 trials/s, 8 remaining -> 2s; the silent shard must not poison it.
+	if !strings.Contains(out, "ETA 2s") {
+		t.Errorf("fleet line %q: ETA must come from known totals", out)
+	}
+	if !strings.Contains(out, "2:0%") {
+		t.Errorf("fleet line %q should show the silent shard at 0%%", out)
+	}
+}
+
+// TestFleetMeterLateInitialEvents: totals grow as shards report in; the
+// ETA must track the known total without regressing to a shorter
+// estimate when a late shard's total lands.
+func TestFleetMeterLateInitialEvents(t *testing.T) {
+	var buf strings.Builder
+	clock := newTestClock()
+	f := NewFleetMeter(&buf)
+	f.SetClock(clock.now)
+
+	clock.advance(time.Second)
+	f.Update(snap(
+		ShardStatus{Shard: 1, State: ShardRunning, Attempts: 1, Progress: experiment.Progress{Done: 4, Total: 8}},
+		ShardStatus{Shard: 2, State: ShardPending},
+	))
+	if out := buf.String(); !strings.Contains(out, "fleet 4/8 trials") || !strings.Contains(out, "ETA 1s") {
+		t.Errorf("early line %q", out)
+	}
+
+	// Shard 2's initial 0/8 arrives late: the denominator jumps from 8
+	// to 16 and the ETA covers the new work (4 trials/s, 8 left -> 2s),
+	// not the stale single-shard total.
+	buf.Reset()
+	clock.advance(time.Second)
+	f.Update(snap(
+		ShardStatus{Shard: 1, State: ShardRunning, Attempts: 1, Progress: experiment.Progress{Done: 8, Total: 8}},
+		ShardStatus{Shard: 2, State: ShardRunning, Attempts: 1, Progress: experiment.Progress{Done: 0, Total: 8}},
+	))
+	if out := buf.String(); !strings.Contains(out, "fleet 8/16 trials") || !strings.Contains(out, "ETA 2s") {
+		t.Errorf("late-total line %q, want denominator 16 and ETA 2s", out)
+	}
+}
+
 func TestFleetSnapshotTerminal(t *testing.T) {
 	if (FleetSnapshot{}).Terminal() {
 		t.Error("empty snapshot is not terminal")

@@ -12,11 +12,17 @@ import (
 // and the unit the dispatch driver folds into its fleet meter — one
 // line, one event:
 //
-//	{"done":12,"total":40,"group":"SR 16x16"}
+//	{"done":12,"total":40,"group":"SR 16x16","group_done":3}
 type Progress struct {
 	Done  int    `json:"done"`
 	Total int    `json:"total"`
 	Group string `json:"group,omitempty"`
+	// GroupDone, when positive, is the emitter's completed-trial count
+	// within Group — the fuel for per-group completion heatmaps. It is
+	// optional (older emitters omit it) and scoped to the emitting
+	// process: a shard worker reports its own shard's count, and the
+	// fleet-wide count for a group is the sum over shards.
+	GroupDone int `json:"group_done,omitempty"`
 }
 
 // MarshalLine renders the event as one newline-terminated JSON line.
@@ -35,7 +41,8 @@ func ParseProgressLine(line []byte) (Progress, bool) {
 		return Progress{}, false
 	}
 	var p Progress
-	if err := json.Unmarshal(trimmed, &p); err != nil || p.Total <= 0 || p.Done < 0 || p.Done > p.Total {
+	if err := json.Unmarshal(trimmed, &p); err != nil || p.Total <= 0 || p.Done < 0 || p.Done > p.Total ||
+		p.GroupDone < 0 || p.GroupDone > p.Total {
 		return Progress{}, false
 	}
 	return p, true
@@ -57,7 +64,9 @@ func bytesTrimSpace(b []byte) []byte {
 // fleet event is groupless). Events with a zero Total — shards that
 // have not reported yet — contribute nothing to Done but may still
 // carry their Total once known, so the fold is safe to run over a
-// partially started fleet.
+// partially started fleet. GroupDone sums only when the merged event
+// keeps a group — per-group counts from shards walking different groups
+// are incomparable, so the merged count drops to zero with the label.
 func MergeProgress(events ...Progress) Progress {
 	var out Progress
 	group, groupSet, groupMixed := "", false, false
@@ -67,6 +76,7 @@ func MergeProgress(events ...Progress) Progress {
 		if e.Group == "" {
 			continue
 		}
+		out.GroupDone += e.GroupDone
 		if !groupSet {
 			group, groupSet = e.Group, true
 		} else if group != e.Group {
@@ -75,6 +85,8 @@ func MergeProgress(events ...Progress) Progress {
 	}
 	if groupSet && !groupMixed {
 		out.Group = group
+	} else {
+		out.GroupDone = 0
 	}
 	return out
 }

@@ -77,6 +77,60 @@ func TestMergeProgress(t *testing.T) {
 	}
 }
 
+// TestProgressGroupDone pins the per-group extension of the protocol:
+// the optional group_done count round-trips, is omitted when zero, and
+// is validated like done.
+func TestProgressGroupDone(t *testing.T) {
+	p := Progress{Done: 12, Total: 40, Group: "SR 16x16", GroupDone: 3}
+	line := p.MarshalLine()
+	if want := `{"done":12,"total":40,"group":"SR 16x16","group_done":3}` + "\n"; string(line) != want {
+		t.Errorf("wire form %q, want %q", line, want)
+	}
+	got, ok := ParseProgressLine(line)
+	if !ok || got != p {
+		t.Errorf("round trip = %+v, %v; want %+v", got, ok, p)
+	}
+	// Older emitters omit group_done; the parser must keep accepting them.
+	if got, ok := ParseProgressLine([]byte(`{"done":2,"total":4,"group":"SR"}`)); !ok || got.GroupDone != 0 {
+		t.Errorf("legacy event = %+v, %v", got, ok)
+	}
+	for _, line := range []string{
+		`{"done":2,"total":4,"group":"SR","group_done":-1}`, // negative
+		`{"done":2,"total":4,"group":"SR","group_done":5}`,  // past total
+	} {
+		if p, ok := ParseProgressLine([]byte(line)); ok {
+			t.Errorf("ParseProgressLine(%q) accepted %+v", line, p)
+		}
+	}
+}
+
+// TestMergeProgressGroupDone: the fleet-wide per-group count sums over
+// shards only while the merged event keeps its group label; a mixed or
+// absent group zeroes it, because counts from different groups are
+// incomparable.
+func TestMergeProgressGroupDone(t *testing.T) {
+	same := MergeProgress(
+		Progress{Done: 3, Total: 10, Group: "SR", GroupDone: 3},
+		Progress{Done: 5, Total: 10, Group: "SR", GroupDone: 5},
+		Progress{Total: 10}, // a shard that has not reported a group yet
+	)
+	if same.Group != "SR" || same.GroupDone != 8 {
+		t.Errorf("agreeing merge = %+v, want group SR done 8", same)
+	}
+	mixed := MergeProgress(
+		Progress{Done: 3, Total: 10, Group: "SR", GroupDone: 3},
+		Progress{Done: 5, Total: 10, Group: "AR", GroupDone: 5},
+	)
+	if mixed.Group != "" || mixed.GroupDone != 0 {
+		t.Errorf("mixed merge = %+v, want groupless with zero GroupDone", mixed)
+	}
+	// Zero-total events (shards not yet started) fold harmlessly.
+	cold := MergeProgress(Progress{}, Progress{}, Progress{Done: 1, Total: 4, Group: "SR", GroupDone: 1})
+	if cold.Done != 1 || cold.Total != 4 || cold.GroupDone != 1 {
+		t.Errorf("cold-fleet merge = %+v", cold)
+	}
+}
+
 // TestAccumulatorMarksEstimatedMedians: the streaming fold is exact (and
 // says so) through five observations, an estimate (and says so) beyond.
 func TestAccumulatorMarksEstimatedMedians(t *testing.T) {

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package telemetry
+
+// CPUSeconds is unavailable off unix; ledger records carry zero and
+// omit the field.
+func CPUSeconds() float64 { return 0 }

@@ -1,0 +1,24 @@
+//go:build unix
+
+package telemetry
+
+import "syscall"
+
+// CPUSeconds returns the user+system CPU time consumed by this process
+// and its reaped children — for a dispatch driver, the supervised
+// worker subprocesses it has already waited on.
+func CPUSeconds() float64 {
+	total := 0.0
+	for _, who := range []int{syscall.RUSAGE_SELF, syscall.RUSAGE_CHILDREN} {
+		var ru syscall.Rusage
+		if err := syscall.Getrusage(who, &ru); err != nil {
+			continue
+		}
+		total += tvSeconds(ru.Utime) + tvSeconds(ru.Stime)
+	}
+	return total
+}
+
+func tvSeconds(tv syscall.Timeval) float64 {
+	return float64(tv.Sec) + float64(tv.Usec)/1e6
+}

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Record is one campaign run in the ledger — the append-only NDJSON
+// run-history file cmd/sweep writes on every successful completion and
+// cmd/runlog queries. One line, one completed run; the spec is keyed by
+// content hash so identical campaigns are recognizable across runs,
+// names, and machines (determinism makes the hash a result key too).
+type Record struct {
+	// Time is the completion time (UTC).
+	Time time.Time `json:"time"`
+	// Name is the campaign name (the manifest's base name).
+	Name string `json:"name"`
+	// Mode says how the run executed: "run" (single process), "shard"
+	// (one replicate block of a larger campaign), or "dispatch" (a
+	// supervised fleet).
+	Mode string `json:"mode"`
+	// SpecHash is SpecHash() of the normalized campaign spec — the same
+	// spec the manifest embeds, so re-marshaling a manifest's spec
+	// reproduces it.
+	SpecHash string `json:"spec_hash"`
+	// Manifest is the path of the written campaign manifest.
+	Manifest string `json:"manifest"`
+	// Jobs and Points mirror the manifest's accounting.
+	Jobs   int `json:"jobs"`
+	Points int `json:"points"`
+	// Workers is the per-process pool size (0 = all cores); Shards the
+	// fleet size of a dispatch run; Retries the number of worker
+	// relaunches the fleet needed.
+	Workers int `json:"workers,omitempty"`
+	Shards  int `json:"shards,omitempty"`
+	Retries int `json:"retries,omitempty"`
+	// ShardFirst/ShardCount echo a shard run's replicate range.
+	ShardFirst int `json:"shard_first,omitempty"`
+	ShardCount int `json:"shard_count,omitempty"`
+	// WallS is the run's wall-clock seconds, CPUS the process (and
+	// reaped children's) CPU seconds, TrialsPerS the executed-trial
+	// rate over the wall clock.
+	WallS      float64 `json:"wall_s"`
+	CPUS       float64 `json:"cpu_s,omitempty"`
+	TrialsPerS float64 `json:"trials_per_s,omitempty"`
+	// GroupSeconds is each group's active wall span (first to last
+	// completed trial; snapshot-granular for dispatch runs).
+	GroupSeconds map[string]float64 `json:"group_s,omitempty"`
+}
+
+// SpecHash content-addresses a campaign spec: "sha256:" plus the hex
+// digest of its JSON form. Map-free specs marshal deterministically, so
+// equal specs hash equal regardless of where they ran.
+func SpecHash(spec any) (string, error) {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: marshal spec for hashing: %w", err)
+	}
+	return fmt.Sprintf("sha256:%x", sha256.Sum256(b)), nil
+}
+
+// AppendRecord appends one record to the ledger at path (created if
+// missing), stamping Time with the current UTC time when unset. The
+// record is written as a single line, so concurrent appenders (shards
+// sharing an out directory) interleave whole records.
+func AppendRecord(path string, r Record) error {
+	if r.Time.IsZero() {
+		r.Time = time.Now().UTC()
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("telemetry: marshal ledger record: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("telemetry: ledger: %w", err)
+	}
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("telemetry: ledger append: %w", err)
+	}
+	return f.Close()
+}
+
+// ReadLedger loads every record of the ledger at path in append order.
+// Blank lines are skipped; a malformed line fails with its line number,
+// because a silently dropped record would falsify the run history.
+func ReadLedger(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: ledger: %w", err)
+	}
+	defer f.Close()
+	var out []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(text, &r); err != nil {
+			return nil, fmt.Errorf("telemetry: ledger %s line %d: %w", path, line, err)
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: ledger %s: %w", path, err)
+	}
+	return out, nil
+}

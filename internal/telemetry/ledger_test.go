@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"bytes"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wsncover/internal/sim"
+)
+
+func TestLedgerRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.ndjson")
+	recs := []Record{
+		{
+			Time: time.Date(2026, 8, 7, 10, 0, 0, 0, time.UTC),
+			Name: "churn", Mode: "run", SpecHash: "sha256:0011", Manifest: "out/churn.json",
+			Jobs: 96, Points: 12, WallS: 3.5, TrialsPerS: 27.4,
+			GroupSeconds: map[string]float64{"SR": 1.2, "AR": 2.1},
+		},
+		{
+			Name: "churn", Mode: "dispatch", SpecHash: "sha256:0011", Manifest: "out/churn.json",
+			Jobs: 96, Points: 12, Shards: 4, Retries: 1, WallS: 1.1,
+		},
+	}
+	for _, r := range recs {
+		if err := AppendRecord(path, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d records, want 2", len(got))
+	}
+	if got[0].Time != recs[0].Time || got[0].GroupSeconds["AR"] != 2.1 {
+		t.Errorf("record 0 = %+v", got[0])
+	}
+	// A zero Time is stamped at append, so the history is always ordered.
+	if got[1].Time.IsZero() {
+		t.Error("AppendRecord should stamp a zero Time")
+	}
+	if got[1].Shards != 4 || got[1].Retries != 1 {
+		t.Errorf("record 1 = %+v", got[1])
+	}
+}
+
+func TestReadLedgerRejectsMalformedLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.ndjson")
+	content := `{"name":"ok","mode":"run"}` + "\n\n" + "{broken\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadLedger(path)
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("err = %v, want a line-3 parse failure (blank lines skipped but counted)", err)
+	}
+}
+
+func TestSpecHashDeterministicAndDiscriminating(t *testing.T) {
+	spec := sim.CampaignSpec{
+		Schemes: []sim.SchemeKind{sim.SR, sim.AR},
+		Grids:   []sim.GridSize{{Cols: 16, Rows: 16}},
+		Spares:  []int{8, 16}, Replicates: 10, BaseSeed: 42,
+	}.Normalized()
+	h1, err := SpecHash(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := SpecHash(spec)
+	if h1 != h2 {
+		t.Errorf("hash not deterministic: %s vs %s", h1, h2)
+	}
+	if !strings.HasPrefix(h1, "sha256:") || len(h1) != len("sha256:")+64 {
+		t.Errorf("hash format %q", h1)
+	}
+	other := spec
+	other.BaseSeed = 43
+	if h3, _ := SpecHash(other); h3 == h1 {
+		t.Error("different specs must hash differently")
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"":        slog.LevelInfo,
+		"info":    slog.LevelInfo,
+		"DEBUG":   slog.LevelDebug,
+		" warn ":  slog.LevelWarn,
+		"warning": slog.LevelWarn,
+		"error":   slog.LevelError,
+	} {
+		got, err := ParseLogLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLogLevel("verbose"); err == nil {
+		t.Error("bad level should error")
+	}
+}
+
+func TestNewLoggerEnvConfig(t *testing.T) {
+	t.Setenv(LogLevelEnv, "debug")
+	t.Setenv(LogFormatEnv, "json")
+	var buf bytes.Buffer
+	log := NewLogger(&buf)
+	log.Debug("fleet event", "shard", 3)
+	out := buf.String()
+	if !strings.Contains(out, `"shard":3`) || !strings.Contains(out, "fleet event") {
+		t.Errorf("json debug output = %q", out)
+	}
+
+	// Default: text at info — debug is filtered.
+	t.Setenv(LogLevelEnv, "")
+	t.Setenv(LogFormatEnv, "")
+	buf.Reset()
+	log = NewLogger(&buf)
+	log.Debug("hidden")
+	log.Info("shown", "attempt", 2)
+	out = buf.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "attempt=2") {
+		t.Errorf("text info output = %q", out)
+	}
+
+	// A typo'd level degrades to info with a warning, not a failure.
+	t.Setenv(LogLevelEnv, "loud")
+	buf.Reset()
+	log = NewLogger(&buf)
+	if !strings.Contains(buf.String(), "ignoring bad log level") {
+		t.Errorf("bad level should warn on the logger itself, got %q", buf.String())
+	}
+	log.Info("still works")
+	if !strings.Contains(buf.String(), "still works") {
+		t.Error("logger should stay usable after a bad level")
+	}
+}

@@ -1,0 +1,388 @@
+// Package telemetry is the observability layer of the campaign fleet:
+// a broadcast hub that fans live progress snapshots out to any number
+// of subscribers, the HTTP dashboard server that serves them as SSE /
+// NDJSON plus a single-file HTML page (server.go), the append-only
+// NDJSON run ledger recording every completed campaign (ledger.go), and
+// the env-var-configured slog construction every command shares
+// (log.go).
+//
+// The package only observes: it subscribes to the same ordered progress
+// stream the terminal meters ride (experiment.Progress events and the
+// dispatch driver's fleet snapshots) and never touches trial execution,
+// so a campaign run with a dashboard attached writes a byte-identical
+// manifest to one run dark — the differential tests in cmd/sweep pin
+// that. The per-trial hook (Tracker.TrialDone) is allocation-free in
+// the steady state: publication is throttled, so between publishes a
+// trial costs two map updates and a clock read.
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"wsncover/internal/experiment"
+	"wsncover/internal/visual"
+)
+
+// Throttle is the minimum interval between non-final snapshot
+// publications, matching the terminal meters: a fast campaign must
+// never bottleneck on telemetry.
+const Throttle = 200 * time.Millisecond
+
+// Snapshot is one serialized observation of a running campaign — the
+// payload of the dashboard's /events stream. Fleet always carries the
+// aggregate done/total; Shards and Groups are present when the run
+// tracks them (a dispatched fleet, a campaign with more than one
+// curve).
+type Snapshot struct {
+	// Fleet is the aggregate progress of the whole run.
+	Fleet experiment.Progress `json:"fleet"`
+	// Shards is the per-shard state vector of a dispatched fleet, in
+	// shard order; nil for single-process runs.
+	Shards []ShardView `json:"shards,omitempty"`
+	// Groups is the per-group (curve) completion breakdown in job-space
+	// order; nil when the run has a single group or does not track it.
+	Groups []GroupView `json:"groups,omitempty"`
+	// ElapsedS is seconds since the run started.
+	ElapsedS float64 `json:"elapsed_s"`
+	// TrialsPerS is the aggregate completion rate so far (0 until the
+	// first trial lands).
+	TrialsPerS float64 `json:"trials_per_s"`
+	// ETAS estimates seconds to completion; negative means unknown (no
+	// rate yet, or nothing left to do).
+	ETAS float64 `json:"eta_s"`
+	// Heatmap is the per-group completion strip chart pre-rendered by
+	// internal/visual, empty when Groups is.
+	Heatmap string `json:"heatmap,omitempty"`
+	// Final marks the run's last snapshot.
+	Final bool `json:"final,omitempty"`
+}
+
+// ShardView is one shard's state in a Snapshot.
+type ShardView struct {
+	Shard    int    `json:"shard"`
+	State    string `json:"state"`
+	Done     int    `json:"done"`
+	Total    int    `json:"total"`
+	Attempts int    `json:"attempts,omitempty"`
+}
+
+// GroupView is one group's completion in a Snapshot.
+type GroupView struct {
+	Group string `json:"group"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+}
+
+// heatRows converts the group views for rendering.
+func heatRows(groups []GroupView) []visual.HeatRow {
+	rows := make([]visual.HeatRow, len(groups))
+	for i, g := range groups {
+		rows[i] = visual.HeatRow{Label: g.Group, Done: g.Done, Total: g.Total}
+	}
+	return rows
+}
+
+// Subscriber is one registered consumer of a Hub's event stream.
+type Subscriber struct {
+	ch chan []byte
+}
+
+// Events delivers marshaled snapshots, one JSON object per element (no
+// trailing newline). The channel closes when the hub closes.
+func (s *Subscriber) Events() <-chan []byte { return s.ch }
+
+// Hub broadcasts marshaled snapshots to every subscriber. Publication
+// never blocks: a slow subscriber's buffer drops its oldest event to
+// make room, so the newest state always gets through — a dashboard
+// wants the present, not a backlog. The zero value is not usable; call
+// NewHub.
+type Hub struct {
+	mu     sync.Mutex
+	subs   map[*Subscriber]struct{}
+	last   []byte
+	closed bool
+}
+
+// subscriberBuffer bounds each subscriber's unread backlog.
+const subscriberBuffer = 16
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{subs: make(map[*Subscriber]struct{})}
+}
+
+// Publish marshals the snapshot and broadcasts it. The marshaled form
+// is retained as the hub's last event, delivered immediately to future
+// subscribers so a late-joining dashboard renders without waiting for
+// the next publication.
+func (h *Hub) Publish(snap Snapshot) {
+	b, err := json.Marshal(snap)
+	if err != nil {
+		return // no Snapshot field can fail to marshal
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.last = b
+	for s := range h.subs {
+		h.pushLocked(s, b)
+	}
+}
+
+// pushLocked enqueues b on s, dropping the oldest buffered event when
+// the subscriber is full.
+func (h *Hub) pushLocked(s *Subscriber, b []byte) {
+	for {
+		select {
+		case s.ch <- b:
+			return
+		default:
+			select {
+			case <-s.ch:
+			default:
+			}
+		}
+	}
+}
+
+// Subscribe registers a consumer. The hub's last published event, if
+// any, is already enqueued on return.
+func (h *Hub) Subscribe() *Subscriber {
+	s := &Subscriber{ch: make(chan []byte, subscriberBuffer)}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		close(s.ch)
+		return s
+	}
+	h.subs[s] = struct{}{}
+	if h.last != nil {
+		h.pushLocked(s, h.last)
+	}
+	return s
+}
+
+// Unsubscribe removes a consumer and closes its channel (idempotent;
+// harmless after Close).
+func (h *Hub) Unsubscribe(s *Subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[s]; !ok {
+		return
+	}
+	delete(h.subs, s)
+	close(s.ch)
+}
+
+// Last returns the most recently published marshaled snapshot (nil
+// before the first publication).
+func (h *Hub) Last() []byte {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.last
+}
+
+// Close closes every subscriber channel after its buffered events; the
+// hub accepts no further publications or subscriptions. Events already
+// published are still drained by their subscribers, so a final snapshot
+// published before Close always reaches connected clients.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for s := range h.subs {
+		delete(h.subs, s)
+		close(s.ch)
+	}
+}
+
+// Publisher stamps snapshots with elapsed/rate/ETA from an injectable
+// clock, renders the group heatmap, and publishes onto a hub — shared
+// by the single-process Tracker and the dispatch-fleet adapter in
+// cmd/sweep. Callers are expected to be serialized (the engine's
+// ordered sink, the dispatcher's serialized progress callback); the
+// Publisher itself does not lock.
+type Publisher struct {
+	hub   *Hub
+	now   func() time.Time
+	start time.Time
+	last  time.Time
+}
+
+// NewPublisher returns a publisher anchored at the current time.
+func NewPublisher(hub *Hub) *Publisher {
+	p := &Publisher{hub: hub, now: time.Now}
+	p.start = p.now()
+	return p
+}
+
+// SetClock replaces the time source (tests); call before the first
+// Publish. It re-anchors the start and throttle times.
+func (p *Publisher) SetClock(now func() time.Time) {
+	p.now = now
+	p.start = now()
+	p.last = time.Time{}
+}
+
+// Due reports whether a publication would go out now — final snapshots
+// always, others at most every Throttle. Hot paths check Due before
+// building snapshot views so a throttled trial allocates nothing.
+func (p *Publisher) Due(final bool) bool {
+	return final || p.now().Sub(p.last) >= Throttle
+}
+
+// ForceDue lets the next publication bypass the throttle — used at
+// group boundaries so a finished curve renders at 100% immediately.
+func (p *Publisher) ForceDue() { p.last = time.Time{} }
+
+// Publish stamps and publishes one snapshot, subject to the throttle;
+// it returns whether the snapshot went out. fleet/shards/groups are
+// taken as-is; elapsed, rate, ETA, and the heatmap are computed here.
+func (p *Publisher) Publish(fleet experiment.Progress, shards []ShardView, groups []GroupView, final bool) bool {
+	if !p.Due(final) {
+		return false
+	}
+	now := p.now()
+	p.last = now
+	snap := Snapshot{
+		Fleet:    fleet,
+		Shards:   shards,
+		Groups:   groups,
+		ElapsedS: now.Sub(p.start).Seconds(),
+		ETAS:     -1,
+		Final:    final,
+	}
+	if snap.ElapsedS > 0 {
+		snap.TrialsPerS = float64(fleet.Done) / snap.ElapsedS
+	}
+	if snap.TrialsPerS > 0 && fleet.Total > fleet.Done {
+		snap.ETAS = float64(fleet.Total-fleet.Done) / snap.TrialsPerS
+	}
+	if len(groups) > 0 {
+		snap.Heatmap = visual.Heatmap(heatRows(groups), 24)
+	}
+	p.hub.Publish(snap)
+	return true
+}
+
+// GroupTimer records wall-clock spans per group: the first and last
+// observation of each group's activity. The campaign sink feeds it per
+// trial; the ledger records its Seconds. Observations are
+// allocation-free once a group's entries exist.
+type GroupTimer struct {
+	now   func() time.Time
+	first map[string]time.Time
+	last  map[string]time.Time
+}
+
+// NewGroupTimer returns an empty timer on the real clock.
+func NewGroupTimer() *GroupTimer {
+	return &GroupTimer{now: time.Now, first: make(map[string]time.Time), last: make(map[string]time.Time)}
+}
+
+// Observe records activity in group at the current time.
+func (g *GroupTimer) Observe(group string) {
+	now := g.now()
+	if _, ok := g.first[group]; !ok {
+		g.first[group] = now
+	}
+	g.last[group] = now
+}
+
+// Seconds returns each observed group's active span in seconds. A group
+// seen once spans zero; ordering is the map's (callers sort).
+func (g *GroupTimer) Seconds() map[string]float64 {
+	if len(g.first) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(g.first))
+	for group, f := range g.first {
+		out[group] = g.last[group].Sub(f).Seconds()
+	}
+	return out
+}
+
+// Tracker folds a single-process campaign's ordered trial stream into
+// dashboard snapshots: aggregate done/total, per-group completion in
+// job-space order, and per-group wall timing for the ledger. It is
+// driven from the engine's serialized sink, so it does not lock; the
+// steady-state per-trial cost (TrialDone between publications) is
+// allocation-free.
+type Tracker struct {
+	pub        *Publisher
+	timer      *GroupTimer
+	total      int
+	done       int
+	order      []string
+	groupTotal map[string]int
+	groupDone  map[string]int
+	cur        string
+}
+
+// NewTracker sizes a tracker for total trials across the given groups
+// (job-space order; totals per group). Group accounting is skipped when
+// order is empty.
+func NewTracker(pub *Publisher, total int, order []string, groupTotal map[string]int) *Tracker {
+	t := &Tracker{
+		pub:        pub,
+		timer:      NewGroupTimer(),
+		total:      total,
+		order:      order,
+		groupTotal: groupTotal,
+		groupDone:  make(map[string]int, len(groupTotal)),
+	}
+	t.timer.now = pub.now
+	return t
+}
+
+// TrialDone records one finished trial of the given group and publishes
+// a snapshot when one is due. A group completing forces a publication,
+// so the heatmap never sticks below 100% on a finished curve.
+func (t *Tracker) TrialDone(group string) {
+	t.done++
+	t.cur = group
+	t.timer.Observe(group)
+	boundary := false
+	if len(t.order) > 0 {
+		t.groupDone[group]++
+		boundary = t.groupDone[group] == t.groupTotal[group]
+	}
+	final := t.done == t.total
+	if !final && !boundary && !t.pub.Due(false) {
+		return
+	}
+	if boundary {
+		t.pub.ForceDue()
+	}
+	t.publish(final)
+}
+
+// Final publishes the terminal snapshot; call once after the campaign
+// completes (even when done < total, e.g. an aborted run).
+func (t *Tracker) Final() { t.publish(true) }
+
+// GroupSeconds returns per-group wall timing for the ledger.
+func (t *Tracker) GroupSeconds() map[string]float64 { return t.timer.Seconds() }
+
+func (t *Tracker) publish(final bool) {
+	var groups []GroupView
+	if len(t.order) > 0 {
+		groups = make([]GroupView, len(t.order))
+		for i, g := range t.order {
+			groups[i] = GroupView{Group: g, Done: t.groupDone[g], Total: t.groupTotal[g]}
+		}
+	}
+	fleet := experiment.Progress{Done: t.done, Total: t.total}
+	if !final && t.cur != "" {
+		fleet.Group = t.cur
+		fleet.GroupDone = t.groupDone[t.cur]
+	}
+	t.pub.Publish(fleet, nil, groups, final)
+}

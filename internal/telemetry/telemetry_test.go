@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"wsncover/internal/experiment"
+)
+
+func drain(sub *Subscriber) []Snapshot {
+	var out []Snapshot
+	for {
+		select {
+		case b, open := <-sub.Events():
+			if !open {
+				return out
+			}
+			var s Snapshot
+			if err := json.Unmarshal(b, &s); err != nil {
+				panic(err)
+			}
+			out = append(out, s)
+		default:
+			return out
+		}
+	}
+}
+
+func TestHubBroadcastAndReplay(t *testing.T) {
+	hub := NewHub()
+	early := hub.Subscribe()
+	hub.Publish(Snapshot{Fleet: experiment.Progress{Done: 1, Total: 10}})
+	hub.Publish(Snapshot{Fleet: experiment.Progress{Done: 2, Total: 10}})
+
+	got := drain(early)
+	if len(got) != 2 || got[0].Fleet.Done != 1 || got[1].Fleet.Done != 2 {
+		t.Fatalf("early subscriber got %+v", got)
+	}
+	// A late joiner replays the last event immediately.
+	late := hub.Subscribe()
+	got = drain(late)
+	if len(got) != 1 || got[0].Fleet.Done != 2 {
+		t.Fatalf("late subscriber got %+v, want the last event", got)
+	}
+	if hub.Last() == nil {
+		t.Error("Last should hold the latest marshaled snapshot")
+	}
+	hub.Unsubscribe(early)
+	hub.Unsubscribe(late)
+}
+
+func TestHubDropsOldestWhenSlow(t *testing.T) {
+	hub := NewHub()
+	sub := hub.Subscribe()
+	// Overflow the buffer without draining; the newest events survive.
+	for i := 1; i <= subscriberBuffer+5; i++ {
+		hub.Publish(Snapshot{Fleet: experiment.Progress{Done: i, Total: 100}})
+	}
+	got := drain(sub)
+	if len(got) != subscriberBuffer {
+		t.Fatalf("buffered %d events, want %d", len(got), subscriberBuffer)
+	}
+	if last := got[len(got)-1].Fleet.Done; last != subscriberBuffer+5 {
+		t.Errorf("newest buffered event done = %d, want %d (oldest dropped, not newest)",
+			last, subscriberBuffer+5)
+	}
+}
+
+func TestHubCloseDrainsBufferedEvents(t *testing.T) {
+	hub := NewHub()
+	sub := hub.Subscribe()
+	hub.Publish(Snapshot{Final: true})
+	hub.Close()
+	// The final event published before Close is still delivered.
+	b, open := <-sub.Events()
+	if !open {
+		t.Fatal("channel closed before draining the final snapshot")
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil || !s.Final {
+		t.Fatalf("drained %s, want the final snapshot", b)
+	}
+	if _, open := <-sub.Events(); open {
+		t.Error("channel should be closed after the drain")
+	}
+	// Post-close operations are inert.
+	hub.Publish(Snapshot{})
+	if got := hub.Subscribe(); got == nil {
+		t.Error("Subscribe after Close should return a closed subscriber, not nil")
+	} else if _, open := <-got.Events(); open {
+		t.Error("post-close subscriber should be closed")
+	}
+	hub.Close() // idempotent
+}
+
+func TestPublisherThrottleAndStamps(t *testing.T) {
+	hub := NewHub()
+	sub := hub.Subscribe()
+	pub := NewPublisher(hub)
+	clock := time.Unix(1000, 0)
+	pub.SetClock(func() time.Time { return clock })
+
+	fleet := experiment.Progress{Done: 10, Total: 40}
+	clock = clock.Add(2 * time.Second)
+	if !pub.Publish(fleet, nil, nil, false) {
+		t.Fatal("first publication should go out")
+	}
+	// Within the throttle window, non-final publications are suppressed
+	// and Due pre-reports it so hot paths skip building views.
+	clock = clock.Add(Throttle / 2)
+	if pub.Due(false) {
+		t.Error("Due inside the throttle window")
+	}
+	if pub.Publish(fleet, nil, nil, false) {
+		t.Error("throttled publication went out")
+	}
+	if !pub.Due(true) {
+		t.Error("final is always due")
+	}
+	if !pub.Publish(experiment.Progress{Done: 40, Total: 40}, nil, nil, true) {
+		t.Error("final publication suppressed")
+	}
+
+	got := drain(sub)
+	if len(got) != 2 {
+		t.Fatalf("got %d snapshots, want 2", len(got))
+	}
+	first := got[0]
+	if first.ElapsedS != 2 {
+		t.Errorf("elapsed = %v, want 2", first.ElapsedS)
+	}
+	if first.TrialsPerS != 5 {
+		t.Errorf("rate = %v, want 5", first.TrialsPerS)
+	}
+	if first.ETAS != 6 { // 30 remaining / 5 per second
+		t.Errorf("eta = %v, want 6", first.ETAS)
+	}
+	final := got[1]
+	if !final.Final {
+		t.Error("final snapshot unmarked")
+	}
+	if final.ETAS >= 0 {
+		t.Errorf("completed run eta = %v, want negative (unknown/none)", final.ETAS)
+	}
+}
+
+func TestPublisherZeroElapsedNoDivideByZero(t *testing.T) {
+	hub := NewHub()
+	sub := hub.Subscribe()
+	pub := NewPublisher(hub)
+	now := time.Unix(0, 0)
+	pub.SetClock(func() time.Time { return now })
+	// Zero elapsed, zero done: rate 0, ETA unknown.
+	pub.Publish(experiment.Progress{Done: 0, Total: 0}, nil, nil, false)
+	got := drain(sub)
+	if len(got) != 1 {
+		t.Fatal("want one snapshot")
+	}
+	if got[0].TrialsPerS != 0 || got[0].ETAS != -1 {
+		t.Errorf("zero-state snapshot = %+v, want rate 0 and eta -1", got[0])
+	}
+}
+
+func TestTrackerGroupBoundariesAndFinal(t *testing.T) {
+	hub := NewHub()
+	sub := hub.Subscribe()
+	pub := NewPublisher(hub)
+	clock := time.Unix(0, 0)
+	pub.SetClock(func() time.Time { return clock })
+
+	order := []string{"SR", "AR"}
+	tr := NewTracker(pub, 4, order, map[string]int{"SR": 2, "AR": 2})
+	clock = clock.Add(time.Second)
+	tr.TrialDone("SR") // due (first since anchor): publishes
+	tr.TrialDone("SR") // group boundary: forces a publication
+	tr.TrialDone("AR") // throttled
+	clock = clock.Add(time.Second)
+	tr.TrialDone("AR") // final
+
+	got := drain(sub)
+	if len(got) != 3 {
+		t.Fatalf("got %d snapshots, want 3 (due, boundary, final): %+v", len(got), got)
+	}
+	boundary := got[1]
+	if boundary.Fleet.Group != "SR" || boundary.Fleet.GroupDone != 2 {
+		t.Errorf("boundary fleet = %+v, want group SR done 2", boundary.Fleet)
+	}
+	if len(boundary.Groups) != 2 || boundary.Groups[0].Group != "SR" || boundary.Groups[0].Done != 2 {
+		t.Errorf("boundary groups = %+v", boundary.Groups)
+	}
+	if boundary.Heatmap == "" || !strings.Contains(boundary.Heatmap, "SR") {
+		t.Errorf("boundary heatmap = %q", boundary.Heatmap)
+	}
+	final := got[2]
+	if !final.Final || final.Fleet.Done != 4 || final.Fleet.Group != "" {
+		t.Errorf("final = %+v, want groupless 4/4 final", final)
+	}
+	secs := tr.GroupSeconds()
+	if len(secs) != 2 {
+		t.Fatalf("group seconds = %v", secs)
+	}
+	if secs["AR"] != 1 { // first AR trial at t=1s, last at t=2s
+		t.Errorf("AR span = %v, want 1", secs["AR"])
+	}
+}
+
+func TestGroupTimerSpans(t *testing.T) {
+	g := NewGroupTimer()
+	clock := time.Unix(0, 0)
+	g.now = func() time.Time { return clock }
+	if g.Seconds() != nil {
+		t.Error("empty timer should report nil")
+	}
+	g.Observe("a")
+	clock = clock.Add(3 * time.Second)
+	g.Observe("a")
+	g.Observe("b")
+	secs := g.Seconds()
+	if secs["a"] != 3 || secs["b"] != 0 {
+		t.Errorf("spans = %v", secs)
+	}
+}

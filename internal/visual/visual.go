@@ -1,5 +1,6 @@
-// Package visual renders networks and Hamilton topologies as ASCII art
-// for terminal inspection and the example programs.
+// Package visual renders networks, Hamilton topologies, and campaign
+// progress as ASCII art for terminal inspection, the example programs,
+// and the telemetry dashboard.
 package visual
 
 import (
@@ -55,6 +56,69 @@ func Roles(w *network.Network) string {
 			}
 		}
 		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// HeatRow is one labeled completion fraction for Heatmap: a campaign
+// group (curve) with its completed and total trial counts.
+type HeatRow struct {
+	Label string
+	Done  int
+	Total int
+}
+
+// heatShades are the partial-cell fill levels of a heatmap bar, lightest
+// to darkest. A cell's shade is its own completion fraction, so the bar
+// reads as a smooth gradient instead of snapping whole cells.
+var heatShades = []rune{' ', '░', '▒', '▓', '█'}
+
+// Heatmap renders per-group completion as an aligned strip chart, one
+// row per group in the given order:
+//
+//	SR 12x12 churn(2@5x3)  [███████▓░       ]  14/ 32  44%
+//	AR 12x12 churn(2@5x3)  [████████████████]  32/ 32 100%
+//
+// width is the bar's cell count (<= 0 means 24). Rows with a zero total
+// render a dashed bar instead of dividing by zero, so the chart is safe
+// on fleets whose totals are not known yet.
+func Heatmap(rows []HeatRow, width int) string {
+	if width <= 0 {
+		width = 24
+	}
+	labelW := 0
+	for _, r := range rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-*s  [", labelW, r.Label)
+		if r.Total <= 0 {
+			b.WriteString(strings.Repeat("-", width))
+			fmt.Fprintf(&b, "]  %3d/%3d   –\n", r.Done, r.Total)
+			continue
+		}
+		frac := float64(r.Done) / float64(r.Total)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		filled := frac * float64(width)
+		for i := 0; i < width; i++ {
+			cell := filled - float64(i)
+			if cell < 0 {
+				cell = 0
+			}
+			if cell > 1 {
+				cell = 1
+			}
+			b.WriteRune(heatShades[int(cell*float64(len(heatShades)-1)+0.5)])
+		}
+		fmt.Fprintf(&b, "]  %3d/%3d %3.0f%%\n", r.Done, r.Total, 100*frac)
 	}
 	return b.String()
 }

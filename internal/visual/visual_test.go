@@ -104,3 +104,51 @@ func TestCycleRenderDualPath(t *testing.T) {
 		t.Error("missing kind")
 	}
 }
+
+func TestHeatmapRendering(t *testing.T) {
+	rows := []HeatRow{
+		{Label: "SR 16x16", Done: 16, Total: 32},
+		{Label: "AR", Done: 32, Total: 32},
+		{Label: "pending", Done: 0, Total: 0},
+	}
+	out := Heatmap(rows, 16)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Labels pad to the widest, so the bars align.
+	for _, l := range lines {
+		if !strings.Contains(l, "[") || len(l) < len("SR 16x16  [") {
+			t.Errorf("misaligned row %q", l)
+		}
+	}
+	if !strings.Contains(lines[0], "50%") || strings.Count(lines[0], "█") != 8 {
+		t.Errorf("half-done row %q, want 8 full cells of 16 and 50%%", lines[0])
+	}
+	if !strings.Contains(lines[1], "100%") || strings.Count(lines[1], "█") != 16 {
+		t.Errorf("full row %q, want a solid 16-cell bar", lines[1])
+	}
+	// A zero total renders a dashed bar, never a division by zero.
+	if !strings.Contains(lines[2], strings.Repeat("-", 16)) {
+		t.Errorf("zero-total row %q, want a dashed bar", lines[2])
+	}
+}
+
+func TestHeatmapPartialCellAndDefaults(t *testing.T) {
+	// 3/8 of a 4-cell bar = 1.5 cells: one full cell, one half shade.
+	out := Heatmap([]HeatRow{{Label: "g", Done: 3, Total: 8}}, 4)
+	if !strings.Contains(out, "█▒") {
+		t.Errorf("partial fill %q, want a graded edge (█ then ▒)", out)
+	}
+	if !strings.Contains(out, "38%") { // 37.5 rounds up
+		t.Errorf("row %q lacks the rounded percentage", out)
+	}
+	// width <= 0 falls back to 24 cells.
+	def := Heatmap([]HeatRow{{Label: "g", Done: 0, Total: 1}}, 0)
+	if got := strings.Count(def, " "); !strings.Contains(def, "["+strings.Repeat(" ", 24)+"]") {
+		t.Errorf("default width row %q (spaces %d), want a 24-cell empty bar", def, got)
+	}
+	if Heatmap(nil, 10) != "" {
+		t.Error("no rows renders nothing")
+	}
+}
