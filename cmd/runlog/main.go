@@ -1,5 +1,7 @@
 // Command runlog queries the run ledger — the append-only NDJSON
-// history cmd/sweep writes one record into per completed campaign
+// history cmd/sweep writes one record into per campaign run, completed
+// or not: list's status column shows FAILED and ABORTED runs so an
+// unhealthy fleet is visible from the run history
 // (internal/telemetry, default <out>/ledger.ndjson).
 //
 // Usage:
@@ -136,14 +138,28 @@ func runList(w io.Writer, path string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%-4s %-20s %-16s %-9s %6s %6s %9s %10s  %s\n",
-		"#", "time", "name", "mode", "jobs", "pts", "wall_s", "trials/s", "spec")
+	fmt.Fprintf(w, "%-4s %-20s %-16s %-9s %-9s %6s %6s %9s %10s  %s\n",
+		"#", "time", "name", "mode", "status", "jobs", "pts", "wall_s", "trials/s", "spec")
 	for i, r := range recs {
-		fmt.Fprintf(w, "%-4d %-20s %-16s %-9s %6d %6d %9.2f %10.1f  %s\n",
-			i+1, r.Time.Format("2006-01-02 15:04:05"), r.Name, r.Mode,
+		fmt.Fprintf(w, "%-4d %-20s %-16s %-9s %-9s %6d %6d %9.2f %10.1f  %s\n",
+			i+1, r.Time.Format("2006-01-02 15:04:05"), r.Name, r.Mode, listStatus(r),
 			r.Jobs, r.Points, r.WallS, r.TrialsPerS, shortHash(r.SpecHash))
 	}
 	return nil
+}
+
+// listStatus renders a record's outcome; records written before the
+// status field existed are completed (only successful runs were
+// recorded then). Unhealthy outcomes render uppercase so they jump out
+// of a long history.
+func listStatus(r telemetry.Record) string {
+	switch r.Status {
+	case "", telemetry.StatusCompleted:
+		return telemetry.StatusCompleted
+	case telemetry.StatusFailed, telemetry.StatusAborted:
+		return strings.ToUpper(r.Status)
+	}
+	return r.Status
 }
 
 func runShow(w io.Writer, path, ref string) error {

@@ -50,8 +50,10 @@ func buildLedger(t *testing.T) (ledger string, hash string) {
 	base := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
 	for i, r := range []telemetry.Record{
 		{Name: "alpha", Mode: "run", SpecHash: hash, Manifest: a, Jobs: 4, Points: 1, WallS: 1.5},
-		{Name: "beta", Mode: "dispatch", SpecHash: hash, Manifest: b, Jobs: 4, Points: 1, Shards: 2, WallS: 0.9},
+		{Name: "beta", Mode: "dispatch", Status: telemetry.StatusCompleted, SpecHash: hash, Manifest: b, Jobs: 4, Points: 1, Shards: 2, WallS: 0.9},
 		{Name: "gamma", Mode: "run", SpecHash: "sha256:ffee00", Manifest: c, Jobs: 4, Points: 1, WallS: 1.1},
+		{Name: "delta", Mode: "dispatch", Status: telemetry.StatusFailed, SpecHash: "sha256:ddcc11", Jobs: 2, WallS: 0.4},
+		{Name: "epsilon", Mode: "run", Status: telemetry.StatusAborted, SpecHash: "sha256:ee4411", Jobs: 1, WallS: 0.2},
 	} {
 		r.Time = base.Add(time.Duration(i) * time.Minute)
 		if err := telemetry.AppendRecord(ledger, r); err != nil {
@@ -68,7 +70,10 @@ func TestRunlogList(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := out.String()
-	for _, want := range []string{"alpha", "beta", "gamma", "dispatch", "aabbccdd0011"} {
+	// Unhealthy runs stand out (uppercase); pre-status records and
+	// explicit completions both read "completed".
+	for _, want := range []string{"alpha", "beta", "gamma", "dispatch", "aabbccdd0011",
+		"status", "completed", "FAILED", "ABORTED"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("list output missing %q:\n%s", want, s)
 		}

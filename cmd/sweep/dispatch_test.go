@@ -272,10 +272,11 @@ func TestDispatchMatchesUnsharded(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	// The fleet leaves shard artifacts plus the merged campaign.
+	// The fleet leaves shard artifacts plus the merged campaign. With 2
+	// slots the queue defaults to 4 replicate blocks (2 per slot).
 	for _, f := range []string{
-		"camp.json", "camp-shard1.json", "camp-shard2.json",
-		"camp-shard1.spec.json", "camp-shard2.spec.json", "camp-moves.csv",
+		"camp.json", "camp-b1.json", "camp-b2.json", "camp-b3.json", "camp-b4.json",
+		"camp-b1.spec.json", "camp-b4.spec.json", "camp-moves.csv",
 	} {
 		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
 			t.Errorf("missing fleet artifact %s: %v", f, err)
@@ -293,10 +294,10 @@ func TestDispatchMatchesUnsharded(t *testing.T) {
 	assertManifestsEquivalent(t, filepath.Join(dir, "camp.json"), filepath.Join(refDir, "camp.json"))
 }
 
-// TestDispatchRetriesDeadWorkerAndResumes: shard 1's worker is killed
-// mid-run on its first attempt (after checkpointing one completed
-// cell); the driver must retry it with -resume and the merged result
-// must still match the unsharded campaign.
+// TestDispatchRetriesDeadWorkerAndResumes: the worker slot 1 launches
+// first is killed mid-run (after checkpointing one completed cell); the
+// driver must retry its shard with -resume and the merged result must
+// still match the unsharded campaign.
 func TestDispatchRetriesDeadWorkerAndResumes(t *testing.T) {
 	dir := t.TempDir()
 	died := filepath.Join(dir, "died")
@@ -322,8 +323,9 @@ exec "$@"
 		BaseSeed:   21,
 	}
 	manifest, _, err := dispatch.Run(context.Background(), spec, dispatch.Options{
-		Shards: 2,
-		Worker: []string{"/bin/sh", script, "{shard}", os.Args[0]},
+		Slots:  2,
+		Blocks: 2,
+		Worker: []string{"/bin/sh", script, "{slot}", os.Args[0]},
 		OutDir: dir,
 		Name:   "camp",
 		Env:    []string{"WSNSWEEP_WORKER=1"},
@@ -332,7 +334,7 @@ exec "$@"
 			mu.Lock()
 			defer mu.Unlock()
 			for _, sh := range s.Shards {
-				if sh.Shard == 1 && sh.Attempts > attempts {
+				if sh.Attempts > attempts {
 					attempts = sh.Attempts
 				}
 			}
@@ -348,7 +350,7 @@ exec "$@"
 	got := attempts
 	mu.Unlock()
 	if got != 2 {
-		t.Errorf("shard 1 attempts = %d, want 2 (die once, resume once)", got)
+		t.Errorf("dead worker's shard attempts = %d, want 2 (die once, resume once)", got)
 	}
 	if _, err := manifest.Save(dir); err != nil {
 		t.Fatal(err)
@@ -363,18 +365,20 @@ exec "$@"
 		t.Fatal(err)
 	}
 	assertManifestsEquivalent(t, filepath.Join(dir, "camp.json"), filepath.Join(refDir, "camp.json"))
-	// The retried shard's manifest accounts for every trial it
-	// represents, checkpointed prefix included.
-	var sh1 experiment.Manifest
-	data, err := os.ReadFile(filepath.Join(dir, "camp-shard1.json"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := json.Unmarshal(data, &sh1); err != nil {
-		t.Fatal(err)
-	}
-	if sh1.Jobs != 4 {
-		t.Errorf("retried shard manifest jobs = %d, want 4", sh1.Jobs)
+	// Every shard's manifest accounts for all the trials it represents —
+	// the retried one's checkpointed prefix included.
+	for _, name := range []string{"camp-b1.json", "camp-b2.json"} {
+		var sh experiment.Manifest
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &sh); err != nil {
+			t.Fatal(err)
+		}
+		if sh.Jobs != 4 {
+			t.Errorf("%s jobs = %d, want 4", name, sh.Jobs)
+		}
 	}
 }
 
@@ -388,6 +392,9 @@ func TestDispatchFlagConflicts(t *testing.T) {
 		{[]string{"-dispatch", "2", "-shard", "1/2"}, "-dispatch splits"},
 		{[]string{"-dispatch", "2", "-checkpoint"}, "-checkpoint belongs to workers"},
 		{[]string{"-exec", "ssh box --"}, "-exec only applies"},
+		{[]string{"-lease-timeout", "30s"}, "only apply to dispatch mode"},
+		{[]string{"-max-retries", "5"}, "only apply to dispatch mode"},
+		{[]string{"-fleet", "inv.txt", "-exec", "ssh box --"}, "drop -exec"},
 		{[]string{"-progress", "sometimes"}, "unknown -progress mode"},
 		{[]string{"-pprof"}, "requires -dash"},
 	}

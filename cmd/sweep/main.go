@@ -15,7 +15,9 @@
 //	      [-dash addr [-pprof] [-dash-linger d]] [-ledger path|none]
 //	sweep -spec campaign.json [-out dir] [-name sweep] ...
 //	sweep -merge shard1.json shard2.json ... [-out dir] [-name merged]
-//	sweep -dispatch n [-exec "ssh host{shard} --"] [campaign flags ...]
+//	sweep -dispatch n [-exec "ssh host{slot} --"] [-lease-timeout d]
+//	      [-max-retries r] [campaign flags ...]
+//	sweep -fleet inventory.txt [-lease-timeout d] [-max-retries r] ...
 //
 // A spec file is the JSON form of sim.CampaignSpec and replaces the
 // dimension flags; workload parameters ({"kind": "churn", "every": 5})
@@ -46,14 +48,27 @@
 // they are count-weighted estimates marked "median_approx" in the
 // manifest.
 //
-// -dispatch n does all of that automatically: it splits the campaign
-// into n shard specs, runs one supervised worker subprocess per shard
-// (the current binary by default; -exec prefixes the command, with
-// "{shard}" replaced by the shard number, so "ssh box{shard} --"
-// reaches remote machines sharing the -out directory), folds the
-// workers' progress into one live fleet meter, retries dead workers
-// with -resume from their checkpoint manifests, and merges the shard
-// manifests into the final campaign manifest.
+// -dispatch n does all of that automatically, and fault-tolerantly: it
+// splits the campaign's replicate range into blocks (two per slot by
+// default) fed to n worker slots from a lease-based work queue. A slot
+// leasing a block runs one supervised worker subprocess (the current
+// binary by default; -exec prefixes the command, with "{slot}" replaced
+// by the slot number, so "ssh box{slot} --" reaches remote machines
+// sharing the -out directory; -fleet names an inventory file giving
+// every slot its own prefix). Progress events on the worker's stdout
+// renew the lease: a worker silent for -lease-timeout is killed and its
+// block re-queued, failed blocks are retried with -resume from their
+// checkpoint manifests after a jittered backoff (-max-retries caps
+// relaunches per block), idle slots steal speculative duplicates of
+// straggling blocks (first completion wins; duplicates are
+// byte-identical by determinism), and slots that keep failing are
+// retired so a dead box shrinks the fleet instead of stalling it. The
+// driver folds the workers' progress into one live fleet meter and
+// merges the shard manifests into the final campaign manifest.
+// SIGINT/SIGTERM drain gracefully: workers flush checkpoints, the
+// ledger records the abort, and a -resume rerun picks up every
+// surviving checkpoint. The WSNSWEEP_CHAOS harness (see chaos.go)
+// injects worker faults to test all of this end to end.
 //
 // -progress selects the progress channel: "meter" is the human line on
 // stderr, "json" emits newline-delimited experiment.Progress events
@@ -70,7 +85,8 @@
 // snapshot stream at /events (SSE, or NDJSON with ?format=ndjson),
 // liveness at /healthz, and net/http/pprof under -pprof. -dash-linger
 // keeps it serving after completion so a human can see the final state.
-// Every successful run appends one record to the run ledger
+// Every run appends one record to the run ledger when it ends —
+// completed, failed, or aborted, the status says which
 // (<out>/ledger.ndjson, or -ledger path; -ledger none disables), the
 // NDJSON history cmd/runlog queries. Structured logs go to stderr via
 // log/slog; WSNSWEEP_LOG sets the level and WSNSWEEP_LOG_FORMAT=json
@@ -80,15 +96,18 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"wsncover/internal/dispatch"
@@ -220,19 +239,10 @@ func (c *checkpointer) write() error {
 	if err != nil {
 		return err
 	}
-	tmp := c.path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := manifest.Write(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp, c.path)
+	// WriteAtomic uses a uniquely named temp file, so two attempts at the
+	// same shard (a straggler and its speculative duplicate sharing the
+	// out directory) never clobber each other's in-flight checkpoint.
+	return manifest.WriteAtomic(c.path)
 }
 
 // dashNotify is a test hook: when set, it runs with the dashboard's
@@ -294,6 +304,7 @@ func (d *dashRig) finish(runErr error) {
 // telemetry must not import dispatch (the dependency runs the other
 // way: nothing below the command layer knows about the dashboard).
 func shardViews(shards []dispatch.ShardStatus) []telemetry.ShardView {
+	now := time.Now()
 	out := make([]telemetry.ShardView, len(shards))
 	for i, s := range shards {
 		out[i] = telemetry.ShardView{
@@ -302,6 +313,15 @@ func shardViews(shards []dispatch.ShardStatus) []telemetry.ShardView {
 			Done:     s.Progress.Done,
 			Total:    s.Progress.Total,
 			Attempts: s.Attempts,
+			Slot:     s.Slot,
+			Leases:   s.Leases,
+			BeatAgeS: -1,
+		}
+		if s.Attempts > 1 {
+			out[i].Retries = s.Attempts - 1
+		}
+		if !s.LastBeat.IsZero() {
+			out[i].BeatAgeS = now.Sub(s.LastBeat).Seconds()
 		}
 	}
 	return out
@@ -320,6 +340,7 @@ func groupViews(groups []dispatch.GroupProgress) []telemetry.GroupView {
 // group's active wall span (snapshot-granular — from the first snapshot
 // where the group shows progress to the last where its count advanced).
 type fleetStats struct {
+	shards    int
 	attempts  []int
 	prevDone  map[string]int
 	groupSpan *telemetry.GroupTimer
@@ -330,6 +351,7 @@ func newFleetStats() *fleetStats {
 }
 
 func (f *fleetStats) update(s dispatch.FleetSnapshot) {
+	f.shards = len(s.Shards)
 	if f.attempts == nil {
 		f.attempts = make([]int, len(s.Shards))
 	}
@@ -619,27 +641,16 @@ func loadSpec(path string) (sim.CampaignSpec, error) {
 	return spec, nil
 }
 
-// runDispatch is the -dispatch n mode: supervise a fleet of shard
-// workers, then persist the auto-merged campaign manifest and its
-// tables exactly like an unsharded run would. The fleet's progress
-// stream tees to every observer the flags turned on — terminal meter,
-// NDJSON re-emitter, dashboard publisher — plus the ledger's stats
-// capture; all ride the same serialized callback.
-func runDispatch(w io.Writer, spec sim.CampaignSpec, shards int, execS, outDir, name, metricsS string, resume, ascii bool, progressMode string, logger *slog.Logger, rig *dashRig, ledPath string) error {
-	opts := dispatch.Options{
-		Shards: shards,
-		OutDir: outDir,
-		Name:   name,
-		Resume: resume,
-		Logger: logger,
-	}
-	if execS != "" {
-		exe, err := os.Executable()
-		if err != nil {
-			return err
-		}
-		opts.Worker = append(strings.Fields(execS), exe)
-	}
+// runDispatch is the -dispatch / -fleet mode: supervise a fleet of
+// worker slots over the shard work queue, then persist the auto-merged
+// campaign manifest and its tables exactly like an unsharded run would.
+// The fleet's progress stream tees to every observer the flags turned
+// on — terminal meter, NDJSON re-emitter, dashboard publisher — plus
+// the ledger's stats capture; all ride the same serialized callback.
+// A fleet that fails or is aborted still gets its ledger record, with
+// Status saying how it ended, so the run history shows unhealthy runs.
+func runDispatch(ctx context.Context, w io.Writer, spec sim.CampaignSpec, opts dispatch.Options, metricsS string, ascii bool, progressMode string, logger *slog.Logger, rig *dashRig, ledPath string) error {
+	outDir, name := opts.OutDir, opts.Name
 	var sinks []func(dispatch.FleetSnapshot)
 	if progressMode == "meter" {
 		fm := dispatch.NewFleetMeter(os.Stderr)
@@ -671,17 +682,28 @@ func runDispatch(w io.Writer, spec sim.CampaignSpec, shards int, execS, outDir, 
 		}
 	}
 	start := time.Now()
-	manifest, mergedSpec, err := dispatch.Run(context.Background(), spec, opts)
+	manifest, mergedSpec, err := dispatch.Run(ctx, spec, opts)
+	wall := time.Since(start)
 	if err != nil {
+		if ledPath != "" {
+			rec := telemetry.Record{
+				Name:    name,
+				Mode:    "dispatch",
+				Status:  runStatus(err),
+				Retries: stats.retries(),
+				WallS:   wall.Seconds(),
+				CPUS:    telemetry.CPUSeconds(),
+			}
+			appendLedger(ledPath, rec, spec, logger)
+		}
 		return err
 	}
-	wall := time.Since(start)
 	path, err := manifest.Save(outDir)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "dispatched %d shards; merged into %s (%d jobs, %d points)\n",
-		shards, path, manifest.Jobs, len(manifest.Points))
+	fmt.Fprintf(w, "dispatched fleet; merged into %s (%d jobs, %d points)\n",
+		path, manifest.Jobs, len(manifest.Points))
 	if err := writeTables(w, manifest.Points, metricsS, outDir, name, mergedSpec.Replicates, ascii); err != nil {
 		return err
 	}
@@ -692,11 +714,12 @@ func runDispatch(w io.Writer, spec sim.CampaignSpec, shards int, execS, outDir, 
 		rec := telemetry.Record{
 			Name:     name,
 			Mode:     "dispatch",
+			Status:   telemetry.StatusCompleted,
 			Manifest: path,
 			Jobs:     manifest.Jobs,
 			Points:   len(manifest.Points),
 			Workers:  mergedSpec.Workers,
-			Shards:   shards,
+			Shards:   stats.shards,
 			Retries:  stats.retries(),
 			WallS:    wall.Seconds(),
 			// Workers are reaped children, so their CPU time is in here.
@@ -709,6 +732,44 @@ func runDispatch(w io.Writer, spec sim.CampaignSpec, shards int, execS, outDir, 
 		appendLedger(ledPath, rec, mergedSpec, logger)
 	}
 	return nil
+}
+
+// runStatus classifies how a run ended for the ledger: a context
+// cancellation (SIGINT/SIGTERM drain, a second Ctrl-C racing the first)
+// is an abort; anything else is a failure.
+func runStatus(err error) string {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return telemetry.StatusAborted
+	}
+	return telemetry.StatusFailed
+}
+
+// signalContext cancels the returned context on the first SIGINT or
+// SIGTERM, so campaigns drain gracefully — workers flush their
+// checkpoints, the ledger records the abort — and exits immediately on
+// the second signal for the human leaning on Ctrl-C.
+func signalContext(logger *slog.Logger) (context.Context, func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig, ok := <-ch
+		if !ok {
+			return
+		}
+		logger.Warn("signal received: draining (checkpoints flush, ledger records the abort); second signal exits immediately",
+			"signal", sig.String())
+		cancel()
+		if sig, ok := <-ch; ok {
+			logger.Error("second signal: exiting immediately", "signal", sig.String())
+			os.Exit(130)
+		}
+	}()
+	return ctx, func() {
+		signal.Stop(ch)
+		close(ch)
+		cancel()
+	}
 }
 
 // printSummary renders the per-point digest shown after every
@@ -739,8 +800,11 @@ func run(args []string) (err error) {
 		resume     = fs.Bool("resume", false, "skip (group, N) cells already in the output manifest and merge new results into it")
 		shardS     = fs.String("shard", "", "replicate shard i/n: run only the i-th of n contiguous replicate blocks (stitch with -merge)")
 		merge      = fs.Bool("merge", false, "merge the shard manifests given as arguments into one campaign manifest instead of running trials")
-		dispatchN  = fs.Int("dispatch", 0, "run the campaign as n supervised shard worker subprocesses and auto-merge their manifests")
-		execS      = fs.String("exec", "", "worker command prefix for -dispatch ({shard} = shard number), e.g. \"ssh box{shard} --\"")
+		dispatchN  = fs.Int("dispatch", 0, "run the campaign over n supervised worker slots (lease-based work queue) and auto-merge their manifests")
+		execS      = fs.String("exec", "", "worker command prefix for -dispatch ({slot} = slot number), e.g. \"ssh box{slot} --\"")
+		fleetS     = fs.String("fleet", "", "fleet inventory file: one worker slot per line (\"local\" or an -exec-style prefix); implies dispatch mode")
+		leaseS     = fs.Duration("lease-timeout", 0, "dispatch heartbeat deadline: a worker silent this long is killed and its shard re-queued (0 = 2m; set above the slowest trial)")
+		retriesN   = fs.Int("max-retries", 0, "dispatch relaunch budget per shard (0 = default 2, negative = none)")
 		progressS  = fs.String("progress", "meter", "progress display: meter, json (event protocol on stdout), none")
 		checkpoint = fs.Bool("checkpoint", false, "rewrite the manifest after every completed cell so a killed run can -resume")
 		replicates = fs.Int("replicates", 20, "trials per campaign cell")
@@ -896,17 +960,59 @@ func run(args []string) (err error) {
 		dash = rig
 	}
 
-	if *dispatchN > 0 {
+	if *dispatchN > 0 || *fleetS != "" {
 		if spec.ShardCount > 0 {
 			return fmt.Errorf("-dispatch splits the campaign itself; drop -shard (or the spec's shard range)")
 		}
 		if *checkpoint {
 			return fmt.Errorf("-checkpoint belongs to workers; the dispatch driver enables it for every shard")
 		}
-		return runDispatch(infoW, spec, *dispatchN, *execS, *outDir, *name, *metricsS, *resume, *ascii, progressMode, logger, dash, ledPath)
+		dopts := dispatch.Options{
+			Slots:        *dispatchN,
+			OutDir:       *outDir,
+			Name:         *name,
+			Resume:       *resume,
+			Retries:      *retriesN,
+			LeaseTimeout: *leaseS,
+			Logger:       logger,
+		}
+		switch {
+		case *fleetS != "" && *execS != "":
+			return fmt.Errorf("-fleet gives every slot its own command prefix; drop -exec")
+		case *fleetS != "":
+			slots, err := dispatch.LoadFleetInventory(*fleetS)
+			if err != nil {
+				return err
+			}
+			exe, err := os.Executable()
+			if err != nil {
+				return err
+			}
+			// Inventory lines are command prefixes; the worker binary rides
+			// at the end of each (remote slots reach it via the shared
+			// filesystem the -out directory already requires).
+			for i, s := range slots {
+				if s != nil {
+					slots[i] = append(s, exe)
+				}
+			}
+			dopts.Fleet = slots
+		case *execS != "":
+			exe, err := os.Executable()
+			if err != nil {
+				return err
+			}
+			dopts.Worker = append(strings.Fields(*execS), exe)
+		}
+		ctx, stop := signalContext(logger)
+		defer stop()
+		return runDispatch(ctx, infoW, spec, dopts, *metricsS, *ascii, progressMode, logger, dash, ledPath)
 	}
 	if *execS != "" {
 		return fmt.Errorf("-exec only applies to -dispatch")
+	}
+	if *leaseS != 0 || *retriesN != 0 {
+		return fmt.Errorf("-lease-timeout and -max-retries only apply to dispatch mode (-dispatch or -fleet)")
 	}
 
 	// -resume: load the existing manifest (if any) and mark its
@@ -1043,14 +1149,18 @@ func run(args []string) (err error) {
 	}
 	// Test-only crash hook: WSNSWEEP_EXIT_AFTER=k kills the process
 	// after k completed trials (checkpoint written first), simulating a
-	// worker dying mid-run for the dispatch failure-path tests.
+	// worker dying mid-run for the dispatch failure-path tests. The
+	// richer WSNSWEEP_CHAOS fault injector lives in chaos.go.
 	exitAfter := 0
 	if s := os.Getenv("WSNSWEEP_EXIT_AFTER"); s != "" {
 		exitAfter, _ = strconv.Atoi(s)
 	}
+	chaos := chaosFromEnv(logger)
 	ran := 0
+	ctx, stop := signalContext(logger)
+	defer stop()
 	start := time.Now()
-	err = sim.RunCampaignSubset(context.Background(), spec, opts, keep,
+	err = sim.RunCampaignSubset(ctx, spec, opts, keep,
 		func(j sim.TrialJob, s experiment.Sample) error {
 			acc.Add(s)
 			ran++
@@ -1074,12 +1184,42 @@ func run(args []string) (err error) {
 			if exitAfter > 0 && ran == exitAfter {
 				os.Exit(7)
 			}
+			if chaos != nil {
+				chaos.trialDone(ran)
+			}
 			return nil
 		})
+	wall := time.Since(start)
 	if err != nil {
+		// A failed or drained run still records itself: the checkpoints
+		// the manifest path holds are only half the story, the ledger says
+		// how the run ended so cmd/runlog surfaces unhealthy history.
+		if tracker != nil {
+			tracker.Final()
+		}
+		if ledPath != "" {
+			mode := "run"
+			if spec.ShardCount > 0 {
+				mode = "shard"
+			}
+			rec := telemetry.Record{
+				Name:       *name,
+				Mode:       mode,
+				Status:     runStatus(err),
+				Jobs:       ran,
+				Workers:    spec.Workers,
+				ShardFirst: spec.ShardFirst,
+				ShardCount: spec.ShardCount,
+				WallS:      wall.Seconds(),
+				CPUS:       telemetry.CPUSeconds(),
+			}
+			if wall > 0 {
+				rec.TrialsPerS = float64(ran) / wall.Seconds()
+			}
+			appendLedger(ledPath, rec, spec, logger)
+		}
 		return err
 	}
-	wall := time.Since(start)
 	if tracker != nil {
 		tracker.Final()
 	}
@@ -1125,6 +1265,7 @@ func run(args []string) (err error) {
 		rec := telemetry.Record{
 			Name:         *name,
 			Mode:         mode,
+			Status:       telemetry.StatusCompleted,
 			Manifest:     path,
 			Jobs:         totalJobs,
 			Points:       len(points),

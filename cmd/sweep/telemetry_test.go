@@ -160,8 +160,11 @@ func TestDashDispatchAcceptance(t *testing.T) {
 		t.Fatalf("ledger has %d records, want exactly 1 (the driver's):\n%+v", len(recs), recs)
 	}
 	rec := recs[0]
-	if rec.Mode != "dispatch" || rec.Shards != 2 || rec.Jobs != m.Jobs {
-		t.Errorf("ledger record = %+v, want mode dispatch, 2 shards, %d jobs", rec, m.Jobs)
+	if rec.Mode != "dispatch" || rec.Shards != 4 || rec.Jobs != m.Jobs {
+		t.Errorf("ledger record = %+v, want mode dispatch, 4 shards, %d jobs", rec, m.Jobs)
+	}
+	if rec.Status != telemetry.StatusCompleted {
+		t.Errorf("ledger record status = %q, want completed", rec.Status)
 	}
 	var spec sim.CampaignSpec
 	if err := json.Unmarshal(m.Spec, &spec); err != nil {

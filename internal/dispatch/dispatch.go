@@ -1,23 +1,33 @@
-// Package dispatch runs one Monte-Carlo campaign as a fleet of shard
-// worker subprocesses and merges the results automatically — the
-// scale-past-one-box driver on top of cmd/sweep's -shard/-merge
-// plumbing.
+// Package dispatch runs one Monte-Carlo campaign as an elastic fleet of
+// worker subprocesses over a replicate-granular work queue and merges
+// the results automatically — the scale-past-one-box driver on top of
+// cmd/sweep's -shard/-merge plumbing.
 //
-// Run splits a campaign spec into n shard specs with
-// sim.CampaignSpec.SplitShards (replicate seeds derive from the full
-// range, so every shard computes byte-identical slices of the unsharded
-// campaign), launches one supervised worker subprocess per shard, and
-// folds the workers' newline-delimited JSON progress streams
-// (experiment.Progress events, cmd/sweep -progress=json) into live
-// fleet snapshots. A worker that dies is retried with -resume, picking
-// up from the checkpoint manifest it wrote as cells completed; when
-// every shard finishes, the shard manifests merge through
-// MergeShardManifests into the final campaign manifest.
+// Run splits a campaign spec into shards (replicate blocks, more of
+// them than worker slots) with sim.CampaignSpec.SplitShards; replicate
+// seeds derive from the full range, so every shard computes
+// byte-identical slices of the unsharded campaign no matter which slot
+// runs it, or how many times. Worker slots lease shards from the queue
+// one at a time; a lease is renewed by heartbeats — valid events on the
+// worker's newline-delimited JSON progress stream (experiment.Progress,
+// cmd/sweep -progress=json) — and a worker that goes silent past the
+// lease timeout is killed, reaped, and its shard re-queued. Failed
+// attempts retry with capped exponential backoff and jitter, resuming
+// from the checkpoint manifest the dead worker left behind; idle slots
+// steal stragglers by racing a speculative duplicate attempt, with the
+// first validated completion winning. A slot that fails repeatedly
+// retires, shrinking the fleet instead of failing the campaign; the
+// campaign fails only when a shard burns its whole relaunch budget or
+// every slot retires. When every shard finishes, the winning shard
+// manifests merge through MergeShardManifests into the final campaign
+// manifest.
 //
 // The worker command is a template, so the fleet is not tied to the
-// local box: Options.Worker{"ssh", "box{shard}", "--", "sweep"} runs
-// shard i on host box<i>. The default template re-executes the current
-// binary, which is what cmd/sweep -dispatch uses.
+// local box: Options.Worker{"ssh", "box{slot}", "--", "sweep"} runs
+// slot i's attempts on host box<i>, and Options.Fleet gives each slot
+// its own template for heterogeneous fleets (see ParseFleetInventory).
+// The default template re-executes the current binary, which is what
+// cmd/sweep -dispatch uses.
 package dispatch
 
 import (
@@ -37,24 +47,27 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"wsncover/internal/experiment"
 	"wsncover/internal/sim"
 )
 
-// ShardState is the lifecycle of one shard in the fleet.
+// ShardState is the lifecycle of one shard (replicate block) in the
+// work queue.
 type ShardState int
 
 const (
-	// ShardPending: the worker has not been launched yet.
+	// ShardPending: in the queue, waiting for a slot (possibly behind a
+	// retry backoff gate).
 	ShardPending ShardState = iota
-	// ShardRunning: a worker attempt is executing (Attempts > 1 means a
-	// retry after a failure).
+	// ShardRunning: at least one worker attempt holds a lease on it.
 	ShardRunning
-	// ShardDone: the shard's manifest is complete on disk.
+	// ShardDone: a validated manifest is complete on disk.
 	ShardDone
-	// ShardFailed: every attempt failed; Err holds the last error.
+	// ShardFailed: the relaunch budget is exhausted; Err holds the last
+	// error.
 	ShardFailed
 )
 
@@ -73,22 +86,33 @@ func (s ShardState) String() string {
 	return fmt.Sprintf("ShardState(%d)", int(s))
 }
 
-// ShardStatus is the live state of one shard worker.
+// ShardStatus is the live state of one shard: queue state, lease
+// holder, and folded progress.
 type ShardStatus struct {
 	// Shard is the 1-based shard number.
 	Shard int
 	State ShardState
 	// Progress counts the shard's trials: Total is the shard's full
 	// trial count (computed from the spec, not trusted from the worker),
-	// and Done folds the worker's reports on top of whatever a resumed
-	// attempt skipped. A retry's first report resyncs Done to the
-	// checkpointed prefix, so trials of partially completed cells —
-	// which the resume recomputes — honestly drop off the meter rather
-	// than being counted twice.
+	// and Done folds the live attempts' reports on top of whatever a
+	// resumed attempt skipped. A retry's first report resyncs Done to the
+	// checkpointed prefix, so trials of partially completed cells — which
+	// the resume recomputes — honestly drop off the meter rather than
+	// being counted twice.
 	Progress experiment.Progress
-	// Attempts counts worker launches, first try included.
+	// Attempts counts worker launches against this shard, first try and
+	// speculative duplicates included.
 	Attempts int
-	// ManifestPath is where the shard's manifest lands.
+	// Slot is the worker slot holding the newest live lease (0 = none).
+	Slot int
+	// Leases is the number of live attempts: 0 when idle, 1 normally,
+	// 2 while a speculative duplicate races a straggler.
+	Leases int
+	// LastBeat is the freshest heartbeat across the live attempts — the
+	// time of the last valid progress event. Zero until the current
+	// leaseholders' first event.
+	LastBeat time.Time
+	// ManifestPath is the shard manifest's canonical location.
 	ManifestPath string
 	// Err is the terminal error of a failed shard.
 	Err error
@@ -115,6 +139,10 @@ type FleetSnapshot struct {
 	// full per-group totals — while in-flight counts are a lower bound,
 	// since a resumed attempt reports only the work it recomputes.
 	Groups []GroupProgress
+	// Slots is the fleet size; Retired counts the slots that hit their
+	// failure budget and withdrew from the queue.
+	Slots   int
+	Retired int
 }
 
 // Terminal reports whether every shard has finished, successfully or
@@ -130,26 +158,54 @@ func (s FleetSnapshot) Terminal() bool {
 
 // Options configures a fleet run.
 type Options struct {
-	// Shards is the fleet size; the campaign's replicate dimension is
-	// split into this many even blocks.
-	Shards int
-	// Worker is the argv template invoked for each shard before the
+	// Slots is the fleet size: how many worker subprocesses run
+	// concurrently. Ignored when Fleet is set (each inventory line is a
+	// slot).
+	Slots int
+	// Blocks is the work-queue granularity: the campaign's replicate
+	// dimension splits into this many shards. Zero picks twice the slot
+	// count (capped at the replicate count), so a straggling shard holds
+	// at most half a slot's share of the campaign hostage and idle slots
+	// have queue left to drain.
+	Blocks int
+	// Worker is the argv template invoked for each attempt before the
 	// standard sweep arguments (-spec, -out, -name, -progress=json, ...)
-	// are appended. The literal "{shard}" in any element is replaced by
-	// the 1-based shard number, so {"ssh", "box{shard}", "--", "sweep"}
-	// reaches one remote host per shard. Empty means the current
-	// executable — every shard a local subprocess.
+	// are appended. The literal "{slot}" (or the legacy "{shard}") in
+	// any element is replaced by the 1-based slot number, so
+	// {"ssh", "box{slot}", "--", "sweep"} reaches one remote host per
+	// slot. Empty means the current executable — every attempt a local
+	// subprocess.
 	Worker []string
+	// Fleet gives each slot its own argv template (heterogeneous
+	// fleets); a nil entry means the default local template. Overrides
+	// Slots and Worker.
+	Fleet [][]string
 	// OutDir receives the shard spec files, shard manifests, and
 	// checkpoints. With a remote Worker template it must name a
 	// directory the workers and the driver share (NFS or equivalent).
 	OutDir string
-	// Name is the campaign name; shard artifacts are <Name>-shard<i>.
+	// Name is the campaign name; shard artifacts are <Name>-b<i>.
 	Name string
 	// Retries is how many times a failed shard is relaunched (with
-	// -resume, so completed cells are not recomputed). Negative means
+	// -resume, so checkpointed cells are not recomputed). Negative means
 	// none; zero means the default of 2.
 	Retries int
+	// SlotFailures is the consecutive-failure budget per slot: a slot
+	// whose attempts fail this many times in a row retires, shrinking
+	// the fleet instead of failing the campaign. Zero means the default
+	// of 3; negative means a single failure retires the slot.
+	SlotFailures int
+	// LeaseTimeout is the heartbeat deadline: a worker producing no
+	// valid progress event for this long is presumed hung, killed, and
+	// its shard re-queued. Zero means the default of 2 minutes. Set it
+	// comfortably above the slowest single trial — progress events only
+	// flow when trials complete.
+	LeaseTimeout time.Duration
+	// StealAfter is how long a shard's only attempt must have been
+	// running before an idle slot may race a speculative duplicate
+	// against it. Zero means half the lease timeout; negative disables
+	// stealing.
+	StealAfter time.Duration
 	// Resume passes -resume to first attempts too, so a rerun of the
 	// whole fleet picks up surviving shard manifests from a previous
 	// dispatch instead of starting over.
@@ -163,9 +219,10 @@ type Options struct {
 	// OnProgress, when non-nil, observes every fleet state change.
 	// Calls are serialized; keep it fast (a meter redraw).
 	OnProgress func(FleetSnapshot)
-	// Logger receives structured lifecycle events: worker launches and
-	// clean exits at debug, retries at warn (shard/attempt/err attrs),
-	// terminal shard failures at error. Nil discards them.
+	// Logger receives structured lifecycle events: launches and clean
+	// exits at debug; retries, lease expiries, steals, malformed
+	// progress lines, and slot retirements at warn; terminal shard
+	// failures at error. Nil discards them.
 	Logger *slog.Logger
 }
 
@@ -186,17 +243,51 @@ func (o Options) retries() int {
 	return o.Retries
 }
 
-// Run executes the campaign as a fleet of opts.Shards shard workers and
-// returns the merged manifest (not yet written to disk) plus the merged
-// spec. The spec must not already pin a shard range. On failure —
-// a shard exhausting its retries cancels the remaining workers — the
-// error lists every root-cause shard failure; surviving checkpoints and
-// shard manifests stay in OutDir, so rerunning with Resume set picks up
-// where the fleet stopped.
+func (o Options) slotFailures() int {
+	switch {
+	case o.SlotFailures < 0:
+		return 1
+	case o.SlotFailures == 0:
+		return 3
+	}
+	return o.SlotFailures
+}
+
+func (o Options) leaseTimeout() time.Duration {
+	if o.LeaseTimeout <= 0 {
+		return 2 * time.Minute
+	}
+	return o.LeaseTimeout
+}
+
+func (o Options) stealAfter() time.Duration {
+	switch {
+	case o.StealAfter < 0:
+		return -1
+	case o.StealAfter == 0:
+		return o.leaseTimeout() / 2
+	}
+	return o.StealAfter
+}
+
+// Run executes the campaign as an elastic fleet over a shard work queue
+// and returns the merged manifest (not yet written to disk) plus the
+// merged spec. The spec must not already pin a shard range. On failure
+// — a shard exhausting its relaunch budget cancels the remaining
+// workers; every slot retiring strands the queue — the error lists the
+// root causes; surviving checkpoints and shard manifests stay in
+// OutDir, so rerunning with Resume set picks up where the fleet
+// stopped. Cancelling ctx drains the fleet: workers get SIGTERM (they
+// flush checkpoints on the way down), shards release their leases, and
+// Run returns ctx's error.
 func Run(ctx context.Context, spec sim.CampaignSpec, opts Options) (*experiment.Manifest, sim.CampaignSpec, error) {
 	var none sim.CampaignSpec
-	if opts.Shards < 1 {
-		return nil, none, fmt.Errorf("dispatch: fleet needs at least one shard, got %d", opts.Shards)
+	slots := opts.Slots
+	if len(opts.Fleet) > 0 {
+		slots = len(opts.Fleet)
+	}
+	if slots < 1 {
+		return nil, none, fmt.Errorf("dispatch: fleet needs at least one worker slot, got %d", slots)
 	}
 	if opts.Name == "" {
 		opts.Name = "sweep"
@@ -205,50 +296,44 @@ func Run(ctx context.Context, spec sim.CampaignSpec, opts Options) (*experiment.
 		opts.OutDir = "out"
 	}
 	spec = spec.Normalized()
-	shardSpecs, err := spec.SplitShards(opts.Shards)
+	blocks := opts.Blocks
+	if blocks <= 0 {
+		blocks = 2 * slots
+	}
+	if blocks > spec.Replicates {
+		blocks = spec.Replicates
+	}
+	shardSpecs, err := spec.SplitShards(blocks)
 	if err != nil {
-		return nil, none, fmt.Errorf("dispatch: %w", err)
-	}
-	worker := opts.Worker
-	if len(worker) == 0 {
-		exe, err := os.Executable()
-		if err != nil {
-			return nil, none, fmt.Errorf("dispatch: no worker template and no current executable: %w", err)
-		}
-		worker = []string{exe}
-		// Local fleet: every worker is a subprocess of this box, so an
-		// unpinned Workers (0 = all cores) would oversubscribe the CPU
-		// n-fold. Split the cores across the shards instead; an explicit
-		// spec.Workers is respected verbatim (remote templates are too —
-		// each remote box owns its own cores). Worker counts change wall
-		// clock only, never results.
-		if spec.Workers == 0 {
-			per := runtime.GOMAXPROCS(0) / opts.Shards
-			if per < 1 {
-				per = 1
-			}
-			for i := range shardSpecs {
-				shardSpecs[i].Workers = per
-			}
-		}
-	}
-	if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
 		return nil, none, fmt.Errorf("dispatch: %w", err)
 	}
 
 	f := &fleet{
 		opts:       opts,
-		worker:     worker,
+		slots:      slots,
 		log:        opts.logger(),
-		statuses:   make([]ShardStatus, len(shardSpecs)),
-		specs:      make([]string, len(shardSpecs)),
+		specs:      make([]string, blocks),
+		names:      make([]string, blocks),
+		canonical:  make([]string, blocks),
+		blockTotal: make([]int, blocks),
+		progress:   make([]experiment.Progress, blocks),
+		attDone:    make([]map[int]int, blocks),
+		launched:   make([]bool, blocks),
 		groupTotal: make(map[string]int),
-		groupDone:  make([]map[string]int, len(shardSpecs)),
-		shardGroup: make([]map[string]int, len(shardSpecs)),
+		groupDone:  make([]map[string]int, blocks),
+		shardGroup: make([]map[string]int, blocks),
+	}
+	f.q = newShardQueue(blocks, opts.leaseTimeout(), opts.stealAfter(), opts.retries(), nil)
+	if err := f.resolveTemplates(&spec, shardSpecs); err != nil {
+		return nil, none, err
 	}
 	if f.opts.Stderr == nil {
 		f.opts.Stderr = os.Stderr
 	}
+	if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
+		return nil, none, fmt.Errorf("dispatch: %w", err)
+	}
+
 	// Campaign-wide group totals come from the unsharded spec, in job
 	// order — the heatmap's rows and denominators.
 	spec.ExecutedJobs(nil, func(j sim.TrialJob) {
@@ -260,28 +345,27 @@ func Run(ctx context.Context, spec sim.CampaignSpec, opts Options) (*experiment.
 	})
 	for i, shSpec := range shardSpecs {
 		n := i + 1
-		// The shard's full trial count is computed here, not trusted from
+		// Each shard's full trial count is computed here, not trusted from
 		// worker reports: a resumed attempt reports only its remaining
 		// work, and the fleet totals must not shrink when that happens.
-		total := 0
+		f.attDone[i] = make(map[int]int)
 		f.groupDone[i] = make(map[string]int)
 		f.shardGroup[i] = make(map[string]int)
 		shSpec.ExecutedJobs(nil, func(j sim.TrialJob) {
-			total++
+			f.blockTotal[i]++
 			f.shardGroup[i][j.Group()]++
 		})
-		f.statuses[i] = ShardStatus{
-			Shard:        n,
-			State:        ShardPending,
-			Progress:     experiment.Progress{Total: total},
-			ManifestPath: filepath.Join(opts.OutDir, fmt.Sprintf("%s-shard%d.json", opts.Name, n)),
-		}
-		specPath := filepath.Join(opts.OutDir, fmt.Sprintf("%s-shard%d.spec.json", opts.Name, n))
+		f.progress[i] = experiment.Progress{Total: f.blockTotal[i]}
+		f.names[i] = blockName(opts.Name, n)
+		f.canonical[i] = filepath.Join(opts.OutDir, f.names[i]+".json")
+		specPath := filepath.Join(opts.OutDir, f.names[i]+".spec.json")
 		data, err := json.MarshalIndent(shSpec, "", "  ")
 		if err != nil {
 			return nil, none, fmt.Errorf("dispatch: marshal shard %d spec: %w", n, err)
 		}
-		if err := os.WriteFile(specPath, append(data, '\n'), 0o644); err != nil {
+		// Atomic like every other artifact: a driver killed mid-write
+		// must never leave a torn spec for a resume rerun to trip on.
+		if err := writeFileAtomic(specPath, append(data, '\n')); err != nil {
 			return nil, none, fmt.Errorf("dispatch: %w", err)
 		}
 		f.specs[i] = specPath
@@ -290,60 +374,110 @@ func Run(ctx context.Context, spec sim.CampaignSpec, opts Options) (*experiment.
 	// A shard out of retries dooms the merge; cancel the siblings
 	// instead of burning their remaining work. Checkpoints survive for a
 	// Resume rerun.
-	ctx, cancel := context.WithCancel(ctx)
+	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	f.cancel = cancel
+
+	// The lease watchdog: ticks well inside the lease timeout so a hung
+	// worker is detected within lease + tick, killed, and its shard
+	// re-queued as soon as the supervising slot reaps the corpse.
+	watchdogDone := make(chan struct{})
+	go f.watchdog(runCtx, watchdogDone)
+
 	var wg sync.WaitGroup
-	for i := range f.statuses {
+	for slot := 1; slot <= slots; slot++ {
 		wg.Add(1)
-		go func(i int) {
+		go func(slot int) {
 			defer wg.Done()
-			if err := f.runShard(ctx, i); err != nil {
-				cancel()
-			}
-		}(i)
+			f.slotLoop(runCtx, slot)
+		}(slot)
 	}
 	wg.Wait()
+	cancel()
+	<-watchdogDone
 
-	// Cancellation echoes — shards killed because a sibling failed first
-	// or the parent context ended — are casualties, not causes; report
-	// them only when no root cause exists (pure parent cancellation).
-	var failures, echoes []error
-	for i := range f.statuses {
-		st := &f.statuses[i]
-		if st.State != ShardFailed {
-			continue
-		}
-		e := fmt.Errorf("shard %d: %w", st.Shard, st.Err)
-		if errors.Is(st.Err, context.Canceled) || errors.Is(st.Err, context.DeadlineExceeded) {
-			echoes = append(echoes, e)
-		} else {
-			failures = append(failures, e)
-		}
-	}
-	if len(failures) == 0 {
-		failures = echoes
-	}
-	if len(failures) > 0 {
+	if failures := f.q.failures(); len(failures) > 0 {
 		return nil, none, fmt.Errorf("dispatch: %w", errors.Join(failures...))
 	}
-
-	paths := make([]string, len(f.statuses))
-	for i, st := range f.statuses {
-		paths[i] = st.ManifestPath
+	if err := ctx.Err(); err != nil {
+		return nil, none, fmt.Errorf("dispatch: campaign aborted: %w", err)
 	}
-	manifest, mergedSpec, err := MergeShardManifests(paths, opts.Name)
+	if !f.q.terminal() {
+		return nil, none, fmt.Errorf("dispatch: fleet exhausted: all %d worker slot(s) retired after repeated failures; "+
+			"checkpoints in %s survive for a -resume rerun", slots, opts.OutDir)
+	}
+
+	// Every shard is done. Promote speculative winners to the canonical
+	// paths (all workers are reaped, so nothing races the rename) and
+	// clear their spare directories.
+	winners, err := f.q.winners()
+	if err != nil {
+		return nil, none, fmt.Errorf("dispatch: %w", err)
+	}
+	for i, w := range winners {
+		if w == f.canonical[i] {
+			continue
+		}
+		if err := os.Rename(w, f.canonical[i]); err != nil {
+			return nil, none, fmt.Errorf("dispatch: promoting stolen shard manifest: %w", err)
+		}
+		os.RemoveAll(filepath.Dir(w))
+	}
+	manifest, mergedSpec, err := MergeShardManifests(f.canonical, opts.Name)
 	if err != nil {
 		return nil, none, fmt.Errorf("dispatch: merging fleet manifests: %w", err)
 	}
 	return manifest, mergedSpec, nil
 }
 
-// fleet is the shared state of one Run: the shard statuses every worker
-// goroutine mutates under mu, and the written shard spec paths.
+// writeFileAtomic lands data at path via temp-file-and-rename, so a
+// reader (or a killed writer) sees the old content or the new, never a
+// prefix.
+func writeFileAtomic(path string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// blockName labels shard i's artifacts.
+func blockName(name string, shard int) string {
+	return fmt.Sprintf("%s-b%d", name, shard)
+}
+
+// fleet is the shared state of one Run: the work queue, the per-shard
+// progress bookkeeping every slot goroutine mutates under mu, and the
+// resolved worker templates.
 type fleet struct {
-	opts   Options
-	worker []string
-	log    *slog.Logger
+	opts       Options
+	slots      int
+	q          *shardQueue
+	log        *slog.Logger
+	cancel     context.CancelFunc
+	templates  [][]string // per-slot argv templates
+	specs      []string   // shard spec file paths
+	names      []string   // shard artifact base names
+	canonical  []string   // canonical shard manifest paths
+	blockTotal []int
 
 	// The group ledger for fleet snapshots: campaign-wide totals in job
 	// order, each shard's per-group totals, and the per-(shard, group)
@@ -353,17 +487,206 @@ type fleet struct {
 	shardGroup []map[string]int
 
 	mu        sync.Mutex
-	statuses  []ShardStatus
-	specs     []string
+	progress  []experiment.Progress
+	attDone   []map[int]int // per shard: attempt id → absolute done count
+	launched  []bool        // a primary attempt has run (later primaries resume)
 	groupDone []map[string]int
+	retired   int
 }
 
-// update mutates shard i's status under the lock and broadcasts a
-// snapshot.
-func (f *fleet) update(i int, mutate func(*ShardStatus)) {
+// resolveTemplates fills f.templates (one argv template per slot) and,
+// for the all-local default fleet, splits the box's cores across the
+// slots so concurrent workers do not oversubscribe the CPU n-fold.
+// Worker counts change wall clock only, never results.
+func (f *fleet) resolveTemplates(spec *sim.CampaignSpec, shardSpecs []sim.CampaignSpec) error {
+	exe := func() (string, error) {
+		e, err := os.Executable()
+		if err != nil {
+			return "", fmt.Errorf("dispatch: no worker template and no current executable: %w", err)
+		}
+		return e, nil
+	}
+	f.templates = make([][]string, f.slots)
+	allLocal := true
+	for slot := 0; slot < f.slots; slot++ {
+		var tmpl []string
+		switch {
+		case len(f.opts.Fleet) > 0:
+			tmpl = f.opts.Fleet[slot]
+		default:
+			tmpl = f.opts.Worker
+		}
+		if len(tmpl) == 0 {
+			e, err := exe()
+			if err != nil {
+				return err
+			}
+			tmpl = []string{e}
+		} else {
+			allLocal = false
+		}
+		f.templates[slot] = tmpl
+	}
+	if allLocal && spec.Workers == 0 {
+		per := runtime.GOMAXPROCS(0) / f.slots
+		if per < 1 {
+			per = 1
+		}
+		for i := range shardSpecs {
+			shardSpecs[i].Workers = per
+		}
+	}
+	return nil
+}
+
+// watchdog enforces lease deadlines: every tick it kills the attempts
+// whose heartbeats went silent past the lease timeout. The shard is
+// re-queued by the supervising slot once the corpse is reaped, so a
+// zombie can never write over its successor's checkpoint.
+func (f *fleet) watchdog(ctx context.Context, done chan<- struct{}) {
+	defer close(done)
+	tick := f.opts.leaseTimeout() / 8
+	if tick > 250*time.Millisecond {
+		tick = 250 * time.Millisecond
+	}
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		for _, a := range f.q.expireStale() {
+			f.log.Warn("lease expired: no heartbeat within deadline, killing worker",
+				"shard", a.shard+1, "slot", a.slot, "attempt", a.id,
+				"lease", f.opts.leaseTimeout(), "speculative", a.speculative)
+			f.emit()
+		}
+	}
+}
+
+// slotLoop is one worker slot: lease a shard, supervise an attempt,
+// report the outcome, repeat. The slot retires — without failing the
+// campaign — after SlotFailures consecutive failed attempts, or when
+// the queue is terminal, or when the fleet is cancelled.
+func (f *fleet) slotLoop(ctx context.Context, slot int) {
+	budget := f.opts.slotFailures()
+	fails := 0
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		att, wait := f.q.next(slot)
+		if att == nil {
+			if wait == 0 {
+				return // queue terminal
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(wait):
+			}
+			continue
+		}
+		err := f.runAttempt(ctx, att)
+		if err == nil {
+			won, winner := f.q.complete(att)
+			if !won {
+				f.discardDuplicate(att, winner)
+			}
+			f.finishShard(att, won)
+			fails = 0
+			continue
+		}
+		expired := f.q.isExpired(att)
+		if ctx.Err() != nil && !expired {
+			// The worker died of SIGTERM because the fleet is shutting
+			// down; make the error recognizably a cancellation echo so the
+			// queue releases the lease instead of burning retry budget.
+			err = fmt.Errorf("%w (worker: %v)", ctx.Err(), err)
+		}
+		outcome := f.q.finish(att, err)
+		f.emit()
+		switch outcome {
+		case finishFatal:
+			f.log.Error("shard failed terminally", "shard", att.shard+1, "slot", slot, "err", err)
+			f.cancel()
+			return
+		case finishRequeued, finishShadowed:
+			f.log.Warn("worker attempt failed; shard re-queued",
+				"shard", att.shard+1, "slot", slot, "attempt", att.id,
+				"expired", expired, "err", err)
+		case finishDiscarded:
+			f.log.Debug("duplicate attempt discarded", "shard", att.shard+1, "slot", slot)
+		case finishReleased:
+			f.log.Debug("lease released on shutdown", "shard", att.shard+1, "slot", slot)
+		}
+		if att.speculative && outcome != finishFatal {
+			os.RemoveAll(filepath.Dir(att.manifest))
+		}
+		if outcome == finishRequeued || outcome == finishShadowed {
+			fails++
+			if fails >= budget {
+				f.mu.Lock()
+				f.retired++
+				f.mu.Unlock()
+				f.log.Warn("worker slot retired after repeated failures; fleet degrades gracefully",
+					"slot", slot, "consecutive_failures", fails)
+				f.emit()
+				return
+			}
+		}
+	}
+}
+
+// finishShard folds a completed shard into the fleet state.
+func (f *fleet) finishShard(att *attempt, won bool) {
+	i := att.shard
+	f.mu.Lock()
+	if won {
+		f.progress[i].Done = f.progress[i].Total
+		f.progress[i].Group = ""
+		clear(f.attDone[i])
+		// The shard's manifest is complete, so its groups are too,
+		// whatever fraction of them this attempt recomputed.
+		f.groupDone[i] = maps.Clone(f.shardGroup[i])
+	}
+	f.mu.Unlock()
+	f.log.Debug("shard done", "shard", i+1, "slot", att.slot, "speculative", att.speculative, "won", won)
+	f.emit()
+}
+
+// discardDuplicate byte-compares a late duplicate completion against
+// the winning manifest — under deterministic seeding they must be
+// identical, so a mismatch is a reproducibility bug worth shouting
+// about — then removes the duplicate.
+func (f *fleet) discardDuplicate(att *attempt, winner string) {
+	mine, errA := os.ReadFile(att.manifest)
+	theirs, errB := os.ReadFile(winner)
+	switch {
+	case errA != nil || errB != nil:
+		f.log.Warn("duplicate completion: cannot byte-compare", "shard", att.shard+1, "errs",
+			errors.Join(errA, errB))
+	case !bytes.Equal(mine, theirs):
+		f.log.Error("determinism violation: duplicate shard manifests differ",
+			"shard", att.shard+1, "winner", winner, "duplicate", att.manifest)
+	default:
+		f.log.Debug("duplicate shard manifest is byte-identical; discarding",
+			"shard", att.shard+1, "duplicate", att.manifest)
+	}
+	if att.speculative {
+		os.RemoveAll(filepath.Dir(att.manifest))
+	}
+}
+
+// emit broadcasts a fleet snapshot to OnProgress (serialized under mu).
+func (f *fleet) emit() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	mutate(&f.statuses[i])
 	if f.opts.OnProgress == nil {
 		return
 	}
@@ -371,11 +694,22 @@ func (f *fleet) update(i int, mutate func(*ShardStatus)) {
 }
 
 func (f *fleet) snapshotLocked() FleetSnapshot {
-	shards := make([]ShardStatus, len(f.statuses))
-	copy(shards, f.statuses)
-	events := make([]experiment.Progress, len(shards))
-	for i, s := range shards {
-		events[i] = s.Progress
+	shards := make([]ShardStatus, len(f.progress))
+	events := make([]experiment.Progress, len(f.progress))
+	for i := range f.progress {
+		v := f.q.view(i)
+		shards[i] = ShardStatus{
+			Shard:        i + 1,
+			State:        v.State,
+			Progress:     f.progress[i],
+			Attempts:     v.Attempts,
+			Slot:         v.Slot,
+			Leases:       v.Live,
+			LastBeat:     v.LastBeat,
+			ManifestPath: f.canonical[i],
+			Err:          v.Err,
+		}
+		events[i] = f.progress[i]
 	}
 	groups := make([]GroupProgress, len(f.groupOrder))
 	for gi, g := range f.groupOrder {
@@ -389,76 +723,123 @@ func (f *fleet) snapshotLocked() FleetSnapshot {
 		}
 		groups[gi] = GroupProgress{Group: g, Done: done, Total: f.groupTotal[g]}
 	}
-	return FleetSnapshot{Fleet: experiment.MergeProgress(events...), Shards: shards, Groups: groups}
+	return FleetSnapshot{
+		Fleet:   experiment.MergeProgress(events...),
+		Shards:  shards,
+		Groups:  groups,
+		Slots:   f.slots,
+		Retired: f.retired,
+	}
 }
 
-// runShard supervises one shard through its retry budget. It returns a
-// non-nil error only when the shard is terminally failed.
-func (f *fleet) runShard(ctx context.Context, i int) error {
-	attempts := 1 + f.opts.retries()
-	var last error
-	for attempt := 1; attempt <= attempts; attempt++ {
-		if ctx.Err() != nil {
-			last = ctx.Err()
-			break
-		}
-		resume := f.opts.Resume || attempt > 1
-		if attempt > 1 {
-			f.log.Warn("shard retry", "shard", i+1, "attempt", attempt, "err", last)
-		}
-		f.update(i, func(st *ShardStatus) {
-			st.State = ShardRunning
-			st.Attempts = attempt
-		})
-		last = f.runWorker(ctx, i, resume)
-		if last != nil && ctx.Err() != nil {
-			// The worker died because the fleet is shutting down; make
-			// the error recognizably a cancellation echo so the fleet
-			// error reports root causes, not casualties.
-			last = fmt.Errorf("%w (worker: %v)", ctx.Err(), last)
-		}
-		if last == nil {
-			f.log.Debug("shard done", "shard", i+1, "attempt", attempt)
-			f.update(i, func(st *ShardStatus) {
-				st.State = ShardDone
-				st.Progress.Done = st.Progress.Total
-				st.Progress.Group = ""
-				// The shard's manifest is complete, so its groups are too,
-				// whatever fraction of them this attempt recomputed.
-				f.groupDone[i] = maps.Clone(f.shardGroup[i])
-			})
-			return nil
+// observeEvent folds one valid progress event from an attempt into the
+// fleet state and broadcasts a snapshot. The event has already beaten
+// the attempt's lease.
+func (f *fleet) observeEvent(att *attempt, ev experiment.Progress) {
+	i := att.shard
+	f.mu.Lock()
+	// A resumed attempt reports done/total of its remaining work only;
+	// the skipped prefix stays counted as done.
+	skipped := f.blockTotal[i] - ev.Total
+	if skipped < 0 {
+		skipped = 0
+	}
+	done := skipped + ev.Done
+	if done > f.blockTotal[i] {
+		done = f.blockTotal[i]
+	}
+	f.attDone[i][att.id] = done
+	// The shard's displayed count is the best live attempt's — so a
+	// speculative duplicate starting from zero never drags a straggler's
+	// meter backwards, while a sequential retry honestly resyncs down to
+	// its checkpointed prefix.
+	best := 0
+	for _, d := range f.attDone[i] {
+		if d > best {
+			best = d
 		}
 	}
-	f.log.Error("shard failed", "shard", i+1, "attempts", attempts, "err", last)
-	f.update(i, func(st *ShardStatus) {
-		st.State = ShardFailed
-		st.Err = last
-	})
-	return last
+	f.progress[i].Done = best
+	f.progress[i].Group = ev.Group
+	// Per-group counts fold as high-water marks: workers force an
+	// event at every group boundary, so each group's final count
+	// lands even under throttling, and a resumed attempt restarting
+	// a group from its remaining work cannot regress the ledger.
+	if ev.Group != "" && ev.GroupDone > f.groupDone[i][ev.Group] {
+		f.groupDone[i][ev.Group] = ev.GroupDone
+	}
+	if f.opts.OnProgress != nil {
+		f.opts.OnProgress(f.snapshotLocked())
+	}
+	f.mu.Unlock()
 }
 
-// runWorker launches one worker attempt for shard i, streams its
-// progress events into the fleet state, and returns the process error
-// (nil on a clean exit that left a manifest behind).
-func (f *fleet) runWorker(ctx context.Context, i int, resume bool) error {
+// dropAttempt forgets a dead attempt's progress contribution. The
+// shard's displayed count keeps its last value until a successor
+// reports (and resyncs it honestly).
+func (f *fleet) dropAttempt(att *attempt) {
 	f.mu.Lock()
-	st := f.statuses[i]
-	specPath := f.specs[i]
+	delete(f.attDone[att.shard], att.id)
 	f.mu.Unlock()
+}
 
-	argv := expandWorker(f.worker, st.Shard)
-	argv = append(argv, workerArgs(specPath, f.opts.OutDir, shardName(f.opts.Name, st.Shard), resume)...)
-	f.log.Debug("shard launch", "shard", st.Shard, "attempt", st.Attempts, "resume", resume, "argv", strings.Join(argv, " "))
-	cmd := exec.CommandContext(ctx, argv[0], argv[1:]...)
-	// A killed worker can leave grandchildren holding its pipes open;
-	// WaitDelay bounds how long Wait humors them, and the watcher below
-	// unblocks the progress scanner the same way.
-	cmd.WaitDelay = 5 * time.Second
+// runAttempt launches and supervises one worker attempt: it streams the
+// worker's stdout through the progress-as-heartbeat contract (valid
+// events beat the lease; malformed lines are logged and burn the
+// deadline; chatter is ignored), waits for the process, and validates
+// the manifest a clean exit must leave behind. A nil return means the
+// attempt's manifest is complete and validated at att.manifest.
+func (f *fleet) runAttempt(ctx context.Context, att *attempt) error {
+	defer f.dropAttempt(att)
+	i := att.shard
+	outDir := f.opts.OutDir
+	resume := false
+	if att.speculative {
+		// A speculative duplicate races the straggler from scratch in its
+		// own spare directory — same artifact name, so the manifests are
+		// byte-comparable, but never the straggler's checkpoint file.
+		outDir = filepath.Join(f.opts.OutDir, fmt.Sprintf(".spare-%s-a%d", f.names[i], att.id))
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	} else {
+		f.mu.Lock()
+		resume = f.opts.Resume || f.launched[i]
+		f.launched[i] = true
+		f.mu.Unlock()
+	}
+	att.manifest = filepath.Join(outDir, f.names[i]+".json")
+
+	argv := expandWorker(f.templates[att.slot-1], att.slot)
+	argv = append(argv, workerArgs(f.specs[i], outDir, f.names[i], resume)...)
+	f.log.Debug("worker launch", "shard", i+1, "slot", att.slot, "attempt", att.id,
+		"resume", resume, "speculative", att.speculative, "argv", strings.Join(argv, " "))
+	attCtx, attCancel := context.WithCancel(ctx)
+	defer attCancel()
+	cmd := exec.CommandContext(attCtx, argv[0], argv[1:]...)
+	// Drain gracefully: on cancellation the worker gets SIGTERM first —
+	// it flushes its checkpoint and ledger record on the way down — and
+	// WaitDelay bounds how long we humor it (and any grandchildren
+	// holding the pipes) before SIGKILL. The bound also caps how long an
+	// expired lease's shard waits to be re-queued.
+	cmd.Cancel = func() error {
+		err := cmd.Process.Signal(syscall.SIGTERM)
+		if errors.Is(err, os.ErrProcessDone) {
+			return nil
+		}
+		return err
+	}
+	cmd.WaitDelay = f.opts.leaseTimeout() / 2
+	if cmd.WaitDelay < 200*time.Millisecond {
+		cmd.WaitDelay = 200 * time.Millisecond
+	}
+	if cmd.WaitDelay > 5*time.Second {
+		cmd.WaitDelay = 5 * time.Second
+	}
 	if len(f.opts.Env) > 0 {
 		cmd.Env = append(os.Environ(), f.opts.Env...)
 	}
-	stderr := &lineWriter{mu: &stderrMu, w: f.opts.Stderr, prefix: fmt.Sprintf("shard %d: ", st.Shard)}
+	stderr := &lineWriter{mu: &stderrMu, w: f.opts.Stderr, prefix: fmt.Sprintf("shard %d: ", i+1)}
 	defer stderr.flush()
 	cmd.Stderr = stderr
 	stdout, err := cmd.StdoutPipe()
@@ -468,67 +849,109 @@ func (f *fleet) runWorker(ctx context.Context, i int, resume bool) error {
 	if err := cmd.Start(); err != nil {
 		return err
 	}
-	watchCtx, stopWatch := context.WithCancel(ctx)
-	defer stopWatch()
+	// The watchdog can now kill this attempt; a pre-bind expiry fires
+	// immediately. Closing the pipe on cancellation unblocks the reader.
+	f.q.bind(att, attCancel)
 	go func() {
-		<-watchCtx.Done()
+		<-attCtx.Done()
 		stdout.Close()
 	}()
-	scanner := bufio.NewScanner(stdout)
-	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for scanner.Scan() {
-		ev, ok := experiment.ParseProgressLine(scanner.Bytes())
-		if !ok {
-			continue
-		}
-		f.update(i, func(s *ShardStatus) {
-			// A resumed attempt reports done/total of its remaining work
-			// only; the skipped prefix stays counted as done.
-			skipped := s.Progress.Total - ev.Total
-			if skipped < 0 {
-				skipped = 0
-			}
-			done := skipped + ev.Done
-			if done > s.Progress.Total {
-				done = s.Progress.Total
-			}
-			if done > s.Progress.Done || ev.Done == 0 {
-				s.Progress.Done = done
-			}
-			s.Progress.Group = ev.Group
-			// Per-group counts fold as high-water marks: workers force an
-			// event at every group boundary, so each group's final count
-			// lands even under throttling, and a resumed attempt restarting
-			// a group from its remaining work cannot regress the ledger.
-			if ev.Group != "" && ev.GroupDone > f.groupDone[i][ev.Group] {
-				f.groupDone[i][ev.Group] = ev.GroupDone
-			}
-		})
-	}
-	scanErr := scanner.Err()
+
+	f.superviseStream(att, stdout)
 	if err := cmd.Wait(); err != nil {
+		if f.q.isExpired(att) {
+			return fmt.Errorf("worker %s: %w", strings.Join(argv, " "), errLeaseExpired)
+		}
 		return fmt.Errorf("worker %s: %w", strings.Join(argv, " "), err)
 	}
-	if scanErr != nil {
-		return fmt.Errorf("worker %s: reading progress: %w", strings.Join(argv, " "), scanErr)
-	}
-	if _, err := os.Stat(st.ManifestPath); err != nil {
-		return fmt.Errorf("worker exited cleanly but left no manifest at %s", st.ManifestPath)
+	if err := validateShardManifest(att.manifest, f.blockTotal[i]); err != nil {
+		// An invalid manifest cannot seed a -resume; clear it so the
+		// retry starts from the last good checkpoint state (or scratch).
+		os.Remove(att.manifest)
+		return fmt.Errorf("worker %s: %w", strings.Join(argv, " "), err)
 	}
 	return nil
 }
 
-// shardName labels shard i's artifacts.
-func shardName(name string, shard int) string {
-	return fmt.Sprintf("%s-shard%d", name, shard)
+// superviseStream reads the worker's stdout line by line, enforcing the
+// progress-as-heartbeat contract. Overlong lines (>1MB without a
+// newline) are treated as malformed rather than buffered without bound.
+func (f *fleet) superviseStream(att *attempt, r io.Reader) {
+	const maxLine = 1 << 20
+	br := bufio.NewReaderSize(r, 64*1024)
+	var line []byte
+	overlong := false
+	handle := func(line []byte) {
+		ev, kind := experiment.ClassifyProgressLine(line)
+		switch kind {
+		case experiment.LineEvent:
+			f.q.beat(att)
+			f.observeEvent(att, ev)
+		case experiment.LineMalformed:
+			snippet := line
+			if len(snippet) > 120 {
+				snippet = snippet[:120]
+			}
+			f.log.Warn("malformed progress line from worker: skipping (no heartbeat credit)",
+				"shard", att.shard+1, "slot", att.slot, "len", len(line),
+				"line", string(snippet))
+		}
+	}
+	for {
+		chunk, isPrefix, err := br.ReadLine()
+		if len(chunk) > 0 {
+			switch {
+			case overlong:
+				// Discarding the tail of a line already ruled malformed.
+			case len(line)+len(chunk) > maxLine:
+				overlong = true
+				f.log.Warn("overlong progress line from worker: skipping (no heartbeat credit)",
+					"shard", att.shard+1, "slot", att.slot)
+			default:
+				line = append(line, chunk...)
+			}
+		}
+		if err != nil {
+			if len(line) > 0 && !overlong {
+				handle(line)
+			}
+			return
+		}
+		if !isPrefix {
+			if !overlong {
+				handle(line)
+			}
+			line, overlong = line[:0], false
+		}
+	}
+}
+
+// validateShardManifest accepts only a complete shard manifest: it must
+// parse, and its job count must equal the shard's full trial count. A
+// checkpoint (always a strict prefix of the shard) or a truncated write
+// fails, so a worker that exits cleanly without finishing cannot pass a
+// partial manifest off as done.
+func validateShardManifest(path string, wantJobs int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("worker exited cleanly but left no manifest: %w", err)
+	}
+	var m experiment.Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("manifest %s is corrupt: %w", path, err)
+	}
+	if m.Jobs != wantJobs {
+		return fmt.Errorf("manifest %s is incomplete: records %d of %d jobs", path, m.Jobs, wantJobs)
+	}
+	return nil
 }
 
 // workerArgs is the standard sweep argument list appended to the worker
-// template: run this spec file, write the shard manifest into the fleet
-// directory, speak the JSON progress protocol, checkpoint completed
-// cells so a retry can resume, and skip per-metric tables (the merged
-// campaign exports those once) and ledger records (the driver appends
-// one record for the whole fleet).
+// template: run this spec file, write the shard manifest into outDir,
+// speak the JSON progress protocol, checkpoint completed cells so a
+// retry can resume, and skip per-metric tables (the merged campaign
+// exports those once) and ledger records (the driver appends one record
+// for the whole fleet).
 func workerArgs(specPath, outDir, name string, resume bool) []string {
 	args := []string{
 		"-spec", specPath,
@@ -545,12 +968,14 @@ func workerArgs(specPath, outDir, name string, resume bool) []string {
 	return args
 }
 
-// expandWorker substitutes the 1-based shard number for "{shard}" in
-// every template element.
-func expandWorker(tmpl []string, shard int) []string {
+// expandWorker substitutes the 1-based slot number for "{slot}" (and
+// the legacy "{shard}") in every template element.
+func expandWorker(tmpl []string, slot int) []string {
 	out := make([]string, len(tmpl))
+	n := strconv.Itoa(slot)
 	for i, t := range tmpl {
-		out[i] = strings.ReplaceAll(t, "{shard}", strconv.Itoa(shard))
+		t = strings.ReplaceAll(t, "{slot}", n)
+		out[i] = strings.ReplaceAll(t, "{shard}", n)
 	}
 	return out
 }

@@ -1,0 +1,62 @@
+package dispatch
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ParseFleetInventory reads a fleet inventory file: one worker slot per
+// line, each line a command prefix in the -exec template language
+// ("ssh box{slot} --"; "{shard}" is accepted as an alias). The literal
+// token "local" (or "-") declares a slot that runs the worker binary
+// directly; blank lines and #-comments are skipped. The driver appends
+// the worker binary and the standard sweep arguments to each prefix, so
+// a heterogeneous fleet — two local slots and three ssh boxes — is five
+// lines:
+//
+//	# big box runs two slots
+//	local
+//	local
+//	ssh box1 --
+//	ssh box2 --
+//	ssh box3 --
+func ParseFleetInventory(data []byte) ([][]string, error) {
+	var slots [][]string
+	for ln, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) == 1 && (fields[0] == "local" || fields[0] == "-") {
+			slots = append(slots, nil)
+			continue
+		}
+		for _, f := range fields {
+			if f == "local" || f == "-" {
+				return nil, fmt.Errorf("fleet inventory line %d: %q must stand alone on its line", ln+1, f)
+			}
+		}
+		slots = append(slots, fields)
+	}
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("fleet inventory declares no worker slots")
+	}
+	return slots, nil
+}
+
+// LoadFleetInventory reads and parses the inventory file at path.
+func LoadFleetInventory(path string) ([][]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	slots, err := ParseFleetInventory(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return slots, nil
+}

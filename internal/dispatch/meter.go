@@ -132,15 +132,19 @@ func FormatETA(d time.Duration) string {
 }
 
 // FleetMeter folds the progress streams of every shard worker into one
-// self-overwriting fleet line: aggregate done/total, trials/s, ETA, and
-// a per-shard state list —
+// self-overwriting fleet line: aggregate done/total, trials/s, ETA, the
+// live slot count, and a per-shard state list —
 //
-//	fleet 34/160 trials  12 trials/s  ETA 11s  shards [1:ok 2:42% 3:wait]
+//	fleet 34/160 trials  12 trials/s  ETA 11s  slots 3/4  shards [1:ok 2:42%x2 3:retry2 4:wait]
 //
 // Shards render as ok (finished), FAIL (exhausted retries), wait (not
-// yet started), a completion percentage while running, or retryN while
-// rerunning after a failure. Update is throttled like Meter; the final
-// update (every shard terminal) always renders and reports elapsed time.
+// yet started), or a completion percentage while a lease is live —
+// suffixed with retryN after relaunches, x2 while a speculative
+// duplicate races a straggler, and ~age when the newest heartbeat is
+// stale enough to matter (10s+). "slots a/b" appears once a retired
+// slot shrinks the fleet. Update is throttled like Meter; the final
+// update (every shard terminal) always renders and reports elapsed
+// time.
 type FleetMeter struct {
 	w     io.Writer
 	now   func() time.Time
@@ -180,42 +184,63 @@ func (f *FleetMeter) Update(snap FleetSnapshot) {
 	if elapsed > 0 {
 		rate = float64(agg.Done) / elapsed
 	}
+	slots := ""
+	if snap.Retired > 0 {
+		slots = fmt.Sprintf("  slots %d/%d", snap.Slots-snap.Retired, snap.Slots)
+	}
 	if final {
-		fmt.Fprintf(f.w, "\rfleet %d/%d trials  %.0f trials/s  in %s  shards %s   \n",
-			agg.Done, agg.Total, rate, FormatETA(now.Sub(f.start)), shardList(snap.Shards))
+		fmt.Fprintf(f.w, "\rfleet %d/%d trials  %.0f trials/s  in %s%s  shards %s   \n",
+			agg.Done, agg.Total, rate, FormatETA(now.Sub(f.start)), slots, shardList(snap.Shards, now))
 		return
 	}
 	eta := "--"
 	if rate > 0 && agg.Total > agg.Done {
 		eta = FormatETA(time.Duration(float64(agg.Total-agg.Done) / rate * float64(time.Second)))
 	}
-	fmt.Fprintf(f.w, "\rfleet %d/%d trials  %.0f trials/s  ETA %s  shards %s   ",
-		agg.Done, agg.Total, rate, eta, shardList(snap.Shards))
+	fmt.Fprintf(f.w, "\rfleet %d/%d trials  %.0f trials/s  ETA %s%s  shards %s   ",
+		agg.Done, agg.Total, rate, eta, slots, shardList(snap.Shards, now))
 }
 
+// staleBeat is the heartbeat age past which a running shard's cell
+// shows it: young enough to never clutter a healthy fleet, old enough
+// to finger the straggler long before its lease expires.
+const staleBeat = 10 * time.Second
+
 // shardList renders the compact per-shard state vector in shard order.
-func shardList(shards []ShardStatus) string {
+func shardList(shards []ShardStatus, now time.Time) string {
 	ordered := make([]ShardStatus, len(shards))
 	copy(ordered, shards)
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Shard < ordered[j].Shard })
 	parts := make([]string, 0, len(ordered))
 	for _, s := range ordered {
-		parts = append(parts, fmt.Sprintf("%d:%s", s.Shard, shardCell(s)))
+		parts = append(parts, fmt.Sprintf("%d:%s", s.Shard, shardCell(s, now)))
 	}
 	return "[" + strings.Join(parts, " ") + "]"
 }
 
-func shardCell(s ShardStatus) string {
+func shardCell(s ShardStatus, now time.Time) string {
 	switch s.State {
 	case ShardDone:
 		return "ok"
 	case ShardFailed:
 		return "FAIL"
 	case ShardPending:
+		if s.Attempts > 0 {
+			return fmt.Sprintf("retry%d", s.Attempts)
+		}
 		return "wait"
 	}
+	cell := fmt.Sprintf("%.0f%%", 100*s.Progress.Fraction())
 	if s.Attempts > 1 {
-		return fmt.Sprintf("retry%d", s.Attempts)
+		cell += fmt.Sprintf(" retry%d", s.Attempts)
 	}
-	return fmt.Sprintf("%.0f%%", 100*s.Progress.Fraction())
+	if s.Leases > 1 {
+		cell += fmt.Sprintf("x%d", s.Leases)
+	}
+	if !s.LastBeat.IsZero() {
+		if age := now.Sub(s.LastBeat); age >= staleBeat {
+			cell += "~" + FormatETA(age)
+		}
+	}
+	return cell
 }

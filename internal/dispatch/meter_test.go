@@ -146,16 +146,41 @@ func TestFleetMeterRendering(t *testing.T) {
 	f.SetClock(clock.now)
 
 	clock.advance(2 * time.Second)
-	f.Update(snap(
+	s := snap(
 		ShardStatus{Shard: 1, State: ShardDone, Progress: experiment.Progress{Done: 10, Total: 10}},
-		ShardStatus{Shard: 2, State: ShardRunning, Attempts: 1, Progress: experiment.Progress{Done: 4, Total: 10}},
-		ShardStatus{Shard: 3, State: ShardRunning, Attempts: 2, Progress: experiment.Progress{Done: 2, Total: 10}},
+		ShardStatus{Shard: 2, State: ShardRunning, Attempts: 1, Slot: 2, Leases: 1,
+			LastBeat: clock.now().Add(-time.Second), Progress: experiment.Progress{Done: 4, Total: 10}},
+		ShardStatus{Shard: 3, State: ShardRunning, Attempts: 2, Slot: 1, Leases: 1,
+			Progress: experiment.Progress{Done: 2, Total: 10}},
 		ShardStatus{Shard: 4, State: ShardPending, Progress: experiment.Progress{Total: 10}},
-	))
+	)
+	s.Slots = 2
+	f.Update(s)
 	out := buf.String()
-	for _, want := range []string{"fleet 16/40 trials", "trials/s", "ETA", "[1:ok 2:40% 3:retry2 4:wait]"} {
+	for _, want := range []string{"fleet 16/40 trials", "trials/s", "ETA", "[1:ok 2:40% 3:20% retry2 4:wait]"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("fleet line %q lacks %q", out, want)
+		}
+	}
+	if strings.Contains(out, "slots ") {
+		t.Errorf("healthy fleet line %q shows a slot count", out)
+	}
+
+	// Lease-state cells: a speculative race renders x2, a stale
+	// heartbeat its age, and a retired slot shrinks the slots summary.
+	buf.Reset()
+	clock.advance(time.Second)
+	s = snap(
+		ShardStatus{Shard: 1, State: ShardRunning, Attempts: 3, Slot: 1, Leases: 2,
+			LastBeat: clock.now().Add(-30 * time.Second), Progress: experiment.Progress{Done: 4, Total: 10}},
+		ShardStatus{Shard: 2, State: ShardPending, Attempts: 1, Progress: experiment.Progress{Total: 10}},
+	)
+	s.Slots, s.Retired = 3, 1
+	f.Update(s)
+	out = buf.String()
+	for _, want := range []string{"slots 2/3", "1:40% retry3x2~30s", "2:retry1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("degraded fleet line %q lacks %q", out, want)
 		}
 	}
 

@@ -1,0 +1,256 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the queue deterministically: tests advance it by
+// hand, so lease expiry and backoff gates are exact, not sleep-based.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestQueueLifecycle(t *testing.T) {
+	clk := newFakeClock()
+	q := newShardQueue(2, time.Minute, -1, 2, clk.now)
+	a1, wait := q.next(1)
+	if a1 == nil || wait != 0 || a1.shard != 0 || a1.slot != 1 || a1.speculative {
+		t.Fatalf("first lend = %+v, wait %v", a1, wait)
+	}
+	a2, _ := q.next(2)
+	if a2 == nil || a2.shard != 1 {
+		t.Fatalf("second lend = %+v", a2)
+	}
+	// Fleet busy: a third slot polls rather than retiring.
+	if a, wait := q.next(3); a != nil || wait <= 0 {
+		t.Fatalf("busy queue lent %+v, wait %v; want nil with a poll hint", a, wait)
+	}
+	a1.manifest = "m1"
+	if won, w := q.complete(a1); !won || w != "m1" {
+		t.Fatalf("complete = %v, %q", won, w)
+	}
+	a2.manifest = "m2"
+	q.complete(a2)
+	if !q.terminal() {
+		t.Fatal("queue not terminal after both shards completed")
+	}
+	if a, wait := q.next(3); a != nil || wait != 0 {
+		t.Fatalf("terminal queue lent %+v, wait %v; want nil, 0 (retire)", a, wait)
+	}
+	paths, err := q.winners()
+	if err != nil || paths[0] != "m1" || paths[1] != "m2" {
+		t.Fatalf("winners = %v, %v", paths, err)
+	}
+}
+
+func TestQueueHeartbeatExpiry(t *testing.T) {
+	clk := newFakeClock()
+	q := newShardQueue(1, time.Second, -1, 2, clk.now)
+	a, _ := q.next(1)
+	killed := false
+	q.bind(a, func() { killed = true })
+	// A beat pushes the deadline out; silence past the lease expires it.
+	clk.advance(900 * time.Millisecond)
+	q.beat(a)
+	clk.advance(900 * time.Millisecond)
+	if stale := q.expireStale(); len(stale) != 0 {
+		t.Fatalf("expired %d attempts with a fresh heartbeat", len(stale))
+	}
+	clk.advance(200 * time.Millisecond)
+	stale := q.expireStale()
+	if len(stale) != 1 || stale[0] != a || !killed {
+		t.Fatalf("expiry = %v (killed=%v), want the bound attempt cancelled", stale, killed)
+	}
+	// Idempotent: an expired lease is not re-reported.
+	if stale := q.expireStale(); len(stale) != 0 {
+		t.Fatalf("re-expired %d attempts", len(stale))
+	}
+	// The supervisor reaps the process, finishes the attempt, and the
+	// shard is immediately re-issuable (first failure has no backoff).
+	if out := q.finish(a, context.Canceled); out != finishRequeued {
+		t.Fatalf("finish(expired) = %v, want requeue despite the cancel echo", out)
+	}
+	if b, wait := q.next(2); b == nil || wait != 0 || b.shard != 0 {
+		t.Fatalf("re-issue = %+v, wait %v", b, wait)
+	}
+}
+
+func TestQueueBindAfterExpiry(t *testing.T) {
+	clk := newFakeClock()
+	q := newShardQueue(1, time.Second, -1, 2, clk.now)
+	a, _ := q.next(1)
+	clk.advance(2 * time.Second)
+	if stale := q.expireStale(); len(stale) != 1 {
+		t.Fatalf("expired %d attempts", len(stale))
+	}
+	killed := false
+	q.bind(a, func() { killed = true })
+	if !killed {
+		t.Fatal("bind after expiry must fire the kill switch immediately")
+	}
+}
+
+func TestQueueBackoffGate(t *testing.T) {
+	clk := newFakeClock()
+	q := newShardQueue(1, time.Minute, -1, 5, clk.now)
+	boom := errors.New("boom")
+	a, _ := q.next(1)
+	if out := q.finish(a, boom); out != finishRequeued {
+		t.Fatalf("first failure = %v", out)
+	}
+	// First failure requeues immediately.
+	a, wait := q.next(1)
+	if a == nil || wait != 0 {
+		t.Fatalf("after first failure: %+v, wait %v", a, wait)
+	}
+	q.finish(a, boom)
+	// Second failure sits behind the jittered backoff gate (≥ base/2).
+	if a, wait := q.next(1); a != nil || wait <= 0 {
+		t.Fatalf("after second failure: %+v, wait %v; want a backoff hint", a, wait)
+	}
+	clk.advance(q.backoffMax + q.backoffMax/2)
+	if a, _ := q.next(1); a == nil {
+		t.Fatal("backoff gate never reopened")
+	}
+}
+
+func TestQueueExhaustionIsFatal(t *testing.T) {
+	clk := newFakeClock()
+	q := newShardQueue(1, time.Minute, -1, 1, clk.now)
+	boom := errors.New("boom")
+	a, _ := q.next(1)
+	q.finish(a, boom)
+	a, _ = q.next(1)
+	if out := q.finish(a, boom); out != finishFatal {
+		t.Fatalf("second failure with retries=1 = %v, want fatal", out)
+	}
+	if !q.terminal() {
+		t.Fatal("failed shard must be terminal")
+	}
+	errs := q.failures()
+	if len(errs) != 1 || !errors.Is(errs[0], errShardExhausted) {
+		t.Fatalf("failures = %v", errs)
+	}
+	if _, err := q.winners(); err == nil {
+		t.Fatal("winners() must refuse a failed shard")
+	}
+}
+
+func TestQueueStealAndDuplicateResolution(t *testing.T) {
+	clk := newFakeClock()
+	q := newShardQueue(2, time.Minute, 500*time.Millisecond, 2, clk.now)
+	p1, _ := q.next(1)
+	p2, _ := q.next(2)
+	p1.manifest = "m1"
+	q.complete(p1)
+	// Slot 1 is idle but shard 2's attempt is too young to duplicate.
+	if a, wait := q.next(1); a != nil || wait <= 0 || wait > 500*time.Millisecond {
+		t.Fatalf("premature steal: %+v, wait %v", a, wait)
+	}
+	clk.advance(600 * time.Millisecond)
+	q.beat(p2) // heartbeating does not protect a straggler from duplication
+	s, wait := q.next(1)
+	if s == nil || wait != 0 || !s.speculative || s.shard != p2.shard || s.slot != 1 {
+		t.Fatalf("steal = %+v, wait %v", s, wait)
+	}
+	if v := q.view(p2.shard); v.Live != 2 {
+		t.Fatalf("straggler view = %+v, want two live attempts", v)
+	}
+	// Cap: no third attempt on the same shard.
+	if a, _ := q.next(3); a != nil {
+		t.Fatalf("third concurrent attempt lent: %+v", a)
+	}
+	// The speculative copy completes first and wins; the straggler is
+	// killed and its echo discarded.
+	strangled := false
+	q.bind(p2, func() { strangled = true })
+	s.manifest = "spare/m2"
+	if won, _ := q.complete(s); !won || !strangled {
+		t.Fatalf("speculative completion: won=%v strangled=%v", won, strangled)
+	}
+	if out := q.finish(p2, context.Canceled); out != finishDiscarded {
+		t.Fatalf("loser finish = %v, want discarded", out)
+	}
+	paths, err := q.winners()
+	if err != nil || paths[1] != "spare/m2" {
+		t.Fatalf("winners = %v, %v", paths, err)
+	}
+}
+
+func TestQueueLateDuplicateCompletionLoses(t *testing.T) {
+	clk := newFakeClock()
+	q := newShardQueue(1, time.Minute, 0, 2, clk.now)
+	p, _ := q.next(1)
+	s, _ := q.next(2)
+	if s == nil || !s.speculative {
+		t.Fatalf("immediate steal with stealAfter=0 = %+v", s)
+	}
+	p.manifest = "primary"
+	s.manifest = "spare"
+	if won, _ := q.complete(p); !won {
+		t.Fatal("primary completion must win")
+	}
+	won, winner := q.complete(s)
+	if won || winner != "primary" {
+		t.Fatalf("duplicate completion = %v, %q; want loss against primary", won, winner)
+	}
+}
+
+func TestQueueShadowedFailure(t *testing.T) {
+	clk := newFakeClock()
+	q := newShardQueue(1, time.Minute, 0, 2, clk.now)
+	p, _ := q.next(1)
+	s, _ := q.next(2)
+	if out := q.finish(p, errors.New("boom")); out != finishShadowed {
+		t.Fatalf("failure with a live sibling = %v, want shadowed", out)
+	}
+	if v := q.view(0); v.State != ShardRunning || v.Live != 1 {
+		t.Fatalf("view after shadowed failure = %+v", v)
+	}
+	s.manifest = "m"
+	if won, _ := q.complete(s); !won {
+		t.Fatal("surviving sibling must still win")
+	}
+}
+
+func TestQueueReleaseOnShutdown(t *testing.T) {
+	clk := newFakeClock()
+	q := newShardQueue(1, time.Minute, -1, 0, clk.now)
+	a, _ := q.next(1)
+	if out := q.finish(a, context.Canceled); out != finishReleased {
+		t.Fatalf("shutdown echo = %v, want released", out)
+	}
+	// No budget burned: with retries=0 a real failure would be fatal,
+	// but the released shard re-issues cleanly.
+	if v := q.view(0); v.State != ShardPending || v.Fails != 0 {
+		t.Fatalf("released view = %+v", v)
+	}
+	if b, _ := q.next(1); b == nil {
+		t.Fatal("released shard must re-issue")
+	}
+}
+
+func TestParseFleetInventory(t *testing.T) {
+	slots, err := ParseFleetInventory([]byte(
+		"# two local slots, one remote\nlocal\n-\n\nssh box{slot} -- # trailing comment\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slots) != 3 || slots[0] != nil || slots[1] != nil {
+		t.Fatalf("slots = %v", slots)
+	}
+	if len(slots[2]) != 3 || slots[2][0] != "ssh" {
+		t.Fatalf("remote slot = %v", slots[2])
+	}
+	if _, err := ParseFleetInventory([]byte("# only comments\n")); err == nil {
+		t.Fatal("empty inventory must be rejected")
+	}
+	if _, err := ParseFleetInventory([]byte("ssh local --\n")); err == nil {
+		t.Fatal("embedded 'local' token must be rejected")
+	}
+}

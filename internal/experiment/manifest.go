@@ -48,19 +48,44 @@ func (m *Manifest) Write(w io.Writer) error {
 }
 
 // Save writes the manifest to dir/<name>.json, creating dir when needed,
-// and returns the written path.
+// and returns the written path. The write is atomic — a uniquely named
+// temp file in dir, renamed over the target — so a reader (or a process
+// killed mid-save) never observes a torn manifest: the path holds either
+// the previous complete manifest or the new one, nothing in between.
 func (m *Manifest) Save(dir string) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", fmt.Errorf("experiment: %w", err)
 	}
 	path := filepath.Join(dir, m.Name+".json")
-	f, err := os.Create(path)
+	return path, m.WriteAtomic(path)
+}
+
+// WriteAtomic atomically replaces path with the serialized manifest
+// (unique temp file in the same directory + rename). Concurrent writers
+// of identical content — duplicate attempts of a deterministic shard —
+// are safe: each rename installs a complete manifest.
+func (m *Manifest) WriteAtomic(path string) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
-		return "", fmt.Errorf("experiment: %w", err)
+		return fmt.Errorf("experiment: %w", err)
 	}
+	tmp := f.Name()
 	if err := m.Write(f); err != nil {
 		f.Close()
-		return "", err
+		os.Remove(tmp)
+		return err
 	}
-	return path, f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("experiment: %w", err)
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("experiment: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("experiment: %w", err)
+	}
+	return nil
 }

@@ -31,21 +31,50 @@ func (p Progress) MarshalLine() []byte {
 	return append(b, '\n')
 }
 
-// ParseProgressLine decodes one line of the progress protocol. Lines
-// that are not progress events — worker chatter, empty lines — return
-// ok=false rather than an error, so a supervisor can scan a mixed
-// stdout stream and fold only the protocol lines.
-func ParseProgressLine(line []byte) (Progress, bool) {
+// LineKind classifies one line of a worker's stdout stream for the
+// progress-as-heartbeat contract: every valid protocol event renews the
+// worker's lease, chatter is ignored, and a malformed event — a line
+// that claims to be protocol but does not parse or validate — is logged
+// and skipped by the supervisor WITHOUT renewing the lease, so a worker
+// emitting garbage (truncated writes, corrupted pipes, a chaos-injected
+// fault) burns its heartbeat deadline instead of crashing the driver.
+type LineKind int
+
+const (
+	// LineEvent: a valid Progress event (and a heartbeat).
+	LineEvent LineKind = iota
+	// LineChatter: not protocol at all — blank, or not JSON-shaped.
+	// Supervisors ignore it silently.
+	LineChatter
+	// LineMalformed: JSON-shaped but unparseable or failing the protocol
+	// invariants. Counts against the worker's heartbeat, never renews it.
+	LineMalformed
+)
+
+// ClassifyProgressLine decodes one line of the progress protocol and
+// says what the line was. Only LineEvent returns a usable Progress.
+func ClassifyProgressLine(line []byte) (Progress, LineKind) {
 	trimmed := bytesTrimSpace(line)
 	if len(trimmed) == 0 || trimmed[0] != '{' {
-		return Progress{}, false
+		return Progress{}, LineChatter
 	}
 	var p Progress
 	if err := json.Unmarshal(trimmed, &p); err != nil || p.Total <= 0 || p.Done < 0 || p.Done > p.Total ||
 		p.GroupDone < 0 || p.GroupDone > p.Total {
-		return Progress{}, false
+		return Progress{}, LineMalformed
 	}
-	return p, true
+	return p, LineEvent
+}
+
+// ParseProgressLine decodes one line of the progress protocol. Lines
+// that are not progress events — worker chatter, empty lines, malformed
+// near-protocol — return ok=false rather than an error, so a supervisor
+// can scan a mixed stdout stream and fold only the protocol lines.
+// Supervisors that also track liveness use ClassifyProgressLine to tell
+// malformed protocol from harmless chatter.
+func ParseProgressLine(line []byte) (Progress, bool) {
+	p, kind := ClassifyProgressLine(line)
+	return p, kind == LineEvent
 }
 
 func bytesTrimSpace(b []byte) []byte {

@@ -49,6 +49,37 @@ func TestParseProgressLineSkipsChatter(t *testing.T) {
 	}
 }
 
+// TestClassifyProgressLine pins the heartbeat contract: chatter is
+// ignorable, malformed near-protocol is distinguishable (it must burn
+// the worker's lease, not renew it), and only valid events heartbeat.
+func TestClassifyProgressLine(t *testing.T) {
+	cases := []struct {
+		line string
+		want LineKind
+	}{
+		{"", LineChatter},
+		{"wrote out/shard1.json (4 jobs, 2 points)", LineChatter},
+		{"   ", LineChatter},
+		{`{"done":2,"total":4}`, LineEvent},
+		{"  {\"done\":4,\"total\":4}\r\n", LineEvent},
+		{"{not json", LineMalformed},
+		{`{"done":`, LineMalformed},             // truncated write
+		{`{"done":5,"total":0}`, LineMalformed}, // invariant violation
+		{`{"done":9,"total":4}`, LineMalformed}, // done past total
+		{`{"done":2,"total":4,"group_done":-1}`, LineMalformed},
+		{"{\"done\":2,\xff\xfe", LineMalformed}, // corrupted bytes
+	}
+	for _, c := range cases {
+		p, kind := ClassifyProgressLine([]byte(c.line))
+		if kind != c.want {
+			t.Errorf("ClassifyProgressLine(%q) = %v, want %v", c.line, kind, c.want)
+		}
+		if kind != LineEvent && p != (Progress{}) {
+			t.Errorf("ClassifyProgressLine(%q) leaked a payload %+v from a non-event", c.line, p)
+		}
+	}
+}
+
 func TestMergeProgress(t *testing.T) {
 	fleet := MergeProgress(
 		Progress{Done: 3, Total: 10, Group: "SR"},

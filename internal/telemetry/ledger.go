@@ -9,9 +9,18 @@ import (
 	"time"
 )
 
+// Run outcomes recorded in Record.Status. Ledgers written before the
+// field existed have it empty, which readers treat as completed (only
+// successful runs were recorded then).
+const (
+	StatusCompleted = "completed"
+	StatusFailed    = "failed"
+	StatusAborted   = "aborted"
+)
+
 // Record is one campaign run in the ledger — the append-only NDJSON
-// run-history file cmd/sweep writes on every successful completion and
-// cmd/runlog queries. One line, one completed run; the spec is keyed by
+// run-history file cmd/sweep writes when a run ends (successfully or
+// not) and cmd/runlog queries. One line, one run; the spec is keyed by
 // content hash so identical campaigns are recognizable across runs,
 // names, and machines (determinism makes the hash a result key too).
 type Record struct {
@@ -23,6 +32,10 @@ type Record struct {
 	// (one replicate block of a larger campaign), or "dispatch" (a
 	// supervised fleet).
 	Mode string `json:"mode"`
+	// Status says how the run ended: StatusCompleted, StatusFailed (a
+	// worker or the engine errored), or StatusAborted (drained on
+	// SIGINT/SIGTERM). Empty means completed (pre-status ledgers).
+	Status string `json:"status,omitempty"`
 	// SpecHash is SpecHash() of the normalized campaign spec — the same
 	// spec the manifest embeds, so re-marshaling a manifest's spec
 	// reproduces it.

@@ -66,6 +66,16 @@ type ShardView struct {
 	Done     int    `json:"done"`
 	Total    int    `json:"total"`
 	Attempts int    `json:"attempts,omitempty"`
+	// Slot is the worker slot holding the newest live lease (0 = none);
+	// Leases counts live attempts (2 while a speculative duplicate races
+	// a straggler); Retries counts relaunches after the first attempt.
+	Slot    int `json:"slot,omitempty"`
+	Leases  int `json:"leases,omitempty"`
+	Retries int `json:"retries,omitempty"`
+	// BeatAgeS is seconds since the shard's last heartbeat (a valid
+	// progress event from a live attempt); negative when no live attempt
+	// has reported yet.
+	BeatAgeS float64 `json:"beat_age_s,omitempty"`
 }
 
 // GroupView is one group's completion in a Snapshot.
