@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	runlog [-ledger out/ledger.ndjson] list
-//	runlog [-ledger ...] show <ref>
+//	runlog [-ledger out/ledger.ndjson | -store dir] [-json] list
+//	runlog [-ledger ... | -store dir] show <ref>
 //	runlog [-ledger ...] diff [-tol t] <refA> <refB>
 //	runlog bench [-baseline BENCH_trial.json] [-metric ns_op]
 //
@@ -16,6 +16,16 @@
 // "sha256:" prefix), or a campaign name — the latest matching record
 // wins for hashes and names, so "runlog show churn" is the most recent
 // churn campaign.
+//
+// -store points at a sweepd manifest store (internal/sweepd) instead
+// of a bare ledger file: list reads the store's own ledger — sweepd
+// records every campaign there, so daemon history browses exactly like
+// CLI history — and adds a table of the stored manifests (hash, size,
+// newest record), including ones no ledger line mentions. show falls
+// back to resolving <ref> as a store hash prefix when no ledger record
+// matches, printing the store entry. -json switches list to a JSON
+// object {"records": [...], "manifests": [...]} for scripting (show is
+// always JSON; manifests appears only with -store).
 //
 // diff compares two records' manifests under the same shard merge
 // contract cmd/manifestdiff enforces (dispatch.DiffManifests): because
@@ -36,11 +46,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 
 	"wsncover/internal/dispatch"
+	"wsncover/internal/sweepd"
 	"wsncover/internal/telemetry"
 )
 
@@ -63,6 +75,8 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("runlog", flag.ContinueOnError)
 	ledgerPath := fs.String("ledger", "out/ledger.ndjson", "run-ledger NDJSON file")
+	storeDir := fs.String("store", "", "sweepd manifest store directory (implies its ledger; list adds the stored manifests)")
+	jsonOut := fs.Bool("json", false, "list: emit a JSON object instead of the table")
 	tol := fs.Float64("tol", 1e-9, "diff: relative tolerance for mean/stddev/CI95")
 	baseline := fs.String("baseline", "BENCH_trial.json", "bench: benchmark history file")
 	metric := fs.String("metric", "ns_op", "bench: metric to tabulate (ns_op, bytes_op, allocs_op)")
@@ -73,6 +87,14 @@ func run(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// -store implies the store's own ledger; an explicit -ledger beats it.
+	if *storeDir != "" {
+		ledgerSet := false
+		fs.Visit(func(f *flag.Flag) { ledgerSet = ledgerSet || f.Name == "ledger" })
+		if !ledgerSet {
+			*ledgerPath = filepath.Join(*storeDir, "ledger.ndjson")
+		}
+	}
 	sub := fs.Arg(0)
 	rest := fs.Args()
 	if len(rest) > 0 {
@@ -80,12 +102,12 @@ func run(args []string, w io.Writer) error {
 	}
 	switch sub {
 	case "", "list":
-		return runList(w, *ledgerPath)
+		return runList(w, *ledgerPath, *storeDir, *jsonOut)
 	case "show":
 		if len(rest) != 1 {
 			return fmt.Errorf("show takes one record ref")
 		}
-		return runShow(w, *ledgerPath, rest[0])
+		return runShow(w, *ledgerPath, *storeDir, rest[0])
 	case "diff":
 		if len(rest) != 2 {
 			return fmt.Errorf("diff takes two record refs")
@@ -133,10 +155,46 @@ func shortHash(h string) string {
 	return h
 }
 
-func runList(w io.Writer, path string) error {
+// readLedgerLenient loads the ledger, treating a missing file as empty
+// in store mode — a store freshly populated by hand has manifests but
+// no ledger yet, and that is browsable history, not an error.
+func readLedgerLenient(path string, lenient bool) ([]telemetry.Record, error) {
 	recs, err := telemetry.ReadLedger(path)
+	if err != nil && lenient && errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	return recs, err
+}
+
+func runList(w io.Writer, path, storeDir string, jsonOut bool) error {
+	recs, err := readLedgerLenient(path, storeDir != "")
 	if err != nil {
 		return err
+	}
+	var entries []sweepd.Entry
+	if storeDir != "" {
+		store, err := sweepd.OpenStore(storeDir)
+		if err != nil {
+			return err
+		}
+		if entries, err = store.List(); err != nil {
+			return err
+		}
+	}
+	if jsonOut {
+		out := struct {
+			Records   []telemetry.Record `json:"records"`
+			Manifests []sweepd.Entry     `json:"manifests,omitempty"`
+		}{Records: recs, Manifests: entries}
+		if out.Records == nil {
+			out.Records = []telemetry.Record{}
+		}
+		b, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\n", b)
+		return nil
 	}
 	fmt.Fprintf(w, "%-4s %-20s %-16s %-9s %-9s %6s %6s %9s %10s  %s\n",
 		"#", "time", "name", "mode", "status", "jobs", "pts", "wall_s", "trials/s", "spec")
@@ -144,6 +202,18 @@ func runList(w io.Writer, path string) error {
 		fmt.Fprintf(w, "%-4d %-20s %-16s %-9s %-9s %6d %6d %9.2f %10.1f  %s\n",
 			i+1, r.Time.Format("2006-01-02 15:04:05"), r.Name, r.Mode, listStatus(r),
 			r.Jobs, r.Points, r.WallS, r.TrialsPerS, shortHash(r.SpecHash))
+	}
+	if storeDir != "" {
+		fmt.Fprintf(w, "\nstore %s: %d manifest(s)\n", storeDir, len(entries))
+		fmt.Fprintf(w, "%-14s %10s %-16s %-9s  %s\n", "spec", "bytes", "name", "status", "path")
+		for _, e := range entries {
+			name, status := "(unledgered)", "-"
+			if e.Record != nil {
+				name, status = e.Record.Name, listStatus(*e.Record)
+			}
+			fmt.Fprintf(w, "%-14s %10d %-16s %-9s  %s\n",
+				shortHash(e.SpecHash), e.Bytes, name, status, e.Path)
+		}
 	}
 	return nil
 }
@@ -162,14 +232,36 @@ func listStatus(r telemetry.Record) string {
 	return r.Status
 }
 
-func runShow(w io.Writer, path, ref string) error {
-	recs, err := telemetry.ReadLedger(path)
+func runShow(w io.Writer, path, storeDir, ref string) error {
+	recs, err := readLedgerLenient(path, storeDir != "")
 	if err != nil {
 		return err
 	}
 	i, err := resolve(recs, ref)
 	if err != nil {
-		return err
+		// In store mode a ref no ledger record matches may still name a
+		// stored manifest (e.g. installed by hand); show its entry.
+		if storeDir == "" {
+			return err
+		}
+		store, serr := sweepd.OpenStore(storeDir)
+		if serr != nil {
+			return serr
+		}
+		hash, manifest, serr := store.Resolve(ref)
+		if serr != nil {
+			return err // the original, more helpful resolution error
+		}
+		info, serr := os.Stat(manifest)
+		if serr != nil {
+			return serr
+		}
+		b, serr := json.MarshalIndent(sweepd.Entry{SpecHash: hash, Path: manifest, Bytes: info.Size()}, "", "  ")
+		if serr != nil {
+			return serr
+		}
+		fmt.Fprintf(w, "%s\n", b)
+		return nil
 	}
 	b, err := json.MarshalIndent(recs[i], "", "  ")
 	if err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -11,6 +12,7 @@ import (
 	"wsncover/internal/experiment"
 	"wsncover/internal/sim"
 	"wsncover/internal/stats"
+	"wsncover/internal/sweepd"
 	"wsncover/internal/telemetry"
 )
 
@@ -180,5 +182,111 @@ func TestRunlogBench(t *testing.T) {
 	out.Reset()
 	if err := run([]string{"-baseline", path, "-metric", "watts", "bench"}, &out); err == nil {
 		t.Error("bad metric should error")
+	}
+}
+
+// buildStore populates a sweepd store with one ledgered manifest and
+// one installed by hand (no ledger line).
+func buildStore(t *testing.T) (dir string, ledgered, bare string) {
+	t.Helper()
+	dir = filepath.Join(t.TempDir(), "store")
+	store, err := sweepd.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := writeManifest(t, t.TempDir(), "daemon-run", 5)
+	ledgered = "sha256:" + strings.Repeat("aa", 32)
+	bare = "sha256:" + strings.Repeat("bb", 32)
+	for _, h := range []string{ledgered, bare} {
+		if _, err := store.Install(h, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = telemetry.AppendRecord(store.LedgerPath(), telemetry.Record{
+		Name: "daemon-run", Mode: "sweepd", Status: telemetry.StatusCompleted,
+		SpecHash: ledgered, Jobs: 4, Points: 1, WallS: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir, ledgered, bare
+}
+
+func TestRunlogStoreMode(t *testing.T) {
+	dir, _, bare := buildStore(t)
+
+	// list reads the store's own ledger and appends the manifest table,
+	// flagging the manifest no ledger line mentions.
+	var out strings.Builder
+	if err := run([]string{"-store", dir, "list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"daemon-run", "sweepd", "2 manifest(s)", "(unledgered)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("store list missing %q:\n%s", want, s)
+		}
+	}
+
+	// show resolves ledger refs as usual, and falls back to the store
+	// for a hash only the manifest directory knows.
+	out.Reset()
+	if err := run([]string{"-store", dir, "show", "daemon-run"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"mode": "sweepd"`) {
+		t.Errorf("store show = %s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-store", dir, "show", "bbbb"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), bare) {
+		t.Errorf("store-fallback show = %s, want entry for %s", out.String(), bare)
+	}
+	if err := run([]string{"-store", dir, "show", "nonesuch"}, &strings.Builder{}); err == nil {
+		t.Error("unresolvable ref should still error in store mode")
+	}
+}
+
+func TestRunlogListJSON(t *testing.T) {
+	dir, ledgered, bare := buildStore(t)
+	var out strings.Builder
+	if err := run([]string{"-store", dir, "-json", "list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Records   []telemetry.Record `json:"records"`
+		Manifests []struct {
+			SpecHash string `json:"spec_hash"`
+			Bytes    int64  `json:"bytes"`
+		} `json:"manifests"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &got); err != nil {
+		t.Fatalf("list -json is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(got.Records) != 1 || got.Records[0].Name != "daemon-run" {
+		t.Errorf("records = %+v", got.Records)
+	}
+	if len(got.Manifests) != 2 || got.Manifests[0].SpecHash != ledgered ||
+		got.Manifests[1].SpecHash != bare || got.Manifests[0].Bytes == 0 {
+		t.Errorf("manifests = %+v", got.Manifests)
+	}
+
+	// A plain ledger (no -store) still lists as JSON, records only.
+	ledger, _ := buildLedger(t)
+	out.Reset()
+	if err := run([]string{"-ledger", ledger, "-json", "list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var plain struct {
+		Records   []telemetry.Record `json:"records"`
+		Manifests []any              `json:"manifests"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &plain); err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Records) != 5 || plain.Manifests != nil {
+		t.Errorf("plain -json list: %d records, manifests %v", len(plain.Records), plain.Manifests)
 	}
 }

@@ -13,6 +13,7 @@
 //	      [-name sweep] [-resume] [-shard i/n] [-checkpoint]
 //	      [-progress meter|json|none] [-ascii] [-quiet]
 //	      [-dash addr [-pprof] [-dash-linger d]] [-ledger path|none]
+//	      [-if-cached store-dir]
 //	sweep -spec campaign.json [-out dir] [-name sweep] ...
 //	sweep -merge shard1.json shard2.json ... [-out dir] [-name merged]
 //	sweep -dispatch n [-exec "ssh host{slot} --"] [-lease-timeout d]
@@ -70,6 +71,15 @@
 // surviving checkpoint. The WSNSWEEP_CHAOS harness (see chaos.go)
 // injects worker faults to test all of this end to end.
 //
+// -if-cached names a sweepd manifest store (internal/sweepd): when the
+// store already holds a manifest for this spec's hash — execution-only
+// fields like -workers never affect the hash — the run is skipped and
+// the cached manifest's path prints on stdout; otherwise the campaign
+// runs and its manifest is installed, so scripts and CI get exactly the
+// dedupe the daemon performs. The spec must be unsharded (results are
+// byte-identical at any worker count, so a cached manifest answers for
+// every execution layout).
+//
 // -progress selects the progress channel: "meter" is the human line on
 // stderr, "json" emits newline-delimited experiment.Progress events
 // ({"done":..,"total":..,"group":..,"group_done":..}) on stdout — the
@@ -113,6 +123,7 @@ import (
 	"wsncover/internal/dispatch"
 	"wsncover/internal/experiment"
 	"wsncover/internal/sim"
+	"wsncover/internal/sweepd"
 	"wsncover/internal/telemetry"
 )
 
@@ -389,6 +400,20 @@ func resolveLedger(flagVal, outDir string) string {
 		return filepath.Join(outDir, "ledger.ndjson")
 	}
 	return flagVal
+}
+
+// installCached copies a finished manifest into the -if-cached store so
+// the next run of the same spec is a hit; a nil store is a no-op.
+func installCached(store *sweepd.Store, hash, manifestPath string, logger *slog.Logger) error {
+	if store == nil {
+		return nil
+	}
+	stored, err := store.Install(hash, manifestPath)
+	if err != nil {
+		return fmt.Errorf("installing manifest in store: %w", err)
+	}
+	logger.Info("manifest installed in store", "hash", hash, "path", stored)
+	return nil
 }
 
 // appendLedger hashes the spec, appends the record, and logs it; a
@@ -821,6 +846,7 @@ func run(args []string) (err error) {
 		dashLinger = fs.Duration("dash-linger", 0, "keep the dashboard serving this long after a successful campaign")
 		pprofF     = fs.Bool("pprof", false, "expose net/http/pprof on the dashboard server (requires -dash)")
 		ledgerS    = fs.String("ledger", "", "run-ledger NDJSON path (default <out>/ledger.ndjson; \"none\" disables)")
+		ifCachedS  = fs.String("if-cached", "", "sweepd manifest store directory: on a spec-hash hit print the cached manifest path and exit without running; on a miss run and install the result")
 	)
 	// Collect positional arguments (the -merge shard manifests) while
 	// allowing flags to follow them: the flag package stops at the first
@@ -948,6 +974,34 @@ func run(args []string) (err error) {
 		return err
 	}
 
+	// -if-cached is the CLI flavor of sweepd's dedupe: a store hit by
+	// spec hash short-circuits the whole run (the path prints on stdout
+	// for scripts to capture), and a miss runs normally then installs
+	// the finished manifest so the next caller hits. Execution-only
+	// fields (workers, shard layout) don't participate in the hash, so
+	// any completed run of the same science is a hit.
+	var cacheStore *sweepd.Store
+	var cacheHash string
+	if *ifCachedS != "" {
+		if err := spec.ValidateUnsharded(); err != nil {
+			return fmt.Errorf("-if-cached: %w", err)
+		}
+		store, err := sweepd.OpenStore(*ifCachedS)
+		if err != nil {
+			return err
+		}
+		hash, err := telemetry.SpecHash(spec)
+		if err != nil {
+			return err
+		}
+		if path, ok := store.Get(hash); ok {
+			logger.Info("spec already in store; skipping the run", "hash", hash, "manifest", path)
+			fmt.Fprintln(os.Stdout, path)
+			return nil
+		}
+		cacheStore, cacheHash = store, hash
+	}
+
 	ledPath := resolveLedger(*ledgerS, *outDir)
 	if *dashS != "" {
 		rig, derr := startDash(*dashS, *pprofF, *dashLinger, logger)
@@ -1006,7 +1060,10 @@ func run(args []string) (err error) {
 		}
 		ctx, stop := signalContext(logger)
 		defer stop()
-		return runDispatch(ctx, infoW, spec, dopts, *metricsS, *ascii, progressMode, logger, dash, ledPath)
+		if err := runDispatch(ctx, infoW, spec, dopts, *metricsS, *ascii, progressMode, logger, dash, ledPath); err != nil {
+			return err
+		}
+		return installCached(cacheStore, cacheHash, filepath.Join(*outDir, *name+".json"), logger)
 	}
 	if *execS != "" {
 		return fmt.Errorf("-exec only applies to -dispatch")
@@ -1239,6 +1296,9 @@ func run(args []string) (err error) {
 		return err
 	}
 	fmt.Fprintf(infoW, "wrote %s (%d jobs, %d points)\n", path, totalJobs, len(points))
+	if err := installCached(cacheStore, cacheHash, path, logger); err != nil {
+		return err
+	}
 
 	if err := writeTables(infoW, points, *metricsS, *outDir, *name, spec.Replicates, *ascii); err != nil {
 		return err

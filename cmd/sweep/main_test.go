@@ -635,3 +635,49 @@ func TestBareDashArgumentErrors(t *testing.T) {
 		t.Errorf("stray positional = %v, want unexpected-arguments error", err)
 	}
 }
+
+// TestRunIfCached pins the CLI cache path: a first run installs its
+// manifest in the store, a second run of the same science — different
+// out dir, different worker count — is answered from the store without
+// writing a manifest, and shard-pinned specs are refused (a shard is
+// not the whole campaign).
+func TestRunIfCached(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "store")
+	out1 := t.TempDir()
+	campaign := []string{
+		"-schemes", "SR", "-grids", "8x8", "-spares", "8,16",
+		"-replicates", "2", "-seed", "7", "-metrics", "moves", "-quiet",
+		"-if-cached", store,
+	}
+	if err := run(append([]string{"-out", out1, "-name", "cached"}, campaign...)); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := os.ReadFile(filepath.Join(out1, "cached.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out2 := t.TempDir()
+	if err := run(append([]string{"-out", out2, "-name", "cached", "-workers", "4"}, campaign...)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(out2, "cached.json")); !os.IsNotExist(err) {
+		t.Errorf("cache hit still wrote a manifest (stat err %v)", err)
+	}
+	stored, err := filepath.Glob(filepath.Join(store, "manifests", "*.json"))
+	if err != nil || len(stored) != 1 {
+		t.Fatalf("store holds %d manifests (%v), want 1", len(stored), err)
+	}
+	data, err := os.ReadFile(stored[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, direct) {
+		t.Error("stored manifest differs from the direct run's")
+	}
+
+	if err := run(append([]string{"-out", t.TempDir(), "-shard", "1/2"}, campaign...)); err == nil ||
+		!strings.Contains(err.Error(), "-if-cached") {
+		t.Errorf("sharded -if-cached = %v, want rejection", err)
+	}
+}

@@ -1,0 +1,150 @@
+// Command sweepd is the always-on campaign service: a single-binary
+// daemon that accepts campaign specs over HTTP, runs them through the
+// same deterministic engine cmd/sweep drives, and serves the resulting
+// manifests from a content-addressed store keyed by spec hash — so a
+// campaign anyone already ran, at any worker count, is answered from
+// the store without executing a single trial.
+//
+// Usage:
+//
+//	sweepd [-addr :8080] [-store dir] [-concurrency n] [-queue n]
+//	       [-fleet-slots n -worker-bin path] [-pprof]
+//
+// Every flag has an environment-variable default (flag beats env):
+//
+//	SWEEPD_ADDR         listen address           (:8080)
+//	SWEEPD_STORE        store directory          (store)
+//	SWEEPD_CONCURRENCY  concurrent campaigns     (1)
+//	SWEEPD_QUEUE        queued-campaign bound    (32)
+//	SWEEPD_FLEET_SLOTS  dispatch-fleet slots     (0 = run in-process)
+//	SWEEPD_WORKER_BIN   sweep binary for fleets
+//	SWEEPD_ADDR_FILE    write the bound address here (":0" discovery)
+//
+// The API is documented on sweepd.Daemon.Handler; see the README's
+// "Running as a service" section for the curl cookbook. Logs are
+// structured slog on stderr (WSNSWEEP_LOG, WSNSWEEP_LOG_FORMAT).
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops accepting,
+// /readyz flips to 503, queued campaigns are recorded aborted in the
+// ledger, and in-flight campaigns stop at the next trial boundary with
+// their checkpoints flushed — resubmitting the same spec after a
+// restart resumes from them. A second signal exits immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"wsncover/internal/sweepd"
+	"wsncover/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+}
+
+// envString and envInt resolve a flag default from the environment.
+func envString(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+func envInt(key string, def int) int {
+	if v := os.Getenv(key); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sweepd", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", envString("SWEEPD_ADDR", ":8080"), "listen address (host:port; port 0 picks a free one)")
+		storeDir    = fs.String("store", envString("SWEEPD_STORE", "store"), "content-addressed manifest store directory")
+		concurrency = fs.Int("concurrency", envInt("SWEEPD_CONCURRENCY", 1), "campaigns executing at once")
+		queueDepth  = fs.Int("queue", envInt("SWEEPD_QUEUE", 32), "accepted-but-not-started campaign bound")
+		fleetSlots  = fs.Int("fleet-slots", envInt("SWEEPD_FLEET_SLOTS", 0), "run each campaign as a dispatch fleet of this many worker subprocesses (0/1 = in-process)")
+		workerBin   = fs.String("worker-bin", envString("SWEEPD_WORKER_BIN", ""), "sweep binary fleets launch (required with -fleet-slots > 1)")
+		pprofF      = fs.Bool("pprof", false, "expose net/http/pprof on the API server")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger := telemetry.NewLogger(os.Stderr)
+
+	store, err := sweepd.OpenStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	daemon, err := sweepd.New(sweepd.Options{
+		Store:       store,
+		Concurrency: *concurrency,
+		QueueDepth:  *queueDepth,
+		FleetSlots:  *fleetSlots,
+		WorkerBin:   *workerBin,
+		Pprof:       *pprofF,
+		Logger:      logger,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	bound := ln.Addr().String()
+	logger.Info("sweepd serving", "addr", bound, "store", store.Dir(),
+		"concurrency", *concurrency, "fleet_slots", *fleetSlots, "pprof", *pprofF)
+	// ":0" discovery for scripts and CI: write the bound address where
+	// SWEEPD_ADDR_FILE points, mirroring WSNSWEEP_DASH_ADDR_FILE.
+	if path := os.Getenv("SWEEPD_ADDR_FILE"); path != "" {
+		if err := os.WriteFile(path, []byte(bound), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+
+	srv := &http.Server{Handler: daemon.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return fmt.Errorf("serve: %w", err)
+	case sig := <-sigCh:
+		logger.Warn("signal received: draining (in-flight checkpoints flush, queued campaigns record aborted); second signal exits immediately",
+			"signal", sig.String())
+	}
+	go func() {
+		sig := <-sigCh
+		logger.Error("second signal: exiting immediately", "signal", sig.String())
+		os.Exit(130)
+	}()
+
+	daemon.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	logger.Info("drained cleanly")
+	return nil
+}

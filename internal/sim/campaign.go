@@ -161,6 +161,20 @@ func (s CampaignSpec) Validate() error {
 	return nil
 }
 
+// ValidateUnsharded is the submission surface for services and caches
+// that address whole campaigns: Validate plus a rejection of specs
+// pinning a replicate shard range. A shard spec's manifest covers only
+// a slice of the campaign, so content-addressing it under the full
+// campaign's spec hash — which deliberately ignores shard layout —
+// would poison the cache with partial results.
+func (s CampaignSpec) ValidateUnsharded() error {
+	if s.ShardFirst != 0 || s.ShardCount != 0 {
+		return fmt.Errorf("sim: campaign pins the replicate shard range [%d, +%d); "+
+			"submit the unsharded spec and let the service split it", s.ShardFirst, s.ShardCount)
+	}
+	return s.Validate()
+}
+
 // workloadDim resolves the campaign's damage dimension: the explicit
 // Workloads list, or the legacy Failures enum mapped onto its workload
 // re-expressions. The mapping preserves order, so legacy specs keep

@@ -422,3 +422,20 @@ func TestCampaignSpecShardValidation(t *testing.T) {
 		t.Errorf("valid shard range rejected: %v", err)
 	}
 }
+
+// TestValidateUnsharded pins the service submission surface: a shard
+// spec must not reach a whole-campaign cache or queue.
+func TestValidateUnsharded(t *testing.T) {
+	spec := CampaignSpec{Replicates: 10}
+	if err := spec.ValidateUnsharded(); err != nil {
+		t.Errorf("unsharded spec rejected: %v", err)
+	}
+	spec.ShardFirst, spec.ShardCount = 2, 4
+	if err := spec.ValidateUnsharded(); err == nil {
+		t.Error("shard-pinned spec must be rejected by ValidateUnsharded")
+	}
+	bad := CampaignSpec{Replicates: 10, Failures: []FailureMode{FailHoles}, Workloads: []WorkloadSpec{{Kind: "churn"}}}
+	if err := bad.ValidateUnsharded(); err == nil {
+		t.Error("ValidateUnsharded must still apply Validate")
+	}
+}

@@ -65,13 +65,36 @@ type Record struct {
 	GroupSeconds map[string]float64 `json:"group_s,omitempty"`
 }
 
+// execOnlySpecKeys are the top-level campaign-spec JSON fields that
+// change how a run executes — parallelism, memory pooling, which slice
+// of the replicate range a process computes — but never what the full
+// campaign computes. The spec hash strips them so it identifies the
+// science alone: a campaign run with -workers 1, -workers 8, or split
+// across a dispatch fleet hashes to the same key, and the
+// content-addressed manifest store dedupes them to one entry.
+var execOnlySpecKeys = []string{"workers", "fresh_build", "shard_first", "shard_count"}
+
 // SpecHash content-addresses a campaign spec: "sha256:" plus the hex
-// digest of its JSON form. Map-free specs marshal deterministically, so
-// equal specs hash equal regardless of where they ran.
+// digest of its JSON form with execution-only fields removed. The
+// stripped object re-marshals with sorted keys and the original raw
+// field values, so equal science hashes equal regardless of where, how
+// parallel, or in which field order it ran.
 func SpecHash(spec any) (string, error) {
 	b, err := json.Marshal(spec)
 	if err != nil {
 		return "", fmt.Errorf("telemetry: marshal spec for hashing: %w", err)
+	}
+	// Strip at the JSON layer rather than on a concrete spec type so the
+	// package stays agnostic of what a spec is. Non-object specs hash
+	// their raw form.
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(b, &fields); err == nil && fields != nil {
+		for _, k := range execOnlySpecKeys {
+			delete(fields, k)
+		}
+		if nb, err := json.Marshal(fields); err == nil {
+			b = nb
+		}
 	}
 	return fmt.Sprintf("sha256:%x", sha256.Sum256(b)), nil
 }

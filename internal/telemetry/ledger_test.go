@@ -86,6 +86,47 @@ func TestSpecHashDeterministicAndDiscriminating(t *testing.T) {
 	}
 }
 
+// TestSpecHashIgnoresExecutionOnlyFields pins the cache-key contract:
+// two differently-parallelized submissions of the same science must
+// collide to one content-addressed store entry. Worker pool size,
+// arena pooling, and shard layout change wall clock or which process
+// computes which slice — never the merged campaign results.
+func TestSpecHashIgnoresExecutionOnlyFields(t *testing.T) {
+	base := sim.CampaignSpec{
+		Schemes: []sim.SchemeKind{sim.SR, sim.AR},
+		Grids:   []sim.GridSize{{Cols: 12, Rows: 12}},
+		Spares:  []int{15, 60}, Replicates: 8, BaseSeed: 2008,
+	}.Normalized()
+	want, err := SpecHash(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := map[string]func(*sim.CampaignSpec){
+		"workers=1":    func(s *sim.CampaignSpec) { s.Workers = 1 },
+		"workers=8":    func(s *sim.CampaignSpec) { s.Workers = 8 },
+		"fresh_build":  func(s *sim.CampaignSpec) { s.FreshBuild = true },
+		"shard layout": func(s *sim.CampaignSpec) { s.ShardFirst, s.ShardCount = 2, 4 },
+	}
+	for name, mutate := range variants {
+		v := base
+		mutate(&v)
+		got, err := SpecHash(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s: hash %s, want the base spec's %s (execution-only fields must not affect the cache key)",
+				name, got, want)
+		}
+	}
+	// The science itself still discriminates.
+	science := base
+	science.Spares = []int{15, 61}
+	if got, _ := SpecHash(science); got == want {
+		t.Error("a different spare list must change the hash")
+	}
+}
+
 func TestParseLogLevel(t *testing.T) {
 	for in, want := range map[string]slog.Level{
 		"":        slog.LevelInfo,

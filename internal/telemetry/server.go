@@ -98,9 +98,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleEvents streams the hub to one client until the client leaves or
-// the hub closes. SSE frames by default ("data: {...}\n\n"); NDJSON
-// with ?format=ndjson for curl/jq and programmatic consumers.
+// the hub closes.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	ServeHubEvents(w, r, s.hub)
+}
+
+// ServeHubEvents streams one hub to one HTTP client until the client
+// leaves or the hub closes. SSE frames by default ("data: {...}\n\n");
+// NDJSON with ?format=ndjson for curl/jq and programmatic consumers.
+// A hub that closed before the client subscribed still serves its last
+// published snapshot, so a late joiner to a finished run sees the final
+// state instead of an empty stream. Shared by the -dash Server and
+// sweepd's per-campaign event endpoints.
+func ServeHubEvents(w http.ResponseWriter, r *http.Request, hub *Hub) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
@@ -113,24 +123,36 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/event-stream")
 		w.Header().Set("Cache-Control", "no-cache")
 	}
-	sub := s.hub.Subscribe()
-	defer s.hub.Unsubscribe(sub)
+	writeFrame := func(b []byte) error {
+		var err error
+		if ndjson {
+			_, err = fmt.Fprintf(w, "%s\n", b)
+		} else {
+			_, err = fmt.Fprintf(w, "data: %s\n\n", b)
+		}
+		if err == nil {
+			flusher.Flush()
+		}
+		return err
+	}
+	sub := hub.Subscribe()
+	defer hub.Unsubscribe(sub)
+	wrote := false
 	for {
 		select {
 		case b, open := <-sub.Events():
 			if !open {
+				if !wrote {
+					if last := hub.Last(); last != nil {
+						writeFrame(last)
+					}
+				}
 				return
 			}
-			var err error
-			if ndjson {
-				_, err = fmt.Fprintf(w, "%s\n", b)
-			} else {
-				_, err = fmt.Fprintf(w, "data: %s\n\n", b)
-			}
-			if err != nil {
+			if err := writeFrame(b); err != nil {
 				return
 			}
-			flusher.Flush()
+			wrote = true
 		case <-r.Context().Done():
 			return
 		}
