@@ -821,6 +821,8 @@ func run(args []string) (err error) {
 		holesS     = fs.String("holes", "1", "comma-separated simultaneous hole counts")
 		failuresS  = fs.String("failures", "holes", "comma-separated legacy damage models: holes, jam")
 		workloadsS = fs.String("workloads", "", "comma-separated workload kinds: "+strings.Join(sim.WorkloadKinds(), ", ")+" (parameters via -spec)")
+		listWk     = fs.Bool("list-workloads", false, "print the registered workload kinds with parameters and exit")
+		ttlsS      = fs.String("ttls", "", "comma-separated claim TTLs in rounds (adds a campaign dimension; SR-family sync runs only, 0 = claims never expire)")
 		runnersS   = fs.String("runners", "", "comma-separated trial runners: sync, async (default sync)")
 		resume     = fs.Bool("resume", false, "skip (group, N) cells already in the output manifest and merge new results into it")
 		shardS     = fs.String("shard", "", "replicate shard i/n: run only the i-th of n contiguous replicate blocks (stitch with -merge)")
@@ -867,6 +869,16 @@ func run(args []string) (err error) {
 		if len(rest) == 0 {
 			break
 		}
+	}
+
+	if *listWk {
+		for _, info := range sim.WorkloadInfos() {
+			fmt.Fprintf(os.Stdout, "%-10s %s\n", info.Kind, info.Help)
+			if len(info.Params) > 0 {
+				fmt.Fprintf(os.Stdout, "%-10s params: %s\n", "", strings.Join(info.Params, ", "))
+			}
+		}
+		return nil
 	}
 
 	logger := telemetry.NewLogger(os.Stderr)
@@ -932,6 +944,9 @@ func run(args []string) (err error) {
 			return err
 		}
 		if spec.Holes, err = parseInts(*holesS); err != nil {
+			return err
+		}
+		if spec.ClaimTTLs, err = parseInts(*ttlsS); err != nil {
 			return err
 		}
 		if *workloadsS != "" {

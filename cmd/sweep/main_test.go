@@ -681,3 +681,87 @@ func TestRunIfCached(t *testing.T) {
 		t.Errorf("sharded -if-cached = %v, want rejection", err)
 	}
 }
+
+// TestListWorkloads pins the discovery surface: -list-workloads prints
+// every registered kind with its parameter list and exits without
+// requiring (or running) a campaign.
+func TestListWorkloads(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run([]string{"-list-workloads"})
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	out := buf.String()
+	for _, info := range sim.WorkloadInfos() {
+		if !strings.Contains(out, info.Kind) {
+			t.Errorf("listing missing kind %q:\n%s", info.Kind, out)
+		}
+	}
+	if !strings.Contains(out, "params:") {
+		t.Errorf("listing has no parameter lines:\n%s", out)
+	}
+}
+
+// TestRunTTLDimension drives -ttls end to end: the claim-TTL axis
+// multiplies the campaign's groups, the non-zero TTL shows up in the
+// labels, and the flag is validated like any other dimension.
+func TestRunTTLDimension(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-schemes", "SR", "-grids", "6x6", "-spares", "8",
+		"-ttls", "0,6", "-replicates", "2", "-seed", "3",
+		"-out", dir, "-name", "ttl", "-metrics", "moves", "-quiet",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "ttl.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Points []struct {
+			Group string `json:"group"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Points) != 2 {
+		t.Fatalf("got %d points, want 2 (one per TTL)", len(m.Points))
+	}
+	withTTL := 0
+	for _, p := range m.Points {
+		if strings.Contains(p.Group, "ttl=6") {
+			withTTL++
+		}
+	}
+	if withTTL != 1 {
+		t.Errorf("want exactly one ttl=6 group, got %d in %+v", withTTL, m.Points)
+	}
+
+	// The TTL axis rides SR-family sync trials only; AR rejects it.
+	if err := run([]string{
+		"-schemes", "AR", "-grids", "6x6", "-spares", "8", "-ttls", "6",
+		"-replicates", "1", "-out", t.TempDir(), "-quiet",
+	}); err == nil {
+		t.Error("AR campaign with -ttls should fail validation")
+	}
+	if err := run([]string{
+		"-schemes", "SR", "-grids", "6x6", "-spares", "8", "-ttls", "nope",
+		"-replicates", "1", "-out", t.TempDir(), "-quiet",
+	}); err == nil || !strings.Contains(err.Error(), "bad integer") {
+		t.Errorf("bad -ttls list = %v, want bad-integer error", err)
+	}
+}

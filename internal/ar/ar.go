@@ -230,6 +230,17 @@ func (c *Controller) executeDepartures() error {
 		if err := c.moveInto(d.pid, d.nodeID, d.vacancy); err != nil {
 			return err
 		}
+		if !c.net.IsVacant(d.from) {
+			// The departed cell re-elected a head on the spot: a node that
+			// arrived after the hand-off was committed (resupply) got
+			// promoted when the old head left. Nothing is left to refill —
+			// the cascade completes here instead of claiming an occupied
+			// cell (a leak if the cascade later stalled).
+			if p, ok := c.procs[d.pid]; ok {
+				c.finish(p, metrics.Converged)
+			}
+			continue
+		}
 		c.claims[d.from] = d.pid
 	}
 	return nil
@@ -469,4 +480,56 @@ func (c *Controller) Finalize() {
 	for _, p := range c.procs {
 		c.finish(p, metrics.Failed)
 	}
+}
+
+// ResetFailed clears the claims of dead processes and the detected marks
+// of still-vacant cells, so holes AR gave up on are sampled afresh —
+// e.g. after new spares arrive in a dynamic scenario.
+func (c *Controller) ResetFailed() {
+	for g, pid := range c.claims {
+		if _, alive := c.procs[pid]; !alive {
+			delete(c.claims, g)
+		}
+	}
+	for g := range c.detected {
+		if c.net.IsVacant(g) {
+			delete(c.detected, g)
+		}
+	}
+}
+
+// AuditClaims checks AR's bookkeeping invariants and returns sorted
+// human-readable violations (empty = clean), for a converged controller:
+// a claim owned by a dead process must sit on a vacant cell (the
+// abandoned travelling vacancy the paper reports as AR's robustness
+// gap — on an occupied cell it would be a leak), and the event-driven
+// detector's standing hole set must agree with a full vacancy scan.
+func (c *Controller) AuditClaims() []string {
+	var bad []string
+	for g, pid := range c.claims {
+		if _, alive := c.procs[pid]; !alive && !c.net.IsVacant(g) {
+			bad = append(bad, fmt.Sprintf(
+				"ar: claim on occupied cell %v owned by dead process %d", g, pid))
+		}
+	}
+	if !c.fullScan {
+		// Cells with undrained journal flips are lag, not disagreement: a
+		// mover filled them during the final detect pass, after its drain;
+		// the next drain would resync. See core.Controller.AuditClaims.
+		for g := range c.holes {
+			if !c.net.IsVacant(g) && !c.net.VacancyFlipPending(g) {
+				bad = append(bad, fmt.Sprintf(
+					"ar: standing hole set contains occupied cell %v", g))
+			}
+		}
+		for _, g := range c.net.VacantCells(nil) {
+			if _, ok := c.holes[g]; ok || c.net.VacancyFlipPending(g) {
+				continue
+			}
+			bad = append(bad, fmt.Sprintf(
+				"ar: vacant cell %v missing from standing hole set", g))
+		}
+	}
+	slices.Sort(bad)
+	return bad
 }

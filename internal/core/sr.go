@@ -55,6 +55,17 @@ type Config struct {
 	// the vacancy is re-detected as a fresh hole and served by a new
 	// process. Zero disables expiry (the paper's reliable-channel model).
 	ClaimTTL int
+	// ByzantineFrac corrupts that fraction of cells (at least one when
+	// positive): their heads are liars that report false vacancies among
+	// the grids they monitor, spawning phantom replacement processes
+	// whose claims sit on occupied cells until the ClaimTTL expiry clears
+	// them. Requires ClaimTTL > 0 — without expiry a phantom process
+	// would never terminate. ByzantineProb is each liar's per-round lie
+	// probability; ByzantineLies bounds the lies each liar tells (0 =
+	// unlimited, which prevents convergence before the round budget).
+	ByzantineFrac float64
+	ByzantineProb float64
+	ByzantineLies int
 	// FullScanDetect selects the reference O(cells) per-round hole scan
 	// instead of the event-driven detector fed by the network's vacancy
 	// journal. The two are bit-identical (enforced by differential tests);
@@ -74,6 +85,11 @@ type proc struct {
 	// lastRound is the last round with progress (a served request or a
 	// held notification), used by the ClaimTTL expiry.
 	lastRound int
+	// phantom marks a process spawned by a byzantine monitor's false
+	// vacancy report: it is never served, makes no progress, and only the
+	// ClaimTTL expiry ends it. Its origin claim is dropped on finish and
+	// it never enters failedOrigins — the origin was never a real hole.
+	phantom bool
 }
 
 // claim marks a vacant grid as owned by a process since a given round.
@@ -102,6 +118,13 @@ type Controller struct {
 
 	shortcut bool
 	claimTTL int
+
+	// Byzantine state: the sorted liar cells, their per-liar remaining
+	// lie budgets (parallel slice; -1 = unlimited), and the lie
+	// probability.
+	liars     []grid.Coord
+	lieBudget []int
+	byzProb   float64
 
 	procs map[int]*proc
 	// claims maps a vacant (or about-to-be-vacant) grid to the process
@@ -132,6 +155,7 @@ type Controller struct {
 	eventBuf []grid.Coord
 	candBuf  []grid.Coord
 	nbrBuf   []grid.Coord
+	watchBuf []grid.Coord
 }
 
 // New creates an SR controller for the network. The topology must be built
@@ -167,6 +191,39 @@ func New(net *network.Network, cfg Config) (*Controller, error) {
 		claims:        make(map[grid.Coord]claim),
 		failedOrigins: make(map[grid.Coord]bool),
 		departing:     make(map[grid.Coord]bool),
+	}
+	if cfg.ByzantineFrac < 0 || cfg.ByzantineFrac > 1 {
+		return nil, fmt.Errorf("core: byzantine fraction %g outside [0,1]", cfg.ByzantineFrac)
+	}
+	if cfg.ByzantineFrac > 0 {
+		if cfg.ClaimTTL <= 0 {
+			return nil, fmt.Errorf("core: byzantine monitors require ClaimTTL > 0 to expire phantom processes")
+		}
+		n := ns.NumCells()
+		k := int(cfg.ByzantineFrac*float64(n) + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		if k > n {
+			k = n
+		}
+		// The liar draw consumes rng state only on byzantine trials, so
+		// legacy configurations keep their stream shape. Sample returns an
+		// unsorted permutation prefix; sort so the per-round lie pass
+		// visits liars in cell-index order (determinism contract).
+		idx := rng.Sample(n, k)
+		slices.Sort(idx)
+		c.liars = make([]grid.Coord, 0, k)
+		c.lieBudget = make([]int, k)
+		for i, cell := range idx {
+			c.liars = append(c.liars, ns.CoordAt(cell))
+			if cfg.ByzantineLies > 0 {
+				c.lieBudget[i] = cfg.ByzantineLies
+			} else {
+				c.lieBudget[i] = -1
+			}
+		}
+		c.byzProb = cfg.ByzantineProb
 	}
 	if !c.fullScan {
 		// Seed the standing hole set from the network as handed over:
@@ -229,7 +286,64 @@ func (c *Controller) Step() error {
 		return err
 	}
 	c.expireStalled()
+	c.tellLies()
 	return c.detect()
+}
+
+// tellLies lets each byzantine monitor report a false vacancy: a phantom
+// replacement process is registered for an occupied, unclaimed grid the
+// liar watches. The phantom is never served (no message ever references
+// it), so it makes no progress and the ClaimTTL expiry is the only thing
+// that ends it — while it lives, its claim masks genuine vacancies of
+// that grid from detection. Lying runs between expiry and detection, and
+// touches neither detector's inputs for vacant cells, so the full-scan
+// and event-driven detectors stay bit-identical under it.
+func (c *Controller) tellLies() {
+	if len(c.liars) == 0 {
+		return
+	}
+	round := c.net.Round()
+	for i, g := range c.liars {
+		if c.lieBudget[i] == 0 {
+			continue
+		}
+		if c.net.HeadOf(g) == node.Invalid || c.departing[g] {
+			continue // a lie needs a live, uncommitted head to tell it
+		}
+		if !c.rng.Bool(c.byzProb) {
+			continue
+		}
+		// Lie about an occupied, unclaimed watched grid: claimed grids
+		// already have a process (real or phantom) attached, and a vacant
+		// grid would make the report true.
+		c.watchBuf = c.topo.Monitored(c.watchBuf[:0], g)
+		target := grid.Coord{}
+		found := false
+		for _, s := range c.watchBuf {
+			if c.net.IsVacant(s) {
+				continue
+			}
+			if _, claimed := c.claims[s]; claimed {
+				continue
+			}
+			target, found = s, true
+			break
+		}
+		if !found {
+			continue
+		}
+		if c.lieBudget[i] > 0 {
+			c.lieBudget[i]--
+		}
+		pid := c.col.StartProcess(target, round)
+		c.procs[pid] = &proc{
+			id:        pid,
+			walk:      c.topo.NewWalk(target),
+			lastRound: round,
+			phantom:   true,
+		}
+		c.claims[target] = claim{pid: pid, round: round}
+	}
 }
 
 // expireStalled fails processes that made no progress for ClaimTTL rounds
@@ -274,6 +388,18 @@ func (c *Controller) executeDepartures() error {
 		}
 		if err := c.moveInto(d.pid, d.nodeID, d.vacancy); err != nil {
 			return err
+		}
+		if !c.net.IsVacant(d.from) {
+			// The departed grid re-elected a head on the spot: a node that
+			// arrived after the hand-off was committed (resupply) got
+			// promoted when the old head left. Nothing is left to refill,
+			// so the cascade completes here; the in-flight notification
+			// finds no live process and is dropped. Claiming the occupied
+			// grid instead would leak the claim if the cascade stalled.
+			if p, ok := c.procs[d.pid]; ok {
+				c.finish(p, metrics.Converged)
+			}
+			continue
 		}
 		// The departed grid is now this process's vacancy.
 		c.claims[d.from] = claim{pid: d.pid, round: c.net.Round()}
@@ -534,6 +660,17 @@ func (c *Controller) initiate(g, s grid.Coord) error {
 
 // finish closes a process.
 func (c *Controller) finish(p *proc, outcome metrics.Outcome) {
+	if p.phantom {
+		// The phantom repaired nothing. Drop its lie claim so the grid is
+		// observable again, and skip failedOrigins — the origin was never
+		// a real hole, so nothing there needs to stay suppressed.
+		if cl, ok := c.claims[p.walk.Origin()]; ok && cl.pid == p.id {
+			delete(c.claims, p.walk.Origin())
+		}
+		c.col.Finish(p.id, outcome, c.net.Round())
+		delete(c.procs, p.id)
+		return
+	}
 	if outcome == metrics.Failed {
 		c.failedOrigins[p.walk.Origin()] = true
 		// Keep the origin claim so detection does not re-fire; the
@@ -550,4 +687,44 @@ func (c *Controller) Finalize() {
 	for _, p := range c.procs {
 		c.finish(p, metrics.Failed)
 	}
+}
+
+// AuditClaims checks the controller's bookkeeping invariants and returns
+// human-readable violations, sorted (empty = clean). It is meant for a
+// converged controller: every claim owned by a dead process must sit on
+// a vacant cell (a failed origin or an unfillable travelling vacancy —
+// a dead-process claim on an occupied cell is a leak that would mask a
+// future hole there forever), and the event-driven detector's standing
+// hole set must agree with a full vacancy scan once the journal has been
+// drained by the last Step.
+func (c *Controller) AuditClaims() []string {
+	var bad []string
+	for g, cl := range c.claims {
+		if _, alive := c.procs[cl.pid]; !alive && !c.net.IsVacant(g) {
+			bad = append(bad, fmt.Sprintf(
+				"core: claim on occupied cell %v owned by dead process %d", g, cl.pid))
+		}
+	}
+	if !c.fullScan {
+		// A cell with an undrained journal flip is lag, not disagreement:
+		// a donor filled it during the final detect pass, after that
+		// pass's drain, and the next drain would resync it. That is the
+		// only post-drain mutation a Step performs, so at rest the two
+		// views must agree everywhere else.
+		for g := range c.holes {
+			if !c.net.IsVacant(g) && !c.net.VacancyFlipPending(g) {
+				bad = append(bad, fmt.Sprintf(
+					"core: standing hole set contains occupied cell %v", g))
+			}
+		}
+		for _, g := range c.net.VacantCells(nil) {
+			if _, ok := c.holes[g]; ok || c.net.VacancyFlipPending(g) {
+				continue
+			}
+			bad = append(bad, fmt.Sprintf(
+				"core: vacant cell %v missing from standing hole set", g))
+		}
+	}
+	slices.Sort(bad)
+	return bad
 }

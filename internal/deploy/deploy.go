@@ -146,6 +146,49 @@ func Controlled(w *network.Network, spares int, holeCells []grid.Coord, rng *ran
 	return nil
 }
 
+// Resupply scatters count fresh spare nodes uniformly over the occupied
+// (non-vacant) cells, modelling a mid-run delivery of replacement
+// hardware. Landing only in occupied cells keeps the arrivals spares —
+// each cell already has a head, so no election is needed and no vacancy
+// is repaired for free; the replacement scheme still has to move them.
+// When every cell is vacant (the damage wiped the network out), the
+// batch scatters over all cells instead and the landed nodes are elected
+// heads — a delivery into a dead field restarts surveillance where it
+// lands rather than being lost.
+func Resupply(w *network.Network, count int, rng *randx.Rand) error {
+	if count <= 0 {
+		return nil
+	}
+	sys := w.System()
+	sc := scratchPool.Get().(*deployScratch)
+	defer scratchPool.Put(sc)
+	occupied := sc.occupied[:0]
+	for idx := 0; idx < sys.NumCells(); idx++ {
+		c := sys.CoordAt(idx)
+		if !w.IsVacant(c) {
+			occupied = append(occupied, c)
+		}
+	}
+	sc.occupied = occupied
+	wipeout := len(occupied) == 0
+	for i := 0; i < count; i++ {
+		var c grid.Coord
+		if wipeout {
+			c = sys.CoordAt(rng.Intn(sys.NumCells()))
+		} else {
+			c = occupied[rng.Intn(len(occupied))]
+		}
+		if _, err := w.AddNodeAt(rng.InRect(sys.CellRect(c))); err != nil {
+			return fmt.Errorf("resupply: %w", err)
+		}
+	}
+	if wipeout {
+		// Arrivals in vacant cells have no head to join; stand them up.
+		w.ElectHeads()
+	}
+	return nil
+}
+
 // FailRandom disables count enabled nodes chosen uniformly at random,
 // returning how many were actually disabled (fewer when the network has
 // fewer enabled nodes).

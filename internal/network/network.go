@@ -138,6 +138,14 @@ func (w *Network) DiscardVacancyEvents() {
 	w.vacancyEvents = w.vacancyEvents[:0]
 }
 
+// VacancyFlipPending reports whether cell c has a journal event not yet
+// drained. Auditors use it to recognize legitimately stale consumer
+// state: a hole filled after the consumer's last drain is resynced at
+// the next one, so a pending flip is lag, not disagreement.
+func (w *Network) VacancyFlipPending(c grid.Coord) bool {
+	return w.vacancyDirty[w.sys.Index(c)]
+}
+
 // DrainVacancyEvents appends to dst the cells whose vacancy state changed
 // since the last drain, sorted by cell index for deterministic
 // consumption, resets the journal, and returns the extended slice. A cell

@@ -57,6 +57,12 @@ type CampaignSpec struct {
 	// Runners lists trial runners (sync rounds, async event stepping);
 	// empty means {sync}. The async runner supports SR only.
 	Runners []RunnerKind `json:"runners,omitempty"`
+	// ClaimTTLs sweeps the claim-expiry knob as a campaign dimension
+	// (the lossy-radio robustness axis). Empty means {0}: claims never
+	// expire, the paper's reliable-channel model. Non-zero TTLs require
+	// SR-family schemes and the sync runner. A workload's own TTL field
+	// overrides the swept value for its trials.
+	ClaimTTLs []int `json:"claim_ttls,omitempty"`
 	// Replicates is the trial count per cell; zero means 20.
 	Replicates int `json:"replicates,omitempty"`
 	// BaseSeed anchors the deterministic per-replicate seed derivation.
@@ -158,6 +164,25 @@ func (s CampaignSpec) Validate() error {
 			}
 		}
 	}
+	for _, ttl := range s.ClaimTTLs {
+		if ttl < 0 {
+			return fmt.Errorf("sim: negative claim TTL %d", ttl)
+		}
+		if ttl == 0 {
+			continue
+		}
+		for _, k := range s.Schemes {
+			if k != SR && k != SRShortcut {
+				return fmt.Errorf("sim: claim_ttls is an SR-family dimension; "+
+					"scheme %v cannot share a campaign with claim TTL %d", k, ttl)
+			}
+		}
+		for _, r := range s.runnerDim() {
+			if r != RunSync {
+				return fmt.Errorf("sim: claim_ttls requires the sync runner, not %v", r)
+			}
+		}
+	}
 	return nil
 }
 
@@ -188,6 +213,15 @@ func (s CampaignSpec) workloadDim() []WorkloadSpec {
 		out[i] = WorkloadSpec{Kind: f.String()}
 	}
 	return out
+}
+
+// ttlDim resolves the claim-TTL dimension; empty means {0} (claims
+// never expire), so legacy specs keep their job indexing.
+func (s CampaignSpec) ttlDim() []int {
+	if len(s.ClaimTTLs) > 0 {
+		return s.ClaimTTLs
+	}
+	return []int{0}
 }
 
 // runnerDim resolves the runner dimension; empty means sync only.
@@ -221,8 +255,10 @@ func UnmarshalSpecJSON(data []byte, spec *CampaignSpec) error {
 
 // TrialJob is one fully resolved cell replicate of a campaign: every
 // sweep dimension pinned plus the pre-derived seed, so executing it is a
-// pure function of the job itself. The job is comparable; its workload
-// is identified by its spec, not a constructed instance.
+// pure function of the job itself. The job is a plain value; its
+// workload is identified by its spec, not a constructed instance. (It
+// stopped being comparable with == when workload specs grew recursive
+// Children; compare jobs with reflect.DeepEqual.)
 type TrialJob struct {
 	Scheme    SchemeKind
 	Grid      GridSize
@@ -230,6 +266,7 @@ type TrialJob struct {
 	Holes     int
 	Workload  WorkloadSpec
 	Runner    RunnerKind
+	ClaimTTL  int
 	Replicate int
 	Seed      int64
 }
@@ -246,6 +283,9 @@ func (j TrialJob) Group() string {
 	if j.Runner != RunSync {
 		g += " " + j.Runner.String()
 	}
+	if j.ClaimTTL != 0 {
+		g += fmt.Sprintf(" ttl=%d", j.ClaimTTL)
+	}
 	return g
 }
 
@@ -260,6 +300,7 @@ func (j TrialJob) config(s CampaignSpec) TrialConfig {
 		AdjacentHolesOK: s.AdjacentHolesOK,
 		Workload:        j.Workload,
 		Runner:          j.Runner,
+		ClaimTTL:        j.ClaimTTL,
 		JamRadius:       s.JamRadius,
 		Scheme:          j.Scheme,
 		Seed:            j.Seed,
@@ -281,22 +322,25 @@ type JobSpace struct {
 	total  int
 }
 
-// jobBlock is one (workload, runner) pair's contiguous index range.
+// jobBlock is one (workload, runner, claim TTL) triple's contiguous
+// index range.
 type jobBlock struct {
 	workload WorkloadSpec
 	runner   RunnerKind
+	ttl      int
 	holes    []int
 	start    int
 	size     int
 }
 
 // JobSpace normalizes the spec and indexes its job list in the fixed
-// nested order (workload, runner, grid, holes, scheme, spares,
-// replicate); legacy specs — one sync runner, workloads derived from
-// Failures — keep the pre-redesign indexing exactly. Replicate r uses
-// the r-th seed derived from BaseSeed across every cell, so all schemes
-// and configurations face statistically paired layouts, mirroring the
-// paper's methodology of comparing SR and AR on identical damage.
+// nested order (workload, runner, ttl, grid, holes, scheme, spares,
+// replicate); legacy specs — one sync runner, the {0} TTL dimension,
+// workloads derived from Failures — keep the pre-redesign indexing
+// exactly. Replicate r uses the r-th seed derived from BaseSeed across
+// every cell, so all schemes and configurations face statistically
+// paired layouts, mirroring the paper's methodology of comparing SR and
+// AR on identical damage.
 func (s CampaignSpec) JobSpace() JobSpace {
 	s.normalize()
 	js := JobSpace{spec: s, seeds: experiment.Seeds(s.BaseSeed, s.Replicates)}
@@ -310,11 +354,13 @@ func (s CampaignSpec) JobSpace() JobSpace {
 			holesDim = []int{1}
 		}
 		for _, runner := range s.runnerDim() {
-			size := len(s.Grids) * len(holesDim) * len(s.Schemes) * len(s.Spares) * s.Replicates
-			js.blocks = append(js.blocks, jobBlock{
-				workload: wl, runner: runner, holes: holesDim, start: js.total, size: size,
-			})
-			js.total += size
+			for _, ttl := range s.ttlDim() {
+				size := len(s.Grids) * len(holesDim) * len(s.Schemes) * len(s.Spares) * s.Replicates
+				js.blocks = append(js.blocks, jobBlock{
+					workload: wl, runner: runner, ttl: ttl, holes: holesDim, start: js.total, size: size,
+				})
+				js.total += size
+			}
 		}
 	}
 	return js
@@ -352,6 +398,7 @@ func (js JobSpace) At(i int) TrialJob {
 		Holes:     holes,
 		Workload:  blk.workload,
 		Runner:    blk.runner,
+		ClaimTTL:  blk.ttl,
 		Replicate: r,
 		Seed:      js.seeds[r],
 	}

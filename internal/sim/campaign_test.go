@@ -243,7 +243,7 @@ func TestJobSpaceMatchesJobs(t *testing.T) {
 		t.Fatalf("Len = %d, NumJobs = %d, want %d", js.Len(), spec.NumJobs(), len(jobs))
 	}
 	for i, want := range jobs {
-		if got := js.At(i); got != want {
+		if got := js.At(i); !reflect.DeepEqual(got, want) {
 			t.Fatalf("At(%d) = %+v, want %+v", i, got, want)
 		}
 	}

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// claimAuditor is implemented by controllers that can audit their claim
+// bookkeeping (core.Controller, ar.Controller). The async controller has
+// no claims registry and is skipped.
+type claimAuditor interface {
+	AuditClaims() []string
+}
+
+// CheckInvariants audits a finished trial against the structural
+// invariants every workload — built-in or composed — must preserve, and
+// returns human-readable violations, sorted (empty = clean):
+//
+//   - the network's own audit is clean (registration, head uniqueness,
+//     occupancy/vacancy counters, journal dirty bits);
+//   - spare conservation: enabled nodes minus occupied cells equals the
+//     network's spare count — damage and resupply change both sides
+//     together, so a drifting difference means nodes leaked;
+//   - move accounting: the metrics collector charged exactly one move
+//     per network relocation, on either runner;
+//   - the controller's claims registry leaks nothing and (event-driven
+//     detection) its standing hole set agrees with a full vacancy scan —
+//     the same oracle the differential tests trust.
+//
+// Call it after Run: mid-run the network is legitimately in flux (heads
+// mid-departure, journal undrained) and several checks would misfire.
+func CheckInvariants(t *Trial) []string {
+	var bad []string
+	bad = append(bad, t.net.Audit()...)
+	occupied := t.net.System().NumCells() - t.net.VacantCount()
+	if spares := t.net.EnabledCount() - occupied; spares != t.net.TotalSpares() {
+		bad = append(bad, fmt.Sprintf(
+			"sim: spare conservation: %d enabled - %d occupied = %d, but network counts %d spares",
+			t.net.EnabledCount(), occupied, spares, t.net.TotalSpares()))
+	}
+	if moves := t.collector().Summarize().Moves; moves != t.net.TotalMoves() {
+		bad = append(bad, fmt.Sprintf(
+			"sim: move accounting: collector charged %d moves, network executed %d",
+			moves, t.net.TotalMoves()))
+	}
+	if a, ok := t.scheme.(claimAuditor); ok {
+		bad = append(bad, a.AuditClaims()...)
+	}
+	sort.Strings(bad)
+	return bad
+}

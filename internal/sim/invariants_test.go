@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// runChecked runs the config and fails on any invariant violation — the
+// oracle contract every workload, built-in or adversarial, must honor.
+func runChecked(t *testing.T, cfg TrialConfig) (*Trial, TrialResult) {
+	t.Helper()
+	tr, err := NewTrial(cfg)
+	if err != nil {
+		t.Fatalf("NewTrial(%+v): %v", cfg, err)
+	}
+	res, err := tr.Run()
+	if err != nil {
+		t.Fatalf("Run(%+v): %v", cfg, err)
+	}
+	if bad := CheckInvariants(tr); len(bad) > 0 {
+		t.Fatalf("invariants violated under %+v:\n  %s", cfg, strings.Join(bad, "\n  "))
+	}
+	return tr, res
+}
+
+// TestInvariantsBuiltinWorkloads: the oracle holds for every pre-existing
+// workload kind across the schemes and runners that support it. This is
+// the baseline the adversarial zoo is measured against — if the oracle
+// misfires on benign scenarios it cannot referee hostile ones.
+func TestInvariantsBuiltinWorkloads(t *testing.T) {
+	workloads := []WorkloadSpec{
+		{Kind: WorkloadHoles, Holes: 3},
+		{Kind: WorkloadJam},
+		{Kind: WorkloadChurn, Holes: 2, Every: 4, Waves: 3},
+		{Kind: WorkloadDepletion, Budget: 15, Every: 2},
+	}
+	for _, wl := range workloads {
+		for _, scheme := range []SchemeKind{SR, SRShortcut, AR} {
+			cfg := TrialConfig{
+				Cols: 8, Rows: 8, Scheme: scheme, Spares: 20, Seed: 5,
+				AdjacentHolesOK: true, Workload: wl,
+			}
+			t.Run(wl.Kind+"/"+scheme.String(), func(t *testing.T) {
+				runChecked(t, cfg)
+			})
+		}
+	}
+	// The async runner keeps its own claim-free controller; the oracle
+	// still audits the network side.
+	t.Run("holes/async", func(t *testing.T) {
+		runChecked(t, TrialConfig{
+			Cols: 8, Rows: 8, Scheme: SR, Spares: 20, Holes: 2, Seed: 9,
+			Runner: RunAsync,
+		})
+	})
+}
+
+// TestInvariantsSpareDrought: the oracle must hold even when the scheme
+// gives up — exhausted spares leave holes standing, not leaked claims.
+func TestInvariantsSpareDrought(t *testing.T) {
+	_, res := runChecked(t, TrialConfig{
+		Cols: 8, Rows: 8, Scheme: SR, Spares: 0, Holes: 4, Seed: 21,
+		AdjacentHolesOK: true,
+	})
+	if res.Complete || res.HolesAfter == 0 {
+		t.Fatalf("0 spares cannot repair 4 holes: %+v", res)
+	}
+}
+
+// TestMoverTrial: the adaptive jammer relocates toward repaired cells
+// and keeps the trial busy across strikes; invariants hold throughout.
+func TestMoverTrial(t *testing.T) {
+	cfg := TrialConfig{
+		Cols: 10, Rows: 10, Scheme: SR, Spares: 60, Seed: 13,
+		Workload: WorkloadSpec{Kind: WorkloadMover, Every: 5, Waves: 3},
+	}
+	_, res := runChecked(t, cfg)
+	if res.Summary.Initiated == 0 || res.Summary.Moves == 0 {
+		t.Fatalf("mover strikes caused no recovery activity: %+v", res)
+	}
+	// The trial cannot converge before the last strike at round 10.
+	if res.Rounds <= 2*5 {
+		t.Errorf("converged at round %d, before the last strike", res.Rounds)
+	}
+	if !res.Complete || res.HolesAfter != 0 {
+		t.Errorf("ample spares should absorb all strikes: %+v", res)
+	}
+}
+
+// TestByzantineTrialPhantomsExpire is the ClaimTTL exercise: guaranteed
+// liars (prob=1) spawn phantom processes whose claims only expiry can
+// clear. Convergence plus a clean claims audit proves the TTL path both
+// fired and left no stale claim behind.
+func TestByzantineTrialPhantomsExpire(t *testing.T) {
+	cfg := TrialConfig{
+		Cols: 8, Rows: 8, Scheme: SR, Spares: 20, Seed: 17,
+		Workload: WorkloadSpec{
+			Kind: WorkloadByzantine, Holes: 2, Frac: 0.3, Prob: 1, Count: 1, TTL: 4,
+		},
+	}
+	honest := cfg
+	honest.Workload = WorkloadSpec{Kind: WorkloadHoles, Holes: 2}
+	_, base := runChecked(t, honest)
+
+	_, res := runChecked(t, cfg)
+	// Phantom processes register with the collector, so the lied-to run
+	// must initiate strictly more processes than the honest baseline.
+	if res.Summary.Initiated <= base.Summary.Initiated {
+		t.Errorf("liars spawned no phantoms: %d initiated vs honest %d",
+			res.Summary.Initiated, base.Summary.Initiated)
+	}
+	if !res.Complete || res.HolesAfter != 0 {
+		t.Errorf("byzantine trial did not recover the real holes: %+v", res)
+	}
+
+	// Without a TTL the phantoms can never expire; the trial must refuse
+	// to start rather than run forever.
+	noTTL := cfg
+	noTTL.Workload.TTL = -1 // sentinel: install() keeps precedence order
+	if _, err := NewTrial(noTTL); err == nil {
+		t.Error("byzantine workload with negative ttl should fail")
+	}
+}
+
+// TestResupplyTrialRecoversAbandonedHoles is the resupply story: a
+// spare-starved network abandons its holes, fresh spares arrive mid-run,
+// the rally makes the scheme retry, and the holes get repaired after all.
+func TestResupplyTrialRecoversAbandonedHoles(t *testing.T) {
+	starved := TrialConfig{
+		Cols: 8, Rows: 8, Scheme: SR, Spares: 0, Holes: 2, Seed: 31,
+		AdjacentHolesOK: true,
+	}
+	_, abandoned := runChecked(t, starved)
+	if abandoned.Complete {
+		t.Fatalf("control run repaired holes with 0 spares: %+v", abandoned)
+	}
+
+	resupplied := starved
+	resupplied.Workload = WorkloadSpec{
+		Kind: WorkloadResupply, Holes: 2, At: 6, Batch: 6, Count: 1,
+	}
+	tr, res := runChecked(t, resupplied)
+	if !res.Complete || res.HolesAfter != 0 {
+		t.Fatalf("resupply did not rescue the abandoned holes: %+v", res)
+	}
+	if tr.Network().TotalSpares() != 6-2 {
+		t.Errorf("spare ledger after resupply: %d, want 4", tr.Network().TotalSpares())
+	}
+
+	// Resupply needs the sync runner's rally path.
+	async := resupplied
+	async.Runner = RunAsync
+	if _, err := NewTrial(async); err == nil {
+		t.Error("resupply under the async runner should fail")
+	}
+}
+
+// TestLossyTrialDropsAndRecovers: the lossy radio must actually drop
+// messages, and ClaimTTL expiry must recover every repair the drops
+// stalled — completion under loss is the paper's robustness claim.
+func TestLossyTrialDropsAndRecovers(t *testing.T) {
+	cfg := TrialConfig{
+		Cols: 8, Rows: 8, Scheme: SR, Spares: 20, Seed: 41,
+		Workload: WorkloadSpec{Kind: WorkloadLossy, Holes: 3, Loss: 0.3, TTL: 6},
+	}
+	tr, res := runChecked(t, cfg)
+	if tr.Network().MessagesLost() == 0 {
+		t.Error("lossy radio dropped no messages at loss=0.3")
+	}
+	if !res.Complete || res.HolesAfter != 0 {
+		t.Errorf("lossy trial did not recover: %+v", res)
+	}
+
+	// Loss outside [0,1) is rejected at build time.
+	bad := cfg
+	bad.Workload.Loss = 1
+	if _, err := NewTrial(bad); err == nil {
+		t.Error("loss=1 should fail")
+	}
+}
+
+// TestCombinatorTrials: composed scenarios run end-to-end and the oracle
+// holds — sequence phases, overlay stacking, and the seeded generator.
+func TestCombinatorTrials(t *testing.T) {
+	cases := []WorkloadSpec{
+		{Kind: WorkloadSequence, Every: 6, Children: []WorkloadSpec{
+			{Kind: WorkloadHoles, Holes: 2},
+			{Kind: WorkloadJam},
+			{Kind: WorkloadLossy, Holes: 1, Loss: 0.2},
+		}},
+		{Kind: WorkloadOverlay, Children: []WorkloadSpec{
+			{Kind: WorkloadChurn, Holes: 1, Every: 4, Waves: 2},
+			{Kind: WorkloadDepletion, Holes: 1, Budget: 25},
+		}},
+		{Kind: WorkloadRandom, Pick: 99, Count: 3},
+	}
+	for _, wl := range cases {
+		t.Run(wl.Kind, func(t *testing.T) {
+			_, res := runChecked(t, TrialConfig{
+				Cols: 9, Rows: 9, Scheme: SR, Spares: 40, Seed: 53,
+				AdjacentHolesOK: true, Workload: wl,
+			})
+			if res.Summary.Initiated == 0 {
+				t.Errorf("composed scenario caused no recovery: %+v", res)
+			}
+		})
+	}
+
+	// Grammar bounds: fan-out and nesting depth are hard limits.
+	wide := WorkloadSpec{Kind: WorkloadOverlay}
+	for i := 0; i < MaxChildren+1; i++ {
+		wide.Children = append(wide.Children, WorkloadSpec{Kind: WorkloadHoles})
+	}
+	if _, err := BuildWorkload(wide); err == nil {
+		t.Error("overlay beyond MaxChildren should fail")
+	}
+	deep := WorkloadSpec{Kind: WorkloadHoles}
+	for i := 0; i < MaxCompositionDepth; i++ {
+		deep = WorkloadSpec{Kind: WorkloadSequence, Children: []WorkloadSpec{deep}}
+	}
+	if _, err := BuildWorkload(deep); err == nil {
+		t.Error("sequence beyond MaxCompositionDepth should fail")
+	}
+	if _, err := BuildWorkload(WorkloadSpec{Kind: WorkloadSequence}); err == nil {
+		t.Error("sequence without children should fail")
+	}
+}

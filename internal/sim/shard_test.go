@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -83,15 +84,17 @@ func TestSplitShardsJobsEqualUnshardedJobs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sharded := make(map[TrialJob]int)
+	// TrialJob is no longer comparable (its workload spec holds child
+	// slices), so key the coverage count by its printed form.
+	sharded := make(map[string]int)
 	for _, sh := range shards {
-		sh.ExecutedJobs(nil, func(j TrialJob) { sharded[j]++ })
+		sh.ExecutedJobs(nil, func(j TrialJob) { sharded[fmt.Sprintf("%+v", j)]++ })
 	}
 	full := 0
 	spec.Normalized().ExecutedJobs(nil, func(j TrialJob) {
 		full++
-		if sharded[j] != 1 {
-			t.Errorf("job %+v covered %d times, want exactly once", j, sharded[j])
+		if sharded[fmt.Sprintf("%+v", j)] != 1 {
+			t.Errorf("job %+v covered %d times, want exactly once", j, sharded[fmt.Sprintf("%+v", j)])
 		}
 	})
 	if full != len(sharded) {

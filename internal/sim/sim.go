@@ -211,6 +211,24 @@ type TrialConfig struct {
 	ARMaxHops  int
 	// EnergyModel optionally charges movement energy.
 	EnergyModel node.EnergyModel
+	// ClaimTTL expires a replacement claim whose process has made no
+	// progress for that many rounds, letting detection retry the hole.
+	// Zero means claims never expire (the paper's reliable-radio model).
+	// SR-family schemes, sync runner only; also a campaign dimension
+	// (CampaignSpec.ClaimTTLs) and set by the lossy/byzantine workloads.
+	ClaimTTL int
+	// MessageLoss drops each delivered message with this probability
+	// (lossy radio). Zero means reliable delivery. Sync runner only; set
+	// by the lossy workload.
+	MessageLoss float64
+	// ByzantineFrac corrupts that fraction of monitor cells: their heads
+	// lie about vacancies, spawning phantom replacement processes.
+	// ByzantineProb is the per-round lie probability of a corrupted
+	// monitor, ByzantineLies bounds the lies each tells (0 = unlimited).
+	// SR-family schemes, sync runner only; set by the byzantine workload.
+	ByzantineFrac float64
+	ByzantineProb float64
+	ByzantineLies int
 	// LegacyDetect runs SR and AR with their reference O(cells)
 	// full-scan hole detectors instead of the event-driven ones fed by
 	// the network vacancy journal. Each pair is bit-identical; the flag
@@ -242,7 +260,7 @@ func (cfg *TrialConfig) normalize() error {
 	if cfg.Spares < 0 {
 		return fmt.Errorf("sim: negative spare count %d", cfg.Spares)
 	}
-	if cfg.Workload == (WorkloadSpec{}) {
+	if cfg.Workload.IsZero() {
 		if cfg.Failure != FailHoles && cfg.Failure != FailJam {
 			return fmt.Errorf("sim: unknown failure mode %v", cfg.Failure)
 		}
@@ -266,6 +284,21 @@ func (cfg *TrialConfig) normalize() error {
 	}
 	if cfg.JamRadius < 0 {
 		return fmt.Errorf("sim: negative jam radius %g", cfg.JamRadius)
+	}
+	if cfg.ClaimTTL < 0 {
+		return fmt.Errorf("sim: negative claim TTL %d", cfg.ClaimTTL)
+	}
+	if cfg.MessageLoss < 0 || cfg.MessageLoss >= 1 {
+		return fmt.Errorf("sim: message loss %g outside [0,1)", cfg.MessageLoss)
+	}
+	if cfg.ByzantineFrac < 0 || cfg.ByzantineFrac > 1 {
+		return fmt.Errorf("sim: byzantine fraction %g outside [0,1]", cfg.ByzantineFrac)
+	}
+	if cfg.ByzantineProb < 0 || cfg.ByzantineProb > 1 {
+		return fmt.Errorf("sim: byzantine probability %g outside [0,1]", cfg.ByzantineProb)
+	}
+	if cfg.ByzantineLies < 0 {
+		return fmt.Errorf("sim: negative byzantine lie budget %d", cfg.ByzantineLies)
 	}
 	return nil
 }
@@ -377,9 +410,19 @@ func buildScheme(net *network.Network, cfg TrialConfig, rng *randx.Rand, col *me
 			RNG:              rng,
 			NeighborShortcut: cfg.Scheme == SRShortcut,
 			FullScanDetect:   cfg.LegacyDetect,
+			ClaimTTL:         cfg.ClaimTTL,
+			ByzantineFrac:    cfg.ByzantineFrac,
+			ByzantineProb:    cfg.ByzantineProb,
+			ByzantineLies:    cfg.ByzantineLies,
 			Collector:        col,
 		})
 	case AR:
+		if cfg.ClaimTTL != 0 {
+			return nil, fmt.Errorf("sim: ClaimTTL is an SR-family knob; the AR baseline has no claim expiry")
+		}
+		if cfg.ByzantineFrac != 0 {
+			return nil, fmt.Errorf("sim: the byzantine workload targets SR-family monitors; AR is unsupported")
+		}
 		return ar.New(net, ar.Config{
 			RNG:            rng,
 			InitProb:       cfg.ARInitProb,

@@ -66,6 +66,11 @@ func newTrial(cfg TrialConfig, arena *TrialArena) (*Trial, error) {
 	if err := validateEvents(sched.Events); err != nil {
 		return nil, err
 	}
+	// Checked after Schedule because workloads (lossy, byzantine) install
+	// these knobs into cfg there.
+	if cfg.Runner == RunAsync && (cfg.ClaimTTL != 0 || cfg.MessageLoss != 0 || cfg.ByzantineFrac != 0) {
+		return nil, fmt.Errorf("sim: ClaimTTL, MessageLoss, and byzantine monitors require the sync runner")
+	}
 	rng := randx.New(cfg.Seed)
 	var net *network.Network
 	var col *metrics.Collector
@@ -110,6 +115,13 @@ func newTrial(cfg TrialConfig, arena *TrialArena) (*Trial, error) {
 		}
 	}
 	t.evRNG = rng.Split(4)
+	if cfg.MessageLoss > 0 {
+		// The loss stream splits last, and only when the radio is lossy,
+		// so reliable-radio trials keep their legacy stream shape.
+		if err := net.SetMessageLoss(cfg.MessageLoss, rng.Split(5)); err != nil {
+			return nil, err
+		}
+	}
 	return t, nil
 }
 
@@ -264,6 +276,15 @@ func (t *Trial) applyDue(cur *eventCursor, round int) error {
 		}
 		if err := ev.Apply(t.net, t.evRNG.Split(int64(round)), round); err != nil {
 			return err
+		}
+		if ev.Rally {
+			// Damage that restores resources (resupply) rallies the scheme:
+			// holes it gave up on become eligible for detection again. A nil
+			// or non-rallying scheme (async runner) fails the assertion and
+			// the event degrades to plain damage.
+			if r, ok := t.scheme.(interface{ ResetFailed() }); ok {
+				r.ResetFailed()
+			}
 		}
 	}
 }

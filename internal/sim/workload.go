@@ -37,6 +37,29 @@ const (
 	// WorkloadDepletion drains the movement energy model until nodes die
 	// (deploy.FailDepleted), turning recovery cost into network lifetime.
 	WorkloadDepletion = "depletion"
+	// WorkloadMover is an adaptive jammer: a regional jam that relocates
+	// toward recently repaired cells each epoch, chasing the scheme's own
+	// recovery work.
+	WorkloadMover = "mover"
+	// WorkloadByzantine corrupts a fraction of monitor heads: liars report
+	// false vacancies, spawning phantom replacement processes whose stale
+	// claims only the ClaimTTL expiry path can clear.
+	WorkloadByzantine = "byzantine"
+	// WorkloadResupply delivers batches of fresh spare nodes mid-run and
+	// rallies the scheme to retry holes it had given up on.
+	WorkloadResupply = "resupply"
+	// WorkloadLossy runs the paper's hole scenario over a lossy radio,
+	// sweeping the ClaimTTL recovery knob against the message-drop rate.
+	WorkloadLossy = "lossy"
+	// WorkloadSequence composes child workloads as phases: child i's
+	// damage is shifted by i gap rounds.
+	WorkloadSequence = "sequence"
+	// WorkloadOverlay composes child workloads simultaneously: all damage
+	// timelines overlap from round 0.
+	WorkloadOverlay = "overlay"
+	// WorkloadRandom generates a seeded random composition over the
+	// registered kinds — the scenario-generator closure of the grammar.
+	WorkloadRandom = "random"
 )
 
 // Default parameters of the recurring workloads.
@@ -50,29 +73,70 @@ const (
 	DefaultDepletionEvery = 2
 	// DefaultDepletionBudget is the per-node movement energy budget.
 	DefaultDepletionBudget = 30
+	// DefaultMoverEvery is the round period between mover strikes.
+	DefaultMoverEvery = 6
+	// DefaultMoverStrikes is the number of mover strikes (the first fires
+	// at round 0).
+	DefaultMoverStrikes = 3
+	// DefaultByzantineFrac is the fraction of monitor cells corrupted by
+	// the byzantine workload.
+	DefaultByzantineFrac = 0.05
+	// DefaultByzantineProb is the per-round probability a corrupted
+	// monitor tells a lie.
+	DefaultByzantineProb = 0.25
+	// DefaultByzantineLies bounds the lies each corrupted monitor tells,
+	// so byzantine trials still converge once the liars run dry.
+	DefaultByzantineLies = 2
+	// DefaultByzantineTTL is the claim expiry the byzantine workload
+	// installs when neither the spec nor the campaign sets one: phantom
+	// claims must be able to expire or the trial can only hit its round
+	// budget.
+	DefaultByzantineTTL = 8
+	// DefaultLossyLoss is the message-drop probability of the lossy radio.
+	DefaultLossyLoss = 0.15
+	// DefaultLossyTTL is the claim expiry the lossy workload installs when
+	// neither the spec nor the campaign sets one.
+	DefaultLossyTTL = 8
+	// DefaultResupplyAt is the round the first resupply batch arrives.
+	DefaultResupplyAt = 8
+	// DefaultResupplyBatch is the spare-node count per resupply arrival.
+	DefaultResupplyBatch = 4
+	// DefaultPhaseGap is the round offset between sequence phases.
+	DefaultPhaseGap = 10
+	// DefaultRandomCount is the child count of a random composition.
+	DefaultRandomCount = 2
+	// MaxCompositionDepth bounds combinator nesting so a recursive spec
+	// (or a fuzzer) cannot build unbounded schedules.
+	MaxCompositionDepth = 4
+	// MaxChildren bounds the fan-out of one combinator node.
+	MaxChildren = 6
 )
 
 // WorkloadSpec is the JSON-named description of a workload: Kind selects
 // a registered builder, the remaining fields parameterize it and must
 // stay zero when the kind does not use them (builders reject stray
-// parameters, catching spec-file typos). The flat, comparable shape is
-// what keeps campaign manifests mergeable and shardable: two jobs belong
-// to the same curve iff their specs are equal.
+// parameters, catching spec-file typos). The flat, value-semantics shape
+// is what keeps campaign manifests mergeable and shardable: two jobs
+// belong to the same curve iff their specs are (deeply) equal. Children
+// makes the shape recursive: combinator kinds (sequence, overlay)
+// compose the registered kinds into scenarios.
 type WorkloadSpec struct {
 	// Kind names the registered workload ("holes", "jam", "churn",
-	// "depletion", or an externally registered kind).
+	// "depletion", ..., or an externally registered kind).
 	Kind string `json:"kind"`
 	// Holes pins the workload's hole count per injection (the initial
 	// batch for holes/depletion, each wave for churn), overriding the
 	// campaign's swept holes dimension.
 	Holes int `json:"holes,omitempty"`
 	// Every is the round period of recurring injections: churn waves,
-	// depletion checks.
+	// depletion checks, mover strikes, resupply arrivals, and the phase
+	// gap of a sequence composition.
 	Every int `json:"every,omitempty"`
-	// Waves is the churn wave count; the first wave fires at round 0.
+	// Waves is the churn wave count or the mover strike count; the first
+	// wave fires at round 0.
 	Waves int `json:"waves,omitempty"`
-	// Radius is the jam disc radius in meters (0 = the trial's JamRadius,
-	// then 1.5 cell sizes).
+	// Radius is the jam or mover disc radius in meters (0 = the trial's
+	// JamRadius, then 1.5 cell sizes).
 	Radius float64 `json:"radius,omitempty"`
 	// Budget is the depletion energy budget per node; a node whose
 	// movement energy account exceeds it dies at the next check.
@@ -81,6 +145,41 @@ type WorkloadSpec struct {
 	// trial does not set one (0 = 1 energy/meter, no per-move cost).
 	PerMeter float64 `json:"per_meter,omitempty"`
 	PerMove  float64 `json:"per_move,omitempty"`
+	// TTL overrides the trial's ClaimTTL for the lossy and byzantine
+	// workloads (0 = the campaign's claim_ttls value, then the kind's
+	// default).
+	TTL int `json:"ttl,omitempty"`
+	// Loss is the lossy radio's message-drop probability.
+	Loss float64 `json:"loss,omitempty"`
+	// Frac is the byzantine workload's corrupted-monitor fraction.
+	Frac float64 `json:"frac,omitempty"`
+	// Prob is the per-round lie probability of a corrupted monitor.
+	Prob float64 `json:"prob,omitempty"`
+	// Batch is the spare-node count per resupply arrival.
+	Batch int `json:"batch,omitempty"`
+	// At is the round of the first resupply arrival.
+	At int `json:"at,omitempty"`
+	// Count is the resupply arrival count, the per-liar lie budget of the
+	// byzantine workload, or the child count of a random composition.
+	Count int `json:"count,omitempty"`
+	// Pick seeds the random composition generator. It is a spec field,
+	// not the trial seed, so every replicate of a campaign group runs the
+	// same composition.
+	Pick int64 `json:"pick,omitempty"`
+	// Children are the sub-workloads of a combinator kind (sequence,
+	// overlay), composed recursively.
+	Children []WorkloadSpec `json:"children,omitempty"`
+}
+
+// IsZero reports whether the spec is entirely unset — the condition under
+// which a trial falls back to the legacy Failure enum. (The struct is not
+// comparable once Children exists, so this replaces == WorkloadSpec{}.)
+func (w WorkloadSpec) IsZero() bool {
+	return w.Kind == "" && w.Holes == 0 && w.Every == 0 && w.Waves == 0 &&
+		w.Radius == 0 && w.Budget == 0 && w.PerMeter == 0 && w.PerMove == 0 &&
+		w.TTL == 0 && w.Loss == 0 && w.Frac == 0 && w.Prob == 0 &&
+		w.Batch == 0 && w.At == 0 && w.Count == 0 && w.Pick == 0 &&
+		len(w.Children) == 0
 }
 
 // String renders the spec compactly: the kind plus its non-zero
@@ -109,6 +208,40 @@ func (w WorkloadSpec) String() string {
 	}
 	if w.PerMove != 0 {
 		fmt.Fprintf(&b, " pv=%g", w.PerMove)
+	}
+	if w.TTL != 0 {
+		fmt.Fprintf(&b, " t=%d", w.TTL)
+	}
+	if w.Loss != 0 {
+		fmt.Fprintf(&b, " l=%g", w.Loss)
+	}
+	if w.Frac != 0 {
+		fmt.Fprintf(&b, " f=%g", w.Frac)
+	}
+	if w.Prob != 0 {
+		fmt.Fprintf(&b, " p=%g", w.Prob)
+	}
+	if w.Batch != 0 {
+		fmt.Fprintf(&b, " n=%d", w.Batch)
+	}
+	if w.At != 0 {
+		fmt.Fprintf(&b, " a=%d", w.At)
+	}
+	if w.Count != 0 {
+		fmt.Fprintf(&b, " c=%d", w.Count)
+	}
+	if w.Pick != 0 {
+		fmt.Fprintf(&b, " s=%d", w.Pick)
+	}
+	if len(w.Children) > 0 {
+		b.WriteString(" [")
+		for i, c := range w.Children {
+			if i > 0 {
+				b.WriteString("; ")
+			}
+			b.WriteString(c.String())
+		}
+		b.WriteString("]")
 	}
 	return b.String()
 }
@@ -143,7 +276,10 @@ func (w WorkloadSpec) groupLabel(holes int) string {
 // and any workload that pins its own hole count opts out, so the
 // campaign does not replicate identical (config, seed) jobs.
 func (w WorkloadSpec) usesHolesDim() bool {
-	if w.Kind == WorkloadJam {
+	switch w.Kind {
+	case WorkloadJam, WorkloadMover, WorkloadSequence, WorkloadOverlay, WorkloadRandom:
+		// Jam and mover damage is decided by the disc; compositions carry
+		// their own hole counts in their children.
 		return false
 	}
 	return w.Holes == 0
@@ -191,6 +327,11 @@ type Event struct {
 	// firing after the scheme's last activity, after which re-firing on
 	// the idle network is a no-op.
 	Barrier bool
+	// Rally asks the trial to clear the scheme's given-up state after a
+	// successful Apply (schemes exposing ResetFailed): damage that
+	// restores resources (resupply) makes abandoned holes eligible for
+	// repair again.
+	Rally bool
 	// Apply injects the damage. rng is a per-firing derived stream;
 	// round is the current trial round.
 	Apply func(net *network.Network, rng *randx.Rand, round int) error
@@ -239,11 +380,107 @@ func WorkloadKinds() []string {
 	return kinds
 }
 
+// WorkloadInfo documents one registered kind for discovery surfaces
+// (cmd/sweep -list-workloads).
+type WorkloadInfo struct {
+	// Kind is the registered spec name.
+	Kind string
+	// Params are the spec fields the kind accepts, by JSON name.
+	Params []string
+	// Help is a one-line description.
+	Help string
+}
+
+var workloadDocs = map[string]WorkloadInfo{}
+
+// DescribeWorkload records the parameter list and help line of a
+// registered kind; discovery surfaces render it verbatim. Kinds without a
+// description still list, with empty params.
+func DescribeWorkload(info WorkloadInfo) {
+	workloadDocs[info.Kind] = info
+}
+
+// WorkloadInfos returns the registered kinds with their documentation,
+// sorted by kind.
+func WorkloadInfos() []WorkloadInfo {
+	infos := make([]WorkloadInfo, 0, len(workloadRegistry))
+	for _, k := range WorkloadKinds() {
+		if info, ok := workloadDocs[k]; ok {
+			infos = append(infos, info)
+		} else {
+			infos = append(infos, WorkloadInfo{Kind: k})
+		}
+	}
+	return infos
+}
+
 func init() {
 	RegisterWorkload(WorkloadHoles, buildHolesWorkload)
+	DescribeWorkload(WorkloadInfo{
+		Kind:   WorkloadHoles,
+		Params: []string{"holes"},
+		Help:   "vacate random cells before round 0 (the paper's Section 5 model)",
+	})
 	RegisterWorkload(WorkloadJam, buildJamWorkload)
+	DescribeWorkload(WorkloadInfo{
+		Kind:   WorkloadJam,
+		Params: []string{"radius"},
+		Help:   "deploy complete coverage, then disable every node in a jammed disc",
+	})
 	RegisterWorkload(WorkloadChurn, buildChurnWorkload)
+	DescribeWorkload(WorkloadInfo{
+		Kind:   WorkloadChurn,
+		Params: []string{"holes", "every", "waves"},
+		Help:   "waves of fresh holes while recovery runs",
+	})
 	RegisterWorkload(WorkloadDepletion, buildDepletionWorkload)
+	DescribeWorkload(WorkloadInfo{
+		Kind:   WorkloadDepletion,
+		Params: []string{"holes", "every", "budget", "per_meter", "per_move"},
+		Help:   "movement energy drains nodes until they die mid-run",
+	})
+	RegisterWorkload(WorkloadMover, buildMoverWorkload)
+	DescribeWorkload(WorkloadInfo{
+		Kind:   WorkloadMover,
+		Params: []string{"every", "waves", "radius"},
+		Help:   "adaptive jammer: each strike relocates toward recently repaired cells",
+	})
+	RegisterWorkload(WorkloadByzantine, buildByzantineWorkload)
+	DescribeWorkload(WorkloadInfo{
+		Kind:   WorkloadByzantine,
+		Params: []string{"holes", "frac", "prob", "count", "ttl"},
+		Help:   "lying monitors spawn phantom repairs; ClaimTTL expiry must clean up (SR, sync)",
+	})
+	RegisterWorkload(WorkloadResupply, buildResupplyWorkload)
+	DescribeWorkload(WorkloadInfo{
+		Kind:   WorkloadResupply,
+		Params: []string{"holes", "at", "every", "batch", "count"},
+		Help:   "spare nodes arrive mid-run; the scheme retries abandoned holes (sync)",
+	})
+	RegisterWorkload(WorkloadLossy, buildLossyWorkload)
+	DescribeWorkload(WorkloadInfo{
+		Kind:   WorkloadLossy,
+		Params: []string{"holes", "loss", "ttl"},
+		Help:   "holes scenario over a lossy radio; ClaimTTL recovers dropped messages (SR, sync)",
+	})
+	RegisterWorkload(WorkloadSequence, buildSequenceWorkload)
+	DescribeWorkload(WorkloadInfo{
+		Kind:   WorkloadSequence,
+		Params: []string{"children", "every"},
+		Help:   "compose children as phases, each shifted by the gap (every)",
+	})
+	RegisterWorkload(WorkloadOverlay, buildOverlayWorkload)
+	DescribeWorkload(WorkloadInfo{
+		Kind:   WorkloadOverlay,
+		Params: []string{"children"},
+		Help:   "compose children simultaneously from round 0",
+	})
+	RegisterWorkload(WorkloadRandom, buildRandomWorkload)
+	DescribeWorkload(WorkloadInfo{
+		Kind:   WorkloadRandom,
+		Params: []string{"pick", "count"},
+		Help:   "seeded random composition over the registered kinds",
+	})
 }
 
 // rejectParams errors when any of the named spec fields is non-zero;
@@ -261,6 +498,15 @@ func rejectParams(spec WorkloadSpec, fields map[string]bool) error {
 		{"budget", spec.Budget == 0},
 		{"per_meter", spec.PerMeter == 0},
 		{"per_move", spec.PerMove == 0},
+		{"ttl", spec.TTL == 0},
+		{"loss", spec.Loss == 0},
+		{"frac", spec.Frac == 0},
+		{"prob", spec.Prob == 0},
+		{"batch", spec.Batch == 0},
+		{"at", spec.At == 0},
+		{"count", spec.Count == 0},
+		{"pick", spec.Pick == 0},
+		{"children", len(spec.Children) == 0},
 	}
 	for _, c := range check {
 		if !c.zero && !fields[c.name] {

@@ -262,7 +262,11 @@ func TestWorkloadSpecValidation(t *testing.T) {
 		t.Errorf("empty kind resolved to %v, %v", w, err)
 	}
 	kinds := WorkloadKinds()
-	want := []string{WorkloadChurn, WorkloadDepletion, WorkloadHoles, WorkloadJam}
+	want := []string{
+		WorkloadByzantine, WorkloadChurn, WorkloadDepletion, WorkloadHoles,
+		WorkloadJam, WorkloadLossy, WorkloadMover, WorkloadOverlay,
+		WorkloadRandom, WorkloadResupply, WorkloadSequence,
+	}
 	if !reflect.DeepEqual(kinds, want) {
 		t.Errorf("WorkloadKinds() = %v, want %v", kinds, want)
 	}
@@ -483,7 +487,7 @@ func TestJobSpaceWorkloadRunnerAxes(t *testing.T) {
 		t.Fatalf("JobSpace.Len = %d, want %d", js.Len(), len(jobs))
 	}
 	for i, j := range jobs {
-		if js.At(i) != j {
+		if !reflect.DeepEqual(js.At(i), j) {
 			t.Fatalf("At(%d) = %+v, want %+v", i, js.At(i), j)
 		}
 		if j.Workload.Holes == 3 && j.Holes != 1 {

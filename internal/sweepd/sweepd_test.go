@@ -182,6 +182,38 @@ func TestSubmitRejectsBadSpecs(t *testing.T) {
 	}
 }
 
+// TestSubmitUnknownWorkloadNamesKind pins the 400 body: a spec naming
+// an unregistered workload kind is refused with an error that echoes
+// the kind and lists the registered ones, so the caller can see which
+// entry was wrong without consulting the server's source.
+func TestSubmitUnknownWorkloadNamesKind(t *testing.T) {
+	d, _ := newTestDaemon(t, Options{})
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/api/v1/campaigns", "application/json",
+		strings.NewReader(`{"schemes":["SR"],"workloads":[{"kind":"meteor"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body.Error, `"meteor"`) {
+		t.Errorf("error body %q does not name the unknown kind", body.Error)
+	}
+	if !strings.Contains(body.Error, "registered:") {
+		t.Errorf("error body %q does not list the registered kinds", body.Error)
+	}
+}
+
 // TestServiceEndToEnd drives the whole happy path over HTTP: submit,
 // stream progress, fetch the stored manifest, verify it byte-matches a
 // direct in-process run, then prove the second submission — including
