@@ -506,13 +506,22 @@ func BenchmarkTrialLarge(b *testing.B) {
 		name          string
 		cols, rows    int
 		spares, holes int
+		fullScanToo   bool
 	}{
-		{"64x64", 64, 64, 300, 16},
-		{"128x128", 128, 128, 600, 32},
-		{"256x256", 256, 256, 1200, 64},
+		{"64x64", 64, 64, 300, 16, true},
+		{"128x128", 128, 128, 600, 32, true},
+		{"256x256", 256, 256, 1200, 64, true},
+		// The O(cells)-per-round fullscan reference is too slow to be a
+		// useful comparison on the largest tiers; only the event-driven
+		// path runs there.
+		{"512x512", 512, 512, 2400, 128, false},
+		{"1024x1024", 1024, 1024, 4800, 256, false},
 	}
 	for _, d := range dims {
 		for _, legacy := range []bool{false, true} {
+			if legacy && !d.fullScanToo {
+				continue
+			}
 			name := d.name
 			if legacy {
 				name += "-fullscan"
@@ -555,6 +564,8 @@ func BenchmarkReplicateSteadyState(b *testing.B) {
 	}{
 		{"64x64", 64, 64, 300, 16},
 		{"256x256", 256, 256, 1200, 64},
+		{"512x512", 512, 512, 2400, 128},
+		{"1024x1024", 1024, 1024, 4800, 256},
 	}
 	for _, d := range dims {
 		cfg := sim.TrialConfig{

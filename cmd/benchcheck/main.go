@@ -23,6 +23,13 @@
 // baseline or measurement is tolerated. It exists for wall-clock
 // metrics: ns_op on shared CI boxes is too noisy to gate, but the trend
 // line in the log makes a 10x cliff visible the day it happens.
+//
+// -soft NAME:METRIC:MAXRATIO (repeatable) sits between the two: the
+// ratio is checked like -check and a breach prints a loud SOFT-WARN
+// row, but the exit status stays zero. It is the right shape for ns_op
+// budgets — a 1.3x warn threshold surfaces real slowdowns in the log
+// without letting a noisy shared box fail the build; missing baselines
+// or measurements are tolerated like -trend.
 package main
 
 import (
@@ -138,14 +145,15 @@ func parseBench(lines *bufio.Scanner) (map[string]map[string]float64, error) {
 }
 
 func run() error {
-	var checks checkList
+	var checks, softs checkList
 	var trends trendList
 	baselinePath := flag.String("baseline", "BENCH_trial.json", "benchmark history file")
 	flag.Var(&checks, "check", "NAME:METRIC:MAXRATIO assertion (repeatable)")
+	flag.Var(&softs, "soft", "NAME:METRIC:MAXRATIO report-only warning, never a failure (repeatable)")
 	flag.Var(&trends, "trend", "NAME:METRIC report-only comparison, never a failure (repeatable)")
 	flag.Parse()
-	if len(checks) == 0 && len(trends) == 0 {
-		return fmt.Errorf("no -check assertions or -trend reports given")
+	if len(checks) == 0 && len(softs) == 0 && len(trends) == 0 {
+		return fmt.Errorf("no -check assertions, -soft warnings, or -trend reports given")
 	}
 	data, err := os.ReadFile(*baselinePath)
 	if err != nil {
@@ -185,6 +193,27 @@ func run() error {
 		}
 		fmt.Printf("%-50s %-10s %12.0f vs baseline %12.0f  (%.2fx, limit %.2fx) %s\n",
 			c.name, c.metric, gotVal, baseVal, ratio, c.maxRatio, status)
+	}
+	// Soft gates warn loudly past their ratio but never fail the run;
+	// missing baselines or measurements are tolerated like trends.
+	for _, c := range softs {
+		gotVal, haveGot := measured[c.name][c.metric]
+		base, _ := baseline.baselineFor(c.name)
+		baseVal, haveBase := base[c.metric]
+		switch {
+		case !haveGot:
+			fmt.Printf("%-50s %-10s not in the piped bench output (soft)\n", c.name, c.metric)
+		case !haveBase || baseVal <= 0:
+			fmt.Printf("%-50s %-10s %12.0f — no baseline (soft)\n", c.name, c.metric, gotVal)
+		default:
+			ratio := gotVal / baseVal
+			status := "ok (soft)"
+			if ratio > c.maxRatio {
+				status = "SOFT-WARN"
+			}
+			fmt.Printf("%-50s %-10s %12.0f vs baseline %12.0f  (%.2fx, warn %.2fx) %s\n",
+				c.name, c.metric, gotVal, baseVal, ratio, c.maxRatio, status)
+		}
 	}
 	// Trend rows report, never gate: a missing baseline or measurement
 	// prints as such instead of failing the run.

@@ -25,12 +25,20 @@
 // model is calibrated to the behavior the paper reports for AR; see
 // DESIGN.md ("Substitutions") and the calibration tests in the sim
 // package.
+//
+// Controller state is struct-of-arrays, mirroring the core package:
+// processes live in a dense pid-indexed table whose visited sets share
+// one flat arena (each process visits at most MaxHops grids), and the
+// claim, detected, departing, and standing-hole registries are per-cell
+// columns and bitsets. A Scratch pools everything across trials.
 package ar
 
 import (
 	"fmt"
+	"math/bits"
 	"slices"
 
+	"wsncover/internal/dense"
 	"wsncover/internal/grid"
 	"wsncover/internal/metrics"
 	"wsncover/internal/network"
@@ -74,15 +82,29 @@ type Config struct {
 	// being Reset; nil allocates a fresh one. Pooled trial arenas pass
 	// their per-worker collector so replicates reuse its capacity.
 	Collector *metrics.Collector
+	// Scratch, when non-nil, supplies the controller's pooled state: New
+	// reuses the scratch-held tables (cleared) instead of allocating, and
+	// the returned controller aliases the scratch. At most one live
+	// controller per scratch; building a new one invalidates the old.
+	Scratch *Scratch
 }
 
-// proc is one AR replacement process.
+// Scratch pools one controller's dense state across trials. The zero
+// value is ready to use.
+type Scratch struct{ ctrl Controller }
+
+// proc is one AR replacement process. Records live in a dense
+// pid-indexed table; done marks finished entries. The self-avoiding
+// walk's visited set lives in the controller's flat arena at stride
+// MaxHops (a process visits one grid per hop and dies at the budget), so
+// starting a process allocates nothing.
 type proc struct {
-	id      int
-	hole    grid.Coord
-	cur     grid.Coord
-	hops    int
-	visited map[grid.Coord]bool
+	id   int
+	hole grid.Coord
+	cur  grid.Coord
+	hops int
+	nvis int32
+	done bool
 }
 
 type departure struct {
@@ -96,29 +118,40 @@ type departure struct {
 // concurrent use.
 type Controller struct {
 	net *network.Network
+	sys *grid.System
 	rng *randx.Rand
 	col *metrics.Collector
 
 	initProb float64
 	maxHops  int
 
-	procs map[int]*proc
+	// procs is the dense process table, indexed by pid (the collector
+	// hands out pids sequentially from zero per trial and the controller
+	// is its only caller). active counts unfinished entries; visited is
+	// the flat per-process visited arena, stride maxHops.
+	procs   []proc
+	active  int
+	visited []grid.Coord
+
 	// detected marks holes whose initiator set has been sampled.
-	detected map[grid.Coord]bool
-	// claims marks travelling cascade vacancies owned by a process, the
-	// within-process suppression of [3] (a departing head tells its
-	// neighbors its grid is being refilled).
-	claims    map[grid.Coord]int
-	departing map[grid.Coord]bool
+	detected []uint64
+	// claimPID marks travelling cascade vacancies owned by a process
+	// (pid+1; 0 = unclaimed), the within-process suppression of [3] (a
+	// departing head tells its neighbors its grid is being refilled).
+	claimPID  []int32
+	departing []uint64
 	pending   []departure
 
 	// fullScan selects the reference O(cells) detector.
 	fullScan bool
-	// holes is the event-driven detector's standing set of vacant cells:
-	// seeded from a one-time scan at construction, then maintained from
+	// holeList/holePos are the event-driven detector's standing set of
+	// vacant cells: holeList the members (unordered; candidates are
+	// sorted per round), holePos each cell's position+1 (0 = absent).
+	// Seeded from a one-time scan at construction, then maintained from
 	// the network's vacancy journal, so per-round detection is O(holes)
 	// instead of O(cells).
-	holes map[grid.Coord]struct{}
+	holeList []grid.Coord
+	holePos  []int32
 
 	// Scratch buffers reused across rounds so the hot loop does not
 	// allocate: the inbox snapshot, the vacant-cell candidates (scanned
@@ -154,17 +187,44 @@ func New(net *network.Network, cfg Config) *Controller {
 	} else {
 		col.Reset()
 	}
-	c := &Controller{
-		net:       net,
-		rng:       rng,
-		col:       col,
-		initProb:  initProb,
-		maxHops:   maxHops,
-		fullScan:  cfg.FullScanDetect,
-		procs:     make(map[int]*proc),
-		detected:  make(map[grid.Coord]bool),
-		claims:    make(map[grid.Coord]int),
-		departing: make(map[grid.Coord]bool),
+	var c *Controller
+	if cfg.Scratch != nil {
+		c = &cfg.Scratch.ctrl
+	} else {
+		c = new(Controller)
+	}
+	n := net.System().NumCells()
+	// Field-by-field reinit: slices keep their backing arrays (truncated
+	// or cleared), everything else is overwritten, so a pooled controller
+	// starts byte-identical to a fresh one.
+	*c = Controller{
+		net:      net,
+		sys:      net.System(),
+		rng:      rng,
+		col:      col,
+		initProb: initProb,
+		maxHops:  maxHops,
+		fullScan: cfg.FullScanDetect,
+
+		procs:   c.procs[:0],
+		visited: c.visited[:0],
+
+		detected:  dense.Bits(c.detected, n),
+		claimPID:  dense.Int32s(c.claimPID, n),
+		departing: dense.Bits(c.departing, n),
+		pending:   c.pending[:0],
+
+		holeList: c.holeList[:0],
+		holePos:  dense.Int32s(c.holePos, n),
+
+		inboxBuf: c.inboxBuf[:0],
+		vacBuf:   c.vacBuf[:0],
+		eventBuf: c.eventBuf[:0],
+		nbrBuf:   c.nbrBuf[:0],
+		spareBuf: c.spareBuf[:0],
+		headBuf:  c.headBuf[:0],
+		initsBuf: c.initsBuf[:0],
+		headsBuf: c.headsBuf[:0],
 	}
 	if !c.fullScan {
 		// Seed the standing hole set from the network as handed over:
@@ -173,11 +233,10 @@ func New(net *network.Network, cfg Config) *Controller {
 		// events are discarded unseen (deployment journals one event per
 		// cell — materializing them would dominate a pooled trial's
 		// allocation); from here on the journal is authoritative.
-		c.holes = make(map[grid.Coord]struct{})
 		c.net.DiscardVacancyEvents()
 		c.eventBuf = c.net.VacantCells(c.eventBuf[:0])
 		for _, g := range c.eventBuf {
-			c.holes[g] = struct{}{}
+			c.holeAdd(g)
 		}
 	}
 	return c
@@ -190,10 +249,69 @@ func (c *Controller) Name() string { return "AR" }
 func (c *Controller) Collector() *metrics.Collector { return c.col }
 
 // Done reports whether no replacement process is active.
-func (c *Controller) Done() bool { return len(c.procs) == 0 }
+func (c *Controller) Done() bool { return c.active == 0 }
 
 // ActiveProcesses returns the number of processes still cascading.
-func (c *Controller) ActiveProcesses() int { return len(c.procs) }
+func (c *Controller) ActiveProcesses() int { return c.active }
+
+// alive reports whether pid names a still-running process.
+func (c *Controller) alive(pid int) bool {
+	return pid >= 0 && pid < len(c.procs) && !c.procs[pid].done
+}
+
+// liveProc returns the record of a still-running process.
+func (c *Controller) liveProc(pid int) (*proc, bool) {
+	if !c.alive(pid) {
+		return nil, false
+	}
+	return &c.procs[pid], true
+}
+
+// visitedHas reports whether the process has already walked through g.
+func (c *Controller) visitedHas(p *proc, g grid.Coord) bool {
+	base := p.id * c.maxHops
+	for _, v := range c.visited[base : base+int(p.nvis)] {
+		if v == g {
+			return true
+		}
+	}
+	return false
+}
+
+// markVisited records g in the process's visited set. pickNext only
+// yields unvisited grids, so the set never exceeds its maxHops stride.
+func (c *Controller) markVisited(p *proc, g grid.Coord) {
+	c.visited[p.id*c.maxHops+int(p.nvis)] = g
+	p.nvis++
+}
+
+// holeAdd inserts g into the standing hole set (no-op when present).
+func (c *Controller) holeAdd(g grid.Coord) {
+	idx := c.sys.Index(g)
+	if c.holePos[idx] != 0 {
+		return
+	}
+	c.holeList = append(c.holeList, g)
+	c.holePos[idx] = int32(len(c.holeList))
+}
+
+// holeRemove deletes g from the standing hole set by swap-removal.
+func (c *Controller) holeRemove(g grid.Coord) {
+	idx := c.sys.Index(g)
+	pos := c.holePos[idx]
+	if pos == 0 {
+		return
+	}
+	last := len(c.holeList) - 1
+	moved := c.holeList[last]
+	c.holeList[int(pos)-1] = moved
+	c.holePos[c.sys.Index(moved)] = pos
+	c.holeList = c.holeList[:last]
+	c.holePos[idx] = 0
+}
+
+// isDeparting reports whether the head of g is committed to a move.
+func (c *Controller) isDeparting(g grid.Coord) bool { return dense.Has(c.departing, c.sys.Index(g)) }
 
 // Step runs one synchronous round.
 func (c *Controller) Step() error {
@@ -211,18 +329,19 @@ func (c *Controller) executeDepartures() error {
 	pending := c.pending
 	c.pending = c.pending[:0]
 	for _, d := range pending {
-		delete(c.departing, d.from)
-		if nd := c.net.Node(d.nodeID); nd == nil || !nd.Enabled() {
+		dense.Clear(c.departing, c.sys.Index(d.from))
+		if nd := c.net.Node(d.nodeID); !nd.Valid() || !nd.Enabled() {
 			// The committed head died before its scheduled move (mid-run
 			// damage: a churn wave, depletion); the cascade cannot
 			// continue and the process fails. Release the outstanding
 			// vacancy — its claim and, for a first-hop death, its
 			// detected mark — so detection samples it afresh.
-			if owner, claimed := c.claims[d.vacancy]; claimed && owner == d.pid {
-				delete(c.claims, d.vacancy)
+			vidx := c.sys.Index(d.vacancy)
+			if owner := c.claimPID[vidx]; owner != 0 && int(owner-1) == d.pid {
+				c.claimPID[vidx] = 0
 			}
-			delete(c.detected, d.vacancy)
-			if p, ok := c.procs[d.pid]; ok {
+			dense.Clear(c.detected, vidx)
+			if p, ok := c.liveProc(d.pid); ok {
 				c.finish(p, metrics.Failed)
 			}
 			continue
@@ -236,12 +355,12 @@ func (c *Controller) executeDepartures() error {
 			// promoted when the old head left. Nothing is left to refill —
 			// the cascade completes here instead of claiming an occupied
 			// cell (a leak if the cascade later stalled).
-			if p, ok := c.procs[d.pid]; ok {
+			if p, ok := c.liveProc(d.pid); ok {
 				c.finish(p, metrics.Converged)
 			}
 			continue
 		}
-		c.claims[d.from] = d.pid
+		c.claimPID[c.sys.Index(d.from)] = int32(d.pid) + 1
 	}
 	return nil
 }
@@ -251,7 +370,7 @@ func (c *Controller) executeDepartures() error {
 // (redundant movement, the mover arrives as a spare).
 func (c *Controller) moveInto(pid int, id node.ID, vacancy grid.Coord) error {
 	nd := c.net.Node(id)
-	if nd == nil {
+	if !nd.Valid() {
 		return fmt.Errorf("ar: process %d references unknown node %d", pid, id)
 	}
 	target := c.net.CentralTarget(vacancy, c.rng)
@@ -260,14 +379,15 @@ func (c *Controller) moveInto(pid int, id node.ID, vacancy grid.Coord) error {
 		return fmt.Errorf("ar: process %d move: %w", pid, err)
 	}
 	c.col.RecordMove(pid, dist)
-	if owner, ok := c.claims[vacancy]; ok && owner == pid {
-		delete(c.claims, vacancy)
+	vidx := c.sys.Index(vacancy)
+	if owner := c.claimPID[vidx]; owner != 0 && int(owner-1) == pid {
+		c.claimPID[vidx] = 0
 	}
 	// The refilled cell is no longer a sampled hole: if external damage
 	// (a churn wave, depletion) vacates it again later, its initiator
 	// set is sampled afresh. In a single-shot trial this is a no-op —
 	// any cascade re-vacancy carries a claim, which shields it first.
-	delete(c.detected, vacancy)
+	dense.Clear(c.detected, vidx)
 	return nil
 }
 
@@ -279,17 +399,17 @@ func (c *Controller) serveInbox() error {
 		if m.Kind != MsgCascade {
 			continue
 		}
-		p, ok := c.procs[m.Process]
+		p, ok := c.liveProc(m.Process)
 		if !ok {
 			continue
 		}
 		cur := m.To
-		if c.net.HeadOf(cur) == node.Invalid || c.departing[cur] {
+		if c.net.HeadOf(cur) == node.Invalid || c.isDeparting(cur) {
 			c.net.RequeueMessage(m)
 			continue
 		}
 		p.cur = cur
-		p.visited[cur] = true
+		c.markVisited(p, cur)
 		p.hops++
 		c.col.RecordHop(p.id)
 		if err := c.serveRequest(p, m.From); err != nil {
@@ -301,7 +421,7 @@ func (c *Controller) serveInbox() error {
 
 // serveRequest lets the process's current grid supply a node for vacancy.
 func (c *Controller) serveRequest(p *proc, vacancy grid.Coord) error {
-	target := c.net.System().Center(vacancy)
+	target := c.sys.Center(vacancy)
 	if donor := c.net.SpareNearest(p.cur, target); donor != node.Invalid {
 		if err := c.moveInto(p.id, donor, vacancy); err != nil {
 			return err
@@ -336,7 +456,7 @@ func (c *Controller) serveRequest(p *proc, vacancy grid.Coord) error {
 		return fmt.Errorf("ar: cascade notify: %w", err)
 	}
 	c.col.RecordMessage()
-	c.departing[p.cur] = true
+	dense.Set(c.departing, c.sys.Index(p.cur))
 	c.pending = append(c.pending, departure{
 		pid:     p.id,
 		nodeID:  head,
@@ -352,12 +472,12 @@ func (c *Controller) serveRequest(p *proc, vacancy grid.Coord) error {
 // snake-like search.
 func (c *Controller) pickNext(p *proc) (grid.Coord, bool) {
 	withSpare, withHead := c.spareBuf[:0], c.headBuf[:0]
-	c.nbrBuf = c.net.System().Neighbors(c.nbrBuf[:0], p.cur)
+	c.nbrBuf = c.sys.Neighbors(c.nbrBuf[:0], p.cur)
 	for _, nb := range c.nbrBuf {
-		if p.visited[nb] || nb == p.hole {
+		if c.visitedHas(p, nb) || nb == p.hole {
 			continue
 		}
-		if c.net.HeadOf(nb) == node.Invalid || c.departing[nb] {
+		if c.net.HeadOf(nb) == node.Invalid || c.isDeparting(nb) {
 			continue
 		}
 		if c.net.HasSpare(nb) {
@@ -388,16 +508,17 @@ func (c *Controller) pickNext(p *proc) (grid.Coord, bool) {
 func (c *Controller) detect() error {
 	c.vacBuf = c.vacantCandidates()
 	for _, v := range c.vacBuf {
-		if c.detected[v] {
+		vidx := c.sys.Index(v)
+		if dense.Has(c.detected, vidx) {
 			continue
 		}
-		if _, cascading := c.claims[v]; cascading {
+		if c.claimPID[vidx] != 0 {
 			continue
 		}
 		heads := c.headsBuf[:0]
-		c.nbrBuf = c.net.System().Neighbors(c.nbrBuf[:0], v)
+		c.nbrBuf = c.sys.Neighbors(c.nbrBuf[:0], v)
 		for _, nb := range c.nbrBuf {
-			if c.net.HeadOf(nb) != node.Invalid && !c.departing[nb] {
+			if c.net.HeadOf(nb) != node.Invalid && !c.isDeparting(nb) {
 				heads = append(heads, nb)
 			}
 		}
@@ -415,9 +536,9 @@ func (c *Controller) detect() error {
 			initiators = append(initiators, heads[c.rng.Intn(len(heads))])
 		}
 		c.initsBuf = initiators
-		c.detected[v] = true
+		dense.Set(c.detected, vidx)
 		for _, g := range initiators {
-			if c.departing[g] {
+			if c.isDeparting(g) {
 				continue
 			}
 			if err := c.initiate(g, v); err != nil {
@@ -439,17 +560,13 @@ func (c *Controller) vacantCandidates() []grid.Coord {
 	c.eventBuf = c.net.DrainVacancyEvents(c.eventBuf[:0])
 	for _, g := range c.eventBuf {
 		if c.net.IsVacant(g) {
-			c.holes[g] = struct{}{}
+			c.holeAdd(g)
 		} else {
-			delete(c.holes, g)
+			c.holeRemove(g)
 		}
 	}
-	buf := c.vacBuf[:0]
-	for g := range c.holes {
-		buf = append(buf, g)
-	}
-	sys := c.net.System()
-	slices.SortFunc(buf, func(a, b grid.Coord) int { return sys.Index(a) - sys.Index(b) })
+	buf := append(c.vacBuf[:0], c.holeList...)
+	slices.SortFunc(buf, func(a, b grid.Coord) int { return c.sys.Index(a) - c.sys.Index(b) })
 	return buf
 }
 
@@ -457,28 +574,34 @@ func (c *Controller) vacantCandidates() []grid.Coord {
 // head grid g.
 func (c *Controller) initiate(g, v grid.Coord) error {
 	pid := c.col.StartProcess(v, c.net.Round())
-	p := &proc{
-		id:      pid,
-		hole:    v,
-		cur:     g,
-		hops:    1,
-		visited: map[grid.Coord]bool{g: true},
+	// Grow the flat visited arena by one process's stride; stale
+	// contents past nvis are never read.
+	need := (pid + 1) * c.maxHops
+	if cap(c.visited) < need {
+		c.visited = slices.Grow(c.visited, need-len(c.visited))
 	}
-	c.procs[pid] = p
+	c.visited = c.visited[:need]
+	c.procs = append(c.procs, proc{id: pid, hole: v, cur: g, hops: 1})
+	c.active++
+	p := &c.procs[pid]
+	c.markVisited(p, g)
 	c.col.RecordHop(pid)
 	return c.serveRequest(p, v)
 }
 
 func (c *Controller) finish(p *proc, outcome metrics.Outcome) {
 	c.col.Finish(p.id, outcome, c.net.Round())
-	delete(c.procs, p.id)
+	p.done = true
+	c.active--
 }
 
 // Finalize marks all still-active processes failed; call it when a run
 // hits its round budget.
 func (c *Controller) Finalize() {
-	for _, p := range c.procs {
-		c.finish(p, metrics.Failed)
+	for i := range c.procs {
+		if p := &c.procs[i]; !p.done {
+			c.finish(p, metrics.Failed)
+		}
 	}
 }
 
@@ -486,14 +609,18 @@ func (c *Controller) Finalize() {
 // of still-vacant cells, so holes AR gave up on are sampled afresh —
 // e.g. after new spares arrive in a dynamic scenario.
 func (c *Controller) ResetFailed() {
-	for g, pid := range c.claims {
-		if _, alive := c.procs[pid]; !alive {
-			delete(c.claims, g)
+	for idx, pid := range c.claimPID {
+		if pid != 0 && !c.alive(int(pid-1)) {
+			c.claimPID[idx] = 0
 		}
 	}
-	for g := range c.detected {
-		if c.net.IsVacant(g) {
-			delete(c.detected, g)
+	for w, word := range c.detected {
+		for word != 0 {
+			idx := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if c.net.IsVacant(c.sys.CoordAt(idx)) {
+				dense.Clear(c.detected, idx)
+			}
 		}
 	}
 }
@@ -506,24 +633,27 @@ func (c *Controller) ResetFailed() {
 // detector's standing hole set must agree with a full vacancy scan.
 func (c *Controller) AuditClaims() []string {
 	var bad []string
-	for g, pid := range c.claims {
-		if _, alive := c.procs[pid]; !alive && !c.net.IsVacant(g) {
+	for idx, pid := range c.claimPID {
+		if pid == 0 {
+			continue
+		}
+		if g := c.sys.CoordAt(idx); !c.alive(int(pid-1)) && !c.net.IsVacant(g) {
 			bad = append(bad, fmt.Sprintf(
-				"ar: claim on occupied cell %v owned by dead process %d", g, pid))
+				"ar: claim on occupied cell %v owned by dead process %d", g, int(pid-1)))
 		}
 	}
 	if !c.fullScan {
 		// Cells with undrained journal flips are lag, not disagreement: a
 		// mover filled them during the final detect pass, after its drain;
 		// the next drain would resync. See core.Controller.AuditClaims.
-		for g := range c.holes {
+		for _, g := range c.holeList {
 			if !c.net.IsVacant(g) && !c.net.VacancyFlipPending(g) {
 				bad = append(bad, fmt.Sprintf(
 					"ar: standing hole set contains occupied cell %v", g))
 			}
 		}
 		for _, g := range c.net.VacantCells(nil) {
-			if _, ok := c.holes[g]; ok || c.net.VacancyFlipPending(g) {
+			if c.holePos[c.sys.Index(g)] != 0 || c.net.VacancyFlipPending(g) {
 				continue
 			}
 			bad = append(bad, fmt.Sprintf(

@@ -16,12 +16,18 @@
 // vacancy before it could mistake it for a fresh hole; the claims registry
 // models the same 1-hop hand-off announcement as the synchronous
 // controller.
+//
+// Controller state is struct-of-arrays like the sync controllers:
+// processes in a dense pid-indexed table, claims/departing/failed as
+// per-cell columns and bitsets, and the event queue as a hand-rolled
+// binary heap over a plain slice (container/heap would box every event
+// into an interface). A Scratch pools all of it across trials.
 package async
 
 import (
-	"container/heap"
 	"fmt"
 
+	"wsncover/internal/dense"
 	"wsncover/internal/geom"
 	"wsncover/internal/grid"
 	"wsncover/internal/hamilton"
@@ -51,7 +57,16 @@ type Config struct {
 	// being Reset; nil allocates a fresh one. Pooled trial arenas pass
 	// their per-worker collector so replicates reuse its capacity.
 	Collector *metrics.Collector
+	// Scratch, when non-nil, supplies the controller's pooled state: New
+	// reuses the scratch-held tables (cleared) instead of allocating, and
+	// the returned controller aliases the scratch. At most one live
+	// controller per scratch; building a new one invalidates the old.
+	Scratch *Scratch
 }
+
+// Scratch pools one controller's dense state across trials. The zero
+// value is ready to use.
+type Scratch struct{ ctrl Controller }
 
 func (c *Config) normalize() {
 	if c.MsgDelay == 0 {
@@ -98,28 +113,19 @@ type event struct {
 	traveling bool
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders events by (timestamp, sequence number): a strict total
+// order, so the dispatch sequence is independent of heap layout.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 type proc struct {
 	id   int
-	walk *hamilton.Walk
+	walk hamilton.Walk
+	done bool
 }
 
 // Controller runs asynchronous SR over a network. It is not safe for
@@ -127,18 +133,29 @@ type proc struct {
 type Controller struct {
 	net  *network.Network
 	topo *hamilton.Topology
+	sys  *grid.System
 	rng  *randx.Rand
 	cfg  Config
 	col  *metrics.Collector
 
-	queue eventHeap
+	// queue is a binary min-heap over (at, seq), stored flat.
+	queue []event
 	seq   int
 	now   float64
 
-	procs     map[int]*proc
-	claims    map[grid.Coord]int
-	departing map[grid.Coord]bool
-	failed    map[grid.Coord]bool
+	// procs is the dense process table, indexed by pid (collector pids
+	// are dense from zero per trial); active counts unfinished entries.
+	procs  []proc
+	active int
+
+	// claimPID holds per cell the pid+1 of the process whose travelling
+	// vacancy or target the cell is (0 = unclaimed); departing marks
+	// heads committed to a move, failed the origins of failed processes.
+	claimPID  []int32
+	departing []uint64
+	failed    []uint64
+
+	watchBuf []grid.Coord
 }
 
 // New creates an asynchronous SR controller and schedules the initial
@@ -162,17 +179,36 @@ func New(net *network.Network, cfg Config) (*Controller, error) {
 	} else {
 		col.Reset()
 	}
-	c := &Controller{
-		net:       net,
-		topo:      cfg.Topology,
-		rng:       rng,
-		cfg:       cfg,
-		col:       col,
-		procs:     make(map[int]*proc),
-		claims:    make(map[grid.Coord]int),
-		departing: make(map[grid.Coord]bool),
-		failed:    make(map[grid.Coord]bool),
+	var c *Controller
+	if cfg.Scratch != nil {
+		c = &cfg.Scratch.ctrl
+	} else {
+		c = new(Controller)
 	}
+	n := ns.NumCells()
+	// Field-by-field reinit: slices keep their backing arrays (truncated
+	// or cleared), everything else is overwritten, so a pooled controller
+	// starts byte-identical to a fresh one.
+	*c = Controller{
+		net:  net,
+		topo: cfg.Topology,
+		sys:  ns,
+		rng:  rng,
+		cfg:  cfg,
+		col:  col,
+
+		queue: c.queue[:0],
+		procs: c.procs[:0],
+
+		claimPID:  dense.Int32s(c.claimPID, n),
+		departing: dense.Bits(c.departing, n),
+		failed:    dense.Bits(c.failed, n),
+
+		watchBuf: c.watchBuf[:0],
+	}
+	// The scratch-held Config's own Scratch pointer is dropped so the
+	// pooled controller does not keep itself alive transitively.
+	c.cfg.Scratch = nil
 	for _, g := range ns.AllCoords() {
 		c.schedule(event{
 			at:   rng.Float64() * cfg.PollInterval, // random phase
@@ -193,12 +229,68 @@ func (c *Controller) Collector() *metrics.Collector { return c.col }
 func (c *Controller) Now() float64 { return c.now }
 
 // Done reports whether no replacement process is active.
-func (c *Controller) Done() bool { return len(c.procs) == 0 }
+func (c *Controller) Done() bool { return c.active == 0 }
 
+// alive reports whether pid names a still-running process.
+func (c *Controller) alive(pid int) bool {
+	return pid >= 0 && pid < len(c.procs) && !c.procs[pid].done
+}
+
+// liveProc returns the record of a still-running process.
+func (c *Controller) liveProc(pid int) (*proc, bool) {
+	if !c.alive(pid) {
+		return nil, false
+	}
+	return &c.procs[pid], true
+}
+
+// schedule stamps the event with the next sequence number and pushes it
+// onto the queue.
 func (c *Controller) schedule(e event) {
 	e.seq = c.seq
 	c.seq++
-	heap.Push(&c.queue, e)
+	c.queue = append(c.queue, e)
+	c.siftUp(len(c.queue) - 1)
+}
+
+// popMin removes and returns the earliest event.
+func (c *Controller) popMin() event {
+	last := len(c.queue) - 1
+	c.queue[0], c.queue[last] = c.queue[last], c.queue[0]
+	e := c.queue[last]
+	c.queue = c.queue[:last]
+	c.siftDown(0)
+	return e
+}
+
+func (c *Controller) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(&c.queue[i], &c.queue[parent]) {
+			break
+		}
+		c.queue[i], c.queue[parent] = c.queue[parent], c.queue[i]
+		i = parent
+	}
+}
+
+func (c *Controller) siftDown(i int) {
+	n := len(c.queue)
+	for {
+		left, right := 2*i+1, 2*i+2
+		min := i
+		if left < n && eventLess(&c.queue[left], &c.queue[min]) {
+			min = left
+		}
+		if right < n && eventLess(&c.queue[right], &c.queue[min]) {
+			min = right
+		}
+		if min == i {
+			return
+		}
+		c.queue[i], c.queue[min] = c.queue[min], c.queue[i]
+		i = min
+	}
 }
 
 // RunUntil processes events in timestamp order until the deadline (in
@@ -207,11 +299,10 @@ func (c *Controller) schedule(e event) {
 func (c *Controller) RunUntil(deadline float64) (int, error) {
 	processed := 0
 	for len(c.queue) > 0 {
-		next := c.queue[0]
-		if next.at > deadline {
+		if c.queue[0].at > deadline {
 			break
 		}
-		heap.Pop(&c.queue)
+		next := c.popMin()
 		c.now = next.at
 		if err := c.dispatch(next); err != nil {
 			return processed, err
@@ -237,6 +328,9 @@ func (c *Controller) dispatch(e event) error {
 	}
 }
 
+// isDeparting reports whether the head of g is committed to a move.
+func (c *Controller) isDeparting(g grid.Coord) bool { return dense.Has(c.departing, c.sys.Index(g)) }
+
 // poll lets the head of g (if any) check its monitored grids for fresh
 // holes, then reschedules itself.
 func (c *Controller) poll(g grid.Coord) error {
@@ -245,27 +339,28 @@ func (c *Controller) poll(g grid.Coord) error {
 		kind: evPoll,
 		cell: g,
 	})
-	if c.net.HeadOf(g) == node.Invalid || c.departing[g] {
+	if c.net.HeadOf(g) == node.Invalid || c.isDeparting(g) {
 		return nil
 	}
-	var watched []grid.Coord
-	watched = c.topo.Monitored(watched, g)
-	for _, s := range watched {
-		if !c.net.IsVacant(s) || c.failed[s] {
+	c.watchBuf = c.topo.Monitored(c.watchBuf[:0], g)
+	for _, s := range c.watchBuf {
+		sidx := c.sys.Index(s)
+		if !c.net.IsVacant(s) || dense.Has(c.failed, sidx) {
 			continue
 		}
-		if _, claimed := c.claims[s]; claimed {
+		if c.claimPID[sidx] != 0 {
 			continue
 		}
 		pid := c.col.StartProcess(s, int(c.now*1000))
-		p := &proc{id: pid, walk: c.topo.NewWalk(s)}
-		c.procs[pid] = p
-		c.claims[s] = pid
+		c.procs = append(c.procs, proc{id: pid, walk: c.topo.WalkFrom(s)})
+		c.active++
+		p := &c.procs[pid]
+		c.claimPID[sidx] = int32(pid) + 1
 		c.col.RecordHop(pid)
 		if err := c.serveRequest(p, g, s); err != nil {
 			return err
 		}
-		if c.departing[g] {
+		if c.isDeparting(g) {
 			break
 		}
 	}
@@ -275,12 +370,12 @@ func (c *Controller) poll(g grid.Coord) error {
 // deliver hands a cascade notification to its addressee; if the grid has
 // no head yet (a travelling vacancy), the delivery is retried later.
 func (c *Controller) deliver(m network.Message) error {
-	p, ok := c.procs[m.Process]
+	p, ok := c.liveProc(m.Process)
 	if !ok {
 		return nil
 	}
 	cur := m.To
-	if c.net.HeadOf(cur) == node.Invalid || c.departing[cur] {
+	if c.net.HeadOf(cur) == node.Invalid || c.isDeparting(cur) {
 		retry := m
 		c.schedule(event{
 			at:   c.now + c.cfg.PollInterval,
@@ -295,7 +390,7 @@ func (c *Controller) deliver(m network.Message) error {
 
 // serveRequest lets grid cur supply a node for the process's vacancy.
 func (c *Controller) serveRequest(p *proc, cur, vacancy grid.Coord) error {
-	target := c.net.System().Center(vacancy)
+	target := c.sys.Center(vacancy)
 	if donor := c.net.SpareNearest(cur, target); donor != node.Invalid {
 		c.beginMove(p.id, donor, vacancy, true)
 		return nil
@@ -320,7 +415,7 @@ func (c *Controller) serveRequest(p *proc, cur, vacancy grid.Coord) error {
 	}
 	c.schedule(event{at: c.now + delay, kind: evDeliver, msg: msg})
 	c.col.RecordMessage()
-	c.departing[cur] = true
+	dense.Set(c.departing, c.sys.Index(cur))
 	c.schedule(event{
 		at:      c.now + delay,
 		kind:    evArrive,
@@ -349,7 +444,7 @@ func (c *Controller) beginMove(pid int, id node.ID, vacancy grid.Coord, final bo
 // instant (distance/speed later); the second visit applies the move.
 func (c *Controller) arrive(e event) error {
 	nd := c.net.Node(e.nodeID)
-	if nd == nil {
+	if !nd.Valid() {
 		return fmt.Errorf("async: process %d references unknown node %d", e.pid, e.nodeID)
 	}
 	if !nd.Enabled() {
@@ -360,15 +455,16 @@ func (c *Controller) arrive(e event) error {
 		// cleared so a later poll serves it with a fresh process — the
 		// hole is repairable, unlike a spare-drought failure.
 		if !e.final {
-			from, _ := c.net.System().CoordOf(nd.Location())
-			delete(c.departing, from)
+			from, _ := c.sys.CoordOf(nd.Location())
+			dense.Clear(c.departing, c.sys.Index(from))
 		}
-		if owner, claimed := c.claims[e.vacancy]; claimed && owner == e.pid {
-			delete(c.claims, e.vacancy)
+		vidx := c.sys.Index(e.vacancy)
+		if owner := c.claimPID[vidx]; owner != 0 && int(owner-1) == e.pid {
+			c.claimPID[vidx] = 0
 		}
-		if p, ok := c.procs[e.pid]; ok {
+		if p, ok := c.liveProc(e.pid); ok {
 			c.finish(p, metrics.Failed)
-			delete(c.failed, p.walk.Origin())
+			dense.Clear(c.failed, c.sys.Index(p.walk.Origin()))
 		}
 		return nil
 	}
@@ -381,20 +477,20 @@ func (c *Controller) arrive(e event) error {
 		return nil
 	}
 
-	from, _ := c.net.System().CoordOf(nd.Location())
+	from, _ := c.sys.CoordOf(nd.Location())
 	dist, err := c.net.MoveNodeDist(e.nodeID, e.target)
 	if err != nil {
 		return fmt.Errorf("async: process %d move: %w", e.pid, err)
 	}
 	c.col.RecordMove(e.pid, dist)
-	delete(c.departing, from)
-	delete(c.claims, e.vacancy)
+	dense.Clear(c.departing, c.sys.Index(from))
+	c.claimPID[c.sys.Index(e.vacancy)] = 0
 	if !e.final {
 		// A cascading head vacated its grid; the claim travels there.
-		c.claims[from] = e.pid
+		c.claimPID[c.sys.Index(from)] = int32(e.pid) + 1
 	}
 	if e.final {
-		if p, ok := c.procs[e.pid]; ok {
+		if p, ok := c.liveProc(e.pid); ok {
 			c.finish(p, metrics.Converged)
 		}
 	}
@@ -403,15 +499,18 @@ func (c *Controller) arrive(e event) error {
 
 func (c *Controller) finish(p *proc, outcome metrics.Outcome) {
 	if outcome == metrics.Failed {
-		c.failed[p.walk.Origin()] = true
+		dense.Set(c.failed, c.sys.Index(p.walk.Origin()))
 	}
 	c.col.Finish(p.id, outcome, int(c.now*1000))
-	delete(c.procs, p.id)
+	p.done = true
+	c.active--
 }
 
 // Finalize marks all still-active processes failed; call it at a deadline.
 func (c *Controller) Finalize() {
-	for _, p := range c.procs {
-		c.finish(p, metrics.Failed)
+	for i := range c.procs {
+		if p := &c.procs[i]; !p.done {
+			c.finish(p, metrics.Failed)
+		}
 	}
 }

@@ -21,12 +21,20 @@
 // Departing heads announce the hand-off to their 1-hop neighborhood, so a
 // grid vacated by a cascade is never mistaken for a fresh hole; the
 // controller models this with a claims registry keyed by grid.
+//
+// The controller's state is struct-of-arrays: processes live in a dense
+// pid-indexed table (collector pids are handed out from zero per trial),
+// and the claim, departing, failed-origin, and standing-hole registries
+// are per-cell columns and bitsets instead of maps. A Scratch pools all
+// of it across trials, so a steady-state replicate allocates nothing in
+// the controller.
 package core
 
 import (
 	"fmt"
 	"slices"
 
+	"wsncover/internal/dense"
 	"wsncover/internal/grid"
 	"wsncover/internal/hamilton"
 	"wsncover/internal/metrics"
@@ -76,12 +84,23 @@ type Config struct {
 	// being Reset; nil allocates a fresh one. Pooled trial arenas pass
 	// their per-worker collector so replicates reuse its capacity.
 	Collector *metrics.Collector
+	// Scratch, when non-nil, supplies the controller's pooled state: New
+	// reuses the scratch-held tables (cleared) instead of allocating, and
+	// the returned controller aliases the scratch. At most one live
+	// controller per scratch; building a new one invalidates the old.
+	Scratch *Scratch
 }
 
-// proc is the controller-side record of one replacement process.
+// Scratch pools one controller's dense state across trials. The zero
+// value is ready to use.
+type Scratch struct{ ctrl Controller }
+
+// proc is the controller-side record of one replacement process. Records
+// live in a dense pid-indexed table and are never removed mid-trial;
+// done marks finished processes.
 type proc struct {
 	id   int
-	walk *hamilton.Walk
+	walk hamilton.Walk
 	// lastRound is the last round with progress (a served request or a
 	// held notification), used by the ClaimTTL expiry.
 	lastRound int
@@ -90,6 +109,7 @@ type proc struct {
 	// ClaimTTL expiry ends it. Its origin claim is dropped on finish and
 	// it never enters failedOrigins — the origin was never a real hole.
 	phantom bool
+	done    bool
 }
 
 // claim marks a vacant grid as owned by a process since a given round.
@@ -113,6 +133,7 @@ type departure struct {
 type Controller struct {
 	net  *network.Network
 	topo *hamilton.Topology
+	sys  *grid.System
 	rng  *randx.Rand
 	col  *metrics.Collector
 
@@ -126,27 +147,37 @@ type Controller struct {
 	lieBudget []int
 	byzProb   float64
 
-	procs map[int]*proc
-	// claims maps a vacant (or about-to-be-vacant) grid to the process
-	// responsible for filling it; vacant grids with a live claim are
+	// procs is the dense process table, indexed by pid. The collector
+	// hands out pids sequentially from zero per trial and the controller
+	// is its only caller, so pid == len(procs) at every StartProcess.
+	// active counts the not-yet-finished entries.
+	procs  []proc
+	active int
+
+	// claimPID/claimRound are the per-cell claims registry: claimPID
+	// holds pid+1 of the owning process (0 = unclaimed), claimRound the
+	// round the claim was placed. Vacant grids with a live claim are
 	// never treated as fresh holes.
-	claims map[grid.Coord]claim
-	// failedOrigins are holes whose process exhausted the walk without
+	claimPID   []int32
+	claimRound []int32
+	// failedOrigins marks holes whose process exhausted the walk without
 	// finding a spare; they stay claimed so detection does not re-fire
 	// every round. ResetFailed clears them for dynamic scenarios.
-	failedOrigins map[grid.Coord]bool
+	failedOrigins []uint64
 	// departing marks heads already committed to a move this round.
-	departing map[grid.Coord]bool
+	departing []uint64
 	pending   []departure
 
 	// fullScan selects the reference O(cells) detector.
 	fullScan bool
-	// holes is the event-driven detector's standing set of vacant cells
-	// awaiting a live claim: seeded from a one-time scan at construction,
-	// then maintained from the network's vacancy journal. Its size is the
-	// current hole count, so per-round detection is O(holes), not
-	// O(cells).
-	holes map[grid.Coord]struct{}
+	// holeList/holePos are the event-driven detector's standing set of
+	// vacant cells awaiting a live claim: holeList the members (unordered;
+	// detection sorts a copy), holePos each cell's position+1 in it (0 =
+	// absent). Seeded from a one-time scan at construction, then
+	// maintained from the network's vacancy journal, so per-round
+	// detection is O(holes), not O(cells).
+	holeList []grid.Coord
+	holePos  []int32
 
 	// Scratch buffers reused across rounds so the round loop does not
 	// allocate: inbox snapshot, journal drain, detection candidates, and
@@ -169,6 +200,12 @@ func New(net *network.Network, cfg Config) (*Controller, error) {
 		ts.CellSize() != ns.CellSize() || ts.Origin() != ns.Origin() {
 		return nil, fmt.Errorf("core: topology grid %v differs from network grid %v", ts, ns)
 	}
+	if cfg.ByzantineFrac < 0 || cfg.ByzantineFrac > 1 {
+		return nil, fmt.Errorf("core: byzantine fraction %g outside [0,1]", cfg.ByzantineFrac)
+	}
+	if cfg.ByzantineFrac > 0 && cfg.ClaimTTL <= 0 {
+		return nil, fmt.Errorf("core: byzantine monitors require ClaimTTL > 0 to expire phantom processes")
+	}
 	rng := cfg.RNG
 	if rng == nil {
 		rng = randx.New(1)
@@ -179,27 +216,47 @@ func New(net *network.Network, cfg Config) (*Controller, error) {
 	} else {
 		col.Reset()
 	}
-	c := &Controller{
-		net:           net,
-		topo:          cfg.Topology,
-		rng:           rng,
-		col:           col,
-		shortcut:      cfg.NeighborShortcut,
-		claimTTL:      cfg.ClaimTTL,
-		fullScan:      cfg.FullScanDetect,
-		procs:         make(map[int]*proc),
-		claims:        make(map[grid.Coord]claim),
-		failedOrigins: make(map[grid.Coord]bool),
-		departing:     make(map[grid.Coord]bool),
+	var c *Controller
+	if cfg.Scratch != nil {
+		c = &cfg.Scratch.ctrl
+	} else {
+		c = new(Controller)
 	}
-	if cfg.ByzantineFrac < 0 || cfg.ByzantineFrac > 1 {
-		return nil, fmt.Errorf("core: byzantine fraction %g outside [0,1]", cfg.ByzantineFrac)
+	n := ns.NumCells()
+	// Field-by-field reinit: slices keep their backing arrays (truncated
+	// or cleared), everything else is overwritten, so a pooled controller
+	// starts byte-identical to a fresh one.
+	*c = Controller{
+		net:      net,
+		topo:     cfg.Topology,
+		sys:      ns,
+		rng:      rng,
+		col:      col,
+		shortcut: cfg.NeighborShortcut,
+		claimTTL: cfg.ClaimTTL,
+		byzProb:  cfg.ByzantineProb,
+		fullScan: cfg.FullScanDetect,
+
+		liars:     c.liars[:0],
+		lieBudget: c.lieBudget[:0],
+		procs:     c.procs[:0],
+
+		claimPID:      dense.Int32s(c.claimPID, n),
+		claimRound:    dense.Int32s(c.claimRound, n),
+		failedOrigins: dense.Bits(c.failedOrigins, n),
+		departing:     dense.Bits(c.departing, n),
+		pending:       c.pending[:0],
+
+		holeList: c.holeList[:0],
+		holePos:  dense.Int32s(c.holePos, n),
+
+		inboxBuf: c.inboxBuf[:0],
+		eventBuf: c.eventBuf[:0],
+		candBuf:  c.candBuf[:0],
+		nbrBuf:   c.nbrBuf[:0],
+		watchBuf: c.watchBuf[:0],
 	}
 	if cfg.ByzantineFrac > 0 {
-		if cfg.ClaimTTL <= 0 {
-			return nil, fmt.Errorf("core: byzantine monitors require ClaimTTL > 0 to expire phantom processes")
-		}
-		n := ns.NumCells()
 		k := int(cfg.ByzantineFrac*float64(n) + 0.5)
 		if k < 1 {
 			k = 1
@@ -213,17 +270,14 @@ func New(net *network.Network, cfg Config) (*Controller, error) {
 		// visits liars in cell-index order (determinism contract).
 		idx := rng.Sample(n, k)
 		slices.Sort(idx)
-		c.liars = make([]grid.Coord, 0, k)
-		c.lieBudget = make([]int, k)
-		for i, cell := range idx {
+		for _, cell := range idx {
 			c.liars = append(c.liars, ns.CoordAt(cell))
 			if cfg.ByzantineLies > 0 {
-				c.lieBudget[i] = cfg.ByzantineLies
+				c.lieBudget = append(c.lieBudget, cfg.ByzantineLies)
 			} else {
-				c.lieBudget[i] = -1
+				c.lieBudget = append(c.lieBudget, -1)
 			}
 		}
-		c.byzProb = cfg.ByzantineProb
 	}
 	if !c.fullScan {
 		// Seed the standing hole set from the network as handed over:
@@ -232,11 +286,10 @@ func New(net *network.Network, cfg Config) (*Controller, error) {
 		// are discarded unseen (deployment journals one event per cell —
 		// materializing them would dominate a pooled trial's allocation);
 		// from here on the journal is authoritative.
-		c.holes = make(map[grid.Coord]struct{})
 		c.net.DiscardVacancyEvents()
 		c.eventBuf = c.net.VacantCells(c.eventBuf[:0])
 		for _, g := range c.eventBuf {
-			c.holes[g] = struct{}{}
+			c.holeAdd(g)
 		}
 	}
 	return c, nil
@@ -254,24 +307,91 @@ func (c *Controller) Name() string {
 func (c *Controller) Collector() *metrics.Collector { return c.col }
 
 // Done reports whether no replacement process is active.
-func (c *Controller) Done() bool { return len(c.procs) == 0 }
+func (c *Controller) Done() bool { return c.active == 0 }
 
 // ActiveProcesses returns the number of processes still cascading.
-func (c *Controller) ActiveProcesses() int { return len(c.procs) }
+func (c *Controller) ActiveProcesses() int { return c.active }
+
+// alive reports whether pid names a still-running process.
+func (c *Controller) alive(pid int) bool {
+	return pid >= 0 && pid < len(c.procs) && !c.procs[pid].done
+}
+
+// liveProc returns the record of a still-running process.
+func (c *Controller) liveProc(pid int) (*proc, bool) {
+	if !c.alive(pid) {
+		return nil, false
+	}
+	return &c.procs[pid], true
+}
+
+// startProc appends the record for a freshly started process. pid must be
+// the value the collector just handed out; pids are dense from zero, so
+// it always equals len(procs).
+func (c *Controller) startProc(p proc) *proc {
+	c.procs = append(c.procs, p)
+	c.active++
+	return &c.procs[len(c.procs)-1]
+}
+
+// claimAt reads the claims registry for cell s.
+func (c *Controller) claimAt(s grid.Coord) (claim, bool) {
+	idx := c.sys.Index(s)
+	if c.claimPID[idx] == 0 {
+		return claim{}, false
+	}
+	return claim{pid: int(c.claimPID[idx] - 1), round: int(c.claimRound[idx])}, true
+}
+
+// setClaim records a claim on cell s.
+func (c *Controller) setClaim(s grid.Coord, cl claim) {
+	idx := c.sys.Index(s)
+	c.claimPID[idx] = int32(cl.pid) + 1
+	c.claimRound[idx] = int32(cl.round)
+}
+
+// dropClaim removes any claim on cell s.
+func (c *Controller) dropClaim(s grid.Coord) { c.claimPID[c.sys.Index(s)] = 0 }
+
+// isDeparting reports whether the head of g is committed to a move.
+func (c *Controller) isDeparting(g grid.Coord) bool { return dense.Has(c.departing, c.sys.Index(g)) }
+
+// holeAdd inserts g into the standing hole set (no-op when present).
+func (c *Controller) holeAdd(g grid.Coord) {
+	idx := c.sys.Index(g)
+	if c.holePos[idx] != 0 {
+		return
+	}
+	c.holeList = append(c.holeList, g)
+	c.holePos[idx] = int32(len(c.holeList))
+}
+
+// holeRemove deletes g from the standing hole set by swap-removal.
+func (c *Controller) holeRemove(g grid.Coord) {
+	idx := c.sys.Index(g)
+	pos := c.holePos[idx]
+	if pos == 0 {
+		return
+	}
+	last := len(c.holeList) - 1
+	moved := c.holeList[last]
+	c.holeList[int(pos)-1] = moved
+	c.holePos[c.sys.Index(moved)] = pos
+	c.holeList = c.holeList[:last]
+	c.holePos[idx] = 0
+}
 
 // ResetFailed clears the failed-origin registry and every claim left by a
 // dead process so that holes that could not be repaired earlier (no
 // spares) are re-detected, e.g. after new nodes arrive in a dynamic
 // scenario.
 func (c *Controller) ResetFailed() {
-	for g, cl := range c.claims {
-		if _, alive := c.procs[cl.pid]; !alive {
-			delete(c.claims, g)
+	for idx, pid := range c.claimPID {
+		if pid != 0 && !c.alive(int(pid-1)) {
+			c.claimPID[idx] = 0
 		}
 	}
-	for origin := range c.failedOrigins {
-		delete(c.failedOrigins, origin)
-	}
+	clear(c.failedOrigins)
 }
 
 // Step runs one synchronous round: deliver messages, execute announced
@@ -307,7 +427,7 @@ func (c *Controller) tellLies() {
 		if c.lieBudget[i] == 0 {
 			continue
 		}
-		if c.net.HeadOf(g) == node.Invalid || c.departing[g] {
+		if c.net.HeadOf(g) == node.Invalid || c.isDeparting(g) {
 			continue // a lie needs a live, uncommitted head to tell it
 		}
 		if !c.rng.Bool(c.byzProb) {
@@ -323,7 +443,7 @@ func (c *Controller) tellLies() {
 			if c.net.IsVacant(s) {
 				continue
 			}
-			if _, claimed := c.claims[s]; claimed {
+			if _, claimed := c.claimAt(s); claimed {
 				continue
 			}
 			target, found = s, true
@@ -336,13 +456,13 @@ func (c *Controller) tellLies() {
 			c.lieBudget[i]--
 		}
 		pid := c.col.StartProcess(target, round)
-		c.procs[pid] = &proc{
+		c.startProc(proc{
 			id:        pid,
-			walk:      c.topo.NewWalk(target),
+			walk:      c.topo.WalkFrom(target),
 			lastRound: round,
 			phantom:   true,
-		}
-		c.claims[target] = claim{pid: pid, round: round}
+		})
+		c.setClaim(target, claim{pid: pid, round: round})
 	}
 }
 
@@ -355,11 +475,15 @@ func (c *Controller) expireStalled() {
 		return
 	}
 	round := c.net.Round()
-	for _, p := range c.procs {
+	for i := range c.procs {
+		p := &c.procs[i]
+		if p.done {
+			continue
+		}
 		if round-p.lastRound > c.claimTTL {
 			c.finish(p, metrics.Failed)
 			// Allow the hole to be retried by a fresh process.
-			delete(c.failedOrigins, p.walk.Origin())
+			dense.Clear(c.failedOrigins, c.sys.Index(p.walk.Origin()))
 		}
 	}
 }
@@ -370,19 +494,19 @@ func (c *Controller) executeDepartures() error {
 	pending := c.pending
 	c.pending = c.pending[:0]
 	for _, d := range pending {
-		delete(c.departing, d.from)
-		if nd := c.net.Node(d.nodeID); nd == nil || !nd.Enabled() {
+		dense.Clear(c.departing, c.sys.Index(d.from))
+		if nd := c.net.Node(d.nodeID); !nd.Valid() || !nd.Enabled() {
 			// The committed head died before its scheduled move (mid-run
 			// damage: a churn wave, depletion); the cascade cannot
 			// continue and the process fails. Unlike a spare-drought
 			// failure, the outstanding vacancy is repairable — release
 			// its claim so detection serves it with a fresh process.
-			if cl, claimed := c.claims[d.vacancy]; claimed && cl.pid == d.pid {
-				delete(c.claims, d.vacancy)
+			if cl, claimed := c.claimAt(d.vacancy); claimed && cl.pid == d.pid {
+				c.dropClaim(d.vacancy)
 			}
-			if p, ok := c.procs[d.pid]; ok {
+			if p, ok := c.liveProc(d.pid); ok {
 				c.finish(p, metrics.Failed)
-				delete(c.failedOrigins, p.walk.Origin())
+				dense.Clear(c.failedOrigins, c.sys.Index(p.walk.Origin()))
 			}
 			continue
 		}
@@ -396,13 +520,13 @@ func (c *Controller) executeDepartures() error {
 			// so the cascade completes here; the in-flight notification
 			// finds no live process and is dropped. Claiming the occupied
 			// grid instead would leak the claim if the cascade stalled.
-			if p, ok := c.procs[d.pid]; ok {
+			if p, ok := c.liveProc(d.pid); ok {
 				c.finish(p, metrics.Converged)
 			}
 			continue
 		}
 		// The departed grid is now this process's vacancy.
-		c.claims[d.from] = claim{pid: d.pid, round: c.net.Round()}
+		c.setClaim(d.from, claim{pid: d.pid, round: c.net.Round()})
 	}
 	return nil
 }
@@ -411,7 +535,7 @@ func (c *Controller) executeDepartures() error {
 // process metrics and releasing the claim.
 func (c *Controller) moveInto(pid int, id node.ID, vacancy grid.Coord) error {
 	nd := c.net.Node(id)
-	if nd == nil {
+	if !nd.Valid() {
 		return fmt.Errorf("core: process %d references unknown node %d", pid, id)
 	}
 	target := c.net.CentralTarget(vacancy, c.rng)
@@ -420,7 +544,7 @@ func (c *Controller) moveInto(pid int, id node.ID, vacancy grid.Coord) error {
 		return fmt.Errorf("core: process %d move: %w", pid, err)
 	}
 	c.col.RecordMove(pid, dist)
-	delete(c.claims, vacancy)
+	c.dropClaim(vacancy)
 	return nil
 }
 
@@ -434,12 +558,12 @@ func (c *Controller) serveInbox() error {
 		if m.Kind != MsgCascade {
 			continue
 		}
-		p, ok := c.procs[m.Process]
+		p, ok := c.liveProc(m.Process)
 		if !ok {
 			continue
 		}
 		cur := m.To
-		if c.net.HeadOf(cur) == node.Invalid || c.departing[cur] {
+		if c.net.HeadOf(cur) == node.Invalid || c.isDeparting(cur) {
 			// The asked grid is itself vacant (another travelling
 			// vacancy) or its head is already committed; hold the
 			// notification until a head is available.
@@ -474,7 +598,7 @@ func (c *Controller) serveRequest(p *proc, cur, vacancy grid.Coord) error {
 // the shortcut extension — a spare from any 1-hop neighbor grid of the
 // vacancy, preferring cur's own.
 func (c *Controller) pickSpare(cur, vacancy grid.Coord) node.ID {
-	target := c.net.System().Center(vacancy)
+	target := c.sys.Center(vacancy)
 	if id := c.net.SpareNearest(cur, target); id != node.Invalid {
 		return id
 	}
@@ -484,7 +608,7 @@ func (c *Controller) pickSpare(cur, vacancy grid.Coord) node.ID {
 	// Future-work shortcut: the asked head also knows its own 1-hop
 	// neighborhood; pull a spare from a neighboring grid of the vacancy
 	// directly if one exists (the mover still crosses one cell boundary).
-	c.nbrBuf = c.net.System().Neighbors(c.nbrBuf[:0], vacancy)
+	c.nbrBuf = c.sys.Neighbors(c.nbrBuf[:0], vacancy)
 	for _, nb := range c.nbrBuf {
 		if nb == cur {
 			continue
@@ -524,7 +648,7 @@ func (c *Controller) cascade(p *proc, cur, vacancy grid.Coord) error {
 		return fmt.Errorf("core: cascade notify: %w", err)
 	}
 	c.col.RecordMessage()
-	c.departing[cur] = true
+	dense.Set(c.departing, c.sys.Index(cur))
 	c.pending = append(c.pending, departure{
 		pid:     p.id,
 		nodeID:  head,
@@ -552,24 +676,20 @@ func (c *Controller) detect() error {
 	c.eventBuf = c.net.DrainVacancyEvents(c.eventBuf[:0])
 	for _, g := range c.eventBuf {
 		if c.net.IsVacant(g) {
-			c.holes[g] = struct{}{}
+			c.holeAdd(g)
 		} else {
-			delete(c.holes, g)
+			c.holeRemove(g)
 		}
 	}
-	c.candBuf = c.candBuf[:0]
-	for s := range c.holes {
-		c.candBuf = append(c.candBuf, s)
-	}
+	c.candBuf = append(c.candBuf[:0], c.holeList...)
 	// Sort by the monitor scan key. Keys are unique: a monitor watches at
 	// most two grids and ranks split that tie.
-	sys := c.net.System()
 	slices.SortFunc(c.candBuf, func(a, b grid.Coord) int {
-		return c.detectKey(sys, a) - c.detectKey(sys, b)
+		return c.detectKey(a) - c.detectKey(b)
 	})
 	for _, s := range c.candBuf {
 		g := c.topo.MonitorOf(s)
-		if c.net.HeadOf(g) == node.Invalid || c.departing[g] {
+		if c.net.HeadOf(g) == node.Invalid || c.isDeparting(g) {
 			continue
 		}
 		if !c.net.IsVacant(s) {
@@ -587,8 +707,8 @@ func (c *Controller) detect() error {
 
 // detectKey orders hole s by (monitor cell index, rank within the
 // monitor's watch list), the visit order of the reference full scan.
-func (c *Controller) detectKey(sys *grid.System, s grid.Coord) int {
-	return sys.Index(c.topo.MonitorOf(s))*2 + c.topo.MonitorRank(s)
+func (c *Controller) detectKey(s grid.Coord) int {
+	return c.sys.Index(c.topo.MonitorOf(s))*2 + c.topo.MonitorRank(s)
 }
 
 // admitClaimed applies the claim-liveness rule shared by both detectors:
@@ -596,11 +716,11 @@ func (c *Controller) detectKey(sys *grid.System, s grid.Coord) int {
 // orphaned claim is expired (claims of dead processes are kept when no
 // TTL is configured — failed origins must not re-fire every round).
 func (c *Controller) admitClaimed(s grid.Coord) bool {
-	cl, claimed := c.claims[s]
+	cl, claimed := c.claimAt(s)
 	if !claimed {
 		return true
 	}
-	_, alive := c.procs[cl.pid]
+	alive := c.alive(cl.pid)
 	fresh := c.claimTTL <= 0 || c.net.Round()-cl.round <= c.claimTTL
 	if alive && fresh {
 		return false
@@ -608,7 +728,7 @@ func (c *Controller) admitClaimed(s grid.Coord) bool {
 	if c.claimTTL <= 0 {
 		return false
 	}
-	delete(c.claims, s)
+	c.dropClaim(s)
 	return true
 }
 
@@ -618,10 +738,9 @@ func (c *Controller) admitClaimed(s grid.Coord) bool {
 // specification the event-driven path is verified against and as the
 // baseline the large-trial benchmarks compare to.
 func (c *Controller) detectFullScan() error {
-	sys := c.net.System()
 	var watched []grid.Coord
-	for _, g := range sys.AllCoords() {
-		if c.net.HeadOf(g) == node.Invalid || c.departing[g] {
+	for _, g := range c.sys.AllCoords() {
+		if c.net.HeadOf(g) == node.Invalid || c.isDeparting(g) {
 			continue
 		}
 		watched = c.topo.Monitored(watched[:0], g)
@@ -635,7 +754,7 @@ func (c *Controller) detectFullScan() error {
 			if err := c.initiate(g, s); err != nil {
 				return err
 			}
-			if c.departing[g] {
+			if c.isDeparting(g) {
 				break // this head is committed now
 			}
 		}
@@ -647,9 +766,8 @@ func (c *Controller) detectFullScan() error {
 // detected by the head of grid g (its monitor).
 func (c *Controller) initiate(g, s grid.Coord) error {
 	pid := c.col.StartProcess(s, c.net.Round())
-	p := &proc{id: pid, walk: c.topo.NewWalk(s), lastRound: c.net.Round()}
-	c.procs[pid] = p
-	c.claims[s] = claim{pid: pid, round: c.net.Round()}
+	p := c.startProc(proc{id: pid, walk: c.topo.WalkFrom(s), lastRound: c.net.Round()})
+	c.setClaim(s, claim{pid: pid, round: c.net.Round()})
 	c.col.RecordHop(pid)
 	if p.walk.Current() != g {
 		return fmt.Errorf("core: monitor mismatch: %v detected hole %v but walk starts at %v",
@@ -664,28 +782,32 @@ func (c *Controller) finish(p *proc, outcome metrics.Outcome) {
 		// The phantom repaired nothing. Drop its lie claim so the grid is
 		// observable again, and skip failedOrigins — the origin was never
 		// a real hole, so nothing there needs to stay suppressed.
-		if cl, ok := c.claims[p.walk.Origin()]; ok && cl.pid == p.id {
-			delete(c.claims, p.walk.Origin())
+		if cl, ok := c.claimAt(p.walk.Origin()); ok && cl.pid == p.id {
+			c.dropClaim(p.walk.Origin())
 		}
 		c.col.Finish(p.id, outcome, c.net.Round())
-		delete(c.procs, p.id)
+		p.done = true
+		c.active--
 		return
 	}
 	if outcome == metrics.Failed {
-		c.failedOrigins[p.walk.Origin()] = true
+		dense.Set(c.failedOrigins, c.sys.Index(p.walk.Origin()))
 		// Keep the origin claim so detection does not re-fire; the
 		// travelling vacancy claim (if any) stays too, since nothing
 		// will fill it.
 	}
 	c.col.Finish(p.id, outcome, c.net.Round())
-	delete(c.procs, p.id)
+	p.done = true
+	c.active--
 }
 
 // Finalize marks all still-active processes failed; call it when a run
 // hits its round budget.
 func (c *Controller) Finalize() {
-	for _, p := range c.procs {
-		c.finish(p, metrics.Failed)
+	for i := range c.procs {
+		if p := &c.procs[i]; !p.done {
+			c.finish(p, metrics.Failed)
+		}
 	}
 }
 
@@ -699,10 +821,13 @@ func (c *Controller) Finalize() {
 // drained by the last Step.
 func (c *Controller) AuditClaims() []string {
 	var bad []string
-	for g, cl := range c.claims {
-		if _, alive := c.procs[cl.pid]; !alive && !c.net.IsVacant(g) {
+	for idx, pid := range c.claimPID {
+		if pid == 0 {
+			continue
+		}
+		if g := c.sys.CoordAt(idx); !c.alive(int(pid-1)) && !c.net.IsVacant(g) {
 			bad = append(bad, fmt.Sprintf(
-				"core: claim on occupied cell %v owned by dead process %d", g, cl.pid))
+				"core: claim on occupied cell %v owned by dead process %d", g, int(pid-1)))
 		}
 	}
 	if !c.fullScan {
@@ -711,14 +836,14 @@ func (c *Controller) AuditClaims() []string {
 		// pass's drain, and the next drain would resync it. That is the
 		// only post-drain mutation a Step performs, so at rest the two
 		// views must agree everywhere else.
-		for g := range c.holes {
+		for _, g := range c.holeList {
 			if !c.net.IsVacant(g) && !c.net.VacancyFlipPending(g) {
 				bad = append(bad, fmt.Sprintf(
 					"core: standing hole set contains occupied cell %v", g))
 			}
 		}
 		for _, g := range c.net.VacantCells(nil) {
-			if _, ok := c.holes[g]; ok || c.net.VacancyFlipPending(g) {
+			if c.holePos[c.sys.Index(g)] != 0 || c.net.VacancyFlipPending(g) {
 				continue
 			}
 			bad = append(bad, fmt.Sprintf(

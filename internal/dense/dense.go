@@ -1,0 +1,51 @@
+// Package dense holds the tiny resize-and-clear helpers behind the
+// pooled controllers' per-cell scratch tables: int32 columns (biased by
+// one so the zero value means "none") and bitsets. Every helper reuses
+// the backing array when it is large enough, so a trial arena's tables
+// settle at the largest grid they have seen and subsequent trials cost
+// one memclr instead of an allocation.
+package dense
+
+import "math/bits"
+
+// Words returns the number of 64-bit words needed to hold n bits.
+func Words(n int) int { return (n + 63) / 64 }
+
+// Bits returns b resized to hold n bits, all cleared, reusing capacity.
+func Bits(b []uint64, n int) []uint64 {
+	w := Words(n)
+	if cap(b) < w {
+		return make([]uint64, w)
+	}
+	b = b[:w]
+	clear(b)
+	return b
+}
+
+// Set sets bit i.
+func Set(b []uint64, i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func Clear(b []uint64, i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Has reports whether bit i is set.
+func Has(b []uint64, i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Count returns the number of set bits.
+func Count(b []uint64) int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Int32s returns s resized to n elements, all zero, reusing capacity.
+func Int32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}

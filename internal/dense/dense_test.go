@@ -1,0 +1,48 @@
+package dense
+
+import "testing"
+
+func TestBitsReuseAndClear(t *testing.T) {
+	b := Bits(nil, 130)
+	if len(b) != 3 {
+		t.Fatalf("Words(130) gave %d words, want 3", len(b))
+	}
+	Set(b, 0)
+	Set(b, 64)
+	Set(b, 129)
+	if Count(b) != 3 || !Has(b, 64) || Has(b, 65) {
+		t.Fatalf("bit ops inconsistent: count=%d", Count(b))
+	}
+	Clear(b, 64)
+	if Count(b) != 2 || Has(b, 64) {
+		t.Fatalf("Clear left bit set")
+	}
+	old := &b[0]
+	b = Bits(b, 100)
+	if &b[0] != old {
+		t.Error("shrinking resize reallocated")
+	}
+	if Count(b) != 0 {
+		t.Errorf("resize left %d stale bits", Count(b))
+	}
+}
+
+func TestInt32sReuseAndClear(t *testing.T) {
+	s := Int32s(nil, 10)
+	for i := range s {
+		s[i] = int32(i + 1)
+	}
+	old := &s[0]
+	s = Int32s(s, 8)
+	if &s[0] != old {
+		t.Error("shrinking resize reallocated")
+	}
+	for i, v := range s {
+		if v != 0 {
+			t.Fatalf("element %d not cleared: %d", i, v)
+		}
+	}
+	if len(Int32s(s, 100)) != 100 {
+		t.Error("growing resize wrong length")
+	}
+}

@@ -258,7 +258,15 @@ type Walk struct {
 // NewWalk returns the walk for a hole at origin. The walk's first grid is
 // the initiator.
 func (t *Topology) NewWalk(origin grid.Coord) *Walk {
-	return &Walk{topo: t, origin: origin, cur: t.MonitorOf(origin)}
+	w := t.WalkFrom(origin)
+	return &w
+}
+
+// WalkFrom is NewWalk by value, for callers that embed walks inside
+// pooled process tables instead of boxing one per process. The returned
+// Walk must be stored in addressable memory before Advance is called.
+func (t *Topology) WalkFrom(origin grid.Coord) Walk {
+	return Walk{topo: t, origin: origin, cur: t.MonitorOf(origin)}
 }
 
 // Origin returns the hole grid this walk serves.

@@ -111,7 +111,7 @@ func New(net *network.Network, cfg Config) *Election {
 	}
 	for id := node.ID(0); int(id) < net.NumNodes(); id++ {
 		nd := net.Node(id)
-		if nd == nil || !nd.Enabled() {
+		if !nd.Valid() || !nd.Enabled() {
 			continue
 		}
 		c, ok := sys.CoordOf(nd.Location())

@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"math/bits"
 
 	"wsncover/internal/node"
 )
@@ -17,109 +18,147 @@ import (
 //   - each cell's head is a member of that cell and carries the Head role;
 //   - cells with enabled nodes have a head (election invariant);
 //   - exactly one node per occupied cell carries the Head role;
-//   - the incremental enabled/head/vacant counters match a recount;
+//   - the per-cell counts, the occupancy bitset, the store's enabled
+//     bitset, and the head counter all match a brute-force recount, so the
+//     popcount-derived VacantCount/EnabledCount agree with a full scan;
 //   - the vacancy journal's dirty bits agree with its event list.
 func (w *Network) Audit() []string {
 	var bad []string
 
-	registered := make(map[node.ID]int, len(w.nodes)) // id -> cell index
-	for idx, list := range w.cellNodes {
-		for _, id := range list {
+	registered := make(map[node.ID]int, w.store.Len()) // id -> cell index
+	for idx := range w.cellFirst {
+		n := 0
+		for cur := w.cellFirst[idx]; cur != 0; cur = w.nextInCell[cur-1] {
+			id := node.ID(cur - 1)
 			if prev, dup := registered[id]; dup {
 				bad = append(bad, fmt.Sprintf("node %d registered in cells %v and %v",
 					id, w.sys.CoordAt(prev), w.sys.CoordAt(idx)))
+				break // a cross-cell duplicate may also be a list cycle; stop walking
 			}
 			registered[id] = idx
+			n++
+		}
+		if n != int(w.cellCount[idx]) {
+			bad = append(bad, fmt.Sprintf("cell %v count = %d, list walk = %d",
+				w.sys.CoordAt(idx), w.cellCount[idx], n))
+		}
+		occBit := w.occ[idx>>6]&(1<<(uint(idx)&63)) != 0
+		if occBit != (n > 0) {
+			bad = append(bad, fmt.Sprintf("cell %v occupancy bit = %v with %d members",
+				w.sys.CoordAt(idx), occBit, n))
 		}
 	}
 
-	for _, nd := range w.nodes {
-		idx, ok := registered[nd.ID()]
+	for id := node.ID(0); int(id) < w.store.Len(); id++ {
+		nd := w.store.Ref(id)
+		idx, ok := registered[id]
 		switch {
 		case nd.Enabled() && !ok:
-			bad = append(bad, fmt.Sprintf("enabled node %d not registered", nd.ID()))
+			bad = append(bad, fmt.Sprintf("enabled node %d not registered", id))
 		case !nd.Enabled() && ok:
 			bad = append(bad, fmt.Sprintf("disabled node %d still registered in %v",
-				nd.ID(), w.sys.CoordAt(idx)))
+				id, w.sys.CoordAt(idx)))
 		case nd.Enabled():
 			c, in := w.sys.CoordOf(nd.Location())
 			if !in {
 				bad = append(bad, fmt.Sprintf("node %d located off-field at %v",
-					nd.ID(), nd.Location()))
+					id, nd.Location()))
 			} else if w.sys.Index(c) != idx {
 				bad = append(bad, fmt.Sprintf("node %d at %v registered in %v but located in %v",
-					nd.ID(), nd.Location(), w.sys.CoordAt(idx), c))
+					id, nd.Location(), w.sys.CoordAt(idx), c))
+			}
+		}
+		enBit := w.store.EnabledWords()[int(id)>>6]&(1<<(uint(id)&63)) != 0
+		if enBit != nd.Enabled() {
+			bad = append(bad, fmt.Sprintf("node %d enabled bit = %v but status %v",
+				id, enBit, nd.Status()))
+		}
+	}
+	if words := w.store.EnabledWords(); len(words) > 0 {
+		if tail := uint(w.store.Len()) & 63; tail != 0 {
+			if extra := words[len(words)-1] &^ (1<<tail - 1); extra != 0 {
+				bad = append(bad, fmt.Sprintf("enabled bitset has stale bits %#x beyond node %d",
+					extra, w.store.Len()-1))
 			}
 		}
 	}
 
 	for idx, h := range w.heads {
 		c := w.sys.CoordAt(idx)
-		if h == node.Invalid {
-			if len(w.cellNodes[idx]) > 0 {
+		if h == 0 {
+			if w.cellCount[idx] > 0 {
 				bad = append(bad, fmt.Sprintf("cell %v has %d enabled nodes but no head",
-					c, len(w.cellNodes[idx])))
+					c, w.cellCount[idx]))
 			}
 			continue
 		}
+		headID := node.ID(h - 1)
 		member := false
-		for _, id := range w.cellNodes[idx] {
-			if id == h {
+		headRoles := 0
+		for cur := w.cellFirst[idx]; cur != 0; cur = w.nextInCell[cur-1] {
+			id := node.ID(cur - 1)
+			if id == headID {
 				member = true
-				break
+			}
+			if w.store.Ref(id).Role() == node.Head {
+				headRoles++
 			}
 		}
 		if !member {
-			bad = append(bad, fmt.Sprintf("head %d of cell %v is not a member", h, c))
+			bad = append(bad, fmt.Sprintf("head %d of cell %v is not a member", headID, c))
 		}
-		if !w.nodes[h].IsHead() {
-			bad = append(bad, fmt.Sprintf("head %d of cell %v lacks Head role", h, c))
+		if !w.store.Ref(headID).IsHead() {
+			bad = append(bad, fmt.Sprintf("head %d of cell %v lacks Head role", headID, c))
 		}
-		heads := 0
-		for _, id := range w.cellNodes[idx] {
-			if w.nodes[id].Role() == node.Head {
-				heads++
-			}
-		}
-		if heads != 1 {
-			bad = append(bad, fmt.Sprintf("cell %v has %d nodes with Head role", c, heads))
+		if headRoles != 1 {
+			bad = append(bad, fmt.Sprintf("cell %v has %d nodes with Head role", c, headRoles))
 		}
 	}
 
+	// Brute-force recounts against the word-parallel derivations: this is
+	// where "popcount agrees with a full scan" is enforced.
 	enabled, headed, vacant := 0, 0, 0
-	for idx, list := range w.cellNodes {
-		enabled += len(list)
-		if w.heads[idx] != node.Invalid {
+	for idx := range w.cellFirst {
+		enabled += int(w.cellCount[idx])
+		if w.heads[idx] != 0 {
 			headed++
 		}
-		if len(list) == 0 {
+		if w.cellCount[idx] == 0 {
 			vacant++
 		}
 	}
-	if enabled != w.enabledCount {
-		bad = append(bad, fmt.Sprintf("enabledCount = %d, recount = %d", w.enabledCount, enabled))
+	if got := w.EnabledCount(); got != enabled {
+		bad = append(bad, fmt.Sprintf("EnabledCount popcount = %d, recount = %d", got, enabled))
 	}
 	if headed != w.headCount {
 		bad = append(bad, fmt.Sprintf("headCount = %d, recount = %d", w.headCount, headed))
 	}
-	if vacant != w.vacantCount {
-		bad = append(bad, fmt.Sprintf("vacantCount = %d, recount = %d", w.vacantCount, vacant))
+	if got := w.VacantCount(); got != vacant {
+		bad = append(bad, fmt.Sprintf("VacantCount popcount = %d, recount = %d", got, vacant))
+	}
+	if last := len(w.occ) - 1; last >= 0 {
+		if extra := w.occ[last] &^ w.occTailMask; extra != 0 {
+			bad = append(bad, fmt.Sprintf("occupancy bitset has stale bits %#x beyond the grid", extra))
+		}
 	}
 
 	dirty := 0
-	for idx, d := range w.vacancyDirty {
-		if d {
-			dirty++
-			found := false
-			for _, e := range w.vacancyEvents {
-				if e == idx {
-					found = true
-					break
-				}
+	for _, word := range w.vacancyDirty {
+		dirty += bits.OnesCount64(word)
+	}
+	for idx := range w.cellFirst {
+		if w.vacancyDirty[idx>>6]&(1<<(uint(idx)&63)) == 0 {
+			continue
+		}
+		found := false
+		for _, e := range w.vacancyEvents {
+			if int(e) == idx {
+				found = true
+				break
 			}
-			if !found {
-				bad = append(bad, fmt.Sprintf("cell %v dirty but missing from the vacancy journal", w.sys.CoordAt(idx)))
-			}
+		}
+		if !found {
+			bad = append(bad, fmt.Sprintf("cell %v dirty but missing from the vacancy journal", w.sys.CoordAt(idx)))
 		}
 	}
 	if dirty != len(w.vacancyEvents) {

@@ -91,14 +91,18 @@ func TestIncrementalCountersMatchRecount(t *testing.T) {
 	check := func(stage string) {
 		t.Helper()
 		enabled, vacant := 0, 0
-		for _, list := range w.cellNodes {
-			enabled += len(list)
-			if len(list) == 0 {
+		for idx := range w.cellFirst {
+			n := 0
+			for cur := w.cellFirst[idx]; cur != 0; cur = w.nextInCell[cur-1] {
+				n++
+			}
+			enabled += n
+			if n == 0 {
 				vacant++
 			}
 		}
 		spares := 0
-		for idx := range w.cellNodes {
+		for idx := range w.cellFirst {
 			spares += w.SpareCount(w.sys.CoordAt(idx))
 		}
 		if w.EnabledCount() != enabled {
@@ -129,7 +133,7 @@ func TestIncrementalCountersMatchRecount(t *testing.T) {
 
 	for _, id := range ids[:10] {
 		nd := w.Node(node.ID(id))
-		if nd == nil || !nd.Enabled() {
+		if !nd.Valid() || !nd.Enabled() {
 			continue
 		}
 		if err := w.MoveNode(node.ID(id), geom.Pt(4.5, 4.5)); err != nil {

@@ -5,11 +5,21 @@
 // The communication model follows the paper: with R = sqrt(5)*r every node
 // can reach every node of the four edge-adjacent cells, so messages between
 // heads of neighboring grids are delivered reliably, one round later.
+//
+// Storage is struct-of-arrays throughout. Node attributes live in a
+// node.Store (one dense array per attribute, indexed by id); cell
+// membership is an intrusive linked list threaded through a single
+// per-node next array, with per-cell first pointers; occupancy and the
+// vacancy journal's dedup marks are bitset words, so vacant-cell counts
+// and scans are word-parallel popcounts instead of per-cell loops. All
+// list and head references are stored biased by one (0 means none), which
+// makes Reset a handful of memclrs rather than sentinel-fill loops.
 package network
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
+	"slices"
 
 	"wsncover/internal/geom"
 	"wsncover/internal/grid"
@@ -58,11 +68,26 @@ type Network struct {
 	sys    *grid.System
 	energy node.EnergyModel
 
-	nodes []*node.Node
-	// cellNodes holds the enabled nodes of each cell (dense index).
-	cellNodes [][]node.ID
-	// heads holds the head of each cell, node.Invalid when vacant.
-	heads []node.ID
+	// store holds every node attribute as a dense parallel array.
+	store node.Store
+	// Cell membership as intrusive singly linked lists: cellFirst[idx] is
+	// the biased id (id+1, 0 = empty) of one enabled node of the cell,
+	// nextInCell[id] the biased id of the next member. New members are
+	// pushed at the front; every consumer of a cell's membership is an
+	// order-independent reduction (min-distance election, min-id rotation,
+	// counts), so list order is unobservable.
+	cellFirst  []int32
+	nextInCell []int32
+	// cellCount[idx] is the enabled-node count of the cell.
+	cellCount []int32
+	// heads[idx] is the biased id of the cell's head, 0 when vacant.
+	heads []int32
+	// occ is the occupancy bitset: bit idx set iff cell idx has at least
+	// one enabled node. VacantCount and VacantCells derive from it by
+	// popcount over the complement.
+	occ []uint64
+	// occTailMask masks the last occ word's bits beyond NumCells.
+	occTailMask uint64
 
 	obs Observer
 
@@ -81,38 +106,46 @@ type Network struct {
 	totalMoves int
 	totalDist  float64
 
-	// Incremental registry counters, maintained on every mutation so the
-	// corresponding queries are O(1) instead of O(nodes) / O(cells).
-	enabledCount int
-	headCount    int
-	vacantCount  int
+	// headCount is maintained incrementally: AllHeadsPresent and
+	// TotalSpares are O(1) against it.
+	headCount int
 
 	// Vacancy journal: cells whose emptiness flipped since the last
-	// DrainVacancyEvents, recorded once each (vacancyDirty dedups).
+	// DrainVacancyEvents, recorded once each (the dirty bitset dedups).
 	// Event-driven hole detection consumes this instead of scanning every
 	// cell per round.
-	vacancyDirty  []bool
-	vacancyEvents []int
+	vacancyDirty  []uint64
+	vacancyEvents []int32
 
 	// idScratch backs DisableAllInCell so bulk failure injection does not
 	// allocate a fresh id slice per call.
 	idScratch []node.ID
 	// bfsVisited/bfsQueue/bfsNbr back HeadGraphConnected's search so the
 	// per-trial connectivity check does not allocate O(cells) each call.
-	bfsVisited []bool
-	bfsQueue   []int
+	bfsVisited []uint64
+	bfsQueue   []int32
 	bfsNbr     []grid.Coord
 }
 
+// wordsFor returns the number of 64-bit words covering n bits.
+func wordsFor(n int) int { return (n + 63) / 64 }
+
 // New creates an empty network over the grid system.
 func New(sys *grid.System, energy node.EnergyModel) *Network {
+	n := sys.NumCells()
+	tail := uint64(1)<<(uint(n)&63) - 1
+	if n&63 == 0 {
+		tail = ^uint64(0)
+	}
 	return &Network{
 		sys:          sys,
 		energy:       energy,
-		cellNodes:    make([][]node.ID, sys.NumCells()),
-		heads:        newHeadSlice(sys.NumCells()),
-		vacantCount:  sys.NumCells(),
-		vacancyDirty: make([]bool, sys.NumCells()),
+		cellFirst:    make([]int32, n),
+		cellCount:    make([]int32, n),
+		heads:        make([]int32, n),
+		occ:          make([]uint64, wordsFor(n)),
+		occTailMask:  tail,
+		vacancyDirty: make([]uint64, wordsFor(n)),
 	}
 }
 
@@ -120,9 +153,10 @@ func New(sys *grid.System, energy node.EnergyModel) *Network {
 // occupied. Each cell appears at most once per drain; consumers resync
 // against IsVacant, so transitions that cancel out are harmless.
 func (w *Network) noteVacancyFlip(idx int) {
-	if !w.vacancyDirty[idx] {
-		w.vacancyDirty[idx] = true
-		w.vacancyEvents = append(w.vacancyEvents, idx)
+	bit := uint64(1) << (uint(idx) & 63)
+	if w.vacancyDirty[idx>>6]&bit == 0 {
+		w.vacancyDirty[idx>>6] |= bit
+		w.vacancyEvents = append(w.vacancyEvents, int32(idx))
 	}
 }
 
@@ -130,10 +164,16 @@ func (w *Network) noteVacancyFlip(idx int) {
 // the flipped cells. Controllers taking over a freshly deployed network
 // use it to retire the deployment's events — one per cell, so a drain
 // into a coord buffer would be the largest allocation of a pooled trial
-// — before seeding their hole sets from VacantCells directly.
+// — before seeding their hole sets from VacantCells directly. When most
+// cells flipped (the post-deployment case), the dirty bitset is cleared
+// whole instead of bit by bit.
 func (w *Network) DiscardVacancyEvents() {
-	for _, idx := range w.vacancyEvents {
-		w.vacancyDirty[idx] = false
+	if len(w.vacancyEvents) >= len(w.vacancyDirty) {
+		clear(w.vacancyDirty)
+	} else {
+		for _, idx := range w.vacancyEvents {
+			w.vacancyDirty[idx>>6] &^= 1 << (uint32(idx) & 63)
+		}
 	}
 	w.vacancyEvents = w.vacancyEvents[:0]
 }
@@ -143,7 +183,8 @@ func (w *Network) DiscardVacancyEvents() {
 // state: a hole filled after the consumer's last drain is resynced at
 // the next one, so a pending flip is lag, not disagreement.
 func (w *Network) VacancyFlipPending(c grid.Coord) bool {
-	return w.vacancyDirty[w.sys.Index(c)]
+	idx := w.sys.Index(c)
+	return w.vacancyDirty[idx>>6]&(1<<(uint(idx)&63)) != 0
 }
 
 // DrainVacancyEvents appends to dst the cells whose vacancy state changed
@@ -155,10 +196,10 @@ func (w *Network) DrainVacancyEvents(dst []grid.Coord) []grid.Coord {
 	if len(w.vacancyEvents) == 0 {
 		return dst
 	}
-	sort.Ints(w.vacancyEvents)
+	slices.Sort(w.vacancyEvents)
 	for _, idx := range w.vacancyEvents {
-		w.vacancyDirty[idx] = false
-		dst = append(dst, w.sys.CoordAt(idx))
+		w.vacancyDirty[idx>>6] &^= 1 << (uint32(idx) & 63)
+		dst = append(dst, w.sys.CoordAt(int(idx)))
 	}
 	w.vacancyEvents = w.vacancyEvents[:0]
 	return dst
@@ -169,19 +210,20 @@ func (w *Network) DrainVacancyEvents(dst []grid.Coord) []grid.Coord {
 // the vacancy journal zeroed — without allocating. The observer and the
 // lossy-radio configuration are cleared too (New leaves both unset);
 // re-attach them after Reset when needed. Every buffer keeps its
-// capacity, and the truncated node slice keeps its node objects, so a
-// Reset-then-redeploy cycle of the same population reuses all of the
-// previous trial's memory. Pooled replicate engines (sim.TrialArena)
-// call this between trials instead of rebuilding the world.
+// capacity, and thanks to the biased-reference storage the per-cell state
+// clears by memclr, so a Reset-then-redeploy cycle of the same population
+// reuses all of the previous trial's memory. Pooled replicate engines
+// (sim.TrialArena) call this between trials instead of rebuilding the
+// world.
 func (w *Network) Reset() {
-	for i := range w.cellNodes {
-		w.cellNodes[i] = w.cellNodes[i][:0]
-	}
-	for i := range w.heads {
-		w.heads[i] = node.Invalid
-	}
-	w.DiscardVacancyEvents()
-	w.nodes = w.nodes[:0]
+	clear(w.cellFirst)
+	clear(w.cellCount)
+	clear(w.heads)
+	clear(w.occ)
+	clear(w.vacancyDirty)
+	w.vacancyEvents = w.vacancyEvents[:0]
+	w.store.Reset()
+	w.nextInCell = w.nextInCell[:0]
 	w.obs = nil
 	w.lossProb = 0
 	w.lossRNG = nil
@@ -193,17 +235,7 @@ func (w *Network) Reset() {
 	w.msgsLost = 0
 	w.totalMoves = 0
 	w.totalDist = 0
-	w.enabledCount = 0
 	w.headCount = 0
-	w.vacantCount = w.sys.NumCells()
-}
-
-func newHeadSlice(n int) []node.ID {
-	h := make([]node.ID, n)
-	for i := range h {
-		h[i] = node.Invalid
-	}
-	return h
 }
 
 // System returns the underlying grid system.
@@ -234,77 +266,80 @@ func (w *Network) SetMessageLoss(p float64, rng *randx.Rand) error {
 func (w *Network) MessagesLost() int { return w.msgsLost }
 
 // AddNodeAt creates an enabled spare node at p and registers it. It
-// returns an error when p lies outside the surveillance field. After a
-// Reset, node objects left in the truncated slice's backing array are
-// reinitialized in place instead of reallocated, so redeploying a pooled
-// network allocates only when it grows past its high-water mark.
+// returns an error when p lies outside the surveillance field. The
+// store's arrays and the membership list grow by appends, so redeploying
+// a pooled network allocates only when it grows past its high-water mark.
 func (w *Network) AddNodeAt(p geom.Point) (node.ID, error) {
 	c, ok := w.sys.CoordOf(p)
 	if !ok {
 		return node.Invalid, fmt.Errorf("network: point %v outside field %v", p, w.sys.Bounds())
 	}
-	id := node.ID(len(w.nodes))
-	if n := len(w.nodes); n < cap(w.nodes) {
-		w.nodes = w.nodes[:n+1]
-		if nd := w.nodes[n]; nd != nil {
-			nd.Reinit(id, p)
-		} else {
-			w.nodes[n] = node.New(id, p)
-		}
-	} else {
-		w.nodes = append(w.nodes, node.New(id, p))
-	}
+	id := w.store.Add(p)
 	idx := w.sys.Index(c)
-	if len(w.cellNodes[idx]) == 0 {
-		w.vacantCount--
+	w.nextInCell = append(w.nextInCell, w.cellFirst[idx])
+	w.cellFirst[idx] = int32(id) + 1
+	if w.cellCount[idx] == 0 {
+		w.occ[idx>>6] |= 1 << (uint(idx) & 63)
 		w.noteVacancyFlip(idx)
 	}
-	w.cellNodes[idx] = append(w.cellNodes[idx], id)
-	w.enabledCount++
+	w.cellCount[idx]++
 	return id, nil
 }
 
-// Node returns the node with the given id, or nil when out of range.
-func (w *Network) Node(id node.ID) *node.Node {
-	if id < 0 || int(id) >= len(w.nodes) {
-		return nil
-	}
-	return w.nodes[id]
-}
+// Node returns the handle of the node with the given id; the handle of an
+// out-of-range id reports !Valid().
+func (w *Network) Node(id node.ID) node.Ref { return w.store.Ref(id) }
 
 // NumNodes returns the total number of nodes ever added, enabled or not.
-func (w *Network) NumNodes() int { return len(w.nodes) }
+func (w *Network) NumNodes() int { return w.store.Len() }
 
-// EnabledCount returns the number of enabled nodes. It is O(1), backed by
-// an incrementally maintained counter.
-func (w *Network) EnabledCount() int { return w.enabledCount }
+// EnabledCount returns the number of enabled nodes, popcounted from the
+// store's enabled bitset words.
+func (w *Network) EnabledCount() int { return w.store.EnabledCount() }
+
+// EnabledIDs appends the ids of all enabled nodes to dst in ascending id
+// order, scanning the enabled bitset word-parallel.
+func (w *Network) EnabledIDs(dst []node.ID) []node.ID {
+	for wi, word := range w.store.EnabledWords() {
+		for word != 0 {
+			dst = append(dst, node.ID(wi<<6+bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	return dst
+}
 
 // CellOf returns the cell currently containing node id.
 func (w *Network) CellOf(id node.ID) (grid.Coord, bool) {
 	nd := w.Node(id)
-	if nd == nil {
+	if !nd.Valid() {
 		return grid.Coord{}, false
 	}
 	return w.sys.CoordOf(nd.Location())
 }
 
-// removeFromCell unregisters id from the cell's enabled list.
+// removeFromCell unlinks id from the cell's membership list.
 func (w *Network) removeFromCell(id node.ID, c grid.Coord) {
 	idx := w.sys.Index(c)
-	list := w.cellNodes[idx]
-	for i, other := range list {
-		if other == id {
-			list[i] = list[len(list)-1]
-			w.cellNodes[idx] = list[:len(list)-1]
-			break
+	b := int32(id) + 1
+	if w.cellFirst[idx] == b {
+		w.cellFirst[idx] = w.nextInCell[id]
+	} else {
+		prev := w.cellFirst[idx]
+		for prev != 0 && w.nextInCell[prev-1] != b {
+			prev = w.nextInCell[prev-1]
+		}
+		if prev != 0 {
+			w.nextInCell[prev-1] = w.nextInCell[id]
 		}
 	}
-	if len(w.cellNodes[idx]) == 0 {
-		w.vacantCount++
+	w.cellCount[idx]--
+	if w.cellCount[idx] == 0 {
+		w.occ[idx>>6] &^= 1 << (uint(idx) & 63)
 		w.noteVacancyFlip(idx)
 	}
-	if w.heads[idx] == id {
-		w.heads[idx] = node.Invalid
+	if w.heads[idx] == b {
+		w.heads[idx] = 0
 		w.headCount--
 		w.electLocked(c)
 	}
@@ -315,7 +350,7 @@ func (w *Network) removeFromCell(id node.ID, c grid.Coord) {
 // elected in its place; if none exists the cell becomes vacant.
 func (w *Network) DisableNode(id node.ID) error {
 	nd := w.Node(id)
-	if nd == nil {
+	if !nd.Valid() {
 		return fmt.Errorf("network: unknown node %d", id)
 	}
 	if !nd.Enabled() {
@@ -324,7 +359,6 @@ func (w *Network) DisableNode(id node.ID) error {
 	c, _ := w.sys.CoordOf(nd.Location())
 	nd.Disable()
 	nd.SetRole(node.Spare)
-	w.enabledCount--
 	w.removeFromCell(id, c)
 	if w.obs != nil {
 		w.obs.NodeDisabled(id, c)
@@ -338,7 +372,10 @@ func (w *Network) DisableNode(id node.ID) error {
 // allocate.
 func (w *Network) DisableAllInCell(c grid.Coord) int {
 	idx := w.sys.Index(c)
-	w.idScratch = append(w.idScratch[:0], w.cellNodes[idx]...)
+	w.idScratch = w.idScratch[:0]
+	for cur := w.cellFirst[idx]; cur != 0; cur = w.nextInCell[cur-1] {
+		w.idScratch = append(w.idScratch, node.ID(cur-1))
+	}
 	for _, id := range w.idScratch {
 		// Error impossible: ids come from the enabled registry.
 		_ = w.DisableNode(id)
@@ -352,25 +389,26 @@ func (w *Network) DisableAllInCell(c grid.Coord) int {
 // determinism.
 func (w *Network) electLocked(c grid.Coord) node.ID {
 	idx := w.sys.Index(c)
-	if h := w.heads[idx]; h != node.Invalid {
-		return h
+	if h := w.heads[idx]; h != 0 {
+		return node.ID(h - 1)
 	}
 	center := w.sys.Center(c)
 	best := node.Invalid
 	bestD := 0.0
-	for _, id := range w.cellNodes[idx] {
-		d := w.nodes[id].Location().Dist2(center)
+	for cur := w.cellFirst[idx]; cur != 0; cur = w.nextInCell[cur-1] {
+		id := node.ID(cur - 1)
+		d := w.store.Ref(id).Location().Dist2(center)
 		if best == node.Invalid || d < bestD || (d == bestD && id < best) {
 			best, bestD = id, d
 		}
 	}
 	if best != node.Invalid {
-		w.heads[idx] = best
+		w.heads[idx] = int32(best) + 1
 		w.headCount++
-		w.nodes[best].SetRole(node.Head)
-		for _, id := range w.cellNodes[idx] {
-			if id != best {
-				w.nodes[id].SetRole(node.Spare)
+		w.store.Ref(best).SetRole(node.Head)
+		for cur := w.cellFirst[idx]; cur != 0; cur = w.nextInCell[cur-1] {
+			if id := node.ID(cur - 1); id != best {
+				w.store.Ref(id).SetRole(node.Spare)
 			}
 		}
 		if w.obs != nil {
@@ -384,7 +422,7 @@ func (w *Network) electLocked(c grid.Coord) node.ID {
 // establishing the invariant that a cell is vacant iff it has no enabled
 // nodes.
 func (w *Network) ElectHeads() {
-	for idx := range w.cellNodes {
+	for idx := range w.cellFirst {
 		w.electLocked(w.sys.CoordAt(idx))
 	}
 }
@@ -394,40 +432,44 @@ func (w *Network) ElectHeads() {
 // role can be rotated within the grid to balance energy.
 func (w *Network) RotateHead(c grid.Coord) node.ID {
 	idx := w.sys.Index(c)
-	cur := w.heads[idx]
-	if cur == node.Invalid || len(w.cellNodes[idx]) < 2 {
-		return cur
+	curHead := node.ID(w.heads[idx] - 1)
+	if w.heads[idx] == 0 || w.cellCount[idx] < 2 {
+		return curHead
 	}
 	next := node.Invalid
-	for _, id := range w.cellNodes[idx] {
-		if id == cur {
+	for cur := w.cellFirst[idx]; cur != 0; cur = w.nextInCell[cur-1] {
+		id := node.ID(cur - 1)
+		if id == curHead {
 			continue
 		}
 		if next == node.Invalid || id < next {
 			next = id
 		}
 	}
-	w.nodes[cur].SetRole(node.Spare)
-	w.nodes[next].SetRole(node.Head)
-	w.heads[idx] = next
+	w.store.Ref(curHead).SetRole(node.Spare)
+	w.store.Ref(next).SetRole(node.Head)
+	w.heads[idx] = int32(next) + 1
 	return next
 }
 
 // HeadOf returns the head of cell c, or node.Invalid when vacant.
-func (w *Network) HeadOf(c grid.Coord) node.ID { return w.heads[w.sys.Index(c)] }
+func (w *Network) HeadOf(c grid.Coord) node.ID {
+	return node.ID(w.heads[w.sys.Index(c)] - 1)
+}
 
 // IsVacant reports whether cell c has no enabled nodes. Under the election
 // invariant this coincides with having no head.
 func (w *Network) IsVacant(c grid.Coord) bool {
-	return len(w.cellNodes[w.sys.Index(c)]) == 0
+	idx := w.sys.Index(c)
+	return w.occ[idx>>6]&(1<<(uint(idx)&63)) == 0
 }
 
 // Spares appends the enabled non-head nodes of cell c to dst.
 func (w *Network) Spares(dst []node.ID, c grid.Coord) []node.ID {
 	idx := w.sys.Index(c)
-	for _, id := range w.cellNodes[idx] {
-		if id != w.heads[idx] {
-			dst = append(dst, id)
+	for cur := w.cellFirst[idx]; cur != 0; cur = w.nextInCell[cur-1] {
+		if cur != w.heads[idx] {
+			dst = append(dst, node.ID(cur-1))
 		}
 	}
 	return dst
@@ -436,19 +478,18 @@ func (w *Network) Spares(dst []node.ID, c grid.Coord) []node.ID {
 // SpareCount returns the number of spare nodes in cell c.
 func (w *Network) SpareCount(c grid.Coord) int {
 	idx := w.sys.Index(c)
-	if w.heads[idx] == node.Invalid {
-		return len(w.cellNodes[idx])
+	if w.heads[idx] == 0 {
+		return int(w.cellCount[idx])
 	}
-	return len(w.cellNodes[idx]) - 1
+	return int(w.cellCount[idx]) - 1
 }
 
 // HasSpare reports whether cell c holds at least one spare node.
 func (w *Network) HasSpare(c grid.Coord) bool { return w.SpareCount(c) > 0 }
 
 // TotalSpares returns the number of spare nodes in the whole network (the
-// paper's N). Every enabled node that is not a cell head is a spare, so
-// the count falls out of the incremental counters in O(1).
-func (w *Network) TotalSpares() int { return w.enabledCount - w.headCount }
+// paper's N). Every enabled node that is not a cell head is a spare.
+func (w *Network) TotalSpares() int { return w.EnabledCount() - w.headCount }
 
 // SpareNearest returns the spare of cell c whose location is closest to
 // target, or node.Invalid when the cell has no spare. Ties break on the
@@ -457,11 +498,12 @@ func (w *Network) SpareNearest(c grid.Coord, target geom.Point) node.ID {
 	idx := w.sys.Index(c)
 	best := node.Invalid
 	bestD := 0.0
-	for _, id := range w.cellNodes[idx] {
-		if id == w.heads[idx] {
+	for cur := w.cellFirst[idx]; cur != 0; cur = w.nextInCell[cur-1] {
+		if cur == w.heads[idx] {
 			continue
 		}
-		d := w.nodes[id].Location().Dist2(target)
+		id := node.ID(cur - 1)
+		d := w.store.Ref(id).Location().Dist2(target)
 		if best == node.Invalid || d < bestD || (d == bestD && id < best) {
 			best, bestD = id, d
 		}
@@ -470,20 +512,34 @@ func (w *Network) SpareNearest(c grid.Coord, target geom.Point) node.ID {
 }
 
 // VacantCells appends the addresses of all vacant cells to dst in index
-// order and returns the extended slice. Pass nil for a fresh slice or a
-// recycled buffer to avoid the allocation.
+// order and returns the extended slice, scanning the complement of the
+// occupancy bitset word by word. Pass nil for a fresh slice or a recycled
+// buffer to avoid the allocation.
 func (w *Network) VacantCells(dst []grid.Coord) []grid.Coord {
-	for idx, list := range w.cellNodes {
-		if len(list) == 0 {
+	last := len(w.occ) - 1
+	for wi, word := range w.occ {
+		inv := ^word
+		if wi == last {
+			inv &= w.occTailMask
+		}
+		for inv != 0 {
+			idx := wi<<6 + bits.TrailingZeros64(inv)
 			dst = append(dst, w.sys.CoordAt(idx))
+			inv &= inv - 1
 		}
 	}
 	return dst
 }
 
-// VacantCount returns the number of vacant cells. It is O(1), backed by an
-// incrementally maintained counter.
-func (w *Network) VacantCount() int { return w.vacantCount }
+// VacantCount returns the number of vacant cells, popcounted from the
+// occupancy bitset words.
+func (w *Network) VacantCount() int {
+	occupied := 0
+	for _, word := range w.occ {
+		occupied += bits.OnesCount64(word)
+	}
+	return w.sys.NumCells() - occupied
+}
 
 // CentralTarget draws a uniform random point in the central area of cell
 // c, the destination rule of the paper's mobility control.
@@ -506,7 +562,7 @@ func (w *Network) MoveNode(id node.ID, target geom.Point) error {
 // square root.
 func (w *Network) MoveNodeDist(id node.ID, target geom.Point) (float64, error) {
 	nd := w.Node(id)
-	if nd == nil {
+	if !nd.Valid() {
 		return 0, fmt.Errorf("network: unknown node %d", id)
 	}
 	from, ok := w.sys.CoordOf(nd.Location())
@@ -527,13 +583,15 @@ func (w *Network) MoveNodeDist(id node.ID, target geom.Point) (float64, error) {
 	if from != to {
 		w.removeFromCell(id, from)
 		idx := w.sys.Index(to)
-		if len(w.cellNodes[idx]) == 0 {
-			w.vacantCount--
+		w.nextInCell[id] = w.cellFirst[idx]
+		w.cellFirst[idx] = int32(id) + 1
+		if w.cellCount[idx] == 0 {
+			w.occ[idx>>6] |= 1 << (uint(idx) & 63)
 			w.noteVacancyFlip(idx)
 		}
-		w.cellNodes[idx] = append(w.cellNodes[idx], id)
-		if w.heads[idx] == node.Invalid {
-			w.heads[idx] = id
+		w.cellCount[idx]++
+		if w.heads[idx] == 0 {
+			w.heads[idx] = int32(id) + 1
 			w.headCount++
 			nd.SetRole(node.Head)
 			if w.obs != nil {
@@ -617,39 +675,36 @@ func (w *Network) RequeueMessage(m Message) {
 // exactly the connectivity of the head overlay network. A network with no
 // heads at all is trivially disconnected; a single head is connected.
 func (w *Network) HeadGraphConnected() bool {
-	start := -1
-	total := 0
-	for idx, h := range w.heads {
-		if h != node.Invalid {
-			total++
-			if start < 0 {
-				start = idx
-			}
-		}
-	}
+	total := w.headCount
 	if total == 0 {
 		return false
 	}
-	if cap(w.bfsVisited) < len(w.heads) {
-		w.bfsVisited = make([]bool, len(w.heads))
+	start := -1
+	for idx, h := range w.heads {
+		if h != 0 {
+			start = idx
+			break
+		}
 	}
-	visited := w.bfsVisited[:len(w.heads)]
-	for i := range visited {
-		visited[i] = false
+	if cap(w.bfsVisited) < wordsFor(len(w.heads)) {
+		w.bfsVisited = make([]uint64, wordsFor(len(w.heads)))
 	}
-	queue := append(w.bfsQueue[:0], start)
-	visited[start] = true
+	visited := w.bfsVisited[:wordsFor(len(w.heads))]
+	clear(visited)
+	queue := append(w.bfsQueue[:0], int32(start))
+	visited[start>>6] |= 1 << (uint(start) & 63)
 	reached := 1
 	buf := w.bfsNbr
 	for head := 0; head < len(queue); head++ {
-		idx := queue[head]
+		idx := int(queue[head])
 		buf = w.sys.Neighbors(buf[:0], w.sys.CoordAt(idx))
 		for _, nb := range buf {
 			nidx := w.sys.Index(nb)
-			if w.heads[nidx] != node.Invalid && !visited[nidx] {
-				visited[nidx] = true
+			bit := uint64(1) << (uint(nidx) & 63)
+			if w.heads[nidx] != 0 && visited[nidx>>6]&bit == 0 {
+				visited[nidx>>6] |= bit
 				reached++
-				queue = append(queue, nidx)
+				queue = append(queue, int32(nidx))
 			}
 		}
 	}
@@ -659,15 +714,8 @@ func (w *Network) HeadGraphConnected() bool {
 }
 
 // AllHeadsPresent reports whether every cell has a head, the paper's
-// complete-coverage condition.
-func (w *Network) AllHeadsPresent() bool {
-	for _, h := range w.heads {
-		if h == node.Invalid {
-			return false
-		}
-	}
-	return true
-}
+// complete-coverage condition. O(1) against the head counter.
+func (w *Network) AllHeadsPresent() bool { return w.headCount == w.sys.NumCells() }
 
 // NodesWithin appends to dst the ids of enabled nodes within radius of p,
 // using the cell index to restrict the search.
@@ -684,8 +732,10 @@ func (w *Network) NodesWithin(dst []node.ID, p geom.Point, radius float64) []nod
 			if !w.sys.Contains(c) {
 				continue
 			}
-			for _, id := range w.cellNodes[w.sys.Index(c)] {
-				if w.nodes[id].Location().Dist2(p) <= r2 {
+			idx := w.sys.Index(c)
+			for cur := w.cellFirst[idx]; cur != 0; cur = w.nextInCell[cur-1] {
+				id := node.ID(cur - 1)
+				if w.store.Ref(id).Location().Dist2(p) <= r2 {
 					dst = append(dst, id)
 				}
 			}
@@ -699,12 +749,7 @@ func (w *Network) NodesWithin(dst []node.ID, p geom.Point, radius float64) []nod
 // range. It is O(V * neighborhood) via the cell index and intended for
 // validation and tests, not hot paths.
 func (w *Network) PhysicallyConnected(commRange float64) bool {
-	var enabled []node.ID
-	for _, nd := range w.nodes {
-		if nd.Enabled() {
-			enabled = append(enabled, nd.ID())
-		}
-	}
+	enabled := w.EnabledIDs(nil)
 	if len(enabled) == 0 {
 		return false
 	}
@@ -715,7 +760,7 @@ func (w *Network) PhysicallyConnected(commRange float64) bool {
 	for len(queue) > 0 {
 		id := queue[0]
 		queue = queue[1:]
-		buf = w.NodesWithin(buf[:0], w.nodes[id].Location(), commRange)
+		buf = w.NodesWithin(buf[:0], w.store.Ref(id).Location(), commRange)
 		for _, other := range buf {
 			if !visited[other] {
 				visited[other] = true

@@ -44,8 +44,8 @@ func TestAddNodeAt(t *testing.T) {
 	if _, err := w.AddNodeAt(geom.Pt(-1, 0)); err == nil {
 		t.Error("off-field add should fail")
 	}
-	if w.Node(node.ID(99)) != nil {
-		t.Error("unknown id should yield nil")
+	if w.Node(node.ID(99)).Valid() {
+		t.Error("unknown id should yield an invalid ref")
 	}
 	if _, ok := w.CellOf(node.ID(99)); ok {
 		t.Error("unknown id should have no cell")

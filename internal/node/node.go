@@ -1,10 +1,18 @@
 // Package node models the individual mobile sensor devices: identity,
 // location, enabled/disabled status, role within a grid (head or spare),
 // and a movement odometer with a simple energy account.
+//
+// Storage is struct-of-arrays: a Store holds one dense parallel array per
+// attribute, indexed by ID, plus a bitset of enabled ids. A Ref is a
+// value handle (store pointer + id) exposing the per-node API; it is what
+// the rest of the system passes around instead of a heap object, so
+// scans over one attribute touch contiguous memory and trial resets are
+// slice truncations rather than object-graph rebuilds.
 package node
 
 import (
 	"fmt"
+	"math/bits"
 
 	"wsncover/internal/geom"
 )
@@ -81,92 +89,158 @@ func (m EnergyModel) Cost(distance float64) float64 {
 	return m.PerMeter*distance + m.PerMove
 }
 
-// Node is one sensor device. Nodes are mutated only through the methods of
-// this package and of the owning network, never concurrently.
-type Node struct {
-	id       ID
-	loc      geom.Point
-	status   Status
-	role     Role
-	moves    int
-	traveled float64
-	energy   float64
+// Store is the struct-of-arrays backing of a node population. One slice
+// per attribute, all indexed by ID; statuses and roles pack one byte per
+// node, and the enabled set is additionally mirrored as bitset words so
+// enabled counts and enabled scans are word-parallel. Stores are mutated
+// only through Ref and the owning network, never concurrently.
+type Store struct {
+	loc      []geom.Point
+	status   []uint8 // Status, one byte per node
+	role     []uint8 // Role, one byte per node
+	moves    []int32
+	traveled []float64
+	energy   []float64
+	enabled  []uint64 // bitset: bit id set iff status[id] == Enabled
 }
 
-// New creates an enabled spare node with the given identity and location.
-func New(id ID, loc geom.Point) *Node {
-	return &Node{id: id, loc: loc, status: Enabled, role: Spare}
+// Len returns the number of nodes in the store.
+func (s *Store) Len() int { return len(s.loc) }
+
+// Reset empties the store in place, keeping capacity for reuse. Stale
+// contents need no clearing: Add overwrites every attribute, and the
+// word holding a new id's bit is rewritten whole when the id opens it.
+func (s *Store) Reset() {
+	s.loc = s.loc[:0]
+	s.status = s.status[:0]
+	s.role = s.role[:0]
+	s.moves = s.moves[:0]
+	s.traveled = s.traveled[:0]
+	s.energy = s.energy[:0]
+	s.enabled = s.enabled[:0]
 }
 
-// Reinit restores the node in place to the state New would produce:
-// enabled, spare, odometer and energy account zeroed. The network's
-// arena-backed node pool recycles node objects across trials with it.
-func (n *Node) Reinit(id ID, loc geom.Point) {
-	*n = Node{id: id, loc: loc, status: Enabled, role: Spare}
+// Add appends an enabled spare node at loc and returns its id (always
+// the current Len, keeping ids dense and creation-ordered).
+func (s *Store) Add(loc geom.Point) ID {
+	id := ID(len(s.loc))
+	s.loc = append(s.loc, loc)
+	s.status = append(s.status, uint8(Enabled))
+	s.role = append(s.role, uint8(Spare))
+	s.moves = append(s.moves, 0)
+	s.traveled = append(s.traveled, 0)
+	s.energy = append(s.energy, 0)
+	if int(id)&63 == 0 {
+		// First id of a word: append writes the word whole, discarding
+		// whatever a previous trial left in the reused capacity.
+		s.enabled = append(s.enabled, 1)
+	} else {
+		s.enabled[int(id)>>6] |= 1 << (uint(id) & 63)
+	}
+	return id
 }
+
+// Ref returns the handle for id. The handle of an out-of-range id is not
+// Valid; its accessors must not be called.
+func (s *Store) Ref(id ID) Ref { return Ref{s: s, id: id} }
+
+// EnabledCount returns the number of enabled nodes, popcounted from the
+// bitset words.
+func (s *Store) EnabledCount() int {
+	n := 0
+	for _, w := range s.enabled {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// EnabledWords exposes the enabled bitset (bit id set iff node id is
+// enabled; trailing bits of the last word are zero) for word-parallel
+// scans. Callers must not modify the words.
+func (s *Store) EnabledWords() []uint64 { return s.enabled }
+
+// Ref is a value handle to one node in a Store: the unit the network and
+// the controllers pass around. The zero Ref (and any out-of-range id) is
+// not Valid.
+type Ref struct {
+	s  *Store
+	id ID
+}
+
+// Valid reports whether the handle designates a node in its store.
+func (r Ref) Valid() bool { return r.s != nil && r.id >= 0 && int(r.id) < len(r.s.loc) }
 
 // ID returns the node's identity.
-func (n *Node) ID() ID { return n.id }
+func (r Ref) ID() ID { return r.id }
 
 // Location returns the node's current position.
-func (n *Node) Location() geom.Point { return n.loc }
+func (r Ref) Location() geom.Point { return r.s.loc[r.id] }
 
 // Status returns the node's life-cycle state.
-func (n *Node) Status() Status { return n.status }
+func (r Ref) Status() Status { return Status(r.s.status[r.id]) }
 
 // Enabled reports whether the node participates in the collaboration.
-func (n *Node) Enabled() bool { return n.status == Enabled }
+func (r Ref) Enabled() bool { return Status(r.s.status[r.id]) == Enabled }
 
 // Role returns the node's current role. The role of a disabled node is
 // meaningless.
-func (n *Node) Role() Role { return n.role }
+func (r Ref) Role() Role { return Role(r.s.role[r.id]) }
 
 // IsHead reports whether the node is an enabled grid head.
-func (n *Node) IsHead() bool { return n.status == Enabled && n.role == Head }
+func (r Ref) IsHead() bool {
+	return Status(r.s.status[r.id]) == Enabled && Role(r.s.role[r.id]) == Head
+}
 
 // Moves returns how many movements the node has performed.
-func (n *Node) Moves() int { return n.moves }
+func (r Ref) Moves() int { return int(r.s.moves[r.id]) }
 
 // Traveled returns the node's total moving distance.
-func (n *Node) Traveled() float64 { return n.traveled }
+func (r Ref) Traveled() float64 { return r.s.traveled[r.id] }
 
 // EnergySpent returns the accumulated movement energy under the models
 // passed to MoveTo.
-func (n *Node) EnergySpent() float64 { return n.energy }
+func (r Ref) EnergySpent() float64 { return r.s.energy[r.id] }
 
 // SetRole changes the node's role.
-func (n *Node) SetRole(r Role) { n.role = r }
+func (r Ref) SetRole(ro Role) { r.s.role[r.id] = uint8(ro) }
 
 // Disable removes the node from the collaboration.
-func (n *Node) Disable() { n.status = Disabled }
+func (r Ref) Disable() {
+	r.s.status[r.id] = uint8(Disabled)
+	r.s.enabled[int(r.id)>>6] &^= 1 << (uint(r.id) & 63)
+}
 
 // Enable returns the node to the collaboration as a spare.
-func (n *Node) Enable() {
-	n.status = Enabled
-	n.role = Spare
+func (r Ref) Enable() {
+	r.s.status[r.id] = uint8(Enabled)
+	r.s.role[r.id] = uint8(Spare)
+	r.s.enabled[int(r.id)>>6] |= 1 << (uint(r.id) & 63)
 }
 
 // MoveTo relocates the node to target, charging the odometer and the
 // energy account, and returns the distance moved (0 on error). Disabled
 // nodes cannot move. Returning the distance lets the network and the
 // controllers share one computation per move instead of re-deriving it.
-func (n *Node) MoveTo(target geom.Point, energy EnergyModel) (float64, error) {
-	if n.status != Enabled {
-		return 0, fmt.Errorf("node %d: cannot move while %v", n.id, n.status)
+func (r Ref) MoveTo(target geom.Point, energy EnergyModel) (float64, error) {
+	if Status(r.s.status[r.id]) != Enabled {
+		return 0, fmt.Errorf("node %d: cannot move while %v", r.id, Status(r.s.status[r.id]))
 	}
-	d := n.loc.Dist(target)
-	n.loc = target
-	n.moves++
-	n.traveled += d
-	n.energy += energy.Cost(d)
+	d := r.s.loc[r.id].Dist(target)
+	r.s.loc[r.id] = target
+	r.s.moves[r.id]++
+	r.s.traveled[r.id] += d
+	r.s.energy[r.id] += energy.Cost(d)
 	return d, nil
 }
 
 // Teleport places the node at target without charging the odometer. It is
 // used during deployment, before the simulation starts.
-func (n *Node) Teleport(target geom.Point) { n.loc = target }
+func (r Ref) Teleport(target geom.Point) { r.s.loc[r.id] = target }
 
 // String implements fmt.Stringer.
-func (n *Node) String() string {
-	return fmt.Sprintf("node %d %v %v at %v", n.id, n.status, n.role, n.loc)
+func (r Ref) String() string {
+	if !r.Valid() {
+		return fmt.Sprintf("node %d (invalid)", r.id)
+	}
+	return fmt.Sprintf("node %d %v %v at %v", r.id, r.Status(), r.Role(), r.Location())
 }

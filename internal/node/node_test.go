@@ -7,8 +7,16 @@ import (
 	"wsncover/internal/geom"
 )
 
-func TestNewDefaults(t *testing.T) {
-	n := New(3, geom.Pt(1, 2))
+// add is the test shorthand for growing a store to hold id and returning
+// its handle.
+func add(s *Store, loc geom.Point) Ref { return s.Ref(s.Add(loc)) }
+
+func TestAddDefaults(t *testing.T) {
+	var s Store
+	s.Add(geom.Pt(9, 9))
+	s.Add(geom.Pt(9, 9))
+	s.Add(geom.Pt(9, 9))
+	n := add(&s, geom.Pt(1, 2))
 	if n.ID() != 3 {
 		t.Errorf("ID = %v", n.ID())
 	}
@@ -27,10 +35,32 @@ func TestNewDefaults(t *testing.T) {
 	if n.Moves() != 0 || n.Traveled() != 0 || n.EnergySpent() != 0 {
 		t.Error("odometer should start at zero")
 	}
+	if s.Len() != 4 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestRefValidity(t *testing.T) {
+	var zero Ref
+	if zero.Valid() {
+		t.Error("zero Ref must not be valid")
+	}
+	var s Store
+	if s.Ref(0).Valid() || s.Ref(Invalid).Valid() {
+		t.Error("empty store has no valid refs")
+	}
+	id := s.Add(geom.Pt(0, 0))
+	if !s.Ref(id).Valid() {
+		t.Error("added node must be valid")
+	}
+	if s.Ref(id + 1).Valid() {
+		t.Error("out-of-range ref must not be valid")
+	}
 }
 
 func TestRoleTransitions(t *testing.T) {
-	n := New(0, geom.Pt(0, 0))
+	var s Store
+	n := add(&s, geom.Pt(0, 0))
 	n.SetRole(Head)
 	if !n.IsHead() {
 		t.Error("should be head after SetRole(Head)")
@@ -49,7 +79,8 @@ func TestRoleTransitions(t *testing.T) {
 }
 
 func TestMoveToAccounting(t *testing.T) {
-	n := New(0, geom.Pt(0, 0))
+	var s Store
+	n := add(&s, geom.Pt(0, 0))
 	em := EnergyModel{PerMeter: 2, PerMove: 1}
 	d, err := n.MoveTo(geom.Pt(3, 4), em)
 	if err != nil {
@@ -76,7 +107,8 @@ func TestMoveToAccounting(t *testing.T) {
 }
 
 func TestMoveDisabledFails(t *testing.T) {
-	n := New(0, geom.Pt(0, 0))
+	var s Store
+	n := add(&s, geom.Pt(0, 0))
 	n.Disable()
 	if _, err := n.MoveTo(geom.Pt(1, 1), EnergyModel{}); err == nil {
 		t.Error("moving a disabled node should fail")
@@ -87,13 +119,68 @@ func TestMoveDisabledFails(t *testing.T) {
 }
 
 func TestTeleportDoesNotCharge(t *testing.T) {
-	n := New(0, geom.Pt(0, 0))
+	var s Store
+	n := add(&s, geom.Pt(0, 0))
 	n.Teleport(geom.Pt(100, 100))
 	if !n.Location().Eq(geom.Pt(100, 100)) {
 		t.Errorf("Location = %v", n.Location())
 	}
 	if n.Moves() != 0 || n.Traveled() != 0 {
 		t.Error("teleport must not charge the odometer")
+	}
+}
+
+// TestEnabledBitset drives the enabled words through add / disable /
+// enable / reset cycles — including word-boundary ids and capacity reuse
+// after Reset — and requires the popcount to agree with a brute-force
+// status scan throughout.
+func TestEnabledBitset(t *testing.T) {
+	check := func(s *Store, what string) {
+		t.Helper()
+		brute := 0
+		for id := ID(0); int(id) < s.Len(); id++ {
+			if s.Ref(id).Enabled() {
+				brute++
+			}
+		}
+		if got := s.EnabledCount(); got != brute {
+			t.Fatalf("%s: EnabledCount = %d, brute scan = %d", what, got, brute)
+		}
+		words := s.EnabledWords()
+		if want := (s.Len() + 63) / 64; len(words) != want {
+			t.Fatalf("%s: %d enabled words for %d nodes", what, len(words), s.Len())
+		}
+		for id := ID(0); int(id) < s.Len(); id++ {
+			bit := words[int(id)>>6]&(1<<(uint(id)&63)) != 0
+			if bit != s.Ref(id).Enabled() {
+				t.Fatalf("%s: bit %d = %v, status %v", what, id, bit, s.Ref(id).Status())
+			}
+		}
+	}
+	var s Store
+	for i := 0; i < 130; i++ { // crosses two word boundaries
+		s.Add(geom.Pt(float64(i), 0))
+	}
+	check(&s, "after add")
+	for id := ID(0); int(id) < s.Len(); id += 3 {
+		s.Ref(id).Disable()
+	}
+	check(&s, "after disable")
+	s.Ref(63).Disable()
+	s.Ref(64).Disable()
+	check(&s, "word-boundary disable")
+	s.Ref(63).Enable()
+	check(&s, "word-boundary enable")
+	s.Reset()
+	if s.Len() != 0 || s.EnabledCount() != 0 || len(s.EnabledWords()) != 0 {
+		t.Fatal("reset store must be empty")
+	}
+	for i := 0; i < 70; i++ { // reuse capacity left by the larger first fill
+		s.Add(geom.Pt(float64(i), 1))
+	}
+	check(&s, "after reset+refill")
+	if s.EnabledCount() != 70 {
+		t.Fatalf("refill EnabledCount = %d, want 70 (stale bits leaked)", s.EnabledCount())
 	}
 }
 
@@ -118,7 +205,11 @@ func TestStringers(t *testing.T) {
 	if Status(9).String() == "" || Role(9).String() == "" {
 		t.Error("invalid enums should still render")
 	}
-	if New(1, geom.Pt(0, 0)).String() == "" {
-		t.Error("Node String empty")
+	var s Store
+	if add(&s, geom.Pt(0, 0)).String() == "" {
+		t.Error("Ref String empty")
+	}
+	if (Ref{}).String() == "" {
+		t.Error("invalid Ref String empty")
 	}
 }

@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"wsncover/internal/ar"
+	"wsncover/internal/async"
+	"wsncover/internal/core"
 	"wsncover/internal/geom"
 	"wsncover/internal/grid"
 	"wsncover/internal/metrics"
@@ -8,11 +11,42 @@ import (
 	"wsncover/internal/node"
 )
 
+// schemeScratch lazily holds one pooled state block per controller
+// package. Each worker arena owns one, so consecutive trials of the same
+// scheme reuse the controller's dense tables (procs, claims, bitsets,
+// round buffers) instead of reallocating them.
+type schemeScratch struct {
+	sr    *core.Scratch
+	ar    *ar.Scratch
+	async *async.Scratch
+}
+
+func (s *schemeScratch) forSR() *core.Scratch {
+	if s.sr == nil {
+		s.sr = new(core.Scratch)
+	}
+	return s.sr
+}
+
+func (s *schemeScratch) forAR() *ar.Scratch {
+	if s.ar == nil {
+		s.ar = new(ar.Scratch)
+	}
+	return s.ar
+}
+
+func (s *schemeScratch) forAsync() *async.Scratch {
+	if s.async == nil {
+		s.async = new(async.Scratch)
+	}
+	return s.async
+}
+
 // TrialArena is the pooled replicate engine's per-worker world: it owns
 // a Network (with its node storage and cell registries), the metrics
-// collector, and — via the hamilton.Shared cache and the deploy
-// package's scratch pool — every other piece of per-trial setup that
-// does not depend on the seed. Consecutive trials with the same grid
+// collector, the controllers' dense scratch state, and — via the
+// hamilton.Shared cache and the deploy package's scratch pool — every
+// other piece of per-trial setup that does not depend on the seed. Consecutive trials with the same grid
 // dimensions, communication range, and energy model Reset the network
 // in place instead of rebuilding it, which removes the deployment
 // allocations (~1.4 MB and ~9k objects per 64x64 trial) that dominated
@@ -31,6 +65,7 @@ import (
 type TrialArena struct {
 	net *network.Network
 	col *metrics.Collector
+	scr schemeScratch
 
 	// Geometry and physics the pooled network was built with; a trial
 	// that differs in any of them rebuilds instead of resetting.

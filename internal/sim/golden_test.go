@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// goldenCampaignHash pins the SHA-256 of the golden campaign's manifest
+// bytes as produced by the pre-SoA (pointer-per-node, map-backed
+// controller) substrate. The storage rewrite must reproduce it exactly:
+// unlike the in-process differential tests, this constant crosses the
+// refactor boundary, so "byte-identical to the previous substrate" is
+// checkable long after the old code is gone. Regenerate (and justify in
+// the PR) only when an intentional semantics change lands.
+//
+// The hash covers amd64/linux with the repo's pinned Go toolchain; the
+// FNV/SplitMix RNG and float64 arithmetic used by trials are
+// deterministic across conforming platforms, so a mismatch means a
+// semantics change, not an environment difference.
+const goldenCampaignHash = "390c2fc1946b13ffaec94c9196837f4f1b3a1cc8228e519c47705759b472dfff"
+
+// goldenCampaignSpecs spans the axes the byte-identity contract promises:
+// schemes x grids x workloads (legacy, adversarial, composed) x runners,
+// with spare droughts and claim expiry in the mix.
+func goldenCampaignSpecs() []CampaignSpec {
+	return []CampaignSpec{
+		{
+			Schemes: []SchemeKind{SR, SRShortcut, AR},
+			Grids:   []GridSize{{8, 8}, {9, 9}}, // cycle and dual path
+			Spares:  []int{4, 20},
+			Holes:   []int{1, 3},
+			Workloads: []WorkloadSpec{
+				{Kind: WorkloadHoles},
+				{Kind: WorkloadJam},
+				{Kind: WorkloadChurn, Every: 3, Waves: 2},
+				{Kind: WorkloadDepletion, Budget: 20},
+			},
+			Replicates: 2,
+			BaseSeed:   404,
+		},
+		{
+			// Async runner alongside sync (SR only), plus a spare drought
+			// so exhausted walks are in the golden image too.
+			Schemes:    []SchemeKind{SR},
+			Grids:      []GridSize{{8, 8}},
+			Spares:     []int{0, 10},
+			Runners:    []RunnerKind{RunSync, RunAsync},
+			Replicates: 3,
+			BaseSeed:   505,
+		},
+		{
+			// The adversarial zoo: adaptive jamming, byzantine monitors
+			// (claim expiry), lossy radio, resupply, and a composed phase
+			// sequence.
+			Schemes: []SchemeKind{SR},
+			Grids:   []GridSize{{9, 9}},
+			Spares:  []int{12},
+			Workloads: []WorkloadSpec{
+				{Kind: WorkloadMover, Every: 4, Waves: 2},
+				{Kind: WorkloadByzantine, Frac: 0.2, Prob: 0.5, Count: 2},
+				{Kind: WorkloadLossy, Loss: 0.2},
+				{Kind: WorkloadResupply, Holes: 3, Batch: 5, At: 4},
+				{Kind: WorkloadSequence, Every: 6, Children: []WorkloadSpec{
+					{Kind: WorkloadJam},
+					{Kind: WorkloadChurn, Every: 2, Waves: 2},
+				}},
+			},
+			Replicates: 2,
+			BaseSeed:   606,
+		},
+	}
+}
+
+// TestGoldenCampaignManifestHash is the cross-PR anchor of the SoA
+// rewrite's "no observable change" contract. It runs the golden campaign
+// pooled and fresh at workers {1,4}, requires all four byte-identical,
+// and checks the shared image against the pinned pre-refactor hash.
+func TestGoldenCampaignManifestHash(t *testing.T) {
+	h := sha256.New()
+	for i, spec := range goldenCampaignSpecs() {
+		ref := pooledManifestBytes(t, spec, false, 1)
+		for _, workers := range []int{4} {
+			if got := pooledManifestBytes(t, spec, false, workers); !bytes.Equal(got, ref) {
+				t.Errorf("spec %d: pooled manifest differs at workers=%d", i, workers)
+			}
+		}
+		for _, workers := range []int{1, 4} {
+			if got := pooledManifestBytes(t, spec, true, workers); !bytes.Equal(got, ref) {
+				t.Errorf("spec %d: fresh manifest differs from pooled at workers=%d", i, workers)
+			}
+		}
+		h.Write(ref)
+	}
+	sum := hex.EncodeToString(h.Sum(nil))
+	if sum != goldenCampaignHash {
+		t.Errorf("golden campaign hash %s, want %s", sum, goldenCampaignHash)
+	}
+}

@@ -393,17 +393,22 @@ func ApplyDamage(net *network.Network, cfg TrialConfig, rng *randx.Rand) (Damage
 // trial of a campaign shares one instance instead of rebuilding the
 // O(cells) tables per trial.
 func BuildScheme(net *network.Network, cfg TrialConfig, rng *randx.Rand) (Scheme, error) {
-	return buildScheme(net, cfg, rng, nil)
+	return buildScheme(net, cfg, rng, nil, nil)
 }
 
 // buildScheme is BuildScheme with an optional reusable metrics
-// collector (the trial arena's; nil allocates fresh).
-func buildScheme(net *network.Network, cfg TrialConfig, rng *randx.Rand, col *metrics.Collector) (Scheme, error) {
+// collector and controller scratch (the trial arena's; nil allocates
+// fresh).
+func buildScheme(net *network.Network, cfg TrialConfig, rng *randx.Rand, col *metrics.Collector, scr *schemeScratch) (Scheme, error) {
 	switch cfg.Scheme {
 	case SR, SRShortcut:
 		topo, err := hamilton.Shared(net.System())
 		if err != nil {
 			return nil, err
+		}
+		var scratch *core.Scratch
+		if scr != nil {
+			scratch = scr.forSR()
 		}
 		return core.New(net, core.Config{
 			Topology:         topo,
@@ -415,6 +420,7 @@ func buildScheme(net *network.Network, cfg TrialConfig, rng *randx.Rand, col *me
 			ByzantineProb:    cfg.ByzantineProb,
 			ByzantineLies:    cfg.ByzantineLies,
 			Collector:        col,
+			Scratch:          scratch,
 		})
 	case AR:
 		if cfg.ClaimTTL != 0 {
@@ -423,12 +429,17 @@ func buildScheme(net *network.Network, cfg TrialConfig, rng *randx.Rand, col *me
 		if cfg.ByzantineFrac != 0 {
 			return nil, fmt.Errorf("sim: the byzantine workload targets SR-family monitors; AR is unsupported")
 		}
+		var scratch *ar.Scratch
+		if scr != nil {
+			scratch = scr.forAR()
+		}
 		return ar.New(net, ar.Config{
 			RNG:            rng,
 			InitProb:       cfg.ARInitProb,
 			MaxHops:        cfg.ARMaxHops,
 			FullScanDetect: cfg.LegacyDetect,
 			Collector:      col,
+			Scratch:        scratch,
 		}), nil
 	default:
 		return nil, fmt.Errorf("sim: unknown scheme %v", cfg.Scheme)

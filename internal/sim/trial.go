@@ -74,7 +74,9 @@ func newTrial(cfg TrialConfig, arena *TrialArena) (*Trial, error) {
 	rng := randx.New(cfg.Seed)
 	var net *network.Network
 	var col *metrics.Collector
+	var scr *schemeScratch
 	if arena != nil {
+		scr = &arena.scr
 		// The workload may have installed its energy model into cfg
 		// above, so pool compatibility is decided on the resolved config.
 		if net, err = arena.networkFor(&cfg); err != nil {
@@ -99,17 +101,22 @@ func newTrial(cfg TrialConfig, arena *TrialArena) (*Trial, error) {
 		if err != nil {
 			return nil, err
 		}
+		var scratch *async.Scratch
+		if scr != nil {
+			scratch = scr.forAsync()
+		}
 		t.actrl, err = async.New(net, async.Config{
 			Topology:     topo,
 			RNG:          rng.Split(3),
 			PollInterval: asyncPollInterval,
 			Collector:    col,
+			Scratch:      scratch,
 		})
 		if err != nil {
 			return nil, err
 		}
 	} else {
-		t.scheme, err = buildScheme(net, cfg, rng.Split(3), col)
+		t.scheme, err = buildScheme(net, cfg, rng.Split(3), col, scr)
 		if err != nil {
 			return nil, err
 		}
